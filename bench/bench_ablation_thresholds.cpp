@@ -1,0 +1,72 @@
+// Ablation: sensitivity to MAROON's thresholds — the match threshold θ
+// (Algorithm 3) and the stale-placement threshold µ' (Eq. 10).
+//
+// Expected shapes: raising θ trades recall for precision; µ' has a sweet
+// spot — too low admits stale values into the wrong states, too high blocks
+// legitimate delayed evidence.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+namespace maroon::bench {
+namespace {
+
+void PrintThetaSweep(const Dataset& dataset) {
+  std::cout << "theta sweep (mu' = 0.2):\n";
+  for (double theta : {0.005, 0.02, 0.05, 0.1, 0.2}) {
+    ExperimentOptions options = BenchExperimentOptions();
+    options.maroon.matcher.theta = theta;
+    Experiment experiment(&dataset, options);
+    experiment.Prepare();
+    const ExperimentResult r = experiment.Run(Method::kMaroon);
+    std::cout << "  theta=" << FormatDouble(theta, 3) << "  "
+              << r.ToString() << "\n";
+  }
+}
+
+void PrintMuPrimeSweep(const Dataset& dataset) {
+  std::cout << "\nmu' sweep (theta default):\n";
+  for (double mu_prime : {0.02, 0.1, 0.2, 0.4, 0.8}) {
+    ExperimentOptions options = BenchExperimentOptions();
+    options.maroon.cluster.mu_prime = mu_prime;
+    Experiment experiment(&dataset, options);
+    experiment.Prepare();
+    const ExperimentResult r = experiment.Run(Method::kMaroon);
+    std::cout << "  mu'=" << FormatDouble(mu_prime, 2) << "  " << r.ToString()
+              << "\n";
+  }
+}
+
+void BM_MaroonThetaSweep(benchmark::State& state) {
+  const Dataset dataset =
+      GenerateRecruitmentDataset(BenchRecruitmentOptions());
+  ExperimentOptions options = BenchExperimentOptions();
+  options.max_eval_entities = 10;
+  options.maroon.matcher.theta = static_cast<double>(state.range(0)) / 1000.0;
+  Experiment experiment(&dataset, options);
+  experiment.Prepare();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(experiment.Run(Method::kMaroon).f1);
+  }
+}
+BENCHMARK(BM_MaroonThetaSweep)->Arg(5)->Arg(50)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace maroon::bench
+
+int main(int argc, char** argv) {
+  maroon::bench::PrintHeader(
+      "Ablation: threshold sensitivity (full MAROON, Recruitment)");
+  const maroon::Dataset dataset = maroon::GenerateRecruitmentDataset(
+      maroon::bench::BenchRecruitmentOptions());
+  maroon::bench::PrintThetaSweep(dataset);
+  maroon::bench::PrintMuPrimeSweep(dataset);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

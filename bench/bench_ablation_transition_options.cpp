@@ -1,0 +1,92 @@
+// Ablation: transition-model design choices —
+//   * low-frequency value fallback (min_value_frequency, §4.1.2 Discussion);
+//   * value generalization via a taxonomy mapper (title-level vs raw values
+//     is moot for titles, so we generalize DBLP affiliations instead);
+//   * Eq. 13's literal form vs counting Δt = 0 terms.
+//
+// Expected shapes: moderate frequency filtering is harmless or mildly
+// helpful; category generalization trades per-value discrimination for
+// robustness on sparse attributes.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+namespace maroon::bench {
+namespace {
+
+void PrintSweep() {
+  PrintHeader("Ablation: transition-model options (full MAROON)");
+
+  {
+    const Dataset dataset =
+        GenerateRecruitmentDataset(BenchRecruitmentOptions());
+    std::cout << "min_value_frequency sweep (Recruitment):\n";
+    for (int64_t freq : {1, 3, 10, 50}) {
+      ExperimentOptions options = BenchExperimentOptions();
+      options.transition.min_value_frequency = freq;
+      Experiment experiment(&dataset, options);
+      experiment.Prepare();
+      std::cout << "  min_freq=" << freq << "  "
+                << experiment.Run(Method::kMaroon).ToString() << "\n";
+    }
+
+    std::cout << "\nEq. 13 zero-delta terms (Recruitment):\n";
+    for (bool include : {false, true}) {
+      ExperimentOptions options = BenchExperimentOptions();
+      options.transition.include_zero_delta_terms = include;
+      Experiment experiment(&dataset, options);
+      experiment.Prepare();
+      std::cout << "  include_zero_delta=" << (include ? "true " : "false")
+                << "  " << experiment.Run(Method::kMaroon).ToString() << "\n";
+    }
+  }
+
+  {
+    const DblpCorpus corpus = GenerateDblpCorpus(BenchDblpOptions());
+    std::cout << "\nAffiliation generalization (DBLP):\n";
+    {
+      Experiment experiment(&corpus.dataset, BenchExperimentOptions());
+      experiment.Prepare();
+      std::cout << "  raw organizations      "
+                << experiment.Run(Method::kMaroon).ToString() << "\n";
+    }
+    {
+      ExperimentOptions options = BenchExperimentOptions();
+      options.transition.mapper = corpus.affiliation_category_mapper;
+      Experiment experiment(&corpus.dataset, options);
+      experiment.Prepare();
+      std::cout << "  university/industry    "
+                << experiment.Run(Method::kMaroon).ToString() << "\n";
+    }
+  }
+}
+
+void BM_TrainWithMapper(benchmark::State& state) {
+  const DblpCorpus corpus = GenerateDblpCorpus(BenchDblpOptions());
+  ProfileSet profiles;
+  for (const auto& [id, target] : corpus.dataset.targets()) {
+    profiles.push_back(target.ground_truth);
+  }
+  TransitionModelOptions options;
+  if (state.range(0) == 1) options.mapper = corpus.affiliation_category_mapper;
+  for (auto _ : state) {
+    TransitionModel model =
+        TransitionModel::Train(profiles, {kAttrAffiliation}, options);
+    benchmark::DoNotOptimize(model.MaxLifespan(kAttrAffiliation));
+  }
+}
+BENCHMARK(BM_TrainWithMapper)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace maroon::bench
+
+int main(int argc, char** argv) {
+  maroon::bench::PrintSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+#ifndef MAROON_BENCH_BENCH_COMMON_H_
+#define MAROON_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "datagen/dblp_generator.h"
+#include "datagen/recruitment_generator.h"
+#include "eval/experiment.h"
+
+namespace maroon::bench {
+
+/// Multiplies dataset sizes; set MAROON_BENCH_SCALE=N to run paper-scale
+/// corpora (the defaults keep every bench to seconds).
+inline int Scale() {
+  const char* env = std::getenv("MAROON_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  const int scale = std::atoi(env);
+  return scale >= 1 ? scale : 1;
+}
+
+/// The Recruitment corpus used by the figure benches.
+inline RecruitmentOptions BenchRecruitmentOptions() {
+  RecruitmentOptions options;
+  options.seed = 2015;
+  options.num_entities = 300 * static_cast<size_t>(Scale());
+  options.num_names = options.num_entities / 3;
+  return options;
+}
+
+/// The DBLP corpus (paper-sized by default: 216 authors over 21 names).
+inline DblpOptions BenchDblpOptions() {
+  DblpOptions options;
+  options.seed = 2015;
+  options.num_entities = 216 * static_cast<size_t>(Scale());
+  options.num_names = 21 * static_cast<size_t>(Scale());
+  return options;
+}
+
+/// Evaluation cap per method, scaled.
+inline size_t BenchEvalEntities() {
+  return 60 * static_cast<size_t>(Scale());
+}
+
+inline ExperimentOptions BenchExperimentOptions() {
+  ExperimentOptions options;
+  options.max_eval_entities = BenchEvalEntities();
+  return options;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "(seed 2015, scale " << Scale()
+            << "; set MAROON_BENCH_SCALE to enlarge)\n\n";
+}
+
+/// Runs `methods` on a prepared experiment and prints one row per method.
+inline std::vector<ExperimentResult> RunAndPrint(
+    const Experiment& experiment, const std::vector<Method>& methods) {
+  std::vector<ExperimentResult> results;
+  for (Method m : methods) {
+    results.push_back(experiment.Run(m));
+    std::cout << "  " << results.back().ToString() << "\n";
+  }
+  return results;
+}
+
+}  // namespace maroon::bench
+
+#endif  // MAROON_BENCH_BENCH_COMMON_H_

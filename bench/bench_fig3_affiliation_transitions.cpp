@@ -1,0 +1,147 @@
+// Reproduces Figure 3: affiliation transition probabilities over time,
+// learnt from the DBLP corpus, with affiliations classified into
+// university / industry categories (and identity within a category).
+//
+// Paper shapes to reproduce:
+//   * "same university" starts high and trends down over time;
+//   * "different universities" (univ -> another univ) rises with time and
+//     stays above "university -> industry";
+//   * "industry -> university" is low early and grows late in a career.
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "transition/transition_model.h"
+
+namespace maroon::bench {
+namespace {
+
+/// The six Figure-3 series.
+enum class Series {
+  kSameCompany,
+  kSameUniversity,
+  kUnivToDifferentUniv,
+  kUnivToIndustry,
+  kCompanyToDifferentCompany,
+  kIndustryToUniv,
+};
+
+const char* SeriesName(Series s) {
+  switch (s) {
+    case Series::kSameCompany:
+      return "Same Company";
+    case Series::kSameUniversity:
+      return "Same University";
+    case Series::kUnivToDifferentUniv:
+      return "Different Universities";
+    case Series::kUnivToIndustry:
+      return "Univ. to Industry";
+    case Series::kCompanyToDifferentCompany:
+      return "Different Companies";
+    case Series::kIndustryToUniv:
+      return "Industry to Univ.";
+  }
+  return "?";
+}
+
+void PrintFigure3() {
+  PrintHeader("Figure 3: transition probability for Affiliation (DBLP)");
+  const DblpCorpus corpus = GenerateDblpCorpus(BenchDblpOptions());
+
+  ProfileSet profiles;
+  for (const auto& [id, target] : corpus.dataset.targets()) {
+    profiles.push_back(target.ground_truth);
+  }
+  // Train at organization granularity; classify entries via the taxonomy.
+  const TransitionModel model =
+      TransitionModel::Train(profiles, {kAttrAffiliation});
+  const TableValueMapper& category = *corpus.affiliation_category_mapper;
+
+  std::cout << std::left << std::setw(4) << "dt";
+  for (Series s :
+       {Series::kSameCompany, Series::kSameUniversity,
+        Series::kUnivToDifferentUniv, Series::kUnivToIndustry,
+        Series::kCompanyToDifferentCompany, Series::kIndustryToUniv}) {
+    std::cout << std::setw(24) << SeriesName(s);
+  }
+  std::cout << "\n";
+
+  for (int64_t dt = 1; dt <= 16; ++dt) {
+    const TransitionTable* table = model.table(kAttrAffiliation, dt);
+    if (table == nullptr) continue;
+    // Aggregate counts per series, normalized by the origin-category mass.
+    std::map<Series, int64_t> counts;
+    int64_t from_univ = 0, from_industry = 0;
+    for (const auto& [from, to, count] : table->Entries()) {
+      const bool from_u = category.Map(kAttrAffiliation, from) == "university";
+      const bool to_u = category.Map(kAttrAffiliation, to) == "university";
+      (from_u ? from_univ : from_industry) += count;
+      if (from == to) {
+        counts[from_u ? Series::kSameUniversity : Series::kSameCompany] +=
+            count;
+      } else if (from_u && to_u) {
+        counts[Series::kUnivToDifferentUniv] += count;
+      } else if (from_u && !to_u) {
+        counts[Series::kUnivToIndustry] += count;
+      } else if (!from_u && !to_u) {
+        counts[Series::kCompanyToDifferentCompany] += count;
+      } else {
+        counts[Series::kIndustryToUniv] += count;
+      }
+    }
+    const auto prob = [&](Series s, int64_t denominator) {
+      return denominator == 0 ? 0.0
+                              : static_cast<double>(counts[s]) /
+                                    static_cast<double>(denominator);
+    };
+    std::cout << std::left << std::setw(4) << dt;
+    std::cout << std::setw(24)
+              << FormatDouble(prob(Series::kSameCompany, from_industry), 3);
+    std::cout << std::setw(24)
+              << FormatDouble(prob(Series::kSameUniversity, from_univ), 3);
+    std::cout << std::setw(24)
+              << FormatDouble(prob(Series::kUnivToDifferentUniv, from_univ),
+                              3);
+    std::cout << std::setw(24)
+              << FormatDouble(prob(Series::kUnivToIndustry, from_univ), 3);
+    std::cout << std::setw(24)
+              << FormatDouble(
+                     prob(Series::kCompanyToDifferentCompany, from_industry),
+                     3);
+    std::cout << std::setw(24)
+              << FormatDouble(prob(Series::kIndustryToUniv, from_industry),
+                              3);
+    std::cout << "\n";
+  }
+}
+
+void BM_TrainTransitionModelDblp(benchmark::State& state) {
+  const DblpCorpus corpus = GenerateDblpCorpus(BenchDblpOptions());
+  ProfileSet profiles;
+  for (const auto& [id, target] : corpus.dataset.targets()) {
+    profiles.push_back(target.ground_truth);
+  }
+  for (auto _ : state) {
+    TransitionModel model =
+        TransitionModel::Train(profiles, {kAttrAffiliation, kAttrCoauthors});
+    benchmark::DoNotOptimize(model.MaxLifespan(kAttrAffiliation));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(profiles.size()));
+}
+BENCHMARK(BM_TrainTransitionModelDblp);
+
+}  // namespace
+}  // namespace maroon::bench
+
+int main(int argc, char** argv) {
+  maroon::bench::PrintFigure3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

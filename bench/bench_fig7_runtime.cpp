@@ -1,0 +1,88 @@
+// Reproduces Figure 7: running time of MAROON vs MUTA+AFDS, split into
+// Phase I (clustering) and Phase II (matching), on both datasets.
+//
+// Paper shapes to reproduce: the two methods spend similar time in Phase I;
+// MAROON's Phase II is cheaper (transition-probability scoring with
+// incremental updates vs weighted attribute similarity), so MAROON's total
+// is lower.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+namespace maroon::bench {
+namespace {
+
+void PrintRuntimeRow(const ExperimentResult& r) {
+  std::cout << "  " << MethodName(r.method) << ": Phase I "
+            << FormatDouble(r.phase1_seconds, 3) << "s, Phase II "
+            << FormatDouble(r.phase2_seconds, 3) << "s, Total "
+            << FormatDouble(r.total_seconds(), 3) << "s  (n="
+            << r.entities_evaluated << ")\n";
+}
+
+void PrintFigure7() {
+  PrintHeader("Figure 7: running time comparison");
+
+  {
+    std::cout << "(a) Recruitment data\n";
+    const Dataset dataset =
+        GenerateRecruitmentDataset(BenchRecruitmentOptions());
+    Experiment experiment(&dataset, BenchExperimentOptions());
+    experiment.Prepare();
+    PrintRuntimeRow(experiment.Run(Method::kMaroon));
+    PrintRuntimeRow(experiment.Run(Method::kAfdsMuta));
+  }
+  {
+    std::cout << "\n(b) DBLP data\n";
+    const DblpCorpus corpus = GenerateDblpCorpus(BenchDblpOptions());
+    Experiment experiment(&corpus.dataset, BenchExperimentOptions());
+    experiment.Prepare();
+    PrintRuntimeRow(experiment.Run(Method::kMaroon));
+    PrintRuntimeRow(experiment.Run(Method::kAfdsMuta));
+  }
+}
+
+void RunMethodBenchmark(benchmark::State& state, Method method) {
+  const Dataset dataset =
+      GenerateRecruitmentDataset(BenchRecruitmentOptions());
+  ExperimentOptions options = BenchExperimentOptions();
+  options.max_eval_entities = 15;
+  Experiment experiment(&dataset, options);
+  experiment.Prepare();
+  double phase1 = 0.0, phase2 = 0.0;
+  for (auto _ : state) {
+    ExperimentResult r = experiment.Run(method);
+    phase1 += r.phase1_seconds;
+    phase2 += r.phase2_seconds;
+    benchmark::DoNotOptimize(r.f1);
+  }
+  state.counters["phase1_s"] =
+      benchmark::Counter(phase1 / static_cast<double>(state.iterations()));
+  state.counters["phase2_s"] =
+      benchmark::Counter(phase2 / static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations() * 15);
+}
+
+void BM_MaroonTotal(benchmark::State& state) {
+  RunMethodBenchmark(state, Method::kMaroon);
+}
+BENCHMARK(BM_MaroonTotal)->Unit(benchmark::kMillisecond);
+
+void BM_MutaAfdsTotal(benchmark::State& state) {
+  RunMethodBenchmark(state, Method::kAfdsMuta);
+}
+BENCHMARK(BM_MutaAfdsTotal)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace maroon::bench
+
+int main(int argc, char** argv) {
+  maroon::bench::PrintFigure7();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

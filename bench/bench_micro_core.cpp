@@ -1,0 +1,165 @@
+// Microbenchmarks of the core primitives: string similarity, TF-IDF,
+// temporal-sequence queries, transition-table probability lookups, and
+// single-entity Phase I / Phase II runs. Pure google-benchmark — no
+// reproduction table.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "clustering/adjusted_binding_clusterer.h"
+#include "freshness/freshness_model.h"
+#include "matching/maroon.h"
+#include "similarity/record_similarity.h"
+#include "similarity/soft_tfidf.h"
+#include "similarity/string_metrics.h"
+#include "similarity/tfidf.h"
+#include "transition/transition_model.h"
+
+namespace maroon::bench {
+namespace {
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        JaroWinklerSimilarity("Quest Software", "Quest Systems"));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_Levenshtein(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LevenshteinDistance("University of Springfield", "University of "
+                                                         "Lakewood"));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_TfIdfCosine(benchmark::State& state) {
+  TfIdfModel model;
+  model.AddDocument({"quest", "software", "manager"});
+  model.AddDocument({"university", "of", "springfield"});
+  model.AddDocument({"vertex", "labs", "engineer"});
+  const std::vector<std::string> a = {"quest", "software", "director"};
+  const std::vector<std::string> b = {"quest", "labs", "director"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.CosineSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_TfIdfCosine);
+
+void BM_SoftTfIdf(benchmark::State& state) {
+  TfIdfModel model;
+  model.AddDocument({"quest", "software", "manager"});
+  model.AddDocument({"university", "of", "springfield"});
+  model.AddDocument({"vertex", "labs", "engineer"});
+  SoftTfIdf soft(&model);
+  const std::vector<std::string> a = {"quest", "sofware", "director"};
+  const std::vector<std::string> b = {"quest", "software", "manager"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(soft.Similarity(a, b));
+  }
+}
+BENCHMARK(BM_SoftTfIdf);
+
+void BM_TrigramSimilarity(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TrigramSimilarity("Quest Software Inc", "Quest Softwares"));
+  }
+}
+BENCHMARK(BM_TrigramSimilarity);
+
+void BM_AdjustedBindingClustering(benchmark::State& state) {
+  const Dataset dataset =
+      GenerateRecruitmentDataset(BenchRecruitmentOptions());
+  // One entity's candidate pool.
+  const EntityId& entity = dataset.targets().begin()->first;
+  std::vector<const TemporalRecord*> candidates;
+  for (RecordId id : dataset.CandidatesFor(entity)) {
+    candidates.push_back(&dataset.record(id));
+  }
+  SimilarityCalculator similarity;
+  AdjustedBindingClusterer clusterer(&similarity);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clusterer.ClusterRecords(candidates).size());
+  }
+  state.counters["candidates"] =
+      benchmark::Counter(static_cast<double>(candidates.size()));
+}
+BENCHMARK(BM_AdjustedBindingClustering)->Unit(benchmark::kMicrosecond);
+
+void BM_SequenceValuesAt(benchmark::State& state) {
+  TemporalSequence seq;
+  for (int i = 0; i < 20; ++i) {
+    (void)seq.Append(Triple(static_cast<TimePoint>(2000 + 2 * i),
+                            static_cast<TimePoint>(2001 + 2 * i),
+                            MakeValueSet({"v" + std::to_string(i)})));
+  }
+  TimePoint t = 2000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq.ValuesAt(t));
+    t = t == 2039 ? 2000 : t + 1;
+  }
+}
+BENCHMARK(BM_SequenceValuesAt);
+
+TransitionModel TrainedModel() {
+  const Dataset dataset =
+      GenerateRecruitmentDataset(BenchRecruitmentOptions());
+  ProfileSet profiles;
+  for (const auto& [id, target] : dataset.targets()) {
+    profiles.push_back(target.ground_truth);
+  }
+  return TransitionModel::Train(profiles, dataset.attributes());
+}
+
+void BM_IntervalProbability(benchmark::State& state) {
+  const TransitionModel model = TrainedModel();
+  const ValueSet from = MakeValueSet({"Manager"});
+  const ValueSet to = MakeValueSet({"Director"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.IntervalProbability(
+        kAttrTitle, from, to, Interval(2000, 2008), Interval(2010, 2012)));
+  }
+}
+BENCHMARK(BM_IntervalProbability);
+
+void BM_SingleEntityLink(benchmark::State& state) {
+  const Dataset dataset =
+      GenerateRecruitmentDataset(BenchRecruitmentOptions());
+  ProfileSet profiles;
+  std::vector<EntityId> all_entities;
+  for (const auto& [id, target] : dataset.targets()) {
+    profiles.push_back(target.ground_truth);
+    all_entities.push_back(id);
+  }
+  const TransitionModel transition =
+      TransitionModel::Train(profiles, dataset.attributes());
+  const FreshnessModel freshness =
+      FreshnessModel::Train(dataset, all_entities);
+  SimilarityCalculator similarity;
+  MaroonOptions options;
+  options.matcher.single_valued_attributes = dataset.attributes();
+  Maroon maroon(&transition, &freshness, &similarity, dataset.attributes(),
+                options);
+
+  const EntityId& entity = all_entities.front();
+  const auto target = dataset.target(entity);
+  std::vector<const TemporalRecord*> candidates;
+  for (RecordId id : dataset.CandidatesFor(entity)) {
+    candidates.push_back(&dataset.record(id));
+  }
+  for (auto _ : state) {
+    LinkResult r = maroon.Link((*target)->clean_profile, candidates);
+    benchmark::DoNotOptimize(r.match.matched_records.size());
+  }
+  state.counters["candidates"] =
+      benchmark::Counter(static_cast<double>(candidates.size()));
+}
+BENCHMARK(BM_SingleEntityLink)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace maroon::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Scaling study (ours): end-to-end MAROON cost as the corpus grows — an
+// engineering complement to the paper's fixed-size Figure 7. Reports
+// per-entity linkage latency and total wall time over increasing entity
+// counts, plus training-time growth for the transition model.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+namespace maroon::bench {
+namespace {
+
+void PrintScaling() {
+  PrintHeader("Scaling: MAROON cost vs corpus size (Recruitment)");
+  std::cout << "entities  records  train_s  link_total_s  per_entity_ms\n";
+  for (size_t entities : {100, 300, 900}) {
+    RecruitmentOptions data_options;
+    data_options.seed = 2015;
+    data_options.num_entities = entities;
+    data_options.num_names = entities / 3;
+    const Dataset dataset = GenerateRecruitmentDataset(data_options);
+
+    ExperimentOptions options;
+    options.max_eval_entities = 40;
+    Experiment experiment(&dataset, options);
+    const auto train_start = std::chrono::steady_clock::now();
+    experiment.Prepare();
+    const double train_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      train_start)
+            .count();
+    const ExperimentResult r = experiment.Run(Method::kMaroon);
+    std::cout << "  " << entities << "      " << dataset.NumRecords()
+              << "    " << FormatDouble(train_seconds, 2) << "     "
+              << FormatDouble(r.total_seconds(), 3) << "         "
+              << FormatDouble(1000.0 * r.total_seconds() /
+                                  static_cast<double>(r.entities_evaluated),
+                              2)
+              << "\n";
+  }
+}
+
+void BM_EndToEnd(benchmark::State& state) {
+  RecruitmentOptions data_options;
+  data_options.seed = 2015;
+  data_options.num_entities = static_cast<size_t>(state.range(0));
+  data_options.num_names = data_options.num_entities / 3;
+  const Dataset dataset = GenerateRecruitmentDataset(data_options);
+  ExperimentOptions options;
+  options.max_eval_entities = 20;
+  Experiment experiment(&dataset, options);
+  experiment.Prepare();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(experiment.Run(Method::kMaroon).f1);
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_EndToEnd)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace maroon::bench
+
+int main(int argc, char** argv) {
+  maroon::bench::PrintScaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Reproduces Table 7: learnt transition probabilities for Job Title at
+// Δt ∈ {3, 5, 8, 10} on the Recruitment corpus.
+//
+// Paper shapes to reproduce:
+//   * self-transition probability decreases with Δt for every title;
+//   * senior titles persist longer — Pr(Director -> Director) exceeds
+//     Pr(Engineer -> Engineer) at the same Δt (about 2x at Δt = 5);
+//   * Manager -> Director is much likelier than Manager -> Consultant.
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "transition/transition_model.h"
+
+namespace maroon::bench {
+namespace {
+
+ProfileSet RecruitmentProfiles() {
+  const Dataset dataset =
+      GenerateRecruitmentDataset(BenchRecruitmentOptions());
+  ProfileSet profiles;
+  for (const auto& [id, target] : dataset.targets()) {
+    profiles.push_back(target.ground_truth);
+  }
+  return profiles;
+}
+
+void PrintTable7() {
+  PrintHeader("Table 7: transition probability for Job Title (Recruitment)");
+  const ProfileSet profiles = RecruitmentProfiles();
+  const TransitionModel model = TransitionModel::Train(profiles, {kAttrTitle});
+
+  const std::vector<std::pair<Value, Value>> pairs = {
+      {"Engineer", "Engineer"},   {"Engineer", "Sr. Engineer"},
+      {"Engineer", "Manager"},    {"Manager", "Manager"},
+      {"Manager", "Director"},    {"Manager", "Consultant"},
+      {"Director", "Director"},   {"Director", "CEO"},
+      {"Director", "President"},
+  };
+  const std::vector<int64_t> deltas = {3, 5, 8, 10};
+
+  std::cout << std::left << std::setw(14) << "v" << std::setw(16) << "v'";
+  for (int64_t dt : deltas) {
+    std::cout << std::right << std::setw(9) << ("dt=" + std::to_string(dt));
+  }
+  std::cout << "\n";
+  for (const auto& [from, to] : pairs) {
+    std::cout << std::left << std::setw(14) << from << std::setw(16) << to;
+    for (int64_t dt : deltas) {
+      std::cout << std::right << std::setw(9)
+                << FormatDouble(model.Probability(kAttrTitle, from, to, dt),
+                                3);
+    }
+    std::cout << "\n";
+  }
+
+  // The shape checks the paper calls out in §5.2.
+  const double director_5 =
+      model.Probability(kAttrTitle, "Director", "Director", 5);
+  const double engineer_5 =
+      model.Probability(kAttrTitle, "Engineer", "Engineer", 5);
+  std::cout << "\nShape check: Pr(Director stays, dt=5) / Pr(Engineer stays, "
+               "dt=5) = "
+            << FormatDouble(engineer_5 > 0 ? director_5 / engineer_5 : 0.0, 2)
+            << " (paper: ~2x)\n";
+}
+
+void BM_TrainTransitionModelRecruitment(benchmark::State& state) {
+  const ProfileSet profiles = RecruitmentProfiles();
+  for (auto _ : state) {
+    TransitionModel model = TransitionModel::Train(profiles, {kAttrTitle});
+    benchmark::DoNotOptimize(model.MaxLifespan(kAttrTitle));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(profiles.size()));
+}
+BENCHMARK(BM_TrainTransitionModelRecruitment);
+
+void BM_ProbabilityLookup(benchmark::State& state) {
+  const ProfileSet profiles = RecruitmentProfiles();
+  const TransitionModel model = TransitionModel::Train(profiles, {kAttrTitle});
+  int64_t dt = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.Probability(kAttrTitle, "Manager", "Director", dt));
+    dt = dt % 12 + 1;
+  }
+}
+BENCHMARK(BM_ProbabilityLookup);
+
+}  // namespace
+}  // namespace maroon::bench
+
+int main(int argc, char** argv) {
+  maroon::bench::PrintTable7();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Disambiguating authors that share a name, DBLP-style.
+//
+// Generates the synthetic DBLP-Ambi corpus (216 authors, 21 names), trains
+// the transition model on half of the clean profiles, and links the paper
+// records of a few ambiguous names to the right authors. Also prints the
+// category-level affiliation dynamics the model learns (the trends behind
+// the paper's Figure 3).
+//
+// Build & run:  cmake --build build && ./build/examples/dblp_authors
+
+#include <iomanip>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "datagen/dblp_generator.h"
+#include "eval/experiment.h"
+
+using namespace maroon;  // NOLINT — example brevity
+
+int main() {
+  DblpOptions options;
+  options.seed = 2015;
+  const DblpCorpus corpus = GenerateDblpCorpus(options);
+  const Dataset& dataset = corpus.dataset;
+  std::cout << dataset.StatisticsString() << "\n";
+
+  // --- Category-level affiliation transitions (Figure 3's trends). --------
+  ProfileSet profiles;
+  for (const auto& [id, target] : dataset.targets()) {
+    profiles.push_back(target.ground_truth);
+  }
+  TransitionModelOptions tm_options;
+  tm_options.mapper = corpus.affiliation_category_mapper;
+  const TransitionModel category_model =
+      TransitionModel::Train(profiles, {kAttrAffiliation}, tm_options);
+
+  std::cout << "Learnt category transitions for Affiliation:\n";
+  std::cout << "  dt   univ->univ   univ->ind   ind->univ   ind->ind\n";
+  for (int64_t dt : {1, 4, 8, 12}) {
+    std::cout << "  " << std::setw(2) << dt << "   "
+              << FormatDouble(category_model.Probability(
+                     kAttrAffiliation, "university", "university", dt), 3)
+              << "        "
+              << FormatDouble(category_model.Probability(
+                     kAttrAffiliation, "university", "industry", dt), 3)
+              << "       "
+              << FormatDouble(category_model.Probability(
+                     kAttrAffiliation, "industry", "university", dt), 3)
+              << "       "
+              << FormatDouble(category_model.Probability(
+                     kAttrAffiliation, "industry", "industry", dt), 3)
+              << "\n";
+  }
+  std::cout << "\n";
+
+  // --- Link records for a few ambiguous authors. ---------------------------
+  ExperimentOptions exp_options;
+  exp_options.max_eval_entities = 20;
+  Experiment experiment(&dataset, exp_options);
+  experiment.Prepare();
+
+  std::cout << "Evaluating 20 held-out authors:\n";
+  const ExperimentResult maroon_result = experiment.Run(Method::kMaroon);
+  const ExperimentResult muta_result = experiment.Run(Method::kAfdsMuta);
+  std::cout << "  " << maroon_result.ToString() << "\n";
+  std::cout << "  " << muta_result.ToString() << "\n";
+
+  // Show one concrete disambiguation.
+  const EntityId& entity = experiment.test_entities().front();
+  const auto target = dataset.target(entity);
+  if (target.ok()) {
+    const auto candidates = dataset.CandidatesFor(entity);
+    const auto matches = dataset.TrueMatchesOf(entity);
+    std::cout << "\nAuthor " << entity << " (\""
+              << (*target)->ground_truth.name() << "\"): "
+              << candidates.size() << " same-name candidate records, "
+              << matches.size() << " genuinely theirs.\n";
+  }
+  return 0;
+}

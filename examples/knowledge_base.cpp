@@ -1,0 +1,90 @@
+// Building a queryable temporal knowledge base — the paper's §1 vision:
+// aggregate web records into per-entity histories, then answer
+// point-in-time questions over the integrated repository.
+//
+// Pipeline: generate the Recruitment corpus -> train models -> batch-link
+// every target entity with exclusive record assignment -> load the
+// augmented profiles into a ProfileStore -> query it.
+//
+// Build & run:  cmake --build build && ./build/examples/knowledge_base
+
+#include <iostream>
+
+#include "core/profile_store.h"
+#include "datagen/recruitment_generator.h"
+#include "eval/experiment.h"
+#include "matching/batch_linker.h"
+
+using namespace maroon;  // NOLINT — example brevity
+
+int main() {
+  RecruitmentOptions data_options;
+  data_options.seed = 99;
+  data_options.num_entities = 80;
+  data_options.num_names = 30;
+  const Dataset dataset = GenerateRecruitmentDataset(data_options);
+  std::cout << dataset.StatisticsString() << "\n";
+
+  // Train on half the entities; link everyone.
+  ExperimentOptions exp_options;
+  Experiment experiment(&dataset, exp_options);
+  experiment.Prepare();
+
+  MaroonOptions options;
+  options.matcher.single_valued_attributes = dataset.attributes();
+  Maroon maroon(&experiment.transition_model(), &experiment.freshness_model(),
+                &experiment.similarity(), dataset.attributes(), options);
+
+  std::vector<EntityId> all_targets;
+  for (const auto& [id, target] : dataset.targets()) {
+    all_targets.push_back(id);
+  }
+  BatchLinker linker(&maroon);
+  const BatchLinkResult linked = linker.LinkAll(dataset, all_targets);
+  std::cout << "linked " << linked.assignment.size() << " records to "
+            << linked.per_entity.size() << " entities ("
+            << linked.contested_records
+            << " were contested between same-named entities)\n\n";
+
+  // Load the augmented profiles into the knowledge base.
+  ProfileStore store;
+  for (const auto& [id, link] : linked.per_entity) {
+    store.Put(link.match.augmented_profile);
+  }
+
+  // --- Queries. ------------------------------------------------------------
+  // Who held the title "Director" in 2010?
+  const auto directors = store.FindByValueAt(kAttrTitle, "Director", 2010);
+  std::cout << directors.size() << " entities were Directors in 2010\n";
+
+  // Snapshot one entity mid-career.
+  if (!directors.empty()) {
+    const EntityId& person = directors.front();
+    auto snapshot = store.SnapshotAt(person, 2010);
+    if (snapshot.ok()) {
+      std::cout << "\nSnapshot of " << person << " in 2010:\n";
+      for (const auto& [attribute, values] : *snapshot) {
+        std::cout << "  " << attribute << " = " << ValueSetToString(values)
+                  << "\n";
+      }
+      // Who were their colleagues (same organization) that year?
+      const auto colleagues = store.CoOccurring(person, kAttrOrganization,
+                                                2010);
+      std::cout << "  colleagues at the same organization in 2010: "
+                << colleagues.size() << "\n";
+    }
+  }
+
+  // Name ambiguity inside the knowledge base itself.
+  size_t shared_names = 0;
+  for (const EntityId& id : store.Ids()) {
+    auto profile = store.Get(id);
+    if (profile.ok() && store.FindByName((*profile)->name()).size() > 1) {
+      ++shared_names;
+    }
+  }
+  std::cout << "\n" << shared_names << " of " << store.size()
+            << " stored entities share their display name with another "
+               "entity — the ambiguity temporal linkage resolved.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Auditing data-source freshness.
+//
+// Generates the synthetic Recruitment corpus, learns per-source per-attribute
+// update-delay distributions (the paper's §4.2 model), and prints an audit:
+// which sources are fresh at µ = 0.9, and how their delays distribute.
+//
+// Build & run:  cmake --build build && ./build/examples/source_freshness_audit
+
+#include <iomanip>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "datagen/recruitment_generator.h"
+#include "freshness/freshness_model.h"
+
+using namespace maroon;  // NOLINT — example brevity
+
+int main() {
+  RecruitmentOptions options;
+  options.seed = 77;
+  options.num_entities = 400;
+  options.num_names = 150;
+  const Dataset dataset = GenerateRecruitmentDataset(options);
+  std::cout << dataset.StatisticsString() << "\n";
+
+  std::vector<EntityId> all_entities;
+  for (const auto& [id, target] : dataset.targets()) {
+    all_entities.push_back(id);
+  }
+  const FreshnessModel model = FreshnessModel::Train(dataset, all_entities);
+  const std::vector<Attribute>& attributes = dataset.attributes();
+
+  std::cout << "Delay distributions Delay(eta, source, attribute):\n";
+  for (const DataSource& source : dataset.sources()) {
+    std::cout << "\n" << source.name << " (freshness score "
+              << FormatDouble(model.FreshnessScore(source.id, attributes), 2)
+              << ", " << (model.IsFresh(source.id, attributes, 0.9)
+                              ? "FRESH at mu=0.9"
+                              : "stale at mu=0.9")
+              << ")\n";
+    std::cout << "  attribute        eta=0   eta=1   eta=2   eta=3   eta>=4\n";
+    for (const Attribute& a : attributes) {
+      double tail = 0.0;
+      for (int64_t eta = 4; eta <= 40; ++eta) {
+        tail += model.Delay(eta, source.id, a);
+      }
+      std::cout << "  " << std::left << std::setw(15) << a << std::right;
+      for (int64_t eta = 0; eta <= 3; ++eta) {
+        std::cout << "  " << FormatDouble(model.Delay(eta, source.id, a), 3);
+      }
+      std::cout << "   " << FormatDouble(tail, 3) << "   ("
+                << model.ObservationCount(source.id, a) << " obs)\n";
+    }
+  }
+
+  std::cout << "\nInterpretation: MAROON seeds Phase-I clusters from the "
+               "fresh source(s)\nand places the lagging sources' values into "
+               "the historical states their\ndelay distributions say they "
+               "describe (Eq. 10).\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Streaming profile maintenance — the paper's §1 vision in motion: records
+// arrive year by year, and the target's profile grows increasingly complete
+// and up-to-date with each flush.
+//
+// Build & run:  cmake --build build && ./build/examples/streaming_updates
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "core/profile_algebra.h"
+#include "datagen/recruitment_generator.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "matching/incremental_linker.h"
+
+using namespace maroon;  // NOLINT — example brevity
+
+int main() {
+  RecruitmentOptions data_options;
+  data_options.seed = 123;
+  data_options.num_entities = 60;
+  data_options.num_names = 24;
+  const Dataset dataset = GenerateRecruitmentDataset(data_options);
+
+  ExperimentOptions exp_options;
+  Experiment experiment(&dataset, exp_options);
+  experiment.Prepare();
+
+  MaroonOptions options;
+  options.matcher.single_valued_attributes = dataset.attributes();
+  Maroon maroon(&experiment.transition_model(), &experiment.freshness_model(),
+                &experiment.similarity(), dataset.attributes(), options);
+
+  // Pick a held-out target and stream its candidate records by year.
+  const EntityId entity = experiment.test_entities().front();
+  const auto target = dataset.target(entity);
+  std::vector<const TemporalRecord*> candidates;
+  for (RecordId rid : dataset.CandidatesFor(entity)) {
+    candidates.push_back(&dataset.record(rid));
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const TemporalRecord* a, const TemporalRecord* b) {
+              return a->timestamp() < b->timestamp();
+            });
+
+  IncrementalLinker linker(&maroon, (*target)->clean_profile);
+  std::cout << "Target " << entity << " (\""
+            << (*target)->clean_profile.name() << "\"), "
+            << candidates.size() << " candidate records\n\n";
+  std::cout << "year   observed  linked  completeness\n";
+
+  size_t next = 0;
+  for (TimePoint year = candidates.front()->timestamp();
+       year <= candidates.back()->timestamp(); year += 5) {
+    while (next < candidates.size() &&
+           candidates[next]->timestamp() < year + 5) {
+      linker.Observe(*candidates[next]);
+      ++next;
+    }
+    (void)linker.Flush();
+    const ProfileQuality quality =
+        CompareProfiles(linker.current_profile(), (*target)->ground_truth,
+                        dataset.attributes());
+    std::cout << year << "   " << linker.NumObserved() << "        "
+              << linker.linked_records().size() << "      "
+              << FormatDouble(quality.completeness, 3) << "\n";
+  }
+
+  std::cout << "\nFinal timeline:\n"
+            << RenderTimeline(linker.current_profile());
+  const auto pr = ComputePrecisionRecall(
+      std::vector<RecordId>(linker.linked_records().begin(),
+                            linker.linked_records().end()),
+      dataset.TrueMatchesOf(entity));
+  std::cout << "\nFinal P=" << FormatDouble(pr.precision, 3)
+            << " R=" << FormatDouble(pr.recall, 3) << "\n";
+  return 0;
+}

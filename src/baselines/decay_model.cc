@@ -1,0 +1,166 @@
+#include "baselines/decay_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <set>
+
+namespace maroon {
+
+namespace {
+
+/// Merges adjacent intervals (next.begin == prev.end + 1 or overlapping)
+/// into maximal spells.
+std::vector<Interval> MergeAdjacent(std::vector<Interval> intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  std::vector<Interval> merged;
+  for (const Interval& iv : intervals) {
+    if (!merged.empty() &&
+        iv.begin <= merged.back().end + 1) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+/// Minimal time gap between any interval of `a` and any of `b`; 0 if any
+/// pair overlaps.
+int64_t MinGap(const std::vector<Interval>& a, const std::vector<Interval>& b) {
+  int64_t best = std::numeric_limits<int64_t>::max();
+  for (const Interval& x : a) {
+    for (const Interval& y : b) {
+      if (x.Overlaps(y)) return 0;
+      const int64_t gap = x.end < y.begin
+                              ? static_cast<int64_t>(y.begin) - x.end
+                              : static_cast<int64_t>(x.begin) - y.end;
+      best = std::min(best, gap);
+    }
+  }
+  return best;
+}
+
+constexpr size_t kMaxAgreementPairs = 50000;
+
+}  // namespace
+
+DecayModel DecayModel::Train(const ProfileSet& profiles,
+                             const std::vector<Attribute>& attributes) {
+  DecayModel model;
+  for (const Attribute& attribute : attributes) {
+    SpellStats& spells = model.spells_[attribute];
+
+    // Per-entity value universes for the agreement pass.
+    std::vector<std::map<Value, std::vector<Interval>>> entity_values;
+
+    for (const EntityProfile& profile : profiles) {
+      const TemporalSequence& seq = profile.sequence(attribute);
+      if (seq.empty()) continue;
+
+      std::map<Value, std::vector<Interval>> values;
+      std::set<Value> universe;
+      for (const Triple& tr : seq.triples()) {
+        for (const Value& v : tr.values) universe.insert(v);
+      }
+      for (const Value& v : universe) {
+        std::vector<Interval> merged = MergeAdjacent(seq.IntervalsOf(v));
+        for (const Interval& spell : merged) {
+          // A spell is closed iff the instant right after it is covered by
+          // the sequence (the value demonstrably changed); otherwise the
+          // observation is censored.
+          const bool closed = !seq.ValuesAt(spell.end + 1).empty();
+          auto& bucket = closed ? spells.closed : spells.censored;
+          ++bucket[spell.Length()];
+        }
+        values[v] = std::move(merged);
+      }
+      entity_values.push_back(std::move(values));
+    }
+
+    // Agreement decay: deterministic stride sampling of entity pairs.
+    AgreementStats& agreement = model.agreement_[attribute];
+    const size_t n = entity_values.size();
+    if (n >= 2) {
+      size_t sampled = 0;
+      for (size_t stride = 1; stride < n && sampled < kMaxAgreementPairs;
+           ++stride) {
+        for (size_t i = 0; i + stride < n && sampled < kMaxAgreementPairs;
+             ++i) {
+          const auto& a = entity_values[i];
+          const auto& b = entity_values[i + stride];
+          ++sampled;
+          int64_t best = std::numeric_limits<int64_t>::max();
+          for (const auto& [v, intervals_a] : a) {
+            auto it = b.find(v);
+            if (it == b.end()) continue;
+            best = std::min(best, MinGap(intervals_a, it->second));
+            if (best == 0) break;
+          }
+          if (best != std::numeric_limits<int64_t>::max()) {
+            ++agreement.shared[best];
+          }
+        }
+      }
+      agreement.pair_count = static_cast<int64_t>(sampled);
+    }
+  }
+  return model;
+}
+
+double DecayModel::DisagreementDecay(const Attribute& attribute,
+                                     int64_t delta) const {
+  if (delta <= 0) return 0.0;
+  auto it = spells_.find(attribute);
+  if (it == spells_.end()) return 0.0;
+  const SpellStats& stats = it->second;
+  int64_t changed_within = 0;   // closed spells of length <= Δt
+  int64_t at_risk = 0;          // ... plus every spell longer than Δt
+  for (const auto& [length, count] : stats.closed) {
+    if (length <= delta) {
+      changed_within += count;
+    }
+    at_risk += count;
+  }
+  for (const auto& [length, count] : stats.censored) {
+    if (length > delta) at_risk += count;
+  }
+  // Censored spells of length <= Δt carry no information about change within
+  // Δt and are excluded from the risk set.
+  if (at_risk == 0) return 0.0;
+  return static_cast<double>(changed_within) / static_cast<double>(at_risk);
+}
+
+double DecayModel::AgreementDecay(const Attribute& attribute,
+                                  int64_t delta) const {
+  auto it = agreement_.find(attribute);
+  if (it == agreement_.end() || it->second.pair_count == 0) return 0.0;
+  int64_t within = 0;
+  for (const auto& [gap, count] : it->second.shared) {
+    if (gap <= delta) within += count;
+  }
+  return static_cast<double>(within) /
+         static_cast<double>(it->second.pair_count);
+}
+
+double DecayModel::StateProbability(const Attribute& attribute,
+                                    const TemporalSequence& history,
+                                    const ValueSet& state_values,
+                                    const Interval& state_interval) const {
+  if (history.empty() || state_values.empty() || !state_interval.IsValid()) {
+    return 0.0;
+  }
+  // The decay model reasons from the latest known state only (the paper's
+  // critique of [18]: decisions based on a single time point).
+  const Triple& latest = history.triples().back();
+  const int64_t gap = std::max<int64_t>(
+      0, static_cast<int64_t>(state_interval.begin) - latest.interval.end);
+  const bool recurs =
+      !ValueSetIntersection(latest.values, state_values).empty();
+  const double d_minus = DisagreementDecay(attribute, std::max<int64_t>(gap, 1));
+  if (recurs) return 1.0 - d_minus;
+  const double d_plus = AgreementDecay(attribute, gap);
+  return d_minus * (1.0 - d_plus);
+}
+
+}  // namespace maroon

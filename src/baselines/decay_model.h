@@ -1,0 +1,69 @@
+#ifndef MAROON_BASELINES_DECAY_MODEL_H_
+#define MAROON_BASELINES_DECAY_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "baselines/temporal_model.h"
+#include "core/entity_profile.h"
+#include "core/value.h"
+
+namespace maroon {
+
+/// The time-decay model of Li, Dong, Maurino & Srivastava (PVLDB 2011) — the
+/// paper's ref. [18]; implemented as an additional comparison point.
+///
+/// Two curves per attribute:
+///  - *disagreement decay* d⁻(A, Δt): the probability that an entity changes
+///    its value of A within Δt time — learnt from the distribution of value
+///    spell lengths (how long a value is held before it changes);
+///  - *agreement decay* d⁺(A, Δt): the probability that two *different*
+///    entities share the same value of A within Δt — learnt from cross-entity
+///    value collisions.
+class DecayModel final : public TemporalModel {
+ public:
+  DecayModel() = default;
+
+  static DecayModel Train(const ProfileSet& profiles,
+                          const std::vector<Attribute>& attributes);
+
+  /// d⁻(A, Δt): fraction of observed value spells of length <= Δt (spells
+  /// still open at the end of a profile are censored and only counted when
+  /// longer than Δt). 0 for Δt <= 0; untrained attributes return 0.
+  double DisagreementDecay(const Attribute& attribute, int64_t delta) const;
+
+  /// d⁺(A, Δt): probability that two distinct training entities share a
+  /// value of A within a window of Δt. Monotone non-decreasing in Δt.
+  double AgreementDecay(const Attribute& attribute, int64_t delta) const;
+
+  /// TemporalModel: probability that the history continues into the state —
+  /// 1 - d⁻ at the elapsed gap when the state repeats the latest history
+  /// value, d⁻ · (1 - d⁺) when it does not (a change happened, and the match
+  /// is unlikely to be coincidental agreement).
+  double StateProbability(const Attribute& attribute,
+                          const TemporalSequence& history,
+                          const ValueSet& state_values,
+                          const Interval& state_interval) const override;
+
+ private:
+  struct SpellStats {
+    /// spell length -> closed spell count (value changed after this long).
+    std::map<int64_t, int64_t> closed;
+    /// spell length -> censored spell count (profile ended, value may have
+    /// lasted longer).
+    std::map<int64_t, int64_t> censored;
+  };
+  struct AgreementStats {
+    /// Δt -> number of cross-entity pairs sharing a value within Δt.
+    std::map<int64_t, int64_t> shared;
+    int64_t pair_count = 0;
+  };
+
+  std::map<Attribute, SpellStats> spells_;
+  std::map<Attribute, AgreementStats> agreement_;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_BASELINES_DECAY_MODEL_H_

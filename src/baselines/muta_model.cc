@@ -1,0 +1,97 @@
+#include "baselines/muta_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace maroon {
+
+MutaModel MutaModel::Train(const ProfileSet& profiles,
+                           const std::vector<Attribute>& attributes) {
+  MutaModel model;
+  for (const Attribute& attribute : attributes) {
+    auto& per_delta = model.counts_[attribute];
+    for (const EntityProfile& profile : profiles) {
+      const TemporalSequence& seq = profile.sequence(attribute);
+      const std::vector<Triple>& triples = seq.triples();
+      for (size_t i = 0; i < triples.size(); ++i) {
+        const Interval& first = triples[i].interval;
+        for (size_t j = i; j < triples.size(); ++j) {
+          const Interval& second = triples[j].interval;
+          const int64_t delta_min = std::max<int64_t>(
+              1, static_cast<int64_t>(second.begin) - first.end);
+          const int64_t delta_max =
+              static_cast<int64_t>(second.end) - first.begin;
+          for (int64_t delta = delta_min; delta <= delta_max; ++delta) {
+            const int64_t lo = std::max<int64_t>(
+                first.begin, static_cast<int64_t>(second.begin) - delta);
+            const int64_t hi = std::min<int64_t>(
+                first.end, static_cast<int64_t>(second.end) - delta);
+            const int64_t occurrences = hi - lo + 1;
+            if (occurrences <= 0) continue;
+            Counts& c = per_delta[delta];
+            for (const Value& v : triples[i].values) {
+              for (const Value& w : triples[j].values) {
+                c.total += occurrences;
+                if (v == w) c.recur += occurrences;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return model;
+}
+
+double MutaModel::RecurrenceProbability(const Attribute& attribute,
+                                        int64_t delta) const {
+  assert(delta >= 0);
+  if (delta == 0) return 1.0;
+  auto attr_it = counts_.find(attribute);
+  if (attr_it == counts_.end() || attr_it->second.empty()) return 0.0;
+  const auto& per_delta = attr_it->second;
+  // Clamp to the nearest learnt Δt at or below; else the smallest learnt Δt.
+  auto it = per_delta.upper_bound(delta);
+  const Counts& c = it != per_delta.begin() ? std::prev(it)->second
+                                            : it->second;
+  if (c.total == 0) return 0.0;
+  return static_cast<double>(c.recur) / static_cast<double>(c.total);
+}
+
+double MutaModel::StateProbability(const Attribute& attribute,
+                                   const TemporalSequence& history,
+                                   const ValueSet& state_values,
+                                   const Interval& state_interval) const {
+  if (history.empty() || state_values.empty() || !state_interval.IsValid()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const Triple& tr : history.triples()) {
+    // Does the state repeat a value from this history triple?
+    const bool recurs =
+        !ValueSetIntersection(tr.values, state_values).empty();
+    // Average R_A over the instant-pair deltas of the two intervals.
+    const Interval& a = tr.interval;
+    const Interval& b = state_interval;
+    double sum = 0.0;
+    int64_t pairs = 0;
+    for (TimePoint t = a.begin; t <= a.end; ++t) {
+      for (TimePoint u = b.begin; u <= b.end; ++u) {
+        const int64_t delta = t <= u ? u - t : t - u;
+        const double r = RecurrenceProbability(attribute, delta);
+        sum += recurs ? r : 1.0 - r;
+        ++pairs;
+      }
+    }
+    total += pairs > 0 ? sum / static_cast<double>(pairs) : 0.0;
+  }
+  return total / static_cast<double>(history.size());
+}
+
+int64_t MutaModel::MaxDelta(const Attribute& attribute) const {
+  auto it = counts_.find(attribute);
+  if (it == counts_.end() || it->second.empty()) return 0;
+  return it->second.rbegin()->first;
+}
+
+}  // namespace maroon

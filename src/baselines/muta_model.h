@@ -1,0 +1,60 @@
+#ifndef MAROON_BASELINES_MUTA_MODEL_H_
+#define MAROON_BASELINES_MUTA_MODEL_H_
+
+#include <cstdint>
+#include <map>
+
+#include "baselines/temporal_model.h"
+#include "core/entity_profile.h"
+#include "core/value.h"
+
+namespace maroon {
+
+/// The mutation model of Chiang, Doan & Naughton (SIGMOD 2014) — the paper's
+/// ref. [5] and its headline baseline (MUTA).
+///
+/// For each attribute A, MUTA learns a *global* recurrence function
+/// R_A(Δt): the probability that an attribute value recurs after Δt time,
+/// aggregated over all values. Unlike MAROON's transition model it cannot
+/// distinguish which value an entity transitions *to* — exactly the
+/// limitation the paper's Example 1 (r5 vs r6) illustrates.
+class MutaModel final : public TemporalModel {
+ public:
+  MutaModel() = default;
+
+  /// Learns recurrence functions from clean profiles using the same Δt-pair
+  /// counting as Algorithm 1, but aggregating only (recurrence, total).
+  static MutaModel Train(const ProfileSet& profiles,
+                         const std::vector<Attribute>& attributes);
+
+  /// R_A(Δt): fraction of Δt-transitions whose value is unchanged.
+  /// Δt == 0 returns 1; Δt beyond the learnt range clamps to the largest
+  /// learnt Δt; untrained attributes return 0.
+  double RecurrenceProbability(const Attribute& attribute,
+                               int64_t delta) const;
+
+  /// TemporalModel: value-agnostic state probability — the average, over the
+  /// triples of `history` and the instant pairs with `state_interval`, of
+  /// R_A(Δt) when the state repeats a history value, and 1 - R_A(Δt) when it
+  /// does not. This is the "global recurrence" behaviour the paper contrasts
+  /// against.
+  double StateProbability(const Attribute& attribute,
+                          const TemporalSequence& history,
+                          const ValueSet& state_values,
+                          const Interval& state_interval) const override;
+
+  /// Largest Δt learnt for `attribute` (0 if untrained).
+  int64_t MaxDelta(const Attribute& attribute) const;
+
+ private:
+  struct Counts {
+    int64_t recur = 0;
+    int64_t total = 0;
+  };
+  /// attribute -> Δt -> (recurrence count, total count).
+  std::map<Attribute, std::map<int64_t, Counts>> counts_;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_BASELINES_MUTA_MODEL_H_

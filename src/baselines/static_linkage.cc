@@ -1,0 +1,34 @@
+#include "baselines/static_linkage.h"
+
+namespace maroon {
+
+double StaticLinkage::Similarity(const EntityProfile& profile,
+                                 const TemporalRecord& record) const {
+  double total = 0.0;
+  size_t considered = 0;
+  for (const auto& [attribute, values] : record.values()) {
+    ++considered;
+    const TemporalSequence& seq = profile.sequence(attribute);
+    if (seq.empty()) continue;
+    ValueSet universe;
+    for (const Triple& tr : seq.triples()) {
+      universe = ValueSetUnion(universe, tr.values);
+    }
+    total += similarity_->ValueSetSimilarity(universe, values);
+  }
+  return considered == 0 ? 0.0 : total / static_cast<double>(considered);
+}
+
+std::vector<RecordId> StaticLinkage::Link(
+    const EntityProfile& profile,
+    const std::vector<const TemporalRecord*>& candidates) const {
+  std::vector<RecordId> matched;
+  for (const TemporalRecord* r : candidates) {
+    if (Similarity(profile, *r) >= options_.match_threshold) {
+      matched.push_back(r->id());
+    }
+  }
+  return matched;
+}
+
+}  // namespace maroon

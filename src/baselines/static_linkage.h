@@ -1,0 +1,51 @@
+#ifndef MAROON_BASELINES_STATIC_LINKAGE_H_
+#define MAROON_BASELINES_STATIC_LINKAGE_H_
+
+#include <vector>
+
+#include "core/entity_profile.h"
+#include "core/temporal_record.h"
+#include "core/value.h"
+#include "similarity/record_similarity.h"
+
+namespace maroon {
+
+/// Options for the traditional (non-temporal) record-linkage baseline.
+struct StaticLinkageOptions {
+  /// Records at least this similar to the profile's value universe match.
+  double match_threshold = 0.6;
+};
+
+/// Traditional record linkage, agnostic to the temporal dimension (paper
+/// §1-§2): a record matches the entity iff its attribute values are similar
+/// to the union of the values the profile ever held. Demonstrates the
+/// failure mode of Example 1 — records describing *future* states (r5, r6)
+/// are missed because their values differ from the known history.
+class StaticLinkage {
+ public:
+  /// `similarity` must outlive this object.
+  StaticLinkage(const SimilarityCalculator* similarity,
+                StaticLinkageOptions options = {})
+      : similarity_(similarity), options_(options) {}
+
+  /// Similarity of `record` to the profile's per-attribute value universe:
+  /// mean over the record's attributes of the value-set similarity against
+  /// the union of all values the profile ever held on that attribute.
+  double Similarity(const EntityProfile& profile,
+                    const TemporalRecord& record) const;
+
+  /// Record ids from `candidates` whose similarity reaches the threshold.
+  std::vector<RecordId> Link(
+      const EntityProfile& profile,
+      const std::vector<const TemporalRecord*>& candidates) const;
+
+  const StaticLinkageOptions& options() const { return options_; }
+
+ private:
+  const SimilarityCalculator* similarity_;
+  StaticLinkageOptions options_;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_BASELINES_STATIC_LINKAGE_H_

@@ -1,0 +1,47 @@
+#ifndef MAROON_BASELINES_TEMPORAL_MODEL_H_
+#define MAROON_BASELINES_TEMPORAL_MODEL_H_
+
+#include "core/temporal_sequence.h"
+#include "core/time_types.h"
+#include "core/value.h"
+#include "transition/transition_model.h"
+
+namespace maroon {
+
+/// Common interface over temporal models (MAROON's transition model, the
+/// MUTA mutation model, the time-decay model) as consumed by the AFDS-style
+/// weighted-similarity linkage: the probability that an entity whose history
+/// on attribute `A` is `history` exhibits state (`state_values`,
+/// `state_interval`).
+class TemporalModel {
+ public:
+  virtual ~TemporalModel() = default;
+
+  virtual double StateProbability(const Attribute& attribute,
+                                  const TemporalSequence& history,
+                                  const ValueSet& state_values,
+                                  const Interval& state_interval) const = 0;
+};
+
+/// Adapts MAROON's transition model (Eq. 14) to the TemporalModel interface.
+class TransitionTemporalModel final : public TemporalModel {
+ public:
+  /// `model` must outlive this adapter.
+  explicit TransitionTemporalModel(const TransitionModel* model)
+      : model_(model) {}
+
+  double StateProbability(const Attribute& attribute,
+                          const TemporalSequence& history,
+                          const ValueSet& state_values,
+                          const Interval& state_interval) const override {
+    return model_->SequenceToStateProbability(attribute, history, state_values,
+                                              state_interval);
+  }
+
+ private:
+  const TransitionModel* model_;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_BASELINES_TEMPORAL_MODEL_H_

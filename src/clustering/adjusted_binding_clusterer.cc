@@ -1,0 +1,72 @@
+#include "clustering/adjusted_binding_clusterer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "clustering/partition_clusterer.h"
+
+namespace maroon {
+
+std::vector<Cluster> AdjustedBindingClusterer::ClusterRecords(
+    const std::vector<const TemporalRecord*>& records) const {
+  last_rounds_ = 0;
+  // Initial early binding.
+  PartitionClusterer partitioner(
+      similarity_, PartitionOptions{options_.similarity_threshold});
+  std::vector<Cluster> clusters = partitioner.ClusterRecords(records);
+  if (clusters.size() <= 1 || records.size() <= 1) return clusters;
+
+  std::map<RecordId, const TemporalRecord*> by_id;
+  for (const TemporalRecord* r : records) by_id[r->id()] = r;
+
+  // Current assignment: record -> cluster index.
+  std::map<RecordId, size_t> assignment;
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    for (RecordId id : clusters[i].records()) assignment[id] = i;
+  }
+
+  for (size_t round = 0; round < options_.max_rounds; ++round) {
+    ++last_rounds_;
+    // Freeze the round's cluster states, then re-bind every record to its
+    // best state (possibly a cluster created "later" than the record).
+    std::vector<std::map<Attribute, ValueSet>> states;
+    states.reserve(clusters.size());
+    for (const Cluster& c : clusters) states.push_back(c.MajorityState());
+
+    bool changed = false;
+    std::map<RecordId, size_t> next_assignment;
+    for (const auto& [id, current] : assignment) {
+      const TemporalRecord* record = by_id.at(id);
+      double best_similarity = -1.0;
+      size_t best = current;
+      for (size_t i = 0; i < clusters.size(); ++i) {
+        if (clusters[i].empty()) continue;
+        const double sim =
+            similarity_->RecordToStateSimilarity(*record, states[i]);
+        if (sim > best_similarity) {
+          best_similarity = sim;
+          best = i;
+        }
+      }
+      if (best_similarity < options_.similarity_threshold) best = current;
+      next_assignment[id] = best;
+      changed |= best != current;
+    }
+    if (!changed) break;
+
+    // Rebuild clusters from the new assignment.
+    std::vector<Cluster> rebuilt(clusters.size());
+    for (const auto& [id, index] : next_assignment) {
+      rebuilt[index].Add(*by_id.at(id));
+    }
+    clusters = std::move(rebuilt);
+    assignment = std::move(next_assignment);
+  }
+
+  clusters.erase(std::remove_if(clusters.begin(), clusters.end(),
+                                [](const Cluster& c) { return c.empty(); }),
+                 clusters.end());
+  return clusters;
+}
+
+}  // namespace maroon

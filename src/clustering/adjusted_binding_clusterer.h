@@ -1,0 +1,55 @@
+#ifndef MAROON_CLUSTERING_ADJUSTED_BINDING_CLUSTERER_H_
+#define MAROON_CLUSTERING_ADJUSTED_BINDING_CLUSTERER_H_
+
+#include <vector>
+
+#include "clustering/cluster.h"
+#include "core/temporal_record.h"
+#include "similarity/record_similarity.h"
+
+namespace maroon {
+
+/// Options for the adjusted-binding clusterer.
+struct AdjustedBindingOptions {
+  /// Threshold for the initial (early-binding / PARTITION) pass.
+  double similarity_threshold = 0.8;
+  /// Maximum refinement rounds; iteration stops early on a fixed point.
+  size_t max_rounds = 5;
+};
+
+/// The *adjusted binding* temporal clustering of Li et al. (PVLDB 2011) —
+/// the paper's ref. [18], described in its §2: start from an initial
+/// clustering, then iteratively *re-bind* each record to the cluster whose
+/// final state it matches best. Unlike single-pass early binding
+/// (PARTITION), a record may move to a cluster that was created only
+/// *after* the record was first processed — fixing the order-dependence
+/// early binding suffers from.
+///
+/// Implemented here as a comparison substrate: MAROON's Phase I replaces
+/// this family with source-aware placement.
+class AdjustedBindingClusterer {
+ public:
+  /// `similarity` must outlive the clusterer.
+  AdjustedBindingClusterer(const SimilarityCalculator* similarity,
+                           AdjustedBindingOptions options = {})
+      : similarity_(similarity), options_(options) {}
+
+  /// Clusters `records` (pointers must stay valid for the call). Empty
+  /// clusters left behind by re-binding are dropped.
+  std::vector<Cluster> ClusterRecords(
+      const std::vector<const TemporalRecord*>& records) const;
+
+  /// Number of refinement rounds the last ClusterRecords call used.
+  size_t last_rounds() const { return last_rounds_; }
+
+  const AdjustedBindingOptions& options() const { return options_; }
+
+ private:
+  const SimilarityCalculator* similarity_;
+  AdjustedBindingOptions options_;
+  mutable size_t last_rounds_ = 0;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_CLUSTERING_ADJUSTED_BINDING_CLUSTERER_H_

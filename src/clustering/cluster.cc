@@ -1,0 +1,93 @@
+#include "clustering/cluster.h"
+
+#include <algorithm>
+
+namespace maroon {
+
+namespace {
+const ValueSet& EmptyValues() {
+  static const ValueSet* kEmpty = new ValueSet();
+  return *kEmpty;
+}
+}  // namespace
+
+const ValueSet& ClusterSignature::ValuesOf(const Attribute& attribute) const {
+  auto it = values.find(attribute);
+  return it != values.end() ? it->second : EmptyValues();
+}
+
+double ClusterSignature::ConfidenceOf(const Attribute& attribute) const {
+  auto it = confidence.find(attribute);
+  return it != confidence.end() ? it->second : 0.0;
+}
+
+std::string ClusterSignature::ToString() const {
+  std::string out = "Signature" + interval.ToString();
+  for (const auto& [attr, vs] : values) {
+    out += " <" + attr + ", " + ValueSetToString(vs) + ", ";
+    auto it = confidence.find(attr);
+    out += std::to_string(it != confidence.end() ? it->second : 0.0) + ">";
+  }
+  return out;
+}
+
+bool Cluster::Contains(RecordId id) const {
+  return std::find(records_.begin(), records_.end(), id) != records_.end();
+}
+
+void Cluster::ExtendSpan(TimePoint t) {
+  if (records_.empty()) {
+    tmin_ = tmax_ = t;
+  } else {
+    tmin_ = std::min(tmin_, t);
+    tmax_ = std::max(tmax_, t);
+  }
+}
+
+bool Cluster::AddMember(RecordId id, TimePoint t) {
+  if (Contains(id)) return false;
+  ExtendSpan(t);
+  records_.push_back(id);
+  return true;
+}
+
+void Cluster::Add(const TemporalRecord& record) {
+  if (!AddMember(record.id(), record.timestamp())) return;
+  for (const auto& [attr, values] : record.values()) {
+    for (const Value& v : values) ++value_counts_[attr][v];
+  }
+}
+
+void Cluster::AddForAttribute(const TemporalRecord& record,
+                              const Attribute& attribute) {
+  AddMember(record.id(), record.timestamp());
+  for (const Value& v : record.GetValue(attribute)) {
+    ++value_counts_[attribute][v];
+  }
+}
+
+std::map<Attribute, ValueSet> Cluster::MajorityState() const {
+  std::map<Attribute, ValueSet> state;
+  for (const auto& [attr, counts] : value_counts_) {
+    int64_t best = 0;
+    for (const auto& [v, count] : counts) best = std::max(best, count);
+    ValueSet winners;
+    for (const auto& [v, count] : counts) {
+      if (count == best) winners.push_back(v);
+    }
+    state[attr] = MakeValueSet(std::move(winners));
+  }
+  return state;
+}
+
+ClusterSignature Cluster::BuildSignature(double initial_confidence) const {
+  ClusterSignature sig;
+  sig.values = MajorityState();
+  for (const auto& [attr, vs] : sig.values) {
+    sig.confidence[attr] = initial_confidence;
+  }
+  sig.interval = Interval(tmin_, tmax_);
+  return sig;
+}
+
+}  // namespace maroon

@@ -1,0 +1,82 @@
+#ifndef MAROON_CLUSTERING_CLUSTER_H_
+#define MAROON_CLUSTERING_CLUSTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/temporal_record.h"
+#include "core/time_types.h"
+#include "core/value.h"
+
+namespace maroon {
+
+/// The signature Θ_c of a cluster (paper Def. 4): per attribute, the value
+/// set V_c^A the cluster holds in this state together with a confidence
+/// conf(c, A), plus the cluster's time interval [tmin, tmax].
+struct ClusterSignature {
+  std::map<Attribute, ValueSet> values;
+  std::map<Attribute, double> confidence;
+  Interval interval;
+
+  /// V_c^A, or an empty set if the signature lacks the attribute.
+  const ValueSet& ValuesOf(const Attribute& attribute) const;
+  /// conf(c, A); 0 if absent.
+  double ConfidenceOf(const Attribute& attribute) const;
+
+  std::string ToString() const;
+};
+
+/// A set of records believed to describe the same state of the same entity
+/// over some time period. Accumulates per-attribute value occurrence counts
+/// so the majority-vote fusion of the signature is O(1) per value.
+class Cluster {
+ public:
+  Cluster() = default;
+
+  /// Adds a member record; value occurrences and the time span are updated.
+  /// Adding the same record twice is a no-op.
+  void Add(const TemporalRecord& record);
+
+  /// Adds only `record`'s values for `attribute` (used when a stale record
+  /// joins an existing cluster for a subset of its attributes, Algorithm 2
+  /// lines 12-16; the record still becomes a member once).
+  void AddForAttribute(const TemporalRecord& record,
+                       const Attribute& attribute);
+
+  const std::vector<RecordId>& records() const { return records_; }
+  bool Contains(RecordId id) const;
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Earliest member timestamp; only valid if non-empty.
+  TimePoint tmin() const { return tmin_; }
+  /// Latest member timestamp; only valid if non-empty.
+  TimePoint tmax() const { return tmax_; }
+
+  /// Majority-vote fusion (paper §4.3.1): per attribute, the values with the
+  /// highest occurrence count among members (ties keep all tied values).
+  std::map<Attribute, ValueSet> MajorityState() const;
+
+  /// The signature with majority values, the member time span, and all
+  /// confidences initialized to `initial_confidence`.
+  ClusterSignature BuildSignature(double initial_confidence = 0.0) const;
+
+  const std::map<Attribute, std::map<Value, int64_t>>& value_counts() const {
+    return value_counts_;
+  }
+
+ private:
+  void ExtendSpan(TimePoint t);
+  bool AddMember(RecordId id, TimePoint t);
+
+  std::vector<RecordId> records_;
+  std::map<Attribute, std::map<Value, int64_t>> value_counts_;
+  TimePoint tmin_ = 0;
+  TimePoint tmax_ = 0;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_CLUSTERING_CLUSTER_H_

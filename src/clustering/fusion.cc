@@ -1,0 +1,75 @@
+#include "clustering/fusion.h"
+
+#include <algorithm>
+
+namespace maroon {
+
+ValueSet MajorityVoteFusion::Fuse(
+    const Attribute& /*attribute*/,
+    const std::map<Value, int64_t>& value_counts,
+    const std::vector<const TemporalRecord*>& /*members*/) const {
+  int64_t best = 0;
+  for (const auto& [v, count] : value_counts) best = std::max(best, count);
+  std::vector<Value> winners;
+  for (const auto& [v, count] : value_counts) {
+    if (count == best && best > 0) winners.push_back(v);
+  }
+  return MakeValueSet(std::move(winners));
+}
+
+ValueSet LatestWinsFusion::Fuse(
+    const Attribute& attribute,
+    const std::map<Value, int64_t>& value_counts,
+    const std::vector<const TemporalRecord*>& members) const {
+  // Latest record(s) carrying the attribute, restricted to values the
+  // cluster actually accumulated for it (a member may have joined the
+  // cluster on a different attribute).
+  TimePoint latest = 0;
+  bool seen = false;
+  for (const TemporalRecord* r : members) {
+    if (r->GetValue(attribute).empty()) continue;
+    if (!seen || r->timestamp() > latest) {
+      latest = r->timestamp();
+      seen = true;
+    }
+  }
+  if (!seen) {
+    return MajorityVoteFusion().Fuse(attribute, value_counts, members);
+  }
+  std::vector<Value> winners;
+  for (const TemporalRecord* r : members) {
+    if (r->timestamp() != latest) continue;
+    for (const Value& v : r->GetValue(attribute)) {
+      if (value_counts.count(v) > 0) winners.push_back(v);
+    }
+  }
+  if (winners.empty()) {
+    return MajorityVoteFusion().Fuse(attribute, value_counts, members);
+  }
+  return MakeValueSet(std::move(winners));
+}
+
+ValueSet ReliabilityWeightedFusion::Fuse(
+    const Attribute& attribute,
+    const std::map<Value, int64_t>& value_counts,
+    const std::vector<const TemporalRecord*>& members) const {
+  std::map<Value, double> weights;
+  for (const TemporalRecord* r : members) {
+    const double weight = reliability_->Reliability(r->source(), attribute);
+    for (const Value& v : r->GetValue(attribute)) {
+      if (value_counts.count(v) > 0) weights[v] += weight;
+    }
+  }
+  if (weights.empty()) {
+    return MajorityVoteFusion().Fuse(attribute, value_counts, members);
+  }
+  double best = 0.0;
+  for (const auto& [v, w] : weights) best = std::max(best, w);
+  std::vector<Value> winners;
+  for (const auto& [v, w] : weights) {
+    if (w >= best - 1e-12) winners.push_back(v);
+  }
+  return MakeValueSet(std::move(winners));
+}
+
+}  // namespace maroon

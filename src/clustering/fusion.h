@@ -1,0 +1,80 @@
+#ifndef MAROON_CLUSTERING_FUSION_H_
+#define MAROON_CLUSTERING_FUSION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/temporal_record.h"
+#include "core/value.h"
+#include "freshness/reliability_model.h"
+
+namespace maroon {
+
+/// Pluggable data fusion for cluster signatures.
+///
+/// Algorithm 2 must pick the value set V a cluster holds for each attribute;
+/// the paper "adopt[s] a simple fusion method by taking the majority vote"
+/// and points at the data-fusion literature (its refs. [8, 9, 19]) for
+/// better resolutions. This interface makes the choice pluggable; Phase I
+/// uses MajorityVoteFusion unless told otherwise.
+class FusionStrategy {
+ public:
+  virtual ~FusionStrategy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Fuses one attribute of one cluster. `value_counts` are the occurrence
+  /// counts accumulated from the members that contributed this attribute;
+  /// `members` are the cluster's member records (some of which may lack the
+  /// attribute). Must return a canonical (possibly empty) value set.
+  virtual ValueSet Fuse(
+      const Attribute& attribute,
+      const std::map<Value, int64_t>& value_counts,
+      const std::vector<const TemporalRecord*>& members) const = 0;
+};
+
+/// The paper's default: the values with the highest occurrence count; ties
+/// keep every tied value.
+class MajorityVoteFusion final : public FusionStrategy {
+ public:
+  std::string name() const override { return "majority_vote"; }
+  ValueSet Fuse(const Attribute& attribute,
+                const std::map<Value, int64_t>& value_counts,
+                const std::vector<const TemporalRecord*>& members)
+      const override;
+};
+
+/// The values claimed by the most recently published member record(s) that
+/// carry the attribute — "latest wins", a common currency-first resolution.
+class LatestWinsFusion final : public FusionStrategy {
+ public:
+  std::string name() const override { return "latest_wins"; }
+  ValueSet Fuse(const Attribute& attribute,
+                const std::map<Value, int64_t>& value_counts,
+                const std::vector<const TemporalRecord*>& members)
+      const override;
+};
+
+/// Majority vote with each record's vote weighted by its source's
+/// publication reliability (see ReliabilityModel) — down-weights values
+/// asserted only by noisy sources.
+class ReliabilityWeightedFusion final : public FusionStrategy {
+ public:
+  /// `reliability` must outlive this strategy.
+  explicit ReliabilityWeightedFusion(const ReliabilityModel* reliability)
+      : reliability_(reliability) {}
+
+  std::string name() const override { return "reliability_weighted"; }
+  ValueSet Fuse(const Attribute& attribute,
+                const std::map<Value, int64_t>& value_counts,
+                const std::vector<const TemporalRecord*>& members)
+      const override;
+
+ private:
+  const ReliabilityModel* reliability_;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_CLUSTERING_FUSION_H_

@@ -1,0 +1,84 @@
+#include "clustering/late_binding_clusterer.h"
+
+#include <algorithm>
+#include <map>
+
+namespace maroon {
+
+std::vector<Cluster> LateBindingClusterer::ClusterRecords(
+    const std::vector<const TemporalRecord*>& records) const {
+  last_deferred_ = 0;
+
+  std::vector<const TemporalRecord*> ordered = records;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TemporalRecord* a, const TemporalRecord* b) {
+                     if (a->timestamp() != b->timestamp()) {
+                       return a->timestamp() < b->timestamp();
+                     }
+                     return a->id() < b->id();
+                   });
+
+  // Pass 1: grow clusters from unambiguous records; defer the rest.
+  std::vector<Cluster> clusters;
+  std::vector<std::map<Attribute, ValueSet>> states;
+  std::vector<const TemporalRecord*> deferred;
+
+  for (const TemporalRecord* record : ordered) {
+    double best = -1.0, second = -1.0;
+    size_t best_index = 0;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      const double sim =
+          similarity_->RecordToStateSimilarity(*record, states[i]);
+      if (sim > best) {
+        second = best;
+        best = sim;
+        best_index = i;
+      } else if (sim > second) {
+        second = sim;
+      }
+    }
+    if (best < options_.similarity_threshold) {
+      // No candidate: seed a new cluster (a hard decision, as in [18]).
+      Cluster fresh;
+      fresh.Add(*record);
+      states.push_back(fresh.MajorityState());
+      clusters.push_back(std::move(fresh));
+      continue;
+    }
+    if (second >= options_.similarity_threshold &&
+        second >= best * options_.ambiguity_ratio) {
+      // Competing candidates: keep the record soft until pass 2.
+      deferred.push_back(record);
+      ++last_deferred_;
+      continue;
+    }
+    clusters[best_index].Add(*record);
+    states[best_index] = clusters[best_index].MajorityState();
+  }
+
+  // Pass 2: decide deferred records against the final cluster states.
+  for (const TemporalRecord* record : deferred) {
+    double best = -1.0;
+    size_t best_index = 0;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      const double sim =
+          similarity_->RecordToStateSimilarity(*record, states[i]);
+      if (sim > best) {
+        best = sim;
+        best_index = i;
+      }
+    }
+    if (best >= options_.similarity_threshold && !clusters.empty()) {
+      clusters[best_index].Add(*record);
+      states[best_index] = clusters[best_index].MajorityState();
+    } else {
+      Cluster fresh;
+      fresh.Add(*record);
+      states.push_back(fresh.MajorityState());
+      clusters.push_back(std::move(fresh));
+    }
+  }
+  return clusters;
+}
+
+}  // namespace maroon

@@ -1,0 +1,56 @@
+#ifndef MAROON_CLUSTERING_LATE_BINDING_CLUSTERER_H_
+#define MAROON_CLUSTERING_LATE_BINDING_CLUSTERER_H_
+
+#include <vector>
+
+#include "clustering/cluster.h"
+#include "core/temporal_record.h"
+#include "similarity/record_similarity.h"
+
+namespace maroon {
+
+/// Options for the late-binding clusterer.
+struct LateBindingOptions {
+  /// Minimum similarity for a cluster to be a *candidate* for a record.
+  double similarity_threshold = 0.8;
+  /// A record is "ambiguous" when its runner-up candidate scores within
+  /// this factor of the best; ambiguous records defer their decision to the
+  /// second pass.
+  double ambiguity_ratio = 0.9;
+};
+
+/// The *late binding* temporal clustering of Li et al. (PVLDB 2011) — the
+/// paper's ref. [18], second of its three algorithms (§2): instead of
+/// committing each record to a cluster the moment it is scanned (early
+/// binding), records whose evidence is ambiguous keep their full candidate
+/// set, and the assignment decision is deferred until all records have been
+/// seen; the final pass decides against the *complete* cluster states.
+///
+/// Together with PartitionClusterer (early binding) and
+/// AdjustedBindingClusterer this completes ref. [18]'s algorithm family as
+/// comparison substrates for MAROON's source-aware Phase I.
+class LateBindingClusterer {
+ public:
+  /// `similarity` must outlive the clusterer.
+  LateBindingClusterer(const SimilarityCalculator* similarity,
+                       LateBindingOptions options = {})
+      : similarity_(similarity), options_(options) {}
+
+  /// Clusters `records` (pointers must stay valid for the call).
+  std::vector<Cluster> ClusterRecords(
+      const std::vector<const TemporalRecord*>& records) const;
+
+  /// Number of records whose decision was deferred in the last run.
+  size_t last_deferred() const { return last_deferred_; }
+
+  const LateBindingOptions& options() const { return options_; }
+
+ private:
+  const SimilarityCalculator* similarity_;
+  LateBindingOptions options_;
+  mutable size_t last_deferred_ = 0;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_CLUSTERING_LATE_BINDING_CLUSTERER_H_

@@ -1,0 +1,47 @@
+#include "clustering/partition_clusterer.h"
+
+#include <algorithm>
+
+namespace maroon {
+
+std::vector<Cluster> PartitionClusterer::ClusterRecords(
+    const std::vector<const TemporalRecord*>& records) const {
+  std::vector<const TemporalRecord*> ordered = records;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TemporalRecord* a, const TemporalRecord* b) {
+                     if (a->timestamp() != b->timestamp()) {
+                       return a->timestamp() < b->timestamp();
+                     }
+                     return a->id() < b->id();
+                   });
+
+  std::vector<Cluster> clusters;
+  // Cached majority states, invalidated when a cluster gains a record.
+  std::vector<std::map<Attribute, ValueSet>> states;
+
+  for (const TemporalRecord* record : ordered) {
+    double best_similarity = -1.0;
+    size_t best_index = 0;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      const double sim =
+          similarity_->RecordToStateSimilarity(*record, states[i]);
+      if (sim > best_similarity) {
+        best_similarity = sim;
+        best_index = i;
+      }
+    }
+    if (best_similarity >= options_.similarity_threshold &&
+        !clusters.empty()) {
+      clusters[best_index].Add(*record);
+      states[best_index] = clusters[best_index].MajorityState();
+    } else {
+      Cluster fresh;
+      fresh.Add(*record);
+      states.push_back(fresh.MajorityState());
+      clusters.push_back(std::move(fresh));
+    }
+  }
+  return clusters;
+}
+
+}  // namespace maroon

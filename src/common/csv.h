@@ -1,0 +1,42 @@
+#ifndef MAROON_COMMON_CSV_H_
+#define MAROON_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace maroon {
+
+/// Minimal RFC-4180-style CSV support used to persist generated datasets and
+/// experiment outputs. Fields containing commas, quotes, or newlines are
+/// quoted; embedded quotes are doubled.
+class CsvWriter {
+ public:
+  /// Appends one row. Escaping is applied per field.
+  void AppendRow(const std::vector<std::string>& fields);
+
+  /// The accumulated CSV text.
+  const std::string& text() const { return text_; }
+
+  /// Writes the accumulated text to `path`, replacing any existing file.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::string text_;
+};
+
+/// Parses CSV text into rows of fields. Handles quoted fields with embedded
+/// commas, doubled quotes, and both \n and \r\n line endings. A trailing
+/// newline does not produce an empty final row.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text);
+
+/// Reads and parses a CSV file.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+}  // namespace maroon
+
+#endif  // MAROON_COMMON_CSV_H_

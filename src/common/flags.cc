@@ -1,0 +1,109 @@
+#include "common/flags.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <system_error>
+
+#include "common/string_util.h"
+
+namespace maroon {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  Parse(args);
+}
+
+FlagParser::FlagParser(const std::vector<std::string>& args) { Parse(args); }
+
+void FlagParser::Parse(const std::vector<std::string>& args) {
+  bool flags_done = false;
+  for (const std::string& arg : args) {
+    if (flags_done || !StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq == std::string::npos) {
+      flags_[body] = "true";
+    } else {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+}
+
+Result<std::string> FlagParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::NotFound("missing flag --" + name);
+  }
+  return it->second;
+}
+
+std::string FlagParser::GetStringOr(const std::string& name,
+                                    std::string fallback) const {
+  auto it = flags_.find(name);
+  return it != flags_.end() ? it->second : std::move(fallback);
+}
+
+Result<int64_t> FlagParser::GetInt(const std::string& name) const {
+  MAROON_ASSIGN_OR_RETURN(std::string text, GetString(name));
+  int64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("flag --" + name + "='" + text +
+                                   "' is not an integer");
+  }
+  return value;
+}
+
+int64_t FlagParser::GetIntOr(const std::string& name, int64_t fallback) const {
+  Result<int64_t> r = GetInt(name);
+  return r.ok() ? *r : fallback;
+}
+
+Result<double> FlagParser::GetDouble(const std::string& name) const {
+  MAROON_ASSIGN_OR_RETURN(std::string text, GetString(name));
+  // std::from_chars for double is not universally available; fall back to
+  // strtod with full-consumption checking.
+  if (text.empty()) {
+    return Status::InvalidArgument("flag --" + name + " is empty");
+  }
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    return Status::InvalidArgument("flag --" + name + "='" + text +
+                                   "' is not a number");
+  }
+  return value;
+}
+
+double FlagParser::GetDoubleOr(const std::string& name,
+                               double fallback) const {
+  Result<double> r = GetDouble(name);
+  return r.ok() ? *r : fallback;
+}
+
+bool FlagParser::GetBoolOr(const std::string& name, bool fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string lower = ToLowerAscii(it->second);
+  if (lower == "true" || lower == "1" || lower.empty()) return true;
+  if (lower == "false" || lower == "0") return false;
+  return fallback;
+}
+
+std::vector<std::string> FlagParser::FlagNames() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [name, value] : flags_) names.push_back(name);
+  return names;
+}
+
+}  // namespace maroon

@@ -1,0 +1,57 @@
+#ifndef MAROON_COMMON_FLAGS_H_
+#define MAROON_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace maroon {
+
+/// Minimal command-line flag parser for the tools and examples.
+///
+/// Recognizes `--name=value` and bare `--name` (boolean true); everything
+/// else is positional. `--` ends flag parsing. Unknown-flag validation is
+/// the caller's job via `FlagNames()`.
+class FlagParser {
+ public:
+  FlagParser(int argc, const char* const* argv);
+  explicit FlagParser(const std::vector<std::string>& args);
+
+  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  /// Raw string value; errors if the flag is absent.
+  Result<std::string> GetString(const std::string& name) const;
+  std::string GetStringOr(const std::string& name,
+                          std::string fallback) const;
+
+  /// Integer value; errors if absent or unparseable.
+  Result<int64_t> GetInt(const std::string& name) const;
+  int64_t GetIntOr(const std::string& name, int64_t fallback) const;
+
+  /// Double value; errors if absent or unparseable.
+  Result<double> GetDouble(const std::string& name) const;
+  double GetDoubleOr(const std::string& name, double fallback) const;
+
+  /// Boolean: bare `--name` and "true"/"1" are true; "false"/"0" false.
+  bool GetBoolOr(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order, excluding argv[0].
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names of all flags present (sorted), for unknown-flag validation.
+  std::vector<std::string> FlagNames() const;
+
+ private:
+  void Parse(const std::vector<std::string>& args);
+
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_COMMON_FLAGS_H_

@@ -1,0 +1,50 @@
+#ifndef MAROON_COMMON_LOGGING_H_
+#define MAROON_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace maroon {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+
+/// Sets the process-wide minimum log level.
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Collects one log statement and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace maroon
+
+/// Streams a log statement: `MAROON_LOG(Info) << "built " << n << " tables";`
+/// Statements below the process log level are formatted but not emitted.
+#define MAROON_LOG(level)                        \
+  ::maroon::internal_logging::LogMessage(        \
+      ::maroon::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // MAROON_COMMON_LOGGING_H_

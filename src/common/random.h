@@ -1,0 +1,77 @@
+#ifndef MAROON_COMMON_RANDOM_H_
+#define MAROON_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace maroon {
+
+/// Deterministic pseudo-random generator used by all data generators.
+///
+/// A thin wrapper over `std::mt19937_64` that offers the handful of sampling
+/// primitives the generators need. Every experiment seeds this explicitly so
+/// results are reproducible run-to-run.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return UniformDouble() < p;
+  }
+
+  /// Geometric number of failures before first success; support {0,1,2,...}.
+  /// Requires p in (0, 1].
+  int64_t Geometric(double p) {
+    assert(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) return 0;
+    return std::geometric_distribution<int64_t>(p)(engine_);
+  }
+
+  /// Poisson-distributed count with the given mean (> 0).
+  int64_t Poisson(double mean) {
+    assert(mean > 0.0);
+    return std::poisson_distribution<int64_t>(mean)(engine_);
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to `weights`.
+  /// All weights must be >= 0 and at least one must be > 0.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator; useful to give each entity its
+  /// own stream so that changing one entity does not perturb the others.
+  Random Fork() { return Random(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_COMMON_RANDOM_H_

@@ -1,0 +1,88 @@
+#ifndef MAROON_COMMON_RESULT_H_
+#define MAROON_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace maroon {
+
+/// A value-or-error container: either holds a `T` or a non-OK `Status`.
+///
+/// Analogous to `absl::StatusOr<T>` / `arrow::Result<T>`. Accessing the value
+/// of an errored result is a programmer error and asserts in debug builds.
+///
+/// ```cpp
+/// maroon::Result<TemporalSequence> r = ParseSequence(text);
+/// if (!r.ok()) return r.status();
+/// UseSequence(*r);
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result (implicit by design, mirroring StatusOr).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an errored result. `status` must be non-OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result error constructor requires non-OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` if errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds.
+};
+
+}  // namespace maroon
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, or propagates the
+/// error. Usable in functions returning `Status` or `Result<U>`.
+#define MAROON_ASSIGN_OR_RETURN(lhs, expr)                \
+  MAROON_ASSIGN_OR_RETURN_IMPL_(                          \
+      MAROON_CONCAT_(_maroon_result_, __LINE__), lhs, expr)
+#define MAROON_CONCAT_INNER_(a, b) a##b
+#define MAROON_CONCAT_(a, b) MAROON_CONCAT_INNER_(a, b)
+#define MAROON_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // MAROON_COMMON_RESULT_H_

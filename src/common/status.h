@@ -1,0 +1,104 @@
+#ifndef MAROON_COMMON_STATUS_H_
+#define MAROON_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace maroon {
+
+/// Error category carried by a `Status`.
+///
+/// The public MAROON API never throws exceptions; operations that can fail
+/// return a `Status` (or a `Result<T>`, see result.h). This mirrors the
+/// convention used by production storage engines (RocksDB, Arrow).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIOError,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value.
+///
+/// `Status` is cheap to copy in the success case (no allocation) and carries
+/// an explanatory message in the failure case. Typical use:
+///
+/// ```cpp
+/// maroon::Status s = sequence.Append(triple);
+/// if (!s.ok()) return s;
+/// ```
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace maroon
+
+/// Propagates a non-OK status to the caller. For internal use in functions
+/// returning `Status`.
+#define MAROON_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::maroon::Status _maroon_status = (expr);   \
+    if (!_maroon_status.ok()) return _maroon_status; \
+  } while (false)
+
+#endif  // MAROON_COMMON_STATUS_H_

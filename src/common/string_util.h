@@ -1,0 +1,39 @@
+#ifndef MAROON_COMMON_STRING_UTIL_H_
+#define MAROON_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maroon {
+
+/// Splits `input` on the single-character `delim`. Empty fields are kept, so
+/// `Split("a,,b", ',')` yields {"a", "", "b"}. Splitting the empty string
+/// yields a single empty field.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Joins `parts` with `delim` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// Lower-cases ASCII characters; other bytes pass through untouched.
+std::string ToLowerAscii(std::string_view input);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Tokenizes into lower-cased alphanumeric words; every other character is a
+/// separator. Used by the TF-IDF vectorizer and set-valued similarity.
+std::vector<std::string> TokenizeWords(std::string_view input);
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+}  // namespace maroon
+
+#endif  // MAROON_COMMON_STRING_UTIL_H_

@@ -1,0 +1,106 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace maroon {
+
+SourceId Dataset::AddSource(std::string name) {
+  SourceId id = static_cast<SourceId>(sources_.size());
+  sources_.push_back(DataSource{id, std::move(name)});
+  return id;
+}
+
+RecordId Dataset::AddRecord(TemporalRecord record) {
+  RecordId id = static_cast<RecordId>(records_.size());
+  TemporalRecord stored(id, record.name(), record.timestamp(),
+                        record.source());
+  for (const auto& [attr, vs] : record.values()) {
+    stored.SetValue(attr, vs);
+  }
+  records_.push_back(std::move(stored));
+  labels_.emplace_back();
+  return id;
+}
+
+Status Dataset::SetLabel(RecordId id, EntityId entity) {
+  if (id >= records_.size()) {
+    return Status::OutOfRange("record id " + std::to_string(id) +
+                              " out of range");
+  }
+  labels_[id] = std::move(entity);
+  return Status::OK();
+}
+
+const EntityId& Dataset::LabelOf(RecordId id) const {
+  static const EntityId* kEmpty = new EntityId();
+  return id < labels_.size() ? labels_[id] : *kEmpty;
+}
+
+Status Dataset::AddTarget(EntityId id, TargetEntity target) {
+  auto [it, inserted] = targets_.emplace(std::move(id), std::move(target));
+  if (!inserted) {
+    return Status::AlreadyExists("target entity " + it->first +
+                                 " already registered");
+  }
+  return Status::OK();
+}
+
+Result<const TargetEntity*> Dataset::target(const EntityId& id) const {
+  auto it = targets_.find(id);
+  if (it == targets_.end()) {
+    return Status::NotFound("no target entity " + id);
+  }
+  return &it->second;
+}
+
+std::vector<RecordId> Dataset::CandidatesFor(const EntityId& id) const {
+  std::vector<RecordId> out;
+  auto it = targets_.find(id);
+  if (it == targets_.end()) return out;
+  const std::string& name = it->second.clean_profile.name();
+  for (const TemporalRecord& r : records_) {
+    if (r.name() == name) out.push_back(r.id());
+  }
+  return out;
+}
+
+std::vector<RecordId> Dataset::TrueMatchesOf(const EntityId& id) const {
+  std::vector<RecordId> out;
+  for (RecordId r = 0; r < labels_.size(); ++r) {
+    if (labels_[r] == id) out.push_back(r);
+  }
+  return out;
+}
+
+std::string Dataset::StatisticsString() const {
+  std::ostringstream os;
+  os << "Dataset: " << targets_.size() << " target entities, "
+     << records_.size() << " records, " << sources_.size() << " sources\n";
+  for (const DataSource& s : sources_) {
+    size_t count = 0;
+    size_t matched = 0;
+    TimePoint lo = 0, hi = 0;
+    bool seen = false;
+    for (const TemporalRecord& r : records_) {
+      if (r.source() != s.id) continue;
+      ++count;
+      const EntityId& label = LabelOf(r.id());
+      if (!label.empty() && targets_.count(label) > 0) ++matched;
+      if (!seen) {
+        lo = hi = r.timestamp();
+        seen = true;
+      } else {
+        lo = std::min(lo, r.timestamp());
+        hi = std::max(hi, r.timestamp());
+      }
+    }
+    os << "  " << s.name << ": " << count << " records, " << matched
+       << " matched";
+    if (seen) os << ", period " << lo << "-" << hi;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace maroon

@@ -1,0 +1,81 @@
+#ifndef MAROON_CORE_DATASET_H_
+#define MAROON_CORE_DATASET_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/entity_profile.h"
+#include "core/temporal_record.h"
+#include "core/value.h"
+
+namespace maroon {
+
+/// A target entity in an experiment: the clean (incomplete) profile given as
+/// input, and the full ground-truth profile used only for evaluation.
+struct TargetEntity {
+  EntityProfile clean_profile;
+  EntityProfile ground_truth;
+};
+
+/// An experiment corpus: the attribute schema, the data sources, the pool of
+/// temporal records, per-record ground-truth entity labels, and the target
+/// entities whose profiles are to be augmented.
+///
+/// Records are identified by their index; `AddRecord` assigns ids densely.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  void SetAttributes(std::vector<Attribute> attributes) {
+    attributes_ = std::move(attributes);
+  }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Registers a source and returns its id.
+  SourceId AddSource(std::string name);
+  const std::vector<DataSource>& sources() const { return sources_; }
+  const DataSource& source(SourceId id) const { return sources_.at(id); }
+
+  /// Adds `record` to the pool, overwriting its id with the next dense id.
+  RecordId AddRecord(TemporalRecord record);
+  const std::vector<TemporalRecord>& records() const { return records_; }
+  const TemporalRecord& record(RecordId id) const { return records_.at(id); }
+  size_t NumRecords() const { return records_.size(); }
+
+  /// Records the ground truth "record `id` refers to entity `entity`".
+  Status SetLabel(RecordId id, EntityId entity);
+
+  /// The labelled entity for a record, or empty string if unlabelled.
+  const EntityId& LabelOf(RecordId id) const;
+
+  /// Registers a target entity.
+  Status AddTarget(EntityId id, TargetEntity target);
+  const std::map<EntityId, TargetEntity>& targets() const { return targets_; }
+  Result<const TargetEntity*> target(const EntityId& id) const;
+
+  /// Candidate records for a target: every record whose mentioned name equals
+  /// the target profile's name (the blocking step used by the paper — records
+  /// "that have the same name with the entity").
+  std::vector<RecordId> CandidatesFor(const EntityId& id) const;
+
+  /// Record ids whose ground-truth label is `id` (the paper's Match set).
+  std::vector<RecordId> TrueMatchesOf(const EntityId& id) const;
+
+  /// Human-readable corpus statistics (records per source, match counts,
+  /// time span) — the shape of the paper's Table 6.
+  std::string StatisticsString() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+  std::vector<DataSource> sources_;
+  std::vector<TemporalRecord> records_;
+  std::vector<EntityId> labels_;  // parallel to records_; "" = unlabelled
+  std::map<EntityId, TargetEntity> targets_;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_CORE_DATASET_H_

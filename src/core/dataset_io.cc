@@ -1,0 +1,217 @@
+#include "core/dataset_io.h"
+
+#include <charconv>
+#include <map>
+#include <system_error>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace maroon {
+
+namespace {
+
+constexpr char kValueSeparator[] = "; ";
+
+std::string JoinValues(const ValueSet& values) {
+  return Join(values, kValueSeparator);
+}
+
+ValueSet SplitValues(const std::string& cell) {
+  if (cell.empty()) return {};
+  std::vector<std::string> parts = Split(cell, ';');
+  std::vector<Value> values;
+  for (std::string& p : parts) {
+    std::string trimmed(StripWhitespace(p));
+    if (!trimmed.empty()) values.push_back(std::move(trimmed));
+  }
+  return MakeValueSet(std::move(values));
+}
+
+Status ParseTimePoint(const std::string& cell, TimePoint* out) {
+  int32_t value = 0;
+  const char* begin = cell.data();
+  const char* end = begin + cell.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    return Status::InvalidArgument("cannot parse time point '" + cell + "'");
+  }
+  *out = value;
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string ProfileToCsv(const EntityProfile& profile,
+                         const std::string& kind) {
+  CsvWriter writer;
+  for (const auto& [attribute, seq] : profile.sequences()) {
+    for (const Triple& tr : seq.triples()) {
+      writer.AppendRow({profile.id(), profile.name(), kind, attribute,
+                        std::to_string(tr.interval.begin),
+                        std::to_string(tr.interval.end),
+                        JoinValues(tr.values)});
+    }
+  }
+  return writer.text();
+}
+
+Status WriteDatasetCsv(const Dataset& dataset, const std::string& directory) {
+  // sources.csv
+  {
+    CsvWriter writer;
+    writer.AppendRow({"id", "name"});
+    for (const DataSource& s : dataset.sources()) {
+      writer.AppendRow({std::to_string(s.id), s.name});
+    }
+    MAROON_RETURN_IF_ERROR(writer.WriteToFile(directory + "/sources.csv"));
+  }
+  // records.csv
+  {
+    CsvWriter writer;
+    std::vector<std::string> header = {"id", "name", "timestamp", "source",
+                                       "label"};
+    for (const Attribute& a : dataset.attributes()) header.push_back(a);
+    writer.AppendRow(header);
+    for (const TemporalRecord& r : dataset.records()) {
+      std::vector<std::string> row = {
+          std::to_string(r.id()), r.name(), std::to_string(r.timestamp()),
+          dataset.source(r.source()).name, dataset.LabelOf(r.id())};
+      for (const Attribute& a : dataset.attributes()) {
+        row.push_back(JoinValues(r.GetValue(a)));
+      }
+      writer.AppendRow(row);
+    }
+    MAROON_RETURN_IF_ERROR(writer.WriteToFile(directory + "/records.csv"));
+  }
+  // profiles.csv
+  {
+    CsvWriter clean;
+    clean.AppendRow({"entity_id", "entity_name", "kind", "attribute", "begin",
+                     "end", "values"});
+    for (const auto& [id, target] : dataset.targets()) {
+      for (const auto& [kind, profile] :
+           {std::pair<std::string, const EntityProfile*>{
+                "clean", &target.clean_profile},
+            std::pair<std::string, const EntityProfile*>{
+                "truth", &target.ground_truth}}) {
+        for (const auto& [attribute, seq] : profile->sequences()) {
+          for (const Triple& tr : seq.triples()) {
+            clean.AppendRow({id, profile->name(), kind, attribute,
+                             std::to_string(tr.interval.begin),
+                             std::to_string(tr.interval.end),
+                             JoinValues(tr.values)});
+          }
+        }
+      }
+    }
+    MAROON_RETURN_IF_ERROR(clean.WriteToFile(directory + "/profiles.csv"));
+  }
+  return Status::OK();
+}
+
+Result<Dataset> ReadDatasetCsv(const std::string& directory) {
+  Dataset dataset;
+
+  // sources.csv
+  std::map<std::string, SourceId> source_ids;
+  {
+    MAROON_ASSIGN_OR_RETURN(auto rows,
+                            ReadCsvFile(directory + "/sources.csv"));
+    if (rows.empty()) {
+      return Status::InvalidArgument("sources.csv is empty");
+    }
+    for (size_t i = 1; i < rows.size(); ++i) {
+      if (rows[i].size() < 2) {
+        return Status::InvalidArgument("sources.csv row " +
+                                       std::to_string(i) + " malformed");
+      }
+      source_ids[rows[i][1]] = dataset.AddSource(rows[i][1]);
+    }
+  }
+
+  // records.csv
+  {
+    MAROON_ASSIGN_OR_RETURN(auto rows,
+                            ReadCsvFile(directory + "/records.csv"));
+    if (rows.empty()) {
+      return Status::InvalidArgument("records.csv is empty");
+    }
+    const std::vector<std::string>& header = rows[0];
+    if (header.size() < 5) {
+      return Status::InvalidArgument("records.csv header too short");
+    }
+    std::vector<Attribute> attributes(header.begin() + 5, header.end());
+    dataset.SetAttributes(attributes);
+
+    for (size_t i = 1; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      if (row.size() != header.size()) {
+        return Status::InvalidArgument("records.csv row " +
+                                       std::to_string(i) +
+                                       " has wrong column count");
+      }
+      TimePoint timestamp = 0;
+      MAROON_RETURN_IF_ERROR(ParseTimePoint(row[2], &timestamp));
+      auto source_it = source_ids.find(row[3]);
+      if (source_it == source_ids.end()) {
+        return Status::InvalidArgument("records.csv row " +
+                                       std::to_string(i) +
+                                       " references unknown source '" +
+                                       row[3] + "'");
+      }
+      TemporalRecord record(0, row[1], timestamp, source_it->second);
+      for (size_t a = 0; a < attributes.size(); ++a) {
+        record.SetValue(attributes[a], SplitValues(row[5 + a]));
+      }
+      const RecordId id = dataset.AddRecord(std::move(record));
+      if (!row[4].empty()) {
+        MAROON_RETURN_IF_ERROR(dataset.SetLabel(id, row[4]));
+      }
+    }
+  }
+
+  // profiles.csv
+  {
+    MAROON_ASSIGN_OR_RETURN(auto rows,
+                            ReadCsvFile(directory + "/profiles.csv"));
+    std::map<EntityId, TargetEntity> targets;
+    for (size_t i = 1; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      if (row.size() != 7) {
+        return Status::InvalidArgument("profiles.csv row " +
+                                       std::to_string(i) +
+                                       " has wrong column count");
+      }
+      const EntityId& id = row[0];
+      TargetEntity& target = targets[id];
+      EntityProfile* profile = nullptr;
+      if (row[2] == "clean") {
+        profile = &target.clean_profile;
+      } else if (row[2] == "truth") {
+        profile = &target.ground_truth;
+      } else {
+        return Status::InvalidArgument("profiles.csv row " +
+                                       std::to_string(i) +
+                                       " has unknown kind '" + row[2] + "'");
+      }
+      if (profile->id().empty()) {
+        *profile = EntityProfile(id, row[1]);
+      }
+      TimePoint begin = 0, end = 0;
+      MAROON_RETURN_IF_ERROR(ParseTimePoint(row[4], &begin));
+      MAROON_RETURN_IF_ERROR(ParseTimePoint(row[5], &end));
+      MAROON_RETURN_IF_ERROR(profile->sequence(row[3]).Insert(
+          Triple(Interval(begin, end), SplitValues(row[6]))));
+    }
+    for (auto& [id, target] : targets) {
+      // Insert() tolerates any order; restore canonical form.
+      target.clean_profile.Normalize();
+      target.ground_truth.Normalize();
+      MAROON_RETURN_IF_ERROR(dataset.AddTarget(id, std::move(target)));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace maroon

@@ -1,0 +1,42 @@
+#ifndef MAROON_CORE_DATASET_IO_H_
+#define MAROON_CORE_DATASET_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/dataset.h"
+
+namespace maroon {
+
+/// CSV serialization of datasets and profiles, so generated corpora can be
+/// persisted, inspected, and reloaded (and external data imported).
+///
+/// Records file (one row per record):
+///   id,name,timestamp,source,label,<attr1>,<attr2>,...
+/// with a header row naming the schema attributes; multi-valued cells join
+/// values with "; ". Sources are stored by name and re-registered on load in
+/// first-appearance order of the sources file.
+///
+/// Profiles file (one row per triple):
+///   entity_id,entity_name,kind,attribute,begin,end,values
+/// where kind is "clean" or "truth"; the entity's target registration is
+/// rebuilt from both kinds.
+///
+/// Sources file (one row per source): id,name.
+
+/// Writes the three files under `directory` (created by the caller) as
+/// records.csv, profiles.csv, sources.csv.
+Status WriteDatasetCsv(const Dataset& dataset, const std::string& directory);
+
+/// Reads a dataset previously written by WriteDatasetCsv.
+Result<Dataset> ReadDatasetCsv(const std::string& directory);
+
+/// Serializes one profile's triples into rows (kind as given); exposed for
+/// tests and tooling.
+std::string ProfileToCsv(const EntityProfile& profile,
+                         const std::string& kind);
+
+}  // namespace maroon
+
+#endif  // MAROON_CORE_DATASET_IO_H_

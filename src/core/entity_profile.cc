@@ -1,0 +1,82 @@
+#include "core/entity_profile.h"
+
+#include <algorithm>
+
+namespace maroon {
+
+namespace {
+const TemporalSequence& EmptySequence() {
+  static const TemporalSequence* kEmpty = new TemporalSequence();
+  return *kEmpty;
+}
+}  // namespace
+
+const TemporalSequence& EntityProfile::sequence(
+    const Attribute& attribute) const {
+  auto it = sequences_.find(attribute);
+  return it != sequences_.end() ? it->second : EmptySequence();
+}
+
+std::vector<Attribute> EntityProfile::Attributes() const {
+  std::vector<Attribute> out;
+  out.reserve(sequences_.size());
+  for (const auto& [attr, seq] : sequences_) out.push_back(attr);
+  return out;
+}
+
+int64_t EntityProfile::MaxLifespan() const {
+  int64_t max_span = 0;
+  for (const auto& [attr, seq] : sequences_) {
+    max_span = std::max(max_span, seq.Lifespan());
+  }
+  return max_span;
+}
+
+std::optional<TimePoint> EntityProfile::EarliestTime() const {
+  std::optional<TimePoint> best;
+  for (const auto& [attr, seq] : sequences_) {
+    auto t = seq.EarliestTime();
+    if (t && (!best || *t < *best)) best = t;
+  }
+  return best;
+}
+
+std::optional<TimePoint> EntityProfile::LatestTime() const {
+  std::optional<TimePoint> best;
+  for (const auto& [attr, seq] : sequences_) {
+    auto t = seq.LatestTime();
+    if (t && (!best || *t > *best)) best = t;
+  }
+  return best;
+}
+
+bool EntityProfile::IsCompleteOver(const Interval& window) const {
+  if (sequences_.empty()) return false;
+  for (const auto& [attr, seq] : sequences_) {
+    if (!seq.IsCompleteOver(window)) return false;
+  }
+  return true;
+}
+
+void EntityProfile::Normalize() {
+  for (auto& [attr, seq] : sequences_) seq.Normalize();
+}
+
+bool EntityProfile::empty() const {
+  for (const auto& [attr, seq] : sequences_) {
+    if (!seq.empty()) return false;
+  }
+  return true;
+}
+
+std::string EntityProfile::ToString() const {
+  std::string out = "EntityProfile(" + id_;
+  if (!name_.empty()) out += ", \"" + name_ + "\"";
+  out += ")";
+  for (const auto& [attr, seq] : sequences_) {
+    out += "\n  " + attr + ": " + seq.ToString();
+  }
+  return out;
+}
+
+}  // namespace maroon

@@ -1,0 +1,82 @@
+#ifndef MAROON_CORE_ENTITY_PROFILE_H_
+#define MAROON_CORE_ENTITY_PROFILE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/temporal_sequence.h"
+#include "core/time_types.h"
+#include "core/value.h"
+
+namespace maroon {
+
+/// Identifies a real-world entity. Distinct entities may share a display
+/// name (that ambiguity is exactly what temporal linkage resolves).
+using EntityId = std::string;
+
+/// The profile Φ_n of an entity: one temporal sequence per attribute,
+/// describing how the entity's attribute values change over time (paper §3).
+class EntityProfile {
+ public:
+  EntityProfile() = default;
+  EntityProfile(EntityId id, std::string name)
+      : id_(std::move(id)), name_(std::move(name)) {}
+
+  const EntityId& id() const { return id_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Φ_n[A]; creates an empty sequence on first access.
+  TemporalSequence& sequence(const Attribute& attribute) {
+    return sequences_[attribute];
+  }
+
+  /// Φ_n[A] or an empty sequence if the attribute is absent.
+  const TemporalSequence& sequence(const Attribute& attribute) const;
+
+  bool HasAttribute(const Attribute& attribute) const {
+    return sequences_.count(attribute) > 0;
+  }
+
+  /// Attributes with a (possibly empty) sequence, sorted.
+  std::vector<Attribute> Attributes() const;
+
+  /// Max lifespan over all attribute sequences (paper's L for this profile).
+  int64_t MaxLifespan() const;
+
+  /// Earliest instant covered by any attribute, if the profile is non-empty.
+  std::optional<TimePoint> EarliestTime() const;
+  /// Latest instant covered by any attribute.
+  std::optional<TimePoint> LatestTime() const;
+
+  /// True iff every attribute sequence covers every instant of `window`
+  /// (paper's profile completeness w.r.t. [b, e]).
+  bool IsCompleteOver(const Interval& window) const;
+
+  /// Normalizes every attribute sequence (see TemporalSequence::Normalize).
+  void Normalize();
+
+  /// True iff no attribute has any triple.
+  bool empty() const;
+
+  const std::map<Attribute, TemporalSequence>& sequences() const {
+    return sequences_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  EntityId id_;
+  std::string name_;
+  std::map<Attribute, TemporalSequence> sequences_;
+};
+
+/// A set Φ of entity profiles (training corpus for the transition model).
+using ProfileSet = std::vector<EntityProfile>;
+
+}  // namespace maroon
+
+#endif  // MAROON_CORE_ENTITY_PROFILE_H_

@@ -1,0 +1,119 @@
+#include "core/profile_store.h"
+
+#include <algorithm>
+#include <set>
+
+namespace maroon {
+
+void ProfileStore::Put(EntityProfile profile) {
+  profiles_[profile.id()] = std::move(profile);
+  index_dirty_ = true;
+}
+
+Status ProfileStore::Remove(const EntityId& id) {
+  if (profiles_.erase(id) == 0) {
+    return Status::NotFound("no profile with id " + id);
+  }
+  index_dirty_ = true;
+  return Status::OK();
+}
+
+Result<const EntityProfile*> ProfileStore::Get(const EntityId& id) const {
+  auto it = profiles_.find(id);
+  if (it == profiles_.end()) {
+    return Status::NotFound("no profile with id " + id);
+  }
+  return &it->second;
+}
+
+void ProfileStore::RebuildIndexIfNeeded() const {
+  if (!index_dirty_) return;
+  index_.clear();
+  by_name_.clear();
+  for (const auto& [id, profile] : profiles_) {
+    by_name_[profile.name()].push_back(id);
+    for (const auto& [attribute, seq] : profile.sequences()) {
+      auto& per_value = index_[attribute];
+      for (const Triple& tr : seq.triples()) {
+        for (const Value& v : tr.values) {
+          per_value[v].push_back(Posting{id, tr.interval});
+        }
+      }
+    }
+  }
+  index_dirty_ = false;
+}
+
+std::vector<EntityId> ProfileStore::FindByName(const std::string& name) const {
+  RebuildIndexIfNeeded();
+  auto it = by_name_.find(name);
+  return it != by_name_.end() ? it->second : std::vector<EntityId>{};
+}
+
+std::vector<EntityId> ProfileStore::FindByValueAt(const Attribute& attribute,
+                                                  const Value& value,
+                                                  TimePoint t) const {
+  RebuildIndexIfNeeded();
+  std::vector<EntityId> out;
+  auto attr_it = index_.find(attribute);
+  if (attr_it == index_.end()) return out;
+  auto value_it = attr_it->second.find(value);
+  if (value_it == attr_it->second.end()) return out;
+  for (const Posting& p : value_it->second) {
+    if (p.interval.Contains(t)) out.push_back(p.entity);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<EntityId> ProfileStore::FindByValue(const Attribute& attribute,
+                                                const Value& value) const {
+  RebuildIndexIfNeeded();
+  std::vector<EntityId> out;
+  auto attr_it = index_.find(attribute);
+  if (attr_it == index_.end()) return out;
+  auto value_it = attr_it->second.find(value);
+  if (value_it == attr_it->second.end()) return out;
+  for (const Posting& p : value_it->second) out.push_back(p.entity);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<std::map<Attribute, ValueSet>> ProfileStore::SnapshotAt(
+    const EntityId& id, TimePoint t) const {
+  MAROON_ASSIGN_OR_RETURN(const EntityProfile* profile, Get(id));
+  std::map<Attribute, ValueSet> snapshot;
+  for (const auto& [attribute, seq] : profile->sequences()) {
+    ValueSet values = seq.ValuesAt(t);
+    if (!values.empty()) snapshot[attribute] = std::move(values);
+  }
+  return snapshot;
+}
+
+std::vector<EntityId> ProfileStore::CoOccurring(const EntityId& id,
+                                                const Attribute& attribute,
+                                                TimePoint t) const {
+  std::vector<EntityId> out;
+  auto profile = Get(id);
+  if (!profile.ok()) return out;
+  const ValueSet values = (*profile)->sequence(attribute).ValuesAt(t);
+  std::set<EntityId> seen;
+  for (const Value& v : values) {
+    for (const EntityId& other : FindByValueAt(attribute, v, t)) {
+      if (other != id) seen.insert(other);
+    }
+  }
+  out.assign(seen.begin(), seen.end());
+  return out;
+}
+
+std::vector<EntityId> ProfileStore::Ids() const {
+  std::vector<EntityId> out;
+  out.reserve(profiles_.size());
+  for (const auto& [id, profile] : profiles_) out.push_back(id);
+  return out;
+}
+
+}  // namespace maroon

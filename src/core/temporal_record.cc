@@ -1,0 +1,42 @@
+#include "core/temporal_record.h"
+
+namespace maroon {
+
+namespace {
+const ValueSet& EmptyValueSet() {
+  static const ValueSet* kEmpty = new ValueSet();
+  return *kEmpty;
+}
+}  // namespace
+
+void TemporalRecord::SetValue(const Attribute& attribute, ValueSet values) {
+  if (values.empty()) {
+    values_.erase(attribute);
+    return;
+  }
+  values_[attribute] = MakeValueSet(std::move(values));
+}
+
+const ValueSet& TemporalRecord::GetValue(const Attribute& attribute) const {
+  auto it = values_.find(attribute);
+  return it != values_.end() ? it->second : EmptyValueSet();
+}
+
+std::vector<Attribute> TemporalRecord::Attributes() const {
+  std::vector<Attribute> out;
+  out.reserve(values_.size());
+  for (const auto& [attr, vs] : values_) out.push_back(attr);
+  return out;
+}
+
+std::string TemporalRecord::ToString() const {
+  std::string out =
+      "Record(" + std::to_string(id_) + ", \"" + name_ + "\", t=" +
+      std::to_string(timestamp_) + ", s=" + std::to_string(source_) + ")";
+  for (const auto& [attr, vs] : values_) {
+    out += " " + attr + "=" + ValueSetToString(vs);
+  }
+  return out;
+}
+
+}  // namespace maroon

@@ -1,0 +1,62 @@
+#ifndef MAROON_CORE_TIME_TYPES_H_
+#define MAROON_CORE_TIME_TYPES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace maroon {
+
+/// A discrete time instant in the paper's linear time structure (T, <=).
+/// The granularity (year, month, ...) is up to the application; experiments
+/// in this repository use years.
+using TimePoint = int32_t;
+
+/// A closed interval [begin, end] of time instants, begin <= end.
+struct Interval {
+  TimePoint begin = 0;
+  TimePoint end = 0;
+
+  Interval() = default;
+  Interval(TimePoint b, TimePoint e) : begin(b), end(e) {}
+
+  /// Number of time instants covered (end - begin + 1); 0 if malformed.
+  int64_t Length() const {
+    return begin <= end ? static_cast<int64_t>(end) - begin + 1 : 0;
+  }
+
+  bool Contains(TimePoint t) const { return begin <= t && t <= end; }
+
+  bool Overlaps(const Interval& other) const {
+    return begin <= other.end && other.begin <= end;
+  }
+
+  /// True iff begin <= end.
+  bool IsValid() const { return begin <= end; }
+
+  /// The intersection with `other`; only meaningful if Overlaps(other).
+  Interval Intersect(const Interval& other) const {
+    return Interval(std::max(begin, other.begin), std::min(end, other.end));
+  }
+
+  std::string ToString() const {
+    return "[" + std::to_string(begin) + ", " + std::to_string(end) + "]";
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+  /// Orders by (begin, end); used to keep sequences sorted.
+  friend bool operator<(const Interval& a, const Interval& b) {
+    return a.begin != b.begin ? a.begin < b.begin : a.end < b.end;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << iv.ToString();
+}
+
+}  // namespace maroon
+
+#endif  // MAROON_CORE_TIME_TYPES_H_

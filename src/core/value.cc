@@ -1,0 +1,46 @@
+#include "core/value.h"
+
+#include <algorithm>
+
+namespace maroon {
+
+ValueSet MakeValueSet(std::vector<Value> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+ValueSet MakeValueSet(std::initializer_list<Value> values) {
+  return MakeValueSet(std::vector<Value>(values));
+}
+
+bool ValueSetContains(const ValueSet& set, const Value& value) {
+  return std::binary_search(set.begin(), set.end(), value);
+}
+
+ValueSet ValueSetUnion(const ValueSet& a, const ValueSet& b) {
+  ValueSet out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+ValueSet ValueSetIntersection(const ValueSet& a, const ValueSet& b) {
+  ValueSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::string ValueSetToString(const ValueSet& set) {
+  std::string out = "{";
+  for (size_t i = 0; i < set.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += set[i];
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace maroon

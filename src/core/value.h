@@ -1,0 +1,40 @@
+#ifndef MAROON_CORE_VALUE_H_
+#define MAROON_CORE_VALUE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace maroon {
+
+/// An attribute name (e.g., "Title", "Organization").
+using Attribute = std::string;
+
+/// A single attribute value. Values are strings; numerical attributes are
+/// expected to be bucketed into string categories before entering the system
+/// (paper §4.1.2, Discussion).
+using Value = std::string;
+
+/// A set of values an attribute holds simultaneously (Def. 1's V).
+/// Invariant: sorted ascending with no duplicates. Use MakeValueSet to build.
+using ValueSet = std::vector<Value>;
+
+/// Normalizes arbitrary values into a canonical ValueSet (sorted, unique).
+ValueSet MakeValueSet(std::vector<Value> values);
+ValueSet MakeValueSet(std::initializer_list<Value> values);
+
+/// True iff `set` contains `value` (binary search; `set` must be canonical).
+bool ValueSetContains(const ValueSet& set, const Value& value);
+
+/// Union of two canonical value sets, canonical.
+ValueSet ValueSetUnion(const ValueSet& a, const ValueSet& b);
+
+/// Intersection of two canonical value sets, canonical.
+ValueSet ValueSetIntersection(const ValueSet& a, const ValueSet& b);
+
+/// Renders as "{a, b, c}".
+std::string ValueSetToString(const ValueSet& set);
+
+}  // namespace maroon
+
+#endif  // MAROON_CORE_VALUE_H_

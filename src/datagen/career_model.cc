@@ -1,0 +1,180 @@
+#include "datagen/career_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "datagen/name_pool.h"
+
+namespace maroon {
+
+namespace {
+
+// Title ladder indices (must match kTitleNames ordering).
+enum TitleIndex : size_t {
+  kEngineer = 0,
+  kSrEngineer,
+  kAnalyst,
+  kManager,
+  kDirector,
+  kVp,
+  kCeo,
+  kPresident,
+  kConsultant,
+  kItContractor,
+  kNumTitles,
+};
+
+constexpr const char* kTitleNames[kNumTitles] = {
+    "Engineer", "Sr. Engineer", "Analyst",    "Manager",       "Director",
+    "VP",       "CEO",          "President",  "Consultant",    "IT Contractor"};
+
+}  // namespace
+
+std::vector<Value> CareerModel::Titles() {
+  return std::vector<Value>(kTitleNames, kTitleNames + kNumTitles);
+}
+
+CareerModel::CareerModel(CareerModelOptions options, Random& rng)
+    : options_(options) {
+  assert(options_.num_universities <= options_.num_organizations);
+  organizations_ = NamePool::OrganizationNames(
+      options_.num_organizations, options_.num_universities, rng);
+  locations_ = NamePool::CityNames(options_.num_locations, rng);
+
+  // Seniority-dependent dynamics: junior titles turn over quickly with
+  // upward moves; senior titles are held long and mostly self-transition.
+  dynamics_.resize(kNumTitles);
+  const auto set = [&](size_t idx, double hold,
+                       std::vector<std::pair<size_t, double>> next) {
+    dynamics_[idx] = {kTitleNames[idx], hold, std::move(next)};
+  };
+  set(kEngineer, 3.0,
+      {{kSrEngineer, 0.45}, {kManager, 0.20}, {kAnalyst, 0.10},
+       {kEngineer, 0.10}, {kConsultant, 0.08}, {kItContractor, 0.07}});
+  set(kSrEngineer, 3.5,
+      {{kManager, 0.55}, {kDirector, 0.10}, {kSrEngineer, 0.20},
+       {kConsultant, 0.10}, {kEngineer, 0.05}});
+  set(kAnalyst, 2.5,
+      {{kManager, 0.45}, {kSrEngineer, 0.20}, {kAnalyst, 0.20},
+       {kConsultant, 0.15}});
+  set(kManager, 4.5,
+      {{kDirector, 0.50}, {kVp, 0.10}, {kManager, 0.28},
+       {kConsultant, 0.07}, {kItContractor, 0.05}});
+  set(kDirector, 5.5,
+      {{kVp, 0.30}, {kCeo, 0.12}, {kPresident, 0.08}, {kDirector, 0.45},
+       {kConsultant, 0.05}});
+  set(kVp, 5.5, {{kCeo, 0.25}, {kPresident, 0.25}, {kVp, 0.50}});
+  set(kCeo, 6.5, {{kPresident, 0.30}, {kCeo, 0.70}});
+  set(kPresident, 7.0, {{kPresident, 0.80}, {kCeo, 0.20}});
+  set(kConsultant, 3.0,
+      {{kManager, 0.30}, {kConsultant, 0.35}, {kDirector, 0.15},
+       {kItContractor, 0.20}});
+  set(kItContractor, 2.0,
+      {{kEngineer, 0.30}, {kConsultant, 0.30}, {kItContractor, 0.40}});
+}
+
+size_t CareerModel::SampleNextTitle(size_t current, Random& rng) const {
+  const TitleDynamics& d = dynamics_[current];
+  std::vector<double> weights;
+  weights.reserve(d.next.size());
+  for (const auto& [idx, w] : d.next) weights.push_back(w);
+  return d.next[rng.Categorical(weights)].first;
+}
+
+int64_t CareerModel::SampleHoldingYears(size_t title_index,
+                                        Random& rng) const {
+  const double mean = dynamics_[title_index].mean_holding_years;
+  // 1 + Geometric so every state is held at least one year; mean matches.
+  const double p = 1.0 / std::max(1.0, mean);
+  return 1 + rng.Geometric(p);
+}
+
+EntityProfile CareerModel::GenerateProfile(const EntityId& id,
+                                           const std::string& name,
+                                           Random& rng) const {
+  EntityProfile profile(id, name);
+
+  const TimePoint start = static_cast<TimePoint>(rng.UniformInt(
+      options_.career_start_min, options_.career_start_max));
+  const TimePoint horizon = options_.horizon;
+
+  // Initial state: juniors dominate entry titles.
+  size_t title = static_cast<size_t>(
+      rng.Categorical({0.55, 0.05, 0.20, 0.05, 0.0, 0.0, 0.0, 0.0, 0.05,
+                       0.10}));
+  size_t org = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(organizations_.size()) - 1));
+  size_t location = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(locations_.size()) - 1));
+
+  struct Spell {
+    TimePoint begin;
+    TimePoint end;
+    size_t title;
+    size_t org;
+    size_t location;
+  };
+  std::vector<Spell> spells;
+
+  const bool stable = rng.Bernoulli(options_.stable_entity_fraction);
+  TimePoint t = start;
+  while (t <= horizon) {
+    const int64_t hold = stable ? (static_cast<int64_t>(horizon) - t + 1)
+                                : SampleHoldingYears(title, rng);
+    const TimePoint end =
+        static_cast<TimePoint>(std::min<int64_t>(horizon, t + hold - 1));
+    spells.push_back({t, end, title, org, location});
+    if (end >= horizon) break;
+    t = end + 1;
+
+    const size_t next_title = SampleNextTitle(title, rng);
+    const bool title_changed = next_title != title;
+    title = next_title;
+    // Organization changes are correlated with title changes; a same-title
+    // move still changes organization (that is what the self-loop in the
+    // ladder models — a lateral move).
+    const bool change_org =
+        title_changed ? rng.Bernoulli(options_.org_change_with_title) : true;
+    if (change_org) {
+      size_t next_org = org;
+      while (next_org == org && organizations_.size() > 1) {
+        next_org = static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(organizations_.size()) - 1));
+      }
+      org = next_org;
+      if (rng.Bernoulli(options_.location_change_with_org) &&
+          locations_.size() > 1) {
+        size_t next_loc = location;
+        while (next_loc == location) {
+          next_loc = static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(locations_.size()) - 1));
+        }
+        location = next_loc;
+      }
+    }
+  }
+
+  // Emit per-attribute sequences, merging consecutive equal states.
+  const auto emit = [&](const Attribute& attribute,
+                        auto value_of) {
+    TemporalSequence& seq = profile.sequence(attribute);
+    size_t i = 0;
+    while (i < spells.size()) {
+      size_t j = i;
+      while (j + 1 < spells.size() &&
+             value_of(spells[j + 1]) == value_of(spells[i])) {
+        ++j;
+      }
+      (void)seq.Append(Triple(Interval(spells[i].begin, spells[j].end),
+                              MakeValueSet({value_of(spells[i])})));
+      i = j + 1;
+    }
+  };
+  emit(kAttrTitle, [&](const Spell& s) { return Value(kTitleNames[s.title]); });
+  emit(kAttrOrganization,
+       [&](const Spell& s) { return organizations_[s.org]; });
+  emit(kAttrLocation, [&](const Spell& s) { return locations_[s.location]; });
+  return profile;
+}
+
+}  // namespace maroon

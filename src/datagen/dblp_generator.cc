@@ -1,0 +1,212 @@
+#include "datagen/dblp_generator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/name_pool.h"
+#include "datagen/recruitment_generator.h"
+
+namespace maroon {
+
+namespace {
+
+struct AffiliationWorld {
+  std::vector<std::string> organizations;  // universities first
+  size_t num_universities = 0;
+
+  bool IsUniversity(size_t i) const { return i < num_universities; }
+};
+
+/// One affiliation spell of an author's career.
+struct Spell {
+  TimePoint begin;
+  TimePoint end;
+  size_t org;
+};
+
+/// Generates affiliation spells following the Figure 3 narrative: long
+/// university stays early, rising university-to-university mobility,
+/// university-to-industry moves rarer (and rarer still late in a career),
+/// industry-to-university moves rare early and more common late.
+std::vector<Spell> GenerateSpells(const DblpOptions& options,
+                                  const AffiliationWorld& world, bool mover,
+                                  Random& rng) {
+  std::vector<Spell> spells;
+  const TimePoint start = static_cast<TimePoint>(
+      rng.UniformInt(options.career_start_min, options.career_start_max));
+  // Careers start in academia ~70% of the time (graduate students/faculty).
+  const bool start_academic = rng.Bernoulli(0.7);
+  size_t org = start_academic
+                   ? static_cast<size_t>(rng.UniformInt(
+                         0, static_cast<int64_t>(world.num_universities) - 1))
+                   : world.num_universities +
+                         static_cast<size_t>(rng.UniformInt(
+                             0, static_cast<int64_t>(
+                                    world.organizations.size() -
+                                    world.num_universities) -
+                                    1));
+  TimePoint t = start;
+  while (t <= options.horizon) {
+    const bool at_university = world.IsUniversity(org);
+    const int64_t mean_hold = at_university ? 6 : 5;
+    const int64_t hold =
+        mover ? 1 + rng.Geometric(1.0 / static_cast<double>(mean_hold))
+              : (options.horizon - t + 1);
+    const TimePoint end = static_cast<TimePoint>(
+        std::min<int64_t>(options.horizon, t + hold - 1));
+    spells.push_back({t, end, org});
+    if (end >= options.horizon) break;
+    t = end + 1;
+
+    // Career age shifts the move distribution (Fig. 3's time trends).
+    const int64_t career_age = t - start;
+    double to_univ, to_industry;
+    if (at_university) {
+      to_univ = 0.55 + 0.02 * std::min<int64_t>(career_age, 10);
+      to_industry = career_age > 10 ? 0.15 : 0.30;
+    } else {
+      to_univ = career_age > 12 ? 0.35 : 0.10;
+      to_industry = 1.0;  // remaining mass
+    }
+    const bool next_university = rng.Bernoulli(
+        to_univ / (to_univ + to_industry));
+    size_t next = org;
+    while (next == org) {
+      if (next_university) {
+        next = static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(world.num_universities) - 1));
+      } else {
+        next = world.num_universities +
+               static_cast<size_t>(rng.UniformInt(
+                   0, static_cast<int64_t>(world.organizations.size() -
+                                           world.num_universities) -
+                          1));
+      }
+    }
+    org = next;
+  }
+  return spells;
+}
+
+}  // namespace
+
+DblpCorpus GenerateDblpCorpus(const DblpOptions& options) {
+  Random rng(options.seed);
+  DblpCorpus corpus;
+  Dataset& dataset = corpus.dataset;
+  dataset.SetAttributes({kAttrAffiliation, kAttrCoauthors});
+  const SourceId dblp_source = dataset.AddSource("DBLP");
+
+  AffiliationWorld world;
+  world.num_universities = options.num_universities;
+  world.organizations = NamePool::OrganizationNames(
+      options.num_universities + options.num_companies,
+      options.num_universities, rng);
+
+  corpus.affiliation_category_mapper = std::make_shared<TableValueMapper>();
+  for (size_t i = 0; i < world.organizations.size(); ++i) {
+    corpus.affiliation_category_mapper->AddMapping(
+        kAttrAffiliation, world.organizations[i],
+        world.IsUniversity(i) ? "university" : "industry");
+  }
+
+  const std::vector<std::string> author_names =
+      NamePool::PersonNames(options.num_names, rng);
+  const std::vector<size_t> name_of =
+      NamePool::AssignSharedNames(options.num_entities, author_names.size(),
+                                  rng);
+  // A global collaborator pool; each author draws a personal sub-pool.
+  const std::vector<std::string> collaborator_pool =
+      NamePool::PersonNames(options.num_entities / 2 + 20, rng);
+
+  for (size_t i = 0; i < options.num_entities; ++i) {
+    Random entity_rng = rng.Fork();
+    const EntityId id = "author_" + std::to_string(i);
+    const std::string& name = author_names[name_of[i]];
+    const bool mover = !entity_rng.Bernoulli(options.never_move_fraction);
+    const std::vector<Spell> spells =
+        GenerateSpells(options, world, mover, entity_rng);
+
+    // Personal collaborators: a stable core plus per-spell additions.
+    std::vector<std::string> core;
+    const size_t core_size =
+        static_cast<size_t>(entity_rng.UniformInt(2, 4));
+    for (size_t k = 0; k < core_size; ++k) {
+      core.push_back(collaborator_pool[static_cast<size_t>(
+          entity_rng.UniformInt(0,
+                                static_cast<int64_t>(
+                                    collaborator_pool.size()) -
+                                    1))]);
+    }
+
+    EntityProfile ground_truth(id, name);
+    TemporalSequence& affiliation = ground_truth.sequence(kAttrAffiliation);
+    TemporalSequence& coauthors = ground_truth.sequence(kAttrCoauthors);
+    ValueSet previous_collab;
+    for (const Spell& s : spells) {
+      (void)affiliation.Append(
+          Triple(Interval(s.begin, s.end),
+                 MakeValueSet({world.organizations[s.org]})));
+      // Per-spell collaborator set: the core plus 1-2 spell-local people.
+      std::vector<Value> collab = core;
+      const size_t extras =
+          static_cast<size_t>(entity_rng.UniformInt(1, 2));
+      for (size_t k = 0; k < extras; ++k) {
+        collab.push_back(collaborator_pool[static_cast<size_t>(
+            entity_rng.UniformInt(0,
+                                  static_cast<int64_t>(
+                                      collaborator_pool.size()) -
+                                      1))]);
+      }
+      ValueSet collab_set = MakeValueSet(std::move(collab));
+      for (size_t offset = 0;
+           collab_set == previous_collab && offset < collaborator_pool.size();
+           ++offset) {
+        // Def. 1 forbids identical consecutive value sets; perturb with a
+        // pool collaborator not already present.
+        collab_set = ValueSetUnion(
+            collab_set,
+            MakeValueSet({collaborator_pool[(s.begin + offset) %
+                                            collaborator_pool.size()]}));
+      }
+      (void)coauthors.Append(Triple(Interval(s.begin, s.end), collab_set));
+      previous_collab = collab_set;
+    }
+
+    TargetEntity target;
+    target.clean_profile =
+        TruncateProfilePrefix(ground_truth, options.clean_prefix_fraction);
+    target.ground_truth = ground_truth;
+
+    // Paper records: one per publication, always fresh, single source.
+    const auto earliest = ground_truth.EarliestTime();
+    const auto latest = ground_truth.LatestTime();
+    for (TimePoint t = *earliest; t <= *latest; ++t) {
+      int64_t papers = entity_rng.Poisson(options.papers_per_year);
+      for (int64_t p = 0; p < papers; ++p) {
+        TemporalRecord record(/*id=*/0, name, t, dblp_source);
+        record.SetValue(kAttrAffiliation,
+                        ground_truth.sequence(kAttrAffiliation).ValuesAt(t));
+        // Each paper lists a subset of the active collaborators.
+        ValueSet active = ground_truth.sequence(kAttrCoauthors).ValuesAt(t);
+        if (!active.empty()) {
+          std::vector<Value> sample;
+          for (const Value& c : active) {
+            if (entity_rng.Bernoulli(0.6)) sample.push_back(c);
+          }
+          if (sample.empty()) sample.push_back(active[0]);
+          record.SetValue(kAttrCoauthors, MakeValueSet(std::move(sample)));
+        }
+        const RecordId rid = dataset.AddRecord(std::move(record));
+        (void)dataset.SetLabel(rid, id);
+      }
+    }
+
+    (void)dataset.AddTarget(id, std::move(target));
+  }
+  return corpus;
+}
+
+}  // namespace maroon

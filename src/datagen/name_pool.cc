@@ -1,0 +1,136 @@
+#include "datagen/name_pool.h"
+
+#include <array>
+#include <set>
+
+namespace maroon {
+
+namespace {
+
+constexpr std::array<const char*, 40> kFirstNames = {
+    "David",   "Michael", "Sarah",  "Emily", "James",  "Robert", "Linda",
+    "Maria",   "John",    "Wei",    "Ling",  "Rajesh", "Priya",  "Ahmed",
+    "Fatima",  "Carlos",  "Ana",    "Yuki",  "Hiro",   "Elena",  "Ivan",
+    "Sofia",   "Lucas",   "Emma",   "Noah",  "Olivia", "Liam",   "Ava",
+    "William", "Mia",     "Ethan",  "Chloe", "Daniel", "Grace",  "Henry",
+    "Zoe",     "Samuel",  "Nora",   "Oscar", "Ruby"};
+
+constexpr std::array<const char*, 40> kLastNames = {
+    "Brown",    "Smith",   "Johnson", "Lee",      "Chen",    "Wang",
+    "Garcia",   "Kumar",   "Patel",   "Kim",      "Nguyen",  "Singh",
+    "Martinez", "Lopez",   "Wilson",  "Anderson", "Taylor",  "Thomas",
+    "Moore",    "Jackson", "White",   "Harris",   "Clark",   "Lewis",
+    "Young",    "Walker",  "Hall",    "Allen",    "King",    "Wright",
+    "Scott",    "Green",   "Baker",   "Adams",    "Nelson",  "Hill",
+    "Campbell", "Mitchell", "Roberts", "Carter"};
+
+constexpr std::array<const char*, 24> kOrgRoots = {
+    "Quest", "Aelita", "Vertex", "Nimbus",  "Orion",  "Zenith",
+    "Atlas", "Pioneer", "Summit", "Cascade", "Vector", "Lumen",
+    "Apex",  "Nova",    "Delta",  "Horizon", "Keystone", "Beacon",
+    "Crest", "Fusion",  "Granite", "Harbor", "Ironwood", "Juniper"};
+
+constexpr std::array<const char*, 12> kOrgSuffixes = {
+    "Software", "Systems", "Labs",     "Technologies", "Analytics",
+    "Networks", "Dynamics", "Solutions", "Computing",   "Data",
+    "Robotics", "Digital"};
+
+constexpr std::array<const char*, 30> kCityBases = {
+    "Chicago",  "Austin",   "Seattle", "Boston",   "Denver",  "Portland",
+    "Atlanta",  "Dallas",   "Phoenix", "Detroit",  "Madison", "Raleigh",
+    "Columbus", "Memphis",  "Tucson",  "Omaha",    "Fresno",  "Tampa",
+    "Oakland",  "Richmond", "Norfolk", "Savannah", "Eugene",  "Boulder",
+    "Ithaca",   "Ann Arbor", "Berkeley", "Princeton", "Durham", "Provo"};
+
+constexpr std::array<const char*, 20> kUniversityPlaces = {
+    "Springfield", "Riverside", "Lakewood", "Fairview",  "Georgetown",
+    "Arlington",   "Salem",     "Bristol",  "Clinton",   "Dayton",
+    "Florence",    "Greenwood", "Hudson",   "Jackson",   "Kingston",
+    "Lancaster",   "Milton",    "Newport",  "Oxford",    "Preston"};
+
+}  // namespace
+
+std::vector<std::string> NamePool::PersonNames(size_t num_names, Random& rng) {
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  size_t middle_counter = 0;
+  while (out.size() < num_names) {
+    const auto* first =
+        kFirstNames[static_cast<size_t>(rng.UniformInt(0, kFirstNames.size() - 1))];
+    const auto* last =
+        kLastNames[static_cast<size_t>(rng.UniformInt(0, kLastNames.size() - 1))];
+    std::string name = std::string(first) + " " + last;
+    if (!seen.insert(name).second) {
+      // Pool exhausted quickly for large requests; disambiguate with a
+      // middle initial.
+      name = std::string(first) + " " +
+             std::string(1, static_cast<char>('A' + (middle_counter++ % 26))) +
+             ". " + last;
+      if (!seen.insert(name).second) continue;
+    }
+    out.push_back(std::move(name));
+  }
+  return out;
+}
+
+std::vector<std::string> NamePool::OrganizationNames(size_t num_orgs,
+                                                     size_t num_universities,
+                                                     Random& rng) {
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  while (out.size() < num_universities) {
+    const auto* place = kUniversityPlaces[static_cast<size_t>(
+        rng.UniformInt(0, kUniversityPlaces.size() - 1))];
+    std::string name = "University of " + std::string(place);
+    if (seen.insert(name).second) {
+      out.push_back(std::move(name));
+      continue;
+    }
+    name = std::string(place);
+    name.append(" State University ");
+    name.append(std::to_string(out.size()));
+    if (seen.insert(name).second) out.push_back(std::move(name));
+  }
+  while (out.size() < num_orgs) {
+    const auto* root = kOrgRoots[static_cast<size_t>(
+        rng.UniformInt(0, kOrgRoots.size() - 1))];
+    const auto* suffix = kOrgSuffixes[static_cast<size_t>(
+        rng.UniformInt(0, kOrgSuffixes.size() - 1))];
+    std::string name = std::string(root) + " " + suffix;
+    if (!seen.insert(name).second) {
+      name += " " + std::to_string(out.size());
+      if (!seen.insert(name).second) continue;
+    }
+    out.push_back(std::move(name));
+  }
+  return out;
+}
+
+std::vector<std::string> NamePool::CityNames(size_t num_cities, Random& rng) {
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  while (out.size() < num_cities) {
+    std::string name = kCityBases[static_cast<size_t>(
+        rng.UniformInt(0, kCityBases.size() - 1))];
+    if (!seen.insert(name).second) {
+      name.append(" ");
+      name.append(std::to_string(out.size()));
+      if (!seen.insert(name).second) continue;
+    }
+    out.push_back(std::move(name));
+  }
+  return out;
+}
+
+std::vector<size_t> NamePool::AssignSharedNames(size_t num_entities,
+                                                size_t num_names,
+                                                Random& rng) {
+  std::vector<size_t> assignment(num_entities);
+  for (size_t i = 0; i < num_entities; ++i) {
+    assignment[i] = i % num_names;
+  }
+  rng.Shuffle(assignment);
+  return assignment;
+}
+
+}  // namespace maroon

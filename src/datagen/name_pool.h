@@ -1,0 +1,38 @@
+#ifndef MAROON_DATAGEN_NAME_POOL_H_
+#define MAROON_DATAGEN_NAME_POOL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace maroon {
+
+/// Deterministic generators for the synthetic corpora: person names (with
+/// controlled sharing to create the ambiguity that makes temporal linkage
+/// necessary), organization names, and city names.
+class NamePool {
+ public:
+  /// `num_names` distinct person names. Names are composed from fixed
+  /// first/last name lists; `rng` only controls the sampling order.
+  static std::vector<std::string> PersonNames(size_t num_names, Random& rng);
+
+  /// `num_orgs` distinct organization names; the first `num_universities`
+  /// are universities ("University of X"), the rest companies.
+  static std::vector<std::string> OrganizationNames(size_t num_orgs,
+                                                    size_t num_universities,
+                                                    Random& rng);
+
+  /// `num_cities` distinct city names.
+  static std::vector<std::string> CityNames(size_t num_cities, Random& rng);
+
+  /// Assigns each of `num_entities` entities a name from `names` such that
+  /// names are shared by multiple entities (round-robin), mirroring the
+  /// paper's DBLP-Ambi setup (239 authors sharing 21 names).
+  static std::vector<size_t> AssignSharedNames(size_t num_entities,
+                                               size_t num_names, Random& rng);
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_DATAGEN_NAME_POOL_H_

@@ -1,0 +1,96 @@
+#include "datagen/recruitment_generator.h"
+
+#include <algorithm>
+
+#include "datagen/name_pool.h"
+
+namespace maroon {
+
+EntityProfile TruncateProfilePrefix(const EntityProfile& full,
+                                    double fraction) {
+  EntityProfile out(full.id(), full.name());
+  const auto earliest = full.EarliestTime();
+  const auto latest = full.LatestTime();
+  if (!earliest || !latest) return out;
+  const int64_t lifespan =
+      static_cast<int64_t>(*latest) - *earliest + 1;
+  const int64_t keep = std::max<int64_t>(
+      1, static_cast<int64_t>(lifespan * std::clamp(fraction, 0.0, 1.0)));
+  const Interval window(*earliest,
+                        static_cast<TimePoint>(*earliest + keep - 1));
+
+  for (const auto& [attribute, seq] : full.sequences()) {
+    TemporalSequence& truncated = out.sequence(attribute);
+    for (const Triple& tr : seq.triples()) {
+      if (!tr.interval.Overlaps(window)) continue;
+      (void)truncated.Append(
+          Triple(tr.interval.Intersect(window), tr.values));
+    }
+  }
+  return out;
+}
+
+Dataset GenerateRecruitmentDataset(const RecruitmentOptions& options) {
+  Random rng(options.seed);
+  Dataset dataset;
+  dataset.SetAttributes({kAttrOrganization, kAttrTitle, kAttrLocation});
+
+  std::vector<SourceConfig> source_configs =
+      options.sources.empty() ? DefaultRecruitmentSources() : options.sources;
+
+  CareerModel career(options.career, rng);
+  if (options.social_source_error_rate > 0.0) {
+    // Social sources occasionally publish values the entity never held.
+    std::map<Attribute, std::vector<Value>> pools;
+    pools[kAttrOrganization] = std::vector<Value>(
+        career.organizations().begin(), career.organizations().end());
+    pools[kAttrTitle] = CareerModel::Titles();
+    pools[kAttrLocation] = std::vector<Value>(career.locations().begin(),
+                                              career.locations().end());
+    for (size_t i = 1; i < source_configs.size(); ++i) {
+      source_configs[i].error_pool = pools;
+      for (const auto& [attribute, pool] : pools) {
+        source_configs[i].error_rate[attribute] =
+            options.social_source_error_rate;
+      }
+    }
+  }
+
+  if (options.social_source_name_typo_rate > 0.0) {
+    for (size_t i = 1; i < source_configs.size(); ++i) {
+      source_configs[i].name_typo_rate =
+          options.social_source_name_typo_rate;
+    }
+  }
+
+  std::vector<SourceSimulator> simulators;
+  simulators.reserve(source_configs.size());
+  for (SourceConfig& config : source_configs) {
+    const SourceId id = dataset.AddSource(config.name);
+    simulators.emplace_back(std::move(config), id);
+  }
+  const std::vector<std::string> names =
+      NamePool::PersonNames(options.num_names, rng);
+  const std::vector<size_t> name_of =
+      NamePool::AssignSharedNames(options.num_entities, names.size(), rng);
+
+  for (size_t i = 0; i < options.num_entities; ++i) {
+    Random entity_rng = rng.Fork();
+    const EntityId id = "entity_" + std::to_string(i);
+    EntityProfile ground_truth =
+        career.GenerateProfile(id, names[name_of[i]], entity_rng);
+
+    TargetEntity target;
+    target.clean_profile =
+        TruncateProfilePrefix(ground_truth, options.clean_prefix_fraction);
+    target.ground_truth = ground_truth;
+    (void)dataset.AddTarget(id, std::move(target));
+
+    for (const SourceSimulator& simulator : simulators) {
+      simulator.EmitRecords(ground_truth, dataset, entity_rng);
+    }
+  }
+  return dataset;
+}
+
+}  // namespace maroon

@@ -1,0 +1,51 @@
+#ifndef MAROON_DATAGEN_RECRUITMENT_GENERATOR_H_
+#define MAROON_DATAGEN_RECRUITMENT_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "datagen/career_model.h"
+#include "datagen/source_simulator.h"
+
+namespace maroon {
+
+/// Options for the synthetic Recruitment dataset (the stand-in for the
+/// paper's crawled LinkedIn/Google+/Twitter corpus, §5.1).
+struct RecruitmentOptions {
+  uint64_t seed = 42;
+  /// Number of target entities (the paper uses 10,193; benches default
+  /// smaller for turnaround and scale up explicitly).
+  size_t num_entities = 500;
+  /// Distinct person names; entities share names round-robin, so on average
+  /// num_entities / num_names entities collide per name.
+  size_t num_names = 200;
+  /// Fraction of each entity's lifespan given as the clean input profile
+  /// (the paper uses the first 30%).
+  double clean_prefix_fraction = 0.3;
+  CareerModelOptions career;
+  /// Source behaviours; defaults to DefaultRecruitmentSources().
+  std::vector<SourceConfig> sources;
+  /// Probability that a value published by a *social* source (every source
+  /// except the first) is erroneous — drawn from the world's value pool
+  /// instead of the entity's true history. 0 disables error injection.
+  double social_source_error_rate = 0.0;
+  /// Probability that a social source's record carries a typo'd entity name
+  /// (exercises fuzzy blocking). 0 disables.
+  double social_source_name_typo_rate = 0.0;
+};
+
+/// Builds the synthetic Recruitment dataset: ground-truth careers from the
+/// CareerModel, observed through three sources of varying freshness, with
+/// name ambiguity. Every entity becomes a target whose clean profile is the
+/// first `clean_prefix_fraction` of its lifespan.
+Dataset GenerateRecruitmentDataset(const RecruitmentOptions& options = {});
+
+/// Truncates `full` to the prefix window covering the first `fraction` of
+/// its lifespan (at least one instant). Used to derive clean input profiles.
+EntityProfile TruncateProfilePrefix(const EntityProfile& full,
+                                    double fraction);
+
+}  // namespace maroon
+
+#endif  // MAROON_DATAGEN_RECRUITMENT_GENERATOR_H_

@@ -1,0 +1,54 @@
+#include "eval/bootstrap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace maroon {
+
+namespace {
+double MeanOf(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+}  // namespace
+
+BootstrapInterval BootstrapMeanInterval(const std::vector<double>& values,
+                                        double confidence, size_t resamples,
+                                        uint64_t seed) {
+  assert(confidence > 0.0 && confidence < 1.0);
+  BootstrapInterval interval;
+  interval.samples = values.size();
+  interval.mean = MeanOf(values);
+  if (values.size() < 2 || resamples == 0) {
+    interval.lower = interval.upper = interval.mean;
+    return interval;
+  }
+
+  Random rng(seed);
+  std::vector<double> means;
+  means.reserve(resamples);
+  std::vector<double> resample(values.size());
+  for (size_t r = 0; r < resamples; ++r) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      resample[i] = values[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(values.size()) - 1))];
+    }
+    means.push_back(MeanOf(resample));
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto at_quantile = [&](double q) {
+    const double pos = q * static_cast<double>(means.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, means.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return means[lo] * (1.0 - frac) + means[hi] * frac;
+  };
+  interval.lower = at_quantile(alpha);
+  interval.upper = at_quantile(1.0 - alpha);
+  return interval;
+}
+
+}  // namespace maroon

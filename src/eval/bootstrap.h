@@ -1,0 +1,38 @@
+#ifndef MAROON_EVAL_BOOTSTRAP_H_
+#define MAROON_EVAL_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace maroon {
+
+/// A bootstrap confidence interval for the mean of per-entity metric values.
+struct BootstrapInterval {
+  double mean = 0.0;
+  double lower = 0.0;   // e.g. 2.5th percentile of resampled means
+  double upper = 0.0;   // e.g. 97.5th percentile
+  size_t samples = 0;   // number of per-entity values
+
+  double HalfWidth() const { return (upper - lower) / 2.0; }
+};
+
+/// Percentile-bootstrap CI for the mean of `values`.
+///
+/// Macro-averaged linkage metrics vary a lot across target entities
+/// (candidate-set sizes differ by an order of magnitude), so point means
+/// alone overstate differences between methods; EXPERIMENTS.md reports these
+/// intervals alongside the means.
+///
+/// `confidence` in (0, 1); `resamples` bootstrap iterations; deterministic
+/// for a fixed seed. Degenerate inputs (empty, single value) collapse the
+/// interval onto the mean.
+BootstrapInterval BootstrapMeanInterval(const std::vector<double>& values,
+                                        double confidence = 0.95,
+                                        size_t resamples = 2000,
+                                        uint64_t seed = 17);
+
+}  // namespace maroon
+
+#endif  // MAROON_EVAL_BOOTSTRAP_H_

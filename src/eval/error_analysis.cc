@@ -1,0 +1,70 @@
+#include "eval/error_analysis.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace maroon {
+
+ErrorBreakdown& ErrorBreakdown::operator+=(const ErrorBreakdown& other) {
+  true_positives += other.true_positives;
+  false_positives += other.false_positives;
+  false_negatives += other.false_negatives;
+  missed_future_states += other.missed_future_states;
+  missed_in_history += other.missed_in_history;
+  decoy_links += other.decoy_links;
+  unlabeled_links += other.unlabeled_links;
+  return *this;
+}
+
+std::string ErrorBreakdown::ToString() const {
+  return "TP=" + std::to_string(true_positives) +
+         " FP=" + std::to_string(false_positives) + " (decoys " +
+         std::to_string(decoy_links) + ", unlabeled " +
+         std::to_string(unlabeled_links) + ") FN=" +
+         std::to_string(false_negatives) + " (future " +
+         std::to_string(missed_future_states) + ", in-history " +
+         std::to_string(missed_in_history) + ") P=" +
+         FormatDouble(precision(), 3) + " R=" + FormatDouble(recall(), 3);
+}
+
+ErrorBreakdown AnalyzeLinkageErrors(const Dataset& dataset,
+                                    const EntityId& entity,
+                                    const std::vector<RecordId>& matched) {
+  ErrorBreakdown breakdown;
+  const std::set<RecordId> matched_set(matched.begin(), matched.end());
+  const std::vector<RecordId> truth_list = dataset.TrueMatchesOf(entity);
+  const std::set<RecordId> truth(truth_list.begin(), truth_list.end());
+
+  // The clean profile's coverage boundary.
+  std::optional<TimePoint> clean_end;
+  auto target = dataset.target(entity);
+  if (target.ok()) clean_end = (*target)->clean_profile.LatestTime();
+
+  for (RecordId id : matched_set) {
+    if (truth.count(id) > 0) {
+      ++breakdown.true_positives;
+      continue;
+    }
+    ++breakdown.false_positives;
+    const EntityId& label = dataset.LabelOf(id);
+    if (label.empty()) {
+      ++breakdown.unlabeled_links;
+    } else {
+      ++breakdown.decoy_links;
+    }
+  }
+  for (RecordId id : truth) {
+    if (matched_set.count(id) > 0) continue;
+    ++breakdown.false_negatives;
+    if (clean_end && dataset.record(id).timestamp() > *clean_end) {
+      ++breakdown.missed_future_states;
+    } else {
+      ++breakdown.missed_in_history;
+    }
+  }
+  return breakdown;
+}
+
+}  // namespace maroon

@@ -1,0 +1,63 @@
+#ifndef MAROON_EVAL_ERROR_ANALYSIS_H_
+#define MAROON_EVAL_ERROR_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace maroon {
+
+/// A categorized breakdown of one entity's linkage errors.
+///
+/// The categories follow the paper's narrative: traditional linkage "may
+/// miss the opportunity to augment the profiles ... with more up-to-date
+/// information" (missed *future* states, §1 Example 1), while ambiguous
+/// names make records of same-named entities the main false-positive risk
+/// (decoy links).
+struct ErrorBreakdown {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+
+  /// False negatives whose timestamp lies after the clean profile's last
+  /// covered instant — the future states temporal linkage exists to catch.
+  size_t missed_future_states = 0;
+  /// False negatives timestamped within (or before) the clean profile's
+  /// covered period.
+  size_t missed_in_history = 0;
+
+  /// False positives labelled with a *different* entity (same-name decoys).
+  size_t decoy_links = 0;
+  /// False positives with no ground-truth label at all.
+  size_t unlabeled_links = 0;
+
+  double precision() const {
+    const size_t returned = true_positives + false_positives;
+    return returned == 0 ? 1.0
+                         : static_cast<double>(true_positives) /
+                               static_cast<double>(returned);
+  }
+  double recall() const {
+    const size_t truth = true_positives + false_negatives;
+    return truth == 0 ? 1.0
+                      : static_cast<double>(true_positives) /
+                            static_cast<double>(truth);
+  }
+
+  ErrorBreakdown& operator+=(const ErrorBreakdown& other);
+
+  /// One-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Categorizes the errors of `matched` (a linkage result for `entity`)
+/// against the dataset's ground truth. The clean profile's coverage
+/// boundary separates "missed future state" from "missed in history".
+ErrorBreakdown AnalyzeLinkageErrors(const Dataset& dataset,
+                                    const EntityId& entity,
+                                    const std::vector<RecordId>& matched);
+
+}  // namespace maroon
+
+#endif  // MAROON_EVAL_ERROR_ANALYSIS_H_

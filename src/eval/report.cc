@@ -1,0 +1,84 @@
+#include "eval/report.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "eval/bootstrap.h"
+
+namespace maroon {
+
+namespace {
+
+std::string WithCi(double mean, const std::vector<double>& values,
+                   double confidence) {
+  const BootstrapInterval ci = BootstrapMeanInterval(values, confidence);
+  return FormatDouble(mean, 3) + " ± " + FormatDouble(ci.HalfWidth(), 3);
+}
+
+}  // namespace
+
+std::string GenerateComparisonReport(const Dataset& dataset,
+                                     const ExperimentOptions& options,
+                                     const ReportOptions& report_options) {
+  std::ostringstream os;
+  os << "# " << report_options.title << "\n\n";
+
+  os << "## Corpus\n\n```\n" << dataset.StatisticsString() << "```\n\n";
+
+  Experiment experiment(&dataset, options);
+  experiment.Prepare();
+  os << "Training entities: " << experiment.training_entities().size()
+     << "; test entities: " << experiment.test_entities().size();
+  if (options.max_eval_entities > 0) {
+    os << " (evaluating up to " << options.max_eval_entities << ")";
+  }
+  os << ".\n\n";
+
+  os << "## Method comparison\n\n";
+  os << "| Method | Precision | Recall | F1 | Accuracy | Completeness |\n";
+  os << "|---|---|---|---|---|---|\n";
+  std::vector<ExperimentResult> results;
+  for (Method m : report_options.methods) {
+    results.push_back(experiment.Run(m));
+    const ExperimentResult& r = results.back();
+    os << "| " << MethodName(m) << " | "
+       << WithCi(r.precision, r.per_entity_precision,
+                 report_options.confidence)
+       << " | "
+       << WithCi(r.recall, r.per_entity_recall, report_options.confidence)
+       << " | " << WithCi(r.f1, r.per_entity_f1, report_options.confidence)
+       << " | "
+       << WithCi(r.accuracy, r.per_entity_accuracy,
+                 report_options.confidence)
+       << " | "
+       << WithCi(r.completeness, r.per_entity_completeness,
+                 report_options.confidence)
+       << " |\n";
+  }
+
+  os << "\n## Runtime\n\n";
+  os << "| Method | Phase I (s) | Phase II (s) | Total (s) | Entities |\n";
+  os << "|---|---|---|---|---|\n";
+  for (const ExperimentResult& r : results) {
+    os << "| " << MethodName(r.method) << " | "
+       << FormatDouble(r.phase1_seconds, 3) << " | "
+       << FormatDouble(r.phase2_seconds, 3) << " | "
+       << FormatDouble(r.total_seconds(), 3) << " | " << r.entities_evaluated
+       << " |\n";
+  }
+
+  if (!report_options.theta_sweep.empty()) {
+    os << "\n## θ sweep (MAROON)\n\n```\n";
+    const SweepCurve curve =
+        SweepTheta(dataset, options, report_options.theta_sweep);
+    os << curve.ToCsv();
+    if (const SweepPoint* best = curve.BestByF1()) {
+      os << "# best theta by F1: " << FormatDouble(best->parameter, 3)
+         << "\n";
+    }
+    os << "```\n";
+  }
+  return os.str();
+}
+
+}  // namespace maroon

@@ -1,0 +1,36 @@
+#ifndef MAROON_EVAL_REPORT_H_
+#define MAROON_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/sweep.h"
+
+namespace maroon {
+
+/// Options for the comparison report.
+struct ReportOptions {
+  /// Methods to compare, in table order.
+  std::vector<Method> methods = {Method::kMaroon, Method::kAfdsTransition,
+                                 Method::kAfdsMuta, Method::kAfdsDecay,
+                                 Method::kStatic};
+  /// Title printed at the top.
+  std::string title = "MAROON evaluation report";
+  /// Include a θ sweep section (adds one experiment run per value).
+  std::vector<double> theta_sweep;
+  /// Bootstrap confidence level for the ± half-widths.
+  double confidence = 0.95;
+};
+
+/// Runs every requested method over `dataset` and renders a self-contained
+/// Markdown report: corpus statistics, the method comparison table with
+/// bootstrap confidence half-widths, runtimes, and (optionally) a θ sweep.
+/// This is what `maroon_cli evaluate --report=FILE` writes.
+std::string GenerateComparisonReport(const Dataset& dataset,
+                                     const ExperimentOptions& options,
+                                     const ReportOptions& report_options = {});
+
+}  // namespace maroon
+
+#endif  // MAROON_EVAL_REPORT_H_

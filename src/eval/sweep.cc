@@ -1,0 +1,60 @@
+#include "eval/sweep.h"
+
+#include "common/string_util.h"
+
+namespace maroon {
+
+std::string SweepCurve::ToCsv() const {
+  std::string out =
+      parameter_name + ",precision,recall,f1,accuracy,completeness\n";
+  for (const SweepPoint& p : points) {
+    out += FormatDouble(p.parameter, 4) + "," +
+           FormatDouble(p.result.precision, 4) + "," +
+           FormatDouble(p.result.recall, 4) + "," +
+           FormatDouble(p.result.f1, 4) + "," +
+           FormatDouble(p.result.accuracy, 4) + "," +
+           FormatDouble(p.result.completeness, 4) + "\n";
+  }
+  return out;
+}
+
+const SweepPoint* SweepCurve::BestByF1() const {
+  const SweepPoint* best = nullptr;
+  for (const SweepPoint& p : points) {
+    if (best == nullptr || p.result.f1 > best->result.f1) best = &p;
+  }
+  return best;
+}
+
+SweepCurve RunParameterSweep(
+    const Dataset& dataset, const ExperimentOptions& base_options,
+    Method method, const std::string& parameter_name,
+    const std::vector<double>& values,
+    const std::function<void(ExperimentOptions&, double)>& configure) {
+  SweepCurve curve;
+  curve.parameter_name = parameter_name;
+  curve.method = method;
+  for (double value : values) {
+    ExperimentOptions options = base_options;
+    configure(options, value);
+    Experiment experiment(&dataset, options);
+    experiment.Prepare();
+    SweepPoint point;
+    point.parameter = value;
+    point.result = experiment.Run(method);
+    curve.points.push_back(std::move(point));
+  }
+  return curve;
+}
+
+SweepCurve SweepTheta(const Dataset& dataset,
+                      const ExperimentOptions& base_options,
+                      const std::vector<double>& thetas) {
+  return RunParameterSweep(
+      dataset, base_options, Method::kMaroon, "theta", thetas,
+      [](ExperimentOptions& options, double theta) {
+        options.maroon.matcher.theta = theta;
+      });
+}
+
+}  // namespace maroon

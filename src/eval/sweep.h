@@ -1,0 +1,48 @@
+#ifndef MAROON_EVAL_SWEEP_H_
+#define MAROON_EVAL_SWEEP_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace maroon {
+
+/// One point of a parameter sweep.
+struct SweepPoint {
+  double parameter = 0.0;
+  ExperimentResult result;
+};
+
+/// A labelled precision/recall (plus quality) curve.
+struct SweepCurve {
+  std::string parameter_name;
+  Method method = Method::kMaroon;
+  std::vector<SweepPoint> points;
+
+  /// "param,precision,recall,f1,accuracy,completeness" CSV.
+  std::string ToCsv() const;
+
+  /// The point with the best F1.
+  const SweepPoint* BestByF1() const;
+};
+
+/// Runs `method` once per parameter value, calling `configure` to apply the
+/// value to a fresh copy of `base_options` (e.g., setting theta). Each run
+/// prepares its own Experiment over `dataset`.
+SweepCurve RunParameterSweep(
+    const Dataset& dataset, const ExperimentOptions& base_options,
+    Method method, const std::string& parameter_name,
+    const std::vector<double>& values,
+    const std::function<void(ExperimentOptions&, double)>& configure);
+
+/// Convenience: sweeps the Phase-II match threshold θ, producing the
+/// precision/recall trade-off curve of Algorithm 3.
+SweepCurve SweepTheta(const Dataset& dataset,
+                      const ExperimentOptions& base_options,
+                      const std::vector<double>& thetas);
+
+}  // namespace maroon
+
+#endif  // MAROON_EVAL_SWEEP_H_

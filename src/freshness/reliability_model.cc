@@ -1,0 +1,67 @@
+#include "freshness/reliability_model.h"
+
+#include <set>
+
+namespace maroon {
+
+void ReliabilityModel::AddObservation(SourceId source,
+                                      const Attribute& attribute,
+                                      bool correct) {
+  Counts& c = counts_[{source, attribute}];
+  ++c.total;
+  if (correct) ++c.correct;
+}
+
+double ReliabilityModel::Reliability(SourceId source,
+                                     const Attribute& attribute) const {
+  auto it = counts_.find({source, attribute});
+  if (it == counts_.end() || it->second.total == 0) {
+    return options_.default_reliability;
+  }
+  const double alpha = options_.smoothing_alpha;
+  return (static_cast<double>(it->second.correct) + alpha) /
+         (static_cast<double>(it->second.total) + 2.0 * alpha);
+}
+
+double ReliabilityModel::ErrorRate(SourceId source,
+                                   const Attribute& attribute) const {
+  auto it = counts_.find({source, attribute});
+  if (it == counts_.end() || it->second.total == 0) return 0.0;
+  return 1.0 - static_cast<double>(it->second.correct) /
+                   static_cast<double>(it->second.total);
+}
+
+int64_t ReliabilityModel::ObservationCount(SourceId source,
+                                           const Attribute& attribute) const {
+  auto it = counts_.find({source, attribute});
+  return it != counts_.end() ? it->second.total : 0;
+}
+
+ReliabilityModel ReliabilityModel::Train(
+    const Dataset& dataset, const std::vector<EntityId>& training_entities,
+    ReliabilityModelOptions options) {
+  ReliabilityModel model(options);
+  std::set<EntityId> training(training_entities.begin(),
+                              training_entities.end());
+  for (const TemporalRecord& r : dataset.records()) {
+    const EntityId& label = dataset.LabelOf(r.id());
+    if (label.empty() || training.count(label) == 0) continue;
+    auto target = dataset.target(label);
+    if (!target.ok()) continue;
+    const EntityProfile& profile = (*target)->ground_truth;
+    for (const auto& [attribute, values] : r.values()) {
+      const TemporalSequence& seq = profile.sequence(attribute);
+      if (seq.empty()) continue;
+      for (const Value& v : values) {
+        // Genuine iff the value occurs anywhere in the true history; a stale
+        // (but once-true) value is the freshness model's concern, not an
+        // error.
+        model.AddObservation(r.source(), attribute,
+                             !seq.IntervalsOf(v).empty());
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace maroon

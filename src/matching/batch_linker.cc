@@ -1,0 +1,83 @@
+#include "matching/batch_linker.h"
+
+#include <algorithm>
+
+namespace maroon {
+
+double BatchLinker::RecordProfileFit(const EntityProfile& profile,
+                                     const TemporalRecord& record,
+                                     const SimilarityCalculator& similarity) {
+  double total = 0.0;
+  size_t considered = 0;
+  for (const auto& [attribute, values] : record.values()) {
+    ++considered;
+    const TemporalSequence& seq = profile.sequence(attribute);
+    if (seq.empty()) continue;
+    ValueSet reference = seq.ValuesAt(record.timestamp());
+    if (reference.empty()) {
+      for (const Triple& tr : seq.triples()) {
+        reference = ValueSetUnion(reference, tr.values);
+      }
+    }
+    total += similarity.ValueSetSimilarity(reference, values);
+  }
+  return considered == 0 ? 0.0 : total / static_cast<double>(considered);
+}
+
+BatchLinkResult BatchLinker::LinkAll(
+    const Dataset& dataset, const std::vector<EntityId>& targets) const {
+  BatchLinkResult result;
+
+  // Per-entity linkage, paper protocol.
+  for (const EntityId& id : targets) {
+    auto target = dataset.target(id);
+    if (!target.ok()) continue;
+    std::vector<const TemporalRecord*> candidates;
+    for (RecordId rid : dataset.CandidatesFor(id)) {
+      candidates.push_back(&dataset.record(rid));
+    }
+    result.per_entity[id] =
+        maroon_->Link((*target)->clean_profile, candidates);
+  }
+
+  // Collect claims.
+  std::map<RecordId, std::vector<EntityId>> claims;
+  for (const auto& [id, link] : result.per_entity) {
+    for (RecordId rid : link.match.matched_records) {
+      claims[rid].push_back(id);
+    }
+  }
+
+  // Resolve.
+  SimilarityCalculator similarity;
+  for (const auto& [rid, claimants] : claims) {
+    if (claimants.size() == 1 || !options_.exclusive_assignment) {
+      result.assignment[rid] = claimants.front();
+      if (claimants.size() > 1) ++result.contested_records;
+      continue;
+    }
+    ++result.contested_records;
+    const TemporalRecord& record = dataset.record(rid);
+    EntityId winner = claimants.front();
+    double best_fit = -1.0;
+    for (const EntityId& id : claimants) {
+      const double fit = RecordProfileFit(
+          result.per_entity[id].match.augmented_profile, record, similarity);
+      if (fit > best_fit) {
+        best_fit = fit;
+        winner = id;
+      }
+    }
+    result.assignment[rid] = winner;
+    // Losers drop the record from their matched set.
+    for (const EntityId& id : claimants) {
+      if (id == winner) continue;
+      auto& matched = result.per_entity[id].match.matched_records;
+      matched.erase(std::remove(matched.begin(), matched.end(), rid),
+                    matched.end());
+    }
+  }
+  return result;
+}
+
+}  // namespace maroon

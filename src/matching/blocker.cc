@@ -1,0 +1,44 @@
+#include "matching/blocker.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "similarity/string_metrics.h"
+
+namespace maroon {
+
+std::string NameBlocker::NormalizeName(const std::string& name) {
+  std::vector<std::string> tokens = TokenizeWords(name);
+  std::sort(tokens.begin(), tokens.end());
+  return Join(tokens, " ");
+}
+
+void NameBlocker::Index(const Dataset& dataset) {
+  index_.clear();
+  for (const TemporalRecord& r : dataset.records()) {
+    index_[NormalizeName(r.name())].push_back(r.id());
+  }
+}
+
+std::vector<RecordId> NameBlocker::Candidates(const std::string& name) const {
+  const std::string key = NormalizeName(name);
+  std::vector<RecordId> out;
+  if (!options_.fuzzy) {
+    auto it = index_.find(key);
+    if (it != index_.end()) out = it->second;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  for (const auto& [candidate_key, ids] : index_) {
+    if (candidate_key == key ||
+        JaroWinklerSimilarity(key, candidate_key) >=
+            options_.name_similarity_threshold) {
+      out.insert(out.end(), ids.begin(), ids.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace maroon

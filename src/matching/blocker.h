@@ -1,0 +1,56 @@
+#ifndef MAROON_MATCHING_BLOCKER_H_
+#define MAROON_MATCHING_BLOCKER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/temporal_record.h"
+
+namespace maroon {
+
+/// Options for candidate blocking.
+struct BlockerOptions {
+  /// When true, candidate lookup also admits records whose normalized name
+  /// is Jaro-Winkler-similar to the query name (catching typos and ordering
+  /// variations); when false, only exact normalized matches.
+  bool fuzzy = false;
+  /// Jaro-Winkler threshold on normalized names for fuzzy matching.
+  double name_similarity_threshold = 0.92;
+};
+
+/// Name-based candidate blocking for temporal linkage.
+///
+/// The paper blocks candidates by exact name ("the records that have the
+/// same name with the entity"); real crawled mentions carry typos and token
+/// reorderings, so this blocker adds a normalized index (lower-cased,
+/// token-sorted) with optional fuzzy lookup over the distinct name keys.
+class NameBlocker {
+ public:
+  explicit NameBlocker(BlockerOptions options = {}) : options_(options) {}
+
+  /// Builds the index over every record of `dataset`. May be called again
+  /// to re-index.
+  void Index(const Dataset& dataset);
+
+  /// Record ids whose (normalized, optionally fuzzy-matched) name matches
+  /// `name`, ascending.
+  std::vector<RecordId> Candidates(const std::string& name) const;
+
+  /// Lower-cases and token-sorts a name ("brown david" == "David Brown").
+  static std::string NormalizeName(const std::string& name);
+
+  /// Number of distinct normalized name keys in the index.
+  size_t NumKeys() const { return index_.size(); }
+
+  const BlockerOptions& options() const { return options_; }
+
+ private:
+  std::map<std::string, std::vector<RecordId>> index_;
+  BlockerOptions options_;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_MATCHING_BLOCKER_H_

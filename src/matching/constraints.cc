@@ -1,0 +1,162 @@
+#include "matching/constraints.h"
+
+#include <algorithm>
+#include <set>
+
+namespace maroon {
+
+namespace {
+
+/// Union of values the profile holds on `attribute` at instant `t`, plus the
+/// hypothetical `values` when `interval` covers `t`.
+ValueSet HypotheticalValuesAt(const EntityProfile& profile,
+                              const Attribute& attribute,
+                              const ValueSet& values, const Interval& interval,
+                              TimePoint t) {
+  ValueSet at = profile.sequence(attribute).ValuesAt(t);
+  if (interval.Contains(t)) at = ValueSetUnion(at, values);
+  return at;
+}
+
+/// First instant at which `v` occurs in `seq`, if any.
+std::optional<TimePoint> FirstOccurrence(const TemporalSequence& seq,
+                                         const Value& v) {
+  const std::vector<Interval> intervals = seq.IntervalsOf(v);
+  if (intervals.empty()) return std::nullopt;
+  TimePoint first = intervals.front().begin;
+  for (const Interval& iv : intervals) first = std::min(first, iv.begin);
+  return first;
+}
+
+/// Last instant at which `v` occurs in `seq`, if any.
+std::optional<TimePoint> LastOccurrence(const TemporalSequence& seq,
+                                        const Value& v) {
+  const std::vector<Interval> intervals = seq.IntervalsOf(v);
+  if (intervals.empty()) return std::nullopt;
+  TimePoint last = intervals.front().end;
+  for (const Interval& iv : intervals) last = std::max(last, iv.end);
+  return last;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MaxSimultaneousValuesConstraint
+
+std::string MaxSimultaneousValuesConstraint::name() const {
+  return "max_simultaneous(" + attribute_ + ", " +
+         std::to_string(max_values_) + ")";
+}
+
+bool MaxSimultaneousValuesConstraint::WouldViolate(
+    const EntityProfile& profile, const Attribute& attribute,
+    const ValueSet& values, const Interval& interval) const {
+  if (attribute != attribute_ || values.empty()) return false;
+  for (TimePoint t = interval.begin; t <= interval.end; ++t) {
+    if (HypotheticalValuesAt(profile, attribute_, values, interval, t).size() >
+        max_values_) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MaxSimultaneousValuesConstraint::Violates(
+    const EntityProfile& profile) const {
+  const TemporalSequence& seq = profile.sequence(attribute_);
+  if (seq.empty()) return false;
+  for (TimePoint t = *seq.EarliestTime(); t <= *seq.LatestTime(); ++t) {
+    if (seq.ValuesAt(t).size() > max_values_) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// ImmutableAttributeConstraint
+
+std::string ImmutableAttributeConstraint::name() const {
+  return "immutable(" + attribute_ + ")";
+}
+
+bool ImmutableAttributeConstraint::WouldViolate(
+    const EntityProfile& profile, const Attribute& attribute,
+    const ValueSet& values, const Interval& /*interval*/) const {
+  if (attribute != attribute_ || values.empty()) return false;
+  std::set<Value> universe(values.begin(), values.end());
+  for (const Triple& tr : profile.sequence(attribute_).triples()) {
+    universe.insert(tr.values.begin(), tr.values.end());
+  }
+  return universe.size() > 1;
+}
+
+bool ImmutableAttributeConstraint::Violates(
+    const EntityProfile& profile) const {
+  std::set<Value> universe;
+  for (const Triple& tr : profile.sequence(attribute_).triples()) {
+    universe.insert(tr.values.begin(), tr.values.end());
+  }
+  return universe.size() > 1;
+}
+
+// ---------------------------------------------------------------------------
+// ValueOrderConstraint
+
+std::string ValueOrderConstraint::name() const {
+  return "order(" + attribute_ + ": " + earlier_ + " before " + later_ + ")";
+}
+
+bool ValueOrderConstraint::WouldViolate(const EntityProfile& profile,
+                                        const Attribute& attribute,
+                                        const ValueSet& values,
+                                        const Interval& interval) const {
+  if (attribute != attribute_) return false;
+  const TemporalSequence& seq = profile.sequence(attribute_);
+  // Violation 1: inserting `earlier_` after `later_` already started.
+  if (ValueSetContains(values, earlier_)) {
+    const auto later_first = FirstOccurrence(seq, later_);
+    if (later_first && interval.end > *later_first) return true;
+  }
+  // Violation 2: inserting `later_` before an existing later `earlier_`.
+  if (ValueSetContains(values, later_)) {
+    const auto earlier_last = LastOccurrence(seq, earlier_);
+    if (earlier_last && *earlier_last > interval.begin) return true;
+  }
+  return false;
+}
+
+bool ValueOrderConstraint::Violates(const EntityProfile& profile) const {
+  const TemporalSequence& seq = profile.sequence(attribute_);
+  const auto later_first = FirstOccurrence(seq, later_);
+  const auto earlier_last = LastOccurrence(seq, earlier_);
+  return later_first && earlier_last && *earlier_last > *later_first;
+}
+
+// ---------------------------------------------------------------------------
+// ConstraintSet
+
+void ConstraintSet::Add(std::unique_ptr<TemporalConstraint> constraint) {
+  constraints_.push_back(std::move(constraint));
+}
+
+std::vector<std::string> ConstraintSet::ViolationsOfInsert(
+    const EntityProfile& profile, const Attribute& attribute,
+    const ValueSet& values, const Interval& interval) const {
+  std::vector<std::string> violated;
+  for (const auto& c : constraints_) {
+    if (c->WouldViolate(profile, attribute, values, interval)) {
+      violated.push_back(c->name());
+    }
+  }
+  return violated;
+}
+
+std::vector<std::string> ConstraintSet::ViolationsOf(
+    const EntityProfile& profile) const {
+  std::vector<std::string> violated;
+  for (const auto& c : constraints_) {
+    if (c->Violates(profile)) violated.push_back(c->name());
+  }
+  return violated;
+}
+
+}  // namespace maroon

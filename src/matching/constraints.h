@@ -1,0 +1,122 @@
+#ifndef MAROON_MATCHING_CONSTRAINTS_H_
+#define MAROON_MATCHING_CONSTRAINTS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/entity_profile.h"
+#include "core/temporal_sequence.h"
+#include "core/time_types.h"
+#include "core/value.h"
+
+namespace maroon {
+
+/// A declarative temporal constraint on entity profiles, in the spirit of
+/// Burdick et al. (the paper's ref. [4]): domain rules that a valid history
+/// must satisfy. The matcher consults constraints before linking a cluster —
+/// a candidate state whose insertion would violate a rule is rejected even
+/// if its transition score is high (complementing the learnt model with
+/// knowledge that cannot be learnt from data).
+class TemporalConstraint {
+ public:
+  virtual ~TemporalConstraint() = default;
+
+  /// Short human-readable name for diagnostics.
+  virtual std::string name() const = 0;
+
+  /// True iff inserting (`values` over `interval`) into `profile`'s
+  /// sequence for `attribute` would violate this constraint.
+  virtual bool WouldViolate(const EntityProfile& profile,
+                            const Attribute& attribute,
+                            const ValueSet& values,
+                            const Interval& interval) const = 0;
+
+  /// True iff `profile` as a whole violates this constraint (used to audit
+  /// augmented profiles).
+  virtual bool Violates(const EntityProfile& profile) const = 0;
+};
+
+/// At most `max_values` simultaneous values on `attribute` (max_values = 1
+/// is the classic single-valued rule: one Title, one Location at a time).
+class MaxSimultaneousValuesConstraint final : public TemporalConstraint {
+ public:
+  MaxSimultaneousValuesConstraint(Attribute attribute, size_t max_values)
+      : attribute_(std::move(attribute)), max_values_(max_values) {}
+
+  std::string name() const override;
+  bool WouldViolate(const EntityProfile& profile, const Attribute& attribute,
+                    const ValueSet& values,
+                    const Interval& interval) const override;
+  bool Violates(const EntityProfile& profile) const override;
+
+ private:
+  Attribute attribute_;
+  size_t max_values_;
+};
+
+/// `attribute` never changes once set (e.g., birthplace). Any second
+/// distinct value violates the rule.
+class ImmutableAttributeConstraint final : public TemporalConstraint {
+ public:
+  explicit ImmutableAttributeConstraint(Attribute attribute)
+      : attribute_(std::move(attribute)) {}
+
+  std::string name() const override;
+  bool WouldViolate(const EntityProfile& profile, const Attribute& attribute,
+                    const ValueSet& values,
+                    const Interval& interval) const override;
+  bool Violates(const EntityProfile& profile) const override;
+
+ private:
+  Attribute attribute_;
+};
+
+/// On `attribute`, `earlier_value` may never occur strictly after
+/// `later_value` has first occurred (e.g., "Intern" never after "CEO").
+class ValueOrderConstraint final : public TemporalConstraint {
+ public:
+  ValueOrderConstraint(Attribute attribute, Value earlier_value,
+                       Value later_value)
+      : attribute_(std::move(attribute)),
+        earlier_(std::move(earlier_value)),
+        later_(std::move(later_value)) {}
+
+  std::string name() const override;
+  bool WouldViolate(const EntityProfile& profile, const Attribute& attribute,
+                    const ValueSet& values,
+                    const Interval& interval) const override;
+  bool Violates(const EntityProfile& profile) const override;
+
+ private:
+  Attribute attribute_;
+  Value earlier_;
+  Value later_;
+};
+
+/// An owning collection of constraints checked together.
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+
+  void Add(std::unique_ptr<TemporalConstraint> constraint);
+
+  /// Names of constraints that the hypothetical insertion would violate.
+  std::vector<std::string> ViolationsOfInsert(const EntityProfile& profile,
+                                              const Attribute& attribute,
+                                              const ValueSet& values,
+                                              const Interval& interval) const;
+
+  /// Names of constraints violated by the profile as-is.
+  std::vector<std::string> ViolationsOf(const EntityProfile& profile) const;
+
+  bool empty() const { return constraints_.empty(); }
+  size_t size() const { return constraints_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<TemporalConstraint>> constraints_;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_MATCHING_CONSTRAINTS_H_

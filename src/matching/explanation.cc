@@ -1,0 +1,53 @@
+#include "matching/explanation.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace maroon {
+
+std::string MatchExplanation::ToString() const {
+  std::ostringstream os;
+  os << "match score " << FormatDouble(score, 4) << "\n";
+  for (const AttributeContribution& c : contributions) {
+    os << "  " << c.attribute << " = " << ValueSetToString(c.values)
+       << ": conf " << FormatDouble(c.confidence, 3) << " x transitPr "
+       << FormatDouble(c.transit_probability, 3) << " -> +"
+       << FormatDouble(c.contribution, 4) << "\n";
+  }
+  return os.str();
+}
+
+MatchExplanation ExplainMatch(const TransitionModel& transition,
+                              const std::vector<Attribute>& schema_attributes,
+                              const EntityProfile& profile,
+                              const GeneratedCluster& cluster) {
+  MatchExplanation explanation;
+  if (schema_attributes.empty()) return explanation;
+  const double inv = 1.0 / static_cast<double>(schema_attributes.size());
+
+  for (const Attribute& attribute : schema_attributes) {
+    AttributeContribution c;
+    c.attribute = attribute;
+    c.confidence = cluster.signature.ConfidenceOf(attribute);
+    c.values = cluster.signature.ValuesOf(attribute);
+    if (!c.values.empty()) {
+      c.transit_probability = transition.SequenceToStateProbability(
+          attribute, profile.sequence(attribute), c.values,
+          cluster.signature.interval);
+    }
+    c.contribution = c.confidence * c.transit_probability * inv;
+    explanation.score += c.contribution;
+    explanation.contributions.push_back(std::move(c));
+  }
+  std::stable_sort(explanation.contributions.begin(),
+                   explanation.contributions.end(),
+                   [](const AttributeContribution& a,
+                      const AttributeContribution& b) {
+                     return a.contribution > b.contribution;
+                   });
+  return explanation;
+}
+
+}  // namespace maroon

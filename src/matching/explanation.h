@@ -1,0 +1,48 @@
+#ifndef MAROON_MATCHING_EXPLANATION_H_
+#define MAROON_MATCHING_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/entity_profile.h"
+#include "matching/cluster_generator.h"
+#include "transition/transition_model.h"
+
+namespace maroon {
+
+/// How one attribute contributes to a cluster's Eq. 15 match score.
+struct AttributeContribution {
+  Attribute attribute;
+  /// conf(c, A) — Eq. 11's source support.
+  double confidence = 0.0;
+  /// transitPr(Φ_n[A], c, A) — Eq. 14's transition probability.
+  double transit_probability = 0.0;
+  /// confidence * transit_probability / |A| — the summand of Eq. 15.
+  double contribution = 0.0;
+  /// The cluster's value set for the attribute.
+  ValueSet values;
+};
+
+/// A decomposition of match(Φ_n, c) into per-attribute terms — "why did (or
+/// didn't) this cluster link?". Production linkage systems need this level
+/// of auditability; the decomposition is exact (the contributions sum to
+/// the score).
+struct MatchExplanation {
+  double score = 0.0;
+  /// Non-zero-valued attributes first, by descending contribution.
+  std::vector<AttributeContribution> contributions;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Explains the Eq. 15 score of `cluster` against `profile`. The returned
+/// score equals ProfileMatcher::MatchScore for the same inputs.
+MatchExplanation ExplainMatch(const TransitionModel& transition,
+                              const std::vector<Attribute>& schema_attributes,
+                              const EntityProfile& profile,
+                              const GeneratedCluster& cluster);
+
+}  // namespace maroon
+
+#endif  // MAROON_MATCHING_EXPLANATION_H_

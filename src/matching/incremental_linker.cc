@@ -1,0 +1,30 @@
+#include "matching/incremental_linker.h"
+
+namespace maroon {
+
+IncrementalLinker::IncrementalLinker(const Maroon* maroon,
+                                     EntityProfile clean_profile)
+    : maroon_(maroon),
+      clean_(clean_profile),
+      current_(std::move(clean_profile)) {}
+
+void IncrementalLinker::Observe(TemporalRecord record) {
+  records_.push_back(std::move(record));
+  ++pending_;
+}
+
+LinkResult IncrementalLinker::Flush() {
+  std::vector<const TemporalRecord*> candidates;
+  candidates.reserve(records_.size());
+  for (const TemporalRecord& r : records_) candidates.push_back(&r);
+  // Always link from the original clean profile: the trusted history stays
+  // authoritative, and conclusions drawn from fewer records are revisited
+  // now that more evidence is available.
+  LinkResult result = maroon_->Link(clean_, candidates);
+  current_ = result.match.augmented_profile;
+  linked_ = result.match.matched_records;
+  pending_ = 0;
+  return result;
+}
+
+}  // namespace maroon

@@ -1,0 +1,59 @@
+#ifndef MAROON_MATCHING_INCREMENTAL_LINKER_H_
+#define MAROON_MATCHING_INCREMENTAL_LINKER_H_
+
+#include <vector>
+
+#include "core/entity_profile.h"
+#include "core/temporal_record.h"
+#include "matching/maroon.h"
+
+namespace maroon {
+
+/// Streaming profile maintenance — the paper's motivating usage: "an
+/// increasingly complete and up-to-date entity profile can be derived as
+/// more and more temporal records are aggregated from different sources"
+/// (§1).
+///
+/// Records about one target entity arrive over time; each Flush() links the
+/// *entire* accumulated pool against the entity's original clean profile (so
+/// early linkage mistakes are revisited as more evidence accumulates — the
+/// iterative matching of Algorithm 3 benefits from every record seen so
+/// far), and reports what the new evidence changed.
+class IncrementalLinker {
+ public:
+  /// `maroon` must outlive the linker; `clean_profile` is the entity's
+  /// trusted starting history.
+  IncrementalLinker(const Maroon* maroon, EntityProfile clean_profile);
+
+  /// Buffers one observed record (copied; records may arrive out of
+  /// timestamp order).
+  void Observe(TemporalRecord record);
+
+  /// Number of records observed so far.
+  size_t NumObserved() const { return records_.size(); }
+  /// Records buffered since the last Flush().
+  size_t NumPending() const { return pending_; }
+
+  /// Re-links the accumulated pool and updates the current profile.
+  /// Returns the linkage result over all records observed so far.
+  LinkResult Flush();
+
+  /// The latest augmented profile (the clean profile before the first
+  /// Flush()).
+  const EntityProfile& current_profile() const { return current_; }
+
+  /// Record ids linked as of the last Flush().
+  const std::vector<RecordId>& linked_records() const { return linked_; }
+
+ private:
+  const Maroon* maroon_;
+  EntityProfile clean_;
+  EntityProfile current_;
+  std::vector<TemporalRecord> records_;
+  std::vector<RecordId> linked_;
+  size_t pending_ = 0;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_MATCHING_INCREMENTAL_LINKER_H_

@@ -1,0 +1,46 @@
+#include "matching/maroon.h"
+
+#include <chrono>
+
+namespace maroon {
+
+namespace {
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+}  // namespace
+
+Maroon::Maroon(const TransitionModel* transition,
+               const FreshnessModel* freshness,
+               const SimilarityCalculator* similarity,
+               std::vector<Attribute> schema_attributes, MaroonOptions options)
+    : transition_(transition),
+      freshness_(freshness),
+      similarity_(similarity),
+      schema_attributes_(std::move(schema_attributes)),
+      options_(std::move(options)) {}
+
+LinkResult Maroon::Link(
+    const EntityProfile& clean_profile,
+    const std::vector<const TemporalRecord*>& candidates) const {
+  LinkResult result;
+
+  auto start = std::chrono::steady_clock::now();
+  ClusterGenerator generator(similarity_, freshness_, schema_attributes_,
+                             options_.cluster);
+  generator.SetReliabilityModel(reliability_);
+  generator.SetFusionStrategy(fusion_);
+  std::vector<GeneratedCluster> clusters = generator.Generate(candidates);
+  result.num_clusters = clusters.size();
+  result.timings.phase1_seconds = SecondsSince(start);
+
+  start = std::chrono::steady_clock::now();
+  ProfileMatcher matcher(transition_, schema_attributes_, options_.matcher);
+  result.match = matcher.MatchAndAugment(clean_profile, clusters);
+  result.timings.phase2_seconds = SecondsSince(start);
+  return result;
+}
+
+}  // namespace maroon

@@ -1,0 +1,90 @@
+#ifndef MAROON_MATCHING_MAROON_H_
+#define MAROON_MATCHING_MAROON_H_
+
+#include <vector>
+
+#include "core/entity_profile.h"
+#include "core/temporal_record.h"
+#include "freshness/freshness_model.h"
+#include "matching/cluster_generator.h"
+#include "matching/profile_matcher.h"
+#include "similarity/record_similarity.h"
+#include "transition/transition_model.h"
+
+namespace maroon {
+
+/// End-to-end configuration of the MAROON framework. Defaults follow the
+/// paper's §5.1 (µ = 0.9, µ' = 0.2).
+struct MaroonOptions {
+  ClusterGeneratorOptions cluster;   // Phase I.
+  ProfileMatcherOptions matcher;     // Phase II.
+};
+
+/// Wall-clock cost of one linkage run, split by phase (the quantities of the
+/// paper's Figure 7).
+struct PhaseTimings {
+  double phase1_seconds = 0.0;  // cluster generation
+  double phase2_seconds = 0.0;  // match & augment
+
+  double total_seconds() const { return phase1_seconds + phase2_seconds; }
+
+  PhaseTimings& operator+=(const PhaseTimings& other) {
+    phase1_seconds += other.phase1_seconds;
+    phase2_seconds += other.phase2_seconds;
+    return *this;
+  }
+};
+
+/// The result of linking one target entity's candidate records.
+struct LinkResult {
+  MatchResult match;
+  /// Number of clusters produced by Phase I.
+  size_t num_clusters = 0;
+  PhaseTimings timings;
+};
+
+/// The MAROON framework facade: given the learnt transition and freshness
+/// models, links temporal records to a target entity profile and augments it
+/// (paper §4.3). One instance is reusable across target entities.
+class Maroon {
+ public:
+  /// `transition`, `freshness`, and `similarity` must outlive this object.
+  Maroon(const TransitionModel* transition, const FreshnessModel* freshness,
+         const SimilarityCalculator* similarity,
+         std::vector<Attribute> schema_attributes, MaroonOptions options = {});
+
+  /// Attaches an optional source-reliability model (must outlive this
+  /// object); nullptr detaches. Consulted by Phase I when
+  /// options().cluster.use_source_reliability is true.
+  void SetReliabilityModel(const ReliabilityModel* reliability) {
+    reliability_ = reliability;
+  }
+
+  /// Attaches an optional cluster-signature fusion strategy (must outlive
+  /// this object); nullptr restores majority vote.
+  void SetFusionStrategy(const FusionStrategy* fusion) { fusion_ = fusion; }
+
+  /// Runs Phase I + Phase II for one target entity: `clean_profile` is the
+  /// entity's known history, `candidates` the records to consider (pointers
+  /// must stay valid for the call).
+  LinkResult Link(const EntityProfile& clean_profile,
+                  const std::vector<const TemporalRecord*>& candidates) const;
+
+  const MaroonOptions& options() const { return options_; }
+  const std::vector<Attribute>& schema_attributes() const {
+    return schema_attributes_;
+  }
+
+ private:
+  const TransitionModel* transition_;
+  const FreshnessModel* freshness_;
+  const ReliabilityModel* reliability_ = nullptr;
+  const FusionStrategy* fusion_ = nullptr;
+  const SimilarityCalculator* similarity_;
+  std::vector<Attribute> schema_attributes_;
+  MaroonOptions options_;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_MATCHING_MAROON_H_

@@ -1,0 +1,84 @@
+#include "similarity/record_similarity.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "similarity/string_metrics.h"
+
+namespace maroon {
+
+std::vector<std::string> ValueSetTokens(const ValueSet& values) {
+  std::vector<std::string> tokens;
+  for (const Value& v : values) {
+    std::vector<std::string> words = TokenizeWords(v);
+    tokens.insert(tokens.end(), std::make_move_iterator(words.begin()),
+                  std::make_move_iterator(words.end()));
+  }
+  return tokens;
+}
+
+double SimilarityCalculator::ValueSetSimilarity(const ValueSet& a,
+                                                const ValueSet& b) const {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a.size() == 1 && b.size() == 1) {
+    return JaroWinklerSimilarity(a[0], b[0],
+                                 options_.jaro_winkler_prefix_weight);
+  }
+  if (tfidf_ != nullptr) {
+    return tfidf_->CosineSimilarity(ValueSetTokens(a), ValueSetTokens(b));
+  }
+  return BestPairAlignment(a, b);
+}
+
+double SimilarityCalculator::BestPairAlignment(const ValueSet& a,
+                                               const ValueSet& b) const {
+  // Symmetric average of each value's best Jaro-Winkler match on the other
+  // side; a standard generalization of pairwise string similarity to sets.
+  double total = 0.0;
+  for (const Value& v : a) {
+    double best = 0.0;
+    for (const Value& w : b) {
+      best = std::max(best, JaroWinklerSimilarity(
+                                v, w, options_.jaro_winkler_prefix_weight));
+    }
+    total += best;
+  }
+  for (const Value& w : b) {
+    double best = 0.0;
+    for (const Value& v : a) {
+      best = std::max(best, JaroWinklerSimilarity(
+                                v, w, options_.jaro_winkler_prefix_weight));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(a.size() + b.size());
+}
+
+double SimilarityCalculator::RecordSimilarity(const TemporalRecord& a,
+                                              const TemporalRecord& b) const {
+  double total = 0.0;
+  size_t shared = 0;
+  for (const auto& [attr, values_a] : a.values()) {
+    if (!b.HasAttribute(attr)) continue;
+    total += ValueSetSimilarity(values_a, b.GetValue(attr));
+    ++shared;
+  }
+  return shared == 0 ? 0.0 : total / static_cast<double>(shared);
+}
+
+double SimilarityCalculator::RecordToStateSimilarity(
+    const TemporalRecord& record,
+    const std::map<Attribute, ValueSet>& state) const {
+  double total = 0.0;
+  size_t shared = 0;
+  for (const auto& [attr, values] : record.values()) {
+    auto it = state.find(attr);
+    if (it == state.end()) continue;
+    total += ValueSetSimilarity(values, it->second);
+    ++shared;
+  }
+  return shared == 0 ? 0.0 : total / static_cast<double>(shared);
+}
+
+}  // namespace maroon

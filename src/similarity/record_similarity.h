@@ -1,0 +1,75 @@
+#ifndef MAROON_SIMILARITY_RECORD_SIMILARITY_H_
+#define MAROON_SIMILARITY_RECORD_SIMILARITY_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/temporal_record.h"
+#include "core/value.h"
+#include "similarity/tfidf.h"
+
+namespace maroon {
+
+/// Configuration for value-set and record similarity.
+struct SimilarityOptions {
+  /// Winkler prefix weight for pairwise value comparison.
+  double jaro_winkler_prefix_weight = 0.1;
+  /// Value sets whose token bags reach this cosine are "the same state".
+  /// Used by callers (clusterers) as a default decision threshold.
+  double value_match_threshold = 0.8;
+};
+
+/// Computes similarities between value sets and between records.
+///
+/// Implements the paper's §5.1 setup: set-valued attributes are compared with
+/// TF-IDF cosine over their token bags; the similarity of a pair of scalar
+/// values is Jaro-Winkler. When no TF-IDF model is supplied (or an attribute
+/// is single-valued on both sides) the calculator falls back to best-pair
+/// Jaro-Winkler alignment.
+class SimilarityCalculator {
+ public:
+  explicit SimilarityCalculator(SimilarityOptions options = {})
+      : options_(options) {}
+
+  /// Attaches a fitted TF-IDF model used for set-valued comparisons. The
+  /// model must outlive this calculator. Pass nullptr to detach.
+  void SetTfIdfModel(const TfIdfModel* model) { tfidf_ = model; }
+
+  /// Similarity of two value sets in [0, 1].
+  ///
+  /// - both empty: 1 (vacuous agreement);
+  /// - one empty: 0;
+  /// - both singleton: Jaro-Winkler of the two values;
+  /// - otherwise: TF-IDF cosine of token bags if a model is attached, else
+  ///   symmetric best-pair Jaro-Winkler alignment.
+  double ValueSetSimilarity(const ValueSet& a, const ValueSet& b) const;
+
+  /// Mean ValueSetSimilarity over the attributes present in *both* records;
+  /// 0 if they share no attribute.
+  double RecordSimilarity(const TemporalRecord& a,
+                          const TemporalRecord& b) const;
+
+  /// Mean ValueSetSimilarity over the attributes present in *both* the
+  /// record and `state` (PARTITION compares on the attributes two items
+  /// share); 0 if they share no attribute. Used to compare a record against
+  /// a cluster signature's state.
+  double RecordToStateSimilarity(
+      const TemporalRecord& record,
+      const std::map<Attribute, ValueSet>& state) const;
+
+  const SimilarityOptions& options() const { return options_; }
+
+ private:
+  double BestPairAlignment(const ValueSet& a, const ValueSet& b) const;
+
+  SimilarityOptions options_;
+  const TfIdfModel* tfidf_ = nullptr;
+};
+
+/// Flattens a value set into a token bag (lower-cased alphanumeric words of
+/// every value concatenated).
+std::vector<std::string> ValueSetTokens(const ValueSet& values);
+
+}  // namespace maroon
+
+#endif  // MAROON_SIMILARITY_RECORD_SIMILARITY_H_

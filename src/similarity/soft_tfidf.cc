@@ -1,0 +1,41 @@
+#include "similarity/soft_tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "similarity/string_metrics.h"
+
+namespace maroon {
+
+double SoftTfIdf::Similarity(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b) const {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+
+  const SparseVector va = model_->Vectorize(a);
+  const SparseVector vb = model_->Vectorize(b);
+
+  // CLOSE(θ, a, b): for each token of `a`, its best partner in `b` above θ.
+  double total = 0.0;
+  for (const auto& [token_a, weight_a] : va) {
+    double best_sim = 0.0;
+    double best_weight_b = 0.0;
+    for (const auto& [token_b, weight_b] : vb) {
+      const double sim = token_a == token_b
+                             ? 1.0
+                             : JaroWinklerSimilarity(token_a, token_b);
+      if (sim >= token_threshold_ && sim > best_sim) {
+        best_sim = sim;
+        best_weight_b = weight_b;
+      }
+    }
+    if (best_sim > 0.0) {
+      total += weight_a * best_weight_b * best_sim;
+    }
+  }
+  // The vectors are L2-normalized, so the soft dot product is already a
+  // cosine-style score; clamp for the inflation soft pairing can add.
+  return std::clamp(total, 0.0, 1.0);
+}
+
+}  // namespace maroon

@@ -1,0 +1,37 @@
+#ifndef MAROON_SIMILARITY_SOFT_TFIDF_H_
+#define MAROON_SIMILARITY_SOFT_TFIDF_H_
+
+#include <string>
+#include <vector>
+
+#include "similarity/tfidf.h"
+
+namespace maroon {
+
+/// SoftTFIDF (Cohen, Ravikumar & Fienberg 2003 — the paper's ref. [7]):
+/// TF-IDF cosine where tokens need not match exactly — a token of one bag
+/// may pair with a Jaro-Winkler-similar token of the other, weighted by
+/// that inner similarity. Handles "Qest Software" vs "Quest Software"
+/// where plain TF-IDF scores 0 on the misspelt token.
+class SoftTfIdf {
+ public:
+  /// `model` supplies the IDF weights and must outlive this object.
+  /// `token_threshold` is Cohen's θ: tokens closer than this may pair.
+  explicit SoftTfIdf(const TfIdfModel* model, double token_threshold = 0.9)
+      : model_(model), token_threshold_(token_threshold) {}
+
+  /// SoftTFIDF similarity of two token bags, in [0, 1]. Two empty bags are
+  /// 1; one empty bag is 0.
+  double Similarity(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) const;
+
+  double token_threshold() const { return token_threshold_; }
+
+ private:
+  const TfIdfModel* model_;
+  double token_threshold_;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_SIMILARITY_SOFT_TFIDF_H_

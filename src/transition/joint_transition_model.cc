@@ -1,0 +1,122 @@
+#include "transition/joint_transition_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maroon {
+
+namespace {
+
+/// Zips two sequences into a compound-state sequence over the instants where
+/// both are defined. Multi-valued instants contribute the cross product.
+TemporalSequence ZipSequences(const TemporalSequence& first,
+                              const TemporalSequence& second) {
+  TemporalSequence joint;
+  if (first.empty() || second.empty()) return joint;
+  const TimePoint lo = std::max(*first.EarliestTime(), *second.EarliestTime());
+  const TimePoint hi = std::min(*first.LatestTime(), *second.LatestTime());
+  for (TimePoint t = lo; t <= hi; ++t) {
+    const ValueSet a = first.ValuesAt(t);
+    const ValueSet b = second.ValuesAt(t);
+    if (a.empty() || b.empty()) continue;
+    std::vector<Value> compound;
+    compound.reserve(a.size() * b.size());
+    for (const Value& va : a) {
+      for (const Value& vb : b) {
+        compound.push_back(JointTransitionModel::Compose(va, vb));
+      }
+    }
+    (void)joint.Insert(Triple(Interval(t, t), MakeValueSet(std::move(compound))));
+  }
+  joint.Normalize();
+  return joint;
+}
+
+}  // namespace
+
+Value JointTransitionModel::Compose(const Value& first_value,
+                                    const Value& second_value) {
+  return first_value + " \xE2\x8A\x97 " + second_value;  // " ⊗ "
+}
+
+JointTransitionModel JointTransitionModel::Train(
+    const ProfileSet& profiles, const Attribute& first,
+    const Attribute& second, TransitionModelOptions options) {
+  JointTransitionModel joint;
+  joint.first_ = first;
+  joint.second_ = second;
+  joint.joint_attribute_ = first + "\xE2\x8A\x97" + second;
+
+  // The mapper (if any) applies to raw attribute values, not compound ones;
+  // drop it for the compound model (generalize before composing instead).
+  options.mapper = nullptr;
+
+  ProfileSet compound_profiles;
+  compound_profiles.reserve(profiles.size());
+  for (const EntityProfile& p : profiles) {
+    EntityProfile cp(p.id(), p.name());
+    cp.sequence(joint.joint_attribute_) =
+        ZipSequences(p.sequence(first), p.sequence(second));
+    if (!cp.empty()) compound_profiles.push_back(std::move(cp));
+  }
+  joint.model_ = TransitionModel::Train(compound_profiles,
+                                        {joint.joint_attribute_}, options);
+  return joint;
+}
+
+double JointTransitionModel::Probability(const Value& first_from,
+                                         const Value& second_from,
+                                         const Value& first_to,
+                                         const Value& second_to,
+                                         int64_t delta) const {
+  return model_.Probability(joint_attribute_, Compose(first_from, second_from),
+                            Compose(first_to, second_to), delta);
+}
+
+CorrelationReport CompareJointVsIndependent(const JointTransitionModel& joint,
+                                            const TransitionModel& marginals,
+                                            const ProfileSet& held_out,
+                                            double epsilon) {
+  CorrelationReport report;
+  double joint_sum = 0.0;
+  double independent_sum = 0.0;
+
+  for (const EntityProfile& profile : held_out) {
+    const TemporalSequence& first = profile.sequence(joint.first());
+    const TemporalSequence& second = profile.sequence(joint.second());
+    if (first.empty() || second.empty()) continue;
+    const TimePoint lo =
+        std::max(*first.EarliestTime(), *second.EarliestTime());
+    const TimePoint hi = std::min(*first.LatestTime(), *second.LatestTime());
+    // Score year-over-year state transitions (Δt = 1) where all four values
+    // are defined and single-valued for clarity.
+    for (TimePoint t = lo; t + 1 <= hi; ++t) {
+      const ValueSet a0 = first.ValuesAt(t);
+      const ValueSet b0 = second.ValuesAt(t);
+      const ValueSet a1 = first.ValuesAt(t + 1);
+      const ValueSet b1 = second.ValuesAt(t + 1);
+      if (a0.size() != 1 || b0.size() != 1 || a1.size() != 1 ||
+          b1.size() != 1) {
+        continue;
+      }
+      const double pj =
+          std::max(epsilon, joint.Probability(a0[0], b0[0], a1[0], b1[0], 1));
+      const double pa = std::max(
+          epsilon, marginals.Probability(joint.first(), a0[0], a1[0], 1));
+      const double pb = std::max(
+          epsilon, marginals.Probability(joint.second(), b0[0], b1[0], 1));
+      joint_sum += std::log(pj);
+      independent_sum += std::log(pa) + std::log(pb);
+      ++report.transitions_scored;
+    }
+  }
+  if (report.transitions_scored > 0) {
+    report.joint_mean_log_likelihood =
+        joint_sum / static_cast<double>(report.transitions_scored);
+    report.independent_mean_log_likelihood =
+        independent_sum / static_cast<double>(report.transitions_scored);
+  }
+  return report;
+}
+
+}  // namespace maroon

@@ -1,0 +1,38 @@
+#include "transition/transition_io.h"
+
+#include <fstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace maroon {
+
+std::string TransitionTablesToCsv(const TransitionModel& model,
+                                  const Attribute& attribute) {
+  CsvWriter writer;
+  writer.AppendRow({"attribute", "delta", "from", "to", "count",
+                    "probability"});
+  for (int64_t delta : model.DeltasFor(attribute)) {
+    const TransitionTable* table = model.table(attribute, delta);
+    if (table == nullptr) continue;
+    for (const auto& [from, to, count] : table->Entries()) {
+      writer.AppendRow({attribute, std::to_string(delta), from, to,
+                        std::to_string(count),
+                        FormatDouble(table->ConditionalProbability(from, to),
+                                     6)});
+    }
+  }
+  return writer.text();
+}
+
+Status WriteTransitionTablesCsv(const TransitionModel& model,
+                                const Attribute& attribute,
+                                const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << TransitionTablesToCsv(model, attribute);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace maroon

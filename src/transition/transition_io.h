@@ -1,0 +1,29 @@
+#ifndef MAROON_TRANSITION_TRANSITION_IO_H_
+#define MAROON_TRANSITION_TRANSITION_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "transition/transition_model.h"
+
+namespace maroon {
+
+/// Export of learnt transition tables for inspection and downstream
+/// analysis (plotting Figure-3-style trends, auditing probabilities).
+///
+/// CSV schema, one row per table entry:
+///   attribute,delta,from,to,count,probability
+/// where probability is the Eq. 1 conditional for the entry.
+
+/// Serializes every table of `attribute` to CSV text.
+std::string TransitionTablesToCsv(const TransitionModel& model,
+                                  const Attribute& attribute);
+
+/// Writes TransitionTablesToCsv to `path`.
+Status WriteTransitionTablesCsv(const TransitionModel& model,
+                                const Attribute& attribute,
+                                const std::string& path);
+
+}  // namespace maroon
+
+#endif  // MAROON_TRANSITION_TRANSITION_IO_H_

@@ -1,0 +1,422 @@
+#include "transition/transition_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+#include <system_error>
+
+#include "common/csv.h"
+
+namespace maroon {
+
+namespace {
+
+/// Applies the mapper to every value of `set` and re-canonicalizes (distinct
+/// raw values may generalize to the same category).
+ValueSet MapValueSet(const ValueMapper* mapper, const Attribute& attribute,
+                     const ValueSet& set) {
+  if (mapper == nullptr) return set;
+  std::vector<Value> mapped;
+  mapped.reserve(set.size());
+  for (const Value& v : set) mapped.push_back(mapper->Map(attribute, v));
+  return MakeValueSet(std::move(mapped));
+}
+
+}  // namespace
+
+TransitionModel TransitionModel::Train(
+    const ProfileSet& profiles, const std::vector<Attribute>& attributes,
+    TransitionModelOptions options) {
+  TransitionModel model;
+  model.options_ = std::move(options);
+  const ValueMapper* mapper = model.options_.mapper.get();
+
+  for (const Attribute& attribute : attributes) {
+    AttributeModel& am = model.attributes_[attribute];
+
+    for (const EntityProfile& profile : profiles) {
+      const TemporalSequence& seq = profile.sequence(attribute);
+      if (seq.empty()) continue;
+      am.max_lifespan = std::max(am.max_lifespan, seq.Lifespan());
+
+      // Value frequencies (instants-weighted) for the low-frequency fallback.
+      for (const Triple& tr : seq.triples()) {
+        const ValueSet mapped = MapValueSet(mapper, attribute, tr.values);
+        for (const Value& v : mapped) {
+          am.value_frequency[v] += tr.interval.Length();
+        }
+      }
+
+      // Algorithm 1: every ordered pair of triples (b <= b'), every valid Δt,
+      // counted in closed form via Proposition 1.
+      const std::vector<Triple>& triples = seq.triples();
+      for (size_t i = 0; i < triples.size(); ++i) {
+        const Interval& first = triples[i].interval;
+        const ValueSet from =
+            MapValueSet(mapper, attribute, triples[i].values);
+        for (size_t j = i; j < triples.size(); ++j) {
+          const Interval& second = triples[j].interval;
+          assert(first.begin <= second.begin);
+          const ValueSet to =
+              (j == i) ? from : MapValueSet(mapper, attribute,
+                                            triples[j].values);
+          const int64_t delta_min = std::max<int64_t>(
+              1, static_cast<int64_t>(second.begin) - first.end);
+          const int64_t delta_max =
+              static_cast<int64_t>(second.end) - first.begin;
+          for (int64_t delta = delta_min; delta <= delta_max; ++delta) {
+            // Proposition 1: number of instants x with x in [b, e] and
+            // x + Δt in [b', e'].
+            const int64_t lo = std::max<int64_t>(
+                first.begin, static_cast<int64_t>(second.begin) - delta);
+            const int64_t hi = std::min<int64_t>(
+                first.end, static_cast<int64_t>(second.end) - delta);
+            const int64_t occurrences = hi - lo + 1;
+            if (occurrences <= 0) continue;
+            TransitionTable& table = am.tables[delta];
+            for (const Value& v : from) {
+              for (const Value& w : to) {
+                table.Add(v, w, occurrences);
+              }
+            }
+          }
+        }
+      }
+    }
+
+    for (auto& [delta, table] : am.tables) table.Finalize();
+  }
+  return model;
+}
+
+Value TransitionModel::MapValue(const Attribute& attribute,
+                                const Value& value) const {
+  return options_.mapper ? options_.mapper->Map(attribute, value) : value;
+}
+
+const TransitionTable* TransitionModel::ResolveTable(
+    const AttributeModel& model, int64_t delta) const {
+  if (model.tables.empty()) return nullptr;
+  // Eq. 2: Δt >= L uses the probability at L - 1.
+  if (model.max_lifespan >= 2 && delta >= model.max_lifespan) {
+    delta = model.max_lifespan - 1;
+  }
+  // Nearest table at or below `delta`; else the smallest one above.
+  auto it = model.tables.upper_bound(delta);
+  if (it != model.tables.begin()) return &std::prev(it)->second;
+  return &it->second;
+}
+
+std::vector<TransitionModel::MappedValue> TransitionModel::MapSet(
+    const AttributeModel& am, const Attribute& attribute,
+    const ValueSet& values) const {
+  std::vector<MappedValue> out;
+  out.reserve(values.size());
+  for (const Value& v : values) {
+    MappedValue mv;
+    mv.value = MapValue(attribute, v);
+    auto it = am.value_frequency.find(mv.value);
+    const int64_t frequency =
+        it != am.value_frequency.end() ? it->second : 0;
+    mv.frequent = frequency >= options_.min_value_frequency;
+    out.push_back(std::move(mv));
+  }
+  return out;
+}
+
+double TransitionModel::PairProbability(const TransitionTable& table,
+                                        const MappedValue& from,
+                                        const MappedValue& to) const {
+  const bool from_seen = from.frequent && table.HasOrigin(from.value);
+  const bool to_seen = to.frequent && table.HasDestination(to.value);
+
+  // "Unseen transitions are rare": optionally bound smoothed probabilities
+  // by the evidence mass that failed to produce the transition.
+  const auto rare = [&](double probability, int64_t support) {
+    if (!options_.cap_unseen_by_support) return probability;
+    return std::min(probability,
+                    1.0 / (static_cast<double>(support) + 1.0));
+  };
+
+  if (from_seen && to_seen) {
+    const int64_t count = table.Count(from.value, to.value);
+    if (count > 0) {
+      return table.ConditionalProbability(from.value, to.value);  // Eq. 1.
+    }
+    // Case 1 (Eq. 3).
+    return rare(table.MinRowProbability(from.value), table.RowSum(from.value));
+  }
+  if (from_seen) {
+    // Case 2 (Eq. 4).
+    return rare(table.MinRowProbability(from.value), table.RowSum(from.value));
+  }
+  if (to_seen) {
+    return table.PriorProbability(to.value);  // Case 3 (Eq. 5).
+  }
+  // Case 4 (Eq. 6-8).
+  if (from.value == to.value) return table.RecurrenceProbability();
+  return rare(table.ExpectedChangeProbability(), table.DiffTotal());
+}
+
+double TransitionModel::Probability(const Attribute& attribute, const Value& v,
+                                    const Value& v_next, int64_t delta) const {
+  assert(delta >= 0);
+  if (delta == 0) return 1.0;  // Eq. 2.
+  auto attr_it = attributes_.find(attribute);
+  if (attr_it == attributes_.end()) return 0.0;
+  const AttributeModel& am = attr_it->second;
+  const TransitionTable* table = ResolveTable(am, delta);
+  if (table == nullptr || table->empty()) return 0.0;
+  const std::vector<MappedValue> from = MapSet(am, attribute, {v});
+  const std::vector<MappedValue> to = MapSet(am, attribute, {v_next});
+  return PairProbability(*table, from[0], to[0]);
+}
+
+double TransitionModel::SetProbabilityImpl(
+    const TransitionTable* table, const std::vector<MappedValue>& from,
+    const std::vector<MappedValue>& to) const {
+  if (to.empty() || from.empty()) return 0.0;
+  if (table == nullptr || table->empty()) return 0.0;
+  double total = 0.0;
+  for (const MappedValue& w : to) {
+    double best = 0.0;
+    for (const MappedValue& v : from) {
+      best = std::max(best, PairProbability(*table, v, w));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(to.size());
+}
+
+double TransitionModel::SetProbability(const Attribute& attribute,
+                                       const ValueSet& from,
+                                       const ValueSet& to,
+                                       int64_t delta) const {
+  if (to.empty() || from.empty()) return 0.0;
+  assert(delta >= 0);
+  auto attr_it = attributes_.find(attribute);
+  if (attr_it == attributes_.end()) return 0.0;
+  const AttributeModel& am = attr_it->second;
+  if (delta == 0) return 1.0;  // Eq. 2 lifts to sets: every max term is 1.
+  return SetProbabilityImpl(ResolveTable(am, delta),
+                            MapSet(am, attribute, from),
+                            MapSet(am, attribute, to));
+}
+
+double TransitionModel::IntervalProbability(const Attribute& attribute,
+                                            const ValueSet& from,
+                                            const ValueSet& to,
+                                            const Interval& from_interval,
+                                            const Interval& to_interval) const {
+  if (!from_interval.IsValid() || !to_interval.IsValid()) return 0.0;
+  if (from.empty() || to.empty()) return 0.0;
+  auto attr_it = attributes_.find(attribute);
+  if (attr_it == attributes_.end()) return 0.0;
+  const AttributeModel& am = attr_it->second;
+  // Resolve the attribute state once; the delta loops below only pick the
+  // per-delta table.
+  const std::vector<MappedValue> mapped_from = MapSet(am, attribute, from);
+  const std::vector<MappedValue> mapped_to = MapSet(am, attribute, to);
+
+  const int64_t pair_count = from_interval.Length() * to_interval.Length();
+  double total = 0.0;
+
+  // Forward terms: t in from_interval, t' in to_interval, t' - t = d > 0.
+  {
+    const int64_t d_min = std::max<int64_t>(
+        1, static_cast<int64_t>(to_interval.begin) - from_interval.end);
+    const int64_t d_max =
+        static_cast<int64_t>(to_interval.end) - from_interval.begin;
+    for (int64_t d = d_min; d <= d_max; ++d) {
+      const int64_t lo = std::max<int64_t>(
+          from_interval.begin, static_cast<int64_t>(to_interval.begin) - d);
+      const int64_t hi = std::min<int64_t>(
+          from_interval.end, static_cast<int64_t>(to_interval.end) - d);
+      const int64_t multiplicity = hi - lo + 1;
+      if (multiplicity <= 0) continue;
+      total += static_cast<double>(multiplicity) *
+               SetProbabilityImpl(ResolveTable(am, d), mapped_from, mapped_to);
+    }
+  }
+  // Backward terms: t' < t with gap g, contributing Pr(V', V, g) per Eq. 13.
+  {
+    const int64_t g_min = std::max<int64_t>(
+        1, static_cast<int64_t>(from_interval.begin) - to_interval.end);
+    const int64_t g_max =
+        static_cast<int64_t>(from_interval.end) - to_interval.begin;
+    for (int64_t g = g_min; g <= g_max; ++g) {
+      const int64_t lo = std::max<int64_t>(
+          to_interval.begin, static_cast<int64_t>(from_interval.begin) - g);
+      const int64_t hi = std::min<int64_t>(
+          to_interval.end, static_cast<int64_t>(from_interval.end) - g);
+      const int64_t multiplicity = hi - lo + 1;
+      if (multiplicity <= 0) continue;
+      total += static_cast<double>(multiplicity) *
+               SetProbabilityImpl(ResolveTable(am, g), mapped_to, mapped_from);
+    }
+  }
+  if (options_.include_zero_delta_terms && from_interval.Overlaps(to_interval)) {
+    // Eq. 2: Pr(..., 0) = 1 for each t = t' pair.
+    total += static_cast<double>(
+        from_interval.Intersect(to_interval).Length());
+  }
+  return total / static_cast<double>(pair_count);
+}
+
+double TransitionModel::SequenceToStateProbability(
+    const Attribute& attribute, const TemporalSequence& sequence,
+    const ValueSet& to, const Interval& to_interval) const {
+  if (sequence.empty()) return 0.0;
+  double total = 0.0;
+  for (const Triple& tr : sequence.triples()) {
+    total += IntervalProbability(attribute, tr.values, to, tr.interval,
+                                 to_interval);
+  }
+  return total / static_cast<double>(sequence.size());
+}
+
+int64_t TransitionModel::MaxLifespan(const Attribute& attribute) const {
+  auto it = attributes_.find(attribute);
+  return it != attributes_.end() ? it->second.max_lifespan : 0;
+}
+
+const TransitionTable* TransitionModel::table(const Attribute& attribute,
+                                              int64_t delta) const {
+  auto attr_it = attributes_.find(attribute);
+  if (attr_it == attributes_.end()) return nullptr;
+  auto it = attr_it->second.tables.find(delta);
+  return it != attr_it->second.tables.end() ? &it->second : nullptr;
+}
+
+std::vector<int64_t> TransitionModel::DeltasFor(
+    const Attribute& attribute) const {
+  std::vector<int64_t> out;
+  auto attr_it = attributes_.find(attribute);
+  if (attr_it == attributes_.end()) return out;
+  out.reserve(attr_it->second.tables.size());
+  for (const auto& [delta, table] : attr_it->second.tables) {
+    out.push_back(delta);
+  }
+  return out;
+}
+
+int64_t TransitionModel::ValueFrequency(const Attribute& attribute,
+                                        const Value& value) const {
+  auto attr_it = attributes_.find(attribute);
+  if (attr_it == attributes_.end()) return 0;
+  const Value mapped = MapValue(attribute, value);
+  auto it = attr_it->second.value_frequency.find(mapped);
+  return it != attr_it->second.value_frequency.end() ? it->second : 0;
+}
+
+namespace {
+
+Status ParseInt64(const std::string& cell, int64_t* out) {
+  auto [ptr, ec] =
+      std::from_chars(cell.data(), cell.data() + cell.size(), *out);
+  if (ec != std::errc{} || ptr != cell.data() + cell.size()) {
+    return Status::InvalidArgument("cannot parse integer '" + cell + "'");
+  }
+  return Status::OK();
+}
+
+constexpr char kFormatVersion[] = "maroon_transition_model_v1";
+
+}  // namespace
+
+std::string TransitionModel::Serialize() const {
+  CsvWriter writer;
+  writer.AppendRow({"format", kFormatVersion});
+  writer.AppendRow({"option", "min_value_frequency",
+                    std::to_string(options_.min_value_frequency)});
+  writer.AppendRow({"option", "include_zero_delta_terms",
+                    options_.include_zero_delta_terms ? "1" : "0"});
+  writer.AppendRow({"option", "cap_unseen_by_support",
+                    options_.cap_unseen_by_support ? "1" : "0"});
+  for (const auto& [attribute, am] : attributes_) {
+    writer.AppendRow({"lifespan", attribute,
+                      std::to_string(am.max_lifespan)});
+    for (const auto& [value, count] : am.value_frequency) {
+      writer.AppendRow({"frequency", attribute, value,
+                        std::to_string(count)});
+    }
+    for (const auto& [delta, table] : am.tables) {
+      for (const auto& [from, to, count] : table.Entries()) {
+        writer.AppendRow({"entry", attribute, std::to_string(delta), from,
+                          to, std::to_string(count)});
+      }
+    }
+  }
+  return writer.text();
+}
+
+Result<TransitionModel> TransitionModel::Deserialize(
+    const std::string& text, TransitionModelOptions options) {
+  MAROON_ASSIGN_OR_RETURN(auto rows, ParseCsv(text));
+  if (rows.empty() || rows[0].size() < 2 || rows[0][0] != "format" ||
+      rows[0][1] != kFormatVersion) {
+    return Status::InvalidArgument(
+        "not a serialized transition model (missing format header)");
+  }
+
+  TransitionModel model;
+  model.options_ = std::move(options);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.empty()) continue;
+    const std::string& kind = row[0];
+    if (kind == "option") {
+      if (row.size() != 3) {
+        return Status::InvalidArgument("malformed option row " +
+                                       std::to_string(i));
+      }
+      int64_t value = 0;
+      MAROON_RETURN_IF_ERROR(ParseInt64(row[2], &value));
+      if (row[1] == "min_value_frequency") {
+        model.options_.min_value_frequency = value;
+      } else if (row[1] == "include_zero_delta_terms") {
+        model.options_.include_zero_delta_terms = value != 0;
+      } else if (row[1] == "cap_unseen_by_support") {
+        model.options_.cap_unseen_by_support = value != 0;
+      }
+      // Unknown options are ignored for forward compatibility.
+    } else if (kind == "lifespan") {
+      if (row.size() != 3) {
+        return Status::InvalidArgument("malformed lifespan row " +
+                                       std::to_string(i));
+      }
+      int64_t lifespan = 0;
+      MAROON_RETURN_IF_ERROR(ParseInt64(row[2], &lifespan));
+      model.attributes_[row[1]].max_lifespan = lifespan;
+    } else if (kind == "frequency") {
+      if (row.size() != 4) {
+        return Status::InvalidArgument("malformed frequency row " +
+                                       std::to_string(i));
+      }
+      int64_t count = 0;
+      MAROON_RETURN_IF_ERROR(ParseInt64(row[3], &count));
+      model.attributes_[row[1]].value_frequency[row[2]] = count;
+    } else if (kind == "entry") {
+      if (row.size() != 6) {
+        return Status::InvalidArgument("malformed entry row " +
+                                       std::to_string(i));
+      }
+      int64_t delta = 0, count = 0;
+      MAROON_RETURN_IF_ERROR(ParseInt64(row[2], &delta));
+      MAROON_RETURN_IF_ERROR(ParseInt64(row[5], &count));
+      if (count <= 0) {
+        return Status::InvalidArgument("non-positive count in row " +
+                                       std::to_string(i));
+      }
+      model.attributes_[row[1]].tables[delta].Add(row[3], row[4], count);
+    } else {
+      return Status::InvalidArgument("unknown row kind '" + kind + "'");
+    }
+  }
+  for (auto& [attribute, am] : model.attributes_) {
+    for (auto& [delta, table] : am.tables) table.Finalize();
+  }
+  return model;
+}
+
+}  // namespace maroon

@@ -1,0 +1,116 @@
+#include "transition/transition_table.h"
+
+#include <cassert>
+#include <tuple>
+
+namespace maroon {
+
+void TransitionTable::Add(const Value& from, const Value& to, int64_t count) {
+  assert(count > 0);
+  finalized_ = false;
+  rows_[from][to] += count;
+}
+
+void TransitionTable::Finalize() {
+  row_sums_.clear();
+  column_sums_.clear();
+  min_row_probability_.clear();
+  total_ = 0;
+  self_total_ = 0;
+  num_entries_ = 0;
+
+  for (const auto& [from, row] : rows_) {
+    int64_t row_sum = 0;
+    for (const auto& [to, count] : row) {
+      row_sum += count;
+      column_sums_[to] += count;
+      total_ += count;
+      if (from == to) self_total_ += count;
+      ++num_entries_;
+    }
+    row_sums_[from] = row_sum;
+  }
+
+  for (const auto& [from, row] : rows_) {
+    const double row_sum = static_cast<double>(row_sums_[from]);
+    double min_p = 1.0;
+    for (const auto& [to, count] : row) {
+      min_p = std::min(min_p, static_cast<double>(count) / row_sum);
+    }
+    min_row_probability_[from] = row.empty() ? 0.0 : min_p;
+  }
+
+  // Eq. 7-8: expected number of value-changing occurrences over their total.
+  const int64_t diff_total = total_ - self_total_;
+  if (diff_total > 0) {
+    double expected = 0.0;
+    for (const auto& [from, row] : rows_) {
+      const double row_sum = static_cast<double>(row_sums_[from]);
+      for (const auto& [to, count] : row) {
+        if (from == to) continue;
+        const double p = static_cast<double>(count) / row_sum;
+        expected += p * static_cast<double>(count);
+      }
+    }
+    case4_diff_probability_ = expected / static_cast<double>(diff_total);
+  } else {
+    case4_diff_probability_ = 0.0;
+  }
+  finalized_ = true;
+}
+
+int64_t TransitionTable::Count(const Value& from, const Value& to) const {
+  auto row_it = rows_.find(from);
+  if (row_it == rows_.end()) return 0;
+  auto it = row_it->second.find(to);
+  return it != row_it->second.end() ? it->second : 0;
+}
+
+int64_t TransitionTable::RowSum(const Value& from) const {
+  assert(finalized_);
+  auto it = row_sums_.find(from);
+  return it != row_sums_.end() ? it->second : 0;
+}
+
+int64_t TransitionTable::ColumnSum(const Value& to) const {
+  assert(finalized_);
+  auto it = column_sums_.find(to);
+  return it != column_sums_.end() ? it->second : 0;
+}
+
+double TransitionTable::ConditionalProbability(const Value& from,
+                                               const Value& to) const {
+  const int64_t row_sum = RowSum(from);
+  if (row_sum == 0) return 0.0;
+  return static_cast<double>(Count(from, to)) / static_cast<double>(row_sum);
+}
+
+double TransitionTable::MinRowProbability(const Value& from) const {
+  assert(finalized_);
+  auto it = min_row_probability_.find(from);
+  return it != min_row_probability_.end() ? it->second : 0.0;
+}
+
+double TransitionTable::PriorProbability(const Value& to) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(ColumnSum(to)) / static_cast<double>(total_);
+}
+
+double TransitionTable::RecurrenceProbability() const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(self_total_) / static_cast<double>(total_);
+}
+
+std::vector<std::tuple<Value, Value, int64_t>> TransitionTable::Entries()
+    const {
+  std::vector<std::tuple<Value, Value, int64_t>> out;
+  out.reserve(num_entries_);
+  for (const auto& [from, row] : rows_) {
+    for (const auto& [to, count] : row) {
+      out.emplace_back(from, to, count);
+    }
+  }
+  return out;
+}
+
+}  // namespace maroon

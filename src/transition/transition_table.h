@@ -1,0 +1,95 @@
+#ifndef MAROON_TRANSITION_TRANSITION_TABLE_H_
+#define MAROON_TRANSITION_TRANSITION_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+
+namespace maroon {
+
+/// The transition table T^A_Δt for one attribute and one Δt: a count per
+/// observed (v, v') pair, where (v, v') is a Δt-transition (paper Def. 2 and
+/// Algorithm 1). After building, call Finalize() to precompute the aggregates
+/// needed by the probability equations (Eq. 1 and the smoothing cases 1-4).
+class TransitionTable {
+ public:
+  TransitionTable() = default;
+
+  /// Adds `count` occurrences of the transition (from -> to).
+  void Add(const Value& from, const Value& to, int64_t count);
+
+  /// Precomputes row sums, column sums, totals, per-row minimum transition
+  /// probabilities and the case-4 expected-change probability. Must be called
+  /// after the last Add and before any probability query.
+  void Finalize();
+
+  /// T_Δt[(from, to)]; 0 if unseen.
+  int64_t Count(const Value& from, const Value& to) const;
+
+  /// Σ_x T[(from, x)] — denominator of Eq. 1.
+  int64_t RowSum(const Value& from) const;
+
+  /// Σ_v T[(v, to)] — numerator of Eq. 5.
+  int64_t ColumnSum(const Value& to) const;
+
+  /// Σ over all entries.
+  int64_t Total() const { return total_; }
+
+  /// Σ_v T[(v, v)] — numerator of Eq. 6 (recurrences).
+  int64_t SelfTotal() const { return self_total_; }
+
+  /// Σ_{v != v'} T[(v, v')] — denominator of Eq. 8.
+  int64_t DiffTotal() const { return total_ - self_total_; }
+
+  /// True iff `v` occurs as a first component (v ∈ V in the paper).
+  bool HasOrigin(const Value& v) const { return rows_.count(v) > 0; }
+
+  /// True iff `v` occurs as a second component (v ∈ V').
+  bool HasDestination(const Value& v) const {
+    return column_sums_.count(v) > 0;
+  }
+
+  /// Eq. 1: T[(from, to)] / RowSum(from); 0 if the row is empty.
+  double ConditionalProbability(const Value& from, const Value& to) const;
+
+  /// min over observed destinations x of ConditionalProbability(from, x)
+  /// — the "minimum transition probability w.r.t. the value u" used by the
+  /// smoothing cases 1 and 2 (Eq. 3-4). 0 if `from` has no row.
+  double MinRowProbability(const Value& from) const;
+
+  /// Eq. 5: ColumnSum(to) / Total; 0 if the table is empty.
+  double PriorProbability(const Value& to) const;
+
+  /// Eq. 6: SelfTotal / Total; 0 if the table is empty.
+  double RecurrenceProbability() const;
+
+  /// Eq. 7-8: E(X) / DiffTotal with E(X) = Σ_{v != v'} Pr(v,v') T[(v,v')];
+  /// 0 if no differing transition was observed.
+  double ExpectedChangeProbability() const { return case4_diff_probability_; }
+
+  /// Number of distinct (v, v') entries.
+  size_t NumEntries() const { return num_entries_; }
+  bool empty() const { return num_entries_ == 0; }
+
+  /// All entries as (from, to, count), ordered; for inspection and tests.
+  std::vector<std::tuple<Value, Value, int64_t>> Entries() const;
+
+ private:
+  // Deterministic ordering (std::map) keeps Entries() and debugging stable.
+  std::map<Value, std::map<Value, int64_t>> rows_;
+  std::map<Value, int64_t> row_sums_;
+  std::map<Value, int64_t> column_sums_;
+  std::map<Value, double> min_row_probability_;
+  int64_t total_ = 0;
+  int64_t self_total_ = 0;
+  double case4_diff_probability_ = 0.0;
+  size_t num_entries_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_TRANSITION_TRANSITION_TABLE_H_

@@ -1,0 +1,32 @@
+#include "transition/value_mapper.h"
+
+namespace maroon {
+
+void TableValueMapper::AddMapping(const Attribute& attribute,
+                                  const Value& value, const Value& category) {
+  tables_[attribute][value] = category;
+}
+
+void TableValueMapper::SetDefaultCategory(const Attribute& attribute,
+                                          const Value& category) {
+  defaults_[attribute] = category;
+}
+
+Value TableValueMapper::Map(const Attribute& attribute,
+                            const Value& value) const {
+  auto table_it = tables_.find(attribute);
+  if (table_it != tables_.end()) {
+    auto it = table_it->second.find(value);
+    if (it != table_it->second.end()) return it->second;
+  }
+  auto default_it = defaults_.find(attribute);
+  if (default_it != defaults_.end()) return default_it->second;
+  return value;
+}
+
+size_t TableValueMapper::NumMappings(const Attribute& attribute) const {
+  auto it = tables_.find(attribute);
+  return it != tables_.end() ? it->second.size() : 0;
+}
+
+}  // namespace maroon

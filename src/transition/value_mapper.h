@@ -1,0 +1,59 @@
+#ifndef MAROON_TRANSITION_VALUE_MAPPER_H_
+#define MAROON_TRANSITION_VALUE_MAPPER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/value.h"
+
+namespace maroon {
+
+/// Maps raw attribute values to a coarser category before transition
+/// counting (paper §4.1.2 Discussion: when attributes have too many distinct
+/// values, map them to a more general category — industry instead of company
+/// name, city instead of street address, buckets for numerical values — to
+/// avoid overfitting the transition model).
+class ValueMapper {
+ public:
+  virtual ~ValueMapper() = default;
+
+  /// The generalized category of `value` for `attribute`.
+  virtual Value Map(const Attribute& attribute, const Value& value) const = 0;
+};
+
+/// Passes every value through unchanged.
+class IdentityValueMapper final : public ValueMapper {
+ public:
+  Value Map(const Attribute& /*attribute*/, const Value& value) const override {
+    return value;
+  }
+};
+
+/// Looks values up in per-attribute mapping tables; unmapped values pass
+/// through unchanged (or map to a configured default category).
+class TableValueMapper final : public ValueMapper {
+ public:
+  TableValueMapper() = default;
+
+  /// Declares that `value` of `attribute` generalizes to `category`.
+  void AddMapping(const Attribute& attribute, const Value& value,
+                  const Value& category);
+
+  /// Sets a fallback category for unmapped values of `attribute` (e.g.,
+  /// "other"); without one, unmapped values pass through.
+  void SetDefaultCategory(const Attribute& attribute, const Value& category);
+
+  Value Map(const Attribute& attribute, const Value& value) const override;
+
+  /// Number of explicit mappings for `attribute`.
+  size_t NumMappings(const Attribute& attribute) const;
+
+ private:
+  std::map<Attribute, std::map<Value, Value>> tables_;
+  std::map<Attribute, Value> defaults_;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_TRANSITION_VALUE_MAPPER_H_

@@ -1,0 +1,99 @@
+#include "baselines/decay_model.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_example.h"
+
+namespace maroon {
+namespace {
+
+const Attribute kTitle = "Title";
+
+TEST(DecayModelTest, DisagreementDecayIsMonotone) {
+  const DecayModel model =
+      DecayModel::Train(testing::CareerTrainingProfiles(), {kTitle});
+  double previous = 0.0;
+  for (int64_t delta = 1; delta <= 15; ++delta) {
+    const double d = model.DisagreementDecay(kTitle, delta);
+    EXPECT_GE(d, previous) << "delta " << delta;
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+    previous = d;
+  }
+}
+
+TEST(DecayModelTest, DisagreementDecayZeroAtZeroDelta) {
+  const DecayModel model =
+      DecayModel::Train(testing::CareerTrainingProfiles(), {kTitle});
+  EXPECT_DOUBLE_EQ(model.DisagreementDecay(kTitle, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model.DisagreementDecay(kTitle, -3), 0.0);
+}
+
+TEST(DecayModelTest, UntrainedAttributeIsZero) {
+  const DecayModel model =
+      DecayModel::Train(testing::CareerTrainingProfiles(), {kTitle});
+  EXPECT_DOUBLE_EQ(model.DisagreementDecay("Location", 5), 0.0);
+  EXPECT_DOUBLE_EQ(model.AgreementDecay("Location", 5), 0.0);
+}
+
+TEST(DecayModelTest, ClosedSpellsDriveDisagreement) {
+  // One entity holding a value for 2 years, then changing: a closed spell
+  // of length 2. d(1) = 0 (no spell ended within 1), d(2) high.
+  ProfileSet profiles;
+  EntityProfile p("e", "E");
+  (void)p.sequence(kTitle).Append(Triple(2000, 2001, MakeValueSet({"a"})));
+  (void)p.sequence(kTitle).Append(Triple(2002, 2005, MakeValueSet({"b"})));
+  profiles.push_back(std::move(p));
+  const DecayModel model = DecayModel::Train(profiles, {kTitle});
+  EXPECT_DOUBLE_EQ(model.DisagreementDecay(kTitle, 1), 0.0);
+  EXPECT_GT(model.DisagreementDecay(kTitle, 2), 0.0);
+}
+
+TEST(DecayModelTest, AgreementDecayIsMonotoneAndBounded) {
+  const DecayModel model =
+      DecayModel::Train(testing::CareerTrainingProfiles(), {kTitle});
+  double previous = 0.0;
+  for (int64_t delta = 0; delta <= 15; ++delta) {
+    const double d = model.AgreementDecay(kTitle, delta);
+    EXPECT_GE(d, previous);
+    EXPECT_LE(d, 1.0);
+    previous = d;
+  }
+  // Careers share titles ("Manager" etc.), so agreement is non-trivial.
+  EXPECT_GT(model.AgreementDecay(kTitle, 15), 0.0);
+}
+
+TEST(DecayModelTest, StateProbabilityRecurringVsChanging) {
+  const DecayModel model =
+      DecayModel::Train(testing::CareerTrainingProfiles(), {kTitle});
+  TemporalSequence history;
+  ASSERT_TRUE(
+      history.Append(Triple(2003, 2009, MakeValueSet({"Manager"}))).ok());
+  // Shortly after: staying Manager should be likelier than any change.
+  const double stay = model.StateProbability(
+      kTitle, history, MakeValueSet({"Manager"}), Interval(2010, 2010));
+  const double change = model.StateProbability(
+      kTitle, history, MakeValueSet({"Director"}), Interval(2010, 2010));
+  EXPECT_GT(stay, change);
+  // Like MUTA, the decay model cannot rank different target values.
+  const double change2 = model.StateProbability(
+      kTitle, history, MakeValueSet({"IT Contractor"}), Interval(2010, 2010));
+  EXPECT_DOUBLE_EQ(change, change2);
+}
+
+TEST(DecayModelTest, StateProbabilityEdgeCases) {
+  const DecayModel model =
+      DecayModel::Train(testing::CareerTrainingProfiles(), {kTitle});
+  TemporalSequence history;
+  ASSERT_TRUE(
+      history.Append(Triple(2000, 2005, MakeValueSet({"Manager"}))).ok());
+  EXPECT_DOUBLE_EQ(model.StateProbability(kTitle, TemporalSequence(),
+                                          MakeValueSet({"x"}),
+                                          Interval(2008, 2008)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      model.StateProbability(kTitle, history, {}, Interval(2008, 2008)), 0.0);
+}
+
+}  // namespace
+}  // namespace maroon

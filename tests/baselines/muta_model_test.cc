@@ -1,0 +1,113 @@
+#include "baselines/muta_model.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_example.h"
+
+namespace maroon {
+namespace {
+
+const Attribute kTitle = "Title";
+
+ProfileSet Figure1Profiles() {
+  ProfileSet profiles;
+  EntityProfile david("David", "David");
+  (void)david.sequence(kTitle).Append(
+      Triple(2000, 2002, MakeValueSet({"Engineer"})));
+  (void)david.sequence(kTitle).Append(
+      Triple(2003, 2009, MakeValueSet({"Manager"})));
+  profiles.push_back(std::move(david));
+  EntityProfile tom("Tom", "Tom");
+  (void)tom.sequence(kTitle).Append(
+      Triple(2000, 2001, MakeValueSet({"Engineer"})));
+  (void)tom.sequence(kTitle).Append(
+      Triple(2002, 2003, MakeValueSet({"Analyst"})));
+  (void)tom.sequence(kTitle).Append(
+      Triple(2004, 2005, MakeValueSet({"Manager"})));
+  profiles.push_back(std::move(tom));
+  return profiles;
+}
+
+TEST(MutaModelTest, RecurrenceMatchesTable4Aggregate) {
+  const MutaModel model = MutaModel::Train(Figure1Profiles(), {kTitle});
+  // At Δt = 3 the Figure-1 corpus has 10 transitions, 4 of them recurrences.
+  EXPECT_DOUBLE_EQ(model.RecurrenceProbability(kTitle, 3), 0.4);
+}
+
+TEST(MutaModelTest, DeltaZeroIsCertainRecurrence) {
+  const MutaModel model = MutaModel::Train(Figure1Profiles(), {kTitle});
+  EXPECT_DOUBLE_EQ(model.RecurrenceProbability(kTitle, 0), 1.0);
+}
+
+TEST(MutaModelTest, RecurrenceDecreasesOverLongGaps) {
+  const MutaModel model =
+      MutaModel::Train(testing::CareerTrainingProfiles(), {kTitle});
+  // Values change over careers: short gaps recur more than long ones.
+  EXPECT_GT(model.RecurrenceProbability(kTitle, 1),
+            model.RecurrenceProbability(kTitle, 10));
+}
+
+TEST(MutaModelTest, ClampsBeyondLearnedRange) {
+  const MutaModel model = MutaModel::Train(Figure1Profiles(), {kTitle});
+  const int64_t max_delta = model.MaxDelta(kTitle);
+  EXPECT_GT(max_delta, 0);
+  EXPECT_DOUBLE_EQ(model.RecurrenceProbability(kTitle, max_delta + 50),
+                   model.RecurrenceProbability(kTitle, max_delta));
+}
+
+TEST(MutaModelTest, UntrainedAttributeIsZero) {
+  const MutaModel model = MutaModel::Train(Figure1Profiles(), {kTitle});
+  EXPECT_DOUBLE_EQ(model.RecurrenceProbability("Location", 3), 0.0);
+  EXPECT_EQ(model.MaxDelta("Location"), 0);
+}
+
+TEST(MutaModelTest, StateProbabilityIsValueAgnostic) {
+  // The paper's core criticism: MUTA cannot distinguish WHICH value an
+  // entity changes to — any non-recurring value gets the same probability.
+  const MutaModel model =
+      MutaModel::Train(testing::CareerTrainingProfiles(), {kTitle});
+  TemporalSequence history;
+  ASSERT_TRUE(
+      history.Append(Triple(2003, 2009, MakeValueSet({"Manager"}))).ok());
+  const Interval state(2011, 2011);
+  const double to_director = model.StateProbability(
+      kTitle, history, MakeValueSet({"Director"}), state);
+  const double to_contractor = model.StateProbability(
+      kTitle, history, MakeValueSet({"IT Contractor"}), state);
+  EXPECT_DOUBLE_EQ(to_director, to_contractor);
+}
+
+TEST(MutaModelTest, RecurringStateUsesRecurrenceProbability) {
+  const MutaModel model =
+      MutaModel::Train(testing::CareerTrainingProfiles(), {kTitle});
+  TemporalSequence history;
+  ASSERT_TRUE(
+      history.Append(Triple(2005, 2005, MakeValueSet({"Manager"}))).ok());
+  const Interval state(2007, 2007);
+  const double recur = model.StateProbability(
+      kTitle, history, MakeValueSet({"Manager"}), state);
+  EXPECT_DOUBLE_EQ(recur, model.RecurrenceProbability(kTitle, 2));
+  const double change = model.StateProbability(
+      kTitle, history, MakeValueSet({"Director"}), state);
+  EXPECT_DOUBLE_EQ(change, 1.0 - model.RecurrenceProbability(kTitle, 2));
+}
+
+TEST(MutaModelTest, StateProbabilityEdgeCases) {
+  const MutaModel model = MutaModel::Train(Figure1Profiles(), {kTitle});
+  TemporalSequence history;
+  ASSERT_TRUE(
+      history.Append(Triple(2000, 2001, MakeValueSet({"Engineer"}))).ok());
+  EXPECT_DOUBLE_EQ(model.StateProbability(kTitle, TemporalSequence(),
+                                          MakeValueSet({"x"}),
+                                          Interval(2005, 2005)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      model.StateProbability(kTitle, history, {}, Interval(2005, 2005)), 0.0);
+  EXPECT_DOUBLE_EQ(
+      model.StateProbability(kTitle, history, MakeValueSet({"x"}),
+                             Interval(2005, 2001)),
+      0.0);
+}
+
+}  // namespace
+}  // namespace maroon

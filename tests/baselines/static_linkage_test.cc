@@ -1,0 +1,77 @@
+#include "baselines/static_linkage.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/paper_example.h"
+
+namespace maroon {
+namespace {
+
+using testing::kTitle;
+
+class StaticLinkageTest : public ::testing::Test {
+ protected:
+  StaticLinkageTest() : dataset_(testing::PaperRecords()) {
+    for (const TemporalRecord& r : dataset_.records()) {
+      records_.push_back(&r);
+    }
+  }
+
+  Dataset dataset_;
+  SimilarityCalculator similarity_;
+  std::vector<const TemporalRecord*> records_;
+};
+
+TEST_F(StaticLinkageTest, MatchesRecordsSimilarToKnownHistory) {
+  StaticLinkage linkage(&similarity_, StaticLinkageOptions{0.8});
+  const std::vector<RecordId> matched =
+      linkage.Link(testing::DavidBrownProfile(), records_);
+  // r1/r2 repeat the known history verbatim.
+  EXPECT_TRUE(std::binary_search(matched.begin(), matched.end(), RecordId{0}));
+  EXPECT_TRUE(std::binary_search(matched.begin(), matched.end(), RecordId{1}));
+}
+
+TEST_F(StaticLinkageTest, MissesFutureStates) {
+  // The Example-1 failure mode: r5 describes a future state (Director at
+  // Quest) whose Title value never occurs in the known history, so static
+  // linkage scores it low even though it is a true match.
+  StaticLinkage linkage(&similarity_, StaticLinkageOptions{0.8});
+  const std::vector<RecordId> matched =
+      linkage.Link(testing::DavidBrownProfile(), records_);
+  EXPECT_FALSE(std::binary_search(matched.begin(), matched.end(), RecordId{7}))
+      << "r8 (President at WSO2) should be beyond static linkage";
+}
+
+TEST_F(StaticLinkageTest, SimilarityAgainstValueUniverse) {
+  StaticLinkage linkage(&similarity_);
+  const EntityProfile profile = testing::DavidBrownProfile();
+  // A record repeating any historical organization scores highly on Org.
+  TemporalRecord r(50, "David Brown", 2004, 0);
+  r.SetValue("Organization", MakeValueSet({"Aelita"}));
+  const double sim = linkage.Similarity(profile, r);
+  EXPECT_GT(sim, 0.5);
+  // An empty record scores zero.
+  const TemporalRecord empty(51, "David Brown", 2004, 0);
+  EXPECT_DOUBLE_EQ(linkage.Similarity(profile, empty), 0.0);
+}
+
+TEST_F(StaticLinkageTest, UnknownAttributesScoreZero) {
+  StaticLinkage linkage(&similarity_);
+  const EntityProfile profile = testing::DavidBrownProfile();
+  TemporalRecord r(52, "David Brown", 2012, 0);
+  r.SetValue("Interests", MakeValueSet({"Technology"}));
+  EXPECT_DOUBLE_EQ(linkage.Similarity(profile, r), 0.0);
+}
+
+TEST_F(StaticLinkageTest, ThresholdControlsMatchCount) {
+  StaticLinkage loose(&similarity_, StaticLinkageOptions{0.1});
+  StaticLinkage strict(&similarity_, StaticLinkageOptions{0.99});
+  const EntityProfile profile = testing::DavidBrownProfile();
+  EXPECT_GE(loose.Link(profile, records_).size(),
+            strict.Link(profile, records_).size());
+}
+
+}  // namespace
+}  // namespace maroon

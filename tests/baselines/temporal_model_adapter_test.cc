@@ -1,0 +1,74 @@
+#include "baselines/temporal_model.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/decay_model.h"
+#include "baselines/muta_model.h"
+#include "testing/paper_example.h"
+
+namespace maroon {
+namespace {
+
+using testing::kTitle;
+
+TEST(TransitionTemporalModelTest, AdapterMatchesEquationFourteen) {
+  const TransitionModel model = TransitionModel::Train(
+      testing::CareerTrainingProfiles(), {kTitle});
+  const TransitionTemporalModel adapter(&model);
+
+  const EntityProfile david = testing::DavidBrownProfile();
+  const TemporalSequence& history = david.sequence(kTitle);
+  const ValueSet to = MakeValueSet({"Director"});
+  const Interval state(2011, 2011);
+  EXPECT_DOUBLE_EQ(
+      adapter.StateProbability(kTitle, history, to, state),
+      model.SequenceToStateProbability(kTitle, history, to, state));
+}
+
+TEST(TemporalModelInterfaceTest, PolymorphicUseThroughBasePointer) {
+  // All three temporal models satisfy the interface and produce scores in
+  // [0, 1] for the same query — the contract the AFDS linker relies on.
+  const ProfileSet training = testing::CareerTrainingProfiles();
+  const TransitionModel transition =
+      TransitionModel::Train(training, {kTitle});
+  const TransitionTemporalModel adapter(&transition);
+  const MutaModel muta = MutaModel::Train(training, {kTitle});
+  const DecayModel decay = DecayModel::Train(training, {kTitle});
+
+  const EntityProfile david = testing::DavidBrownProfile();
+  const TemporalSequence& history = david.sequence(kTitle);
+  const ValueSet to = MakeValueSet({"Director"});
+  const Interval state(2011, 2011);
+
+  for (const TemporalModel* m :
+       std::vector<const TemporalModel*>{&adapter, &muta, &decay}) {
+    const double p = m->StateProbability(kTitle, history, to, state);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(TemporalModelInterfaceTest, OnlyTransitionModelDiscriminatesValues) {
+  // The defining difference the paper's Figure 4 measures: given the same
+  // history, the transition model ranks Director above IT Contractor; the
+  // value-agnostic models cannot.
+  const ProfileSet training = testing::CareerTrainingProfiles();
+  const TransitionModel transition =
+      TransitionModel::Train(training, {kTitle});
+  const TransitionTemporalModel adapter(&transition);
+  const MutaModel muta = MutaModel::Train(training, {kTitle});
+
+  const EntityProfile david = testing::DavidBrownProfile();
+  const TemporalSequence& history = david.sequence(kTitle);
+  const Interval state(2011, 2011);
+  const ValueSet director = MakeValueSet({"Director"});
+  const ValueSet contractor = MakeValueSet({"IT Contractor"});
+
+  EXPECT_GT(adapter.StateProbability(kTitle, history, director, state),
+            adapter.StateProbability(kTitle, history, contractor, state));
+  EXPECT_DOUBLE_EQ(muta.StateProbability(kTitle, history, director, state),
+                   muta.StateProbability(kTitle, history, contractor, state));
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,133 @@
+#include "clustering/adjusted_binding_clusterer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace maroon {
+namespace {
+
+TemporalRecord MakeRecord(RecordId id, TimePoint t,
+                          std::initializer_list<std::pair<Attribute, ValueSet>>
+                              values) {
+  TemporalRecord r(id, "X", t, 0);
+  for (const auto& [a, v] : values) r.SetValue(a, v);
+  return r;
+}
+
+std::vector<const TemporalRecord*> Pointers(
+    const std::vector<TemporalRecord>& records) {
+  std::vector<const TemporalRecord*> out;
+  for (const auto& r : records) out.push_back(&r);
+  return out;
+}
+
+TEST(AdjustedBindingTest, MatchesPartitionOnCleanData) {
+  SimilarityCalculator sim;
+  AdjustedBindingClusterer clusterer(&sim);
+  std::vector<TemporalRecord> records;
+  records.push_back(MakeRecord(0, 2000, {{"T", MakeValueSet({"Engineer"})}}));
+  records.push_back(MakeRecord(1, 2001, {{"T", MakeValueSet({"Engineer"})}}));
+  records.push_back(MakeRecord(2, 2005, {{"T", MakeValueSet({"Director"})}}));
+  const auto clusters = clusterer.ClusterRecords(Pointers(records));
+  ASSERT_EQ(clusters.size(), 2u);
+  size_t total = 0;
+  for (const auto& c : clusters) total += c.size();
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(AdjustedBindingTest, ConvergesToArgmaxAssignment) {
+  // The guarantee ref. [18]'s adjusted binding provides over early binding:
+  // at the fixed point, every record sits in (one of) the cluster(s) whose
+  // state it matches best — including clusters created after the record was
+  // first processed.
+  SimilarityCalculator sim;
+  AdjustedBindingOptions options;
+  options.similarity_threshold = 0.7;
+  options.max_rounds = 10;
+  AdjustedBindingClusterer clusterer(&sim, options);
+
+  std::vector<TemporalRecord> records;
+  // Two org states plus partial records scattered between them.
+  for (RecordId id = 0; id < 4; ++id) {
+    records.push_back(MakeRecord(
+        id, 2000 + static_cast<TimePoint>(id),
+        {{"T", MakeValueSet({"Analyst"})},
+         {"O", MakeValueSet({"Acme Corp"})}}));
+  }
+  for (RecordId id = 4; id < 8; ++id) {
+    records.push_back(MakeRecord(
+        id, 2000 + static_cast<TimePoint>(id),
+        {{"T", MakeValueSet({"Director"})},
+         {"O", MakeValueSet({"Zeta Works"})}}));
+  }
+  records.push_back(MakeRecord(8, 2010, {{"O", MakeValueSet({"Zeta Works"})}}));
+  records.push_back(MakeRecord(9, 2011, {{"T", MakeValueSet({"Analyst"})}}));
+
+  const auto clusters = clusterer.ClusterRecords(Pointers(records));
+  ASSERT_GE(clusters.size(), 2u);
+
+  std::vector<std::map<Attribute, ValueSet>> states;
+  for (const Cluster& c : clusters) states.push_back(c.MajorityState());
+  for (const TemporalRecord& r : records) {
+    size_t assigned = clusters.size();
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      if (clusters[i].Contains(r.id())) assigned = i;
+    }
+    ASSERT_LT(assigned, clusters.size()) << "record " << r.id();
+    const double own = sim.RecordToStateSimilarity(r, states[assigned]);
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      const double other = sim.RecordToStateSimilarity(r, states[i]);
+      // No strictly better cluster above the threshold exists.
+      if (other >= options.similarity_threshold) {
+        EXPECT_LE(other, own + 1e-9)
+            << "record " << r.id() << " prefers cluster " << i;
+      }
+    }
+  }
+}
+
+TEST(AdjustedBindingTest, NoRecordsNoClusters) {
+  SimilarityCalculator sim;
+  AdjustedBindingClusterer clusterer(&sim);
+  EXPECT_TRUE(clusterer.ClusterRecords({}).empty());
+}
+
+TEST(AdjustedBindingTest, ConvergesWithinMaxRounds) {
+  SimilarityCalculator sim;
+  AdjustedBindingOptions options;
+  options.max_rounds = 50;
+  AdjustedBindingClusterer clusterer(&sim, options);
+  std::vector<TemporalRecord> records;
+  for (RecordId id = 0; id < 12; ++id) {
+    records.push_back(MakeRecord(
+        id, 2000 + static_cast<TimePoint>(id),
+        {{"T", MakeValueSet({id % 2 == 0 ? "Engineer" : "Director"})}}));
+  }
+  const auto clusters = clusterer.ClusterRecords(Pointers(records));
+  // A clean two-state workload converges in very few rounds, far below 50.
+  EXPECT_LE(clusterer.last_rounds(), 3u);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(AdjustedBindingTest, EveryRecordAssignedExactlyOnce) {
+  SimilarityCalculator sim;
+  AdjustedBindingClusterer clusterer(&sim);
+  std::vector<TemporalRecord> records;
+  for (RecordId id = 0; id < 9; ++id) {
+    records.push_back(MakeRecord(
+        id, 2000 + static_cast<TimePoint>(id),
+        {{"T", MakeValueSet({"V" + std::to_string(id % 3)})}}));
+  }
+  const auto clusters = clusterer.ClusterRecords(Pointers(records));
+  std::vector<RecordId> all;
+  for (const auto& c : clusters) {
+    all.insert(all.end(), c.records().begin(), c.records().end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all.size(), 9u);
+  EXPECT_EQ(std::unique(all.begin(), all.end()), all.end());
+}
+
+}  // namespace
+}  // namespace maroon

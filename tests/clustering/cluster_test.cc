@@ -1,0 +1,105 @@
+#include "clustering/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace maroon {
+namespace {
+
+TemporalRecord MakeRecord(RecordId id, TimePoint t,
+                          std::initializer_list<std::pair<Attribute, ValueSet>>
+                              values,
+                          SourceId source = 0) {
+  TemporalRecord r(id, "X", t, source);
+  for (const auto& [a, v] : values) r.SetValue(a, v);
+  return r;
+}
+
+TEST(ClusterTest, AddTracksMembersAndSpan) {
+  Cluster c;
+  EXPECT_TRUE(c.empty());
+  c.Add(MakeRecord(1, 2005, {{"Title", MakeValueSet({"Engineer"})}}));
+  c.Add(MakeRecord(2, 2002, {{"Title", MakeValueSet({"Engineer"})}}));
+  c.Add(MakeRecord(3, 2008, {{"Title", MakeValueSet({"Manager"})}}));
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.tmin(), 2002);
+  EXPECT_EQ(c.tmax(), 2008);
+  EXPECT_TRUE(c.Contains(2));
+  EXPECT_FALSE(c.Contains(9));
+}
+
+TEST(ClusterTest, DuplicateAddIsNoOp) {
+  Cluster c;
+  const TemporalRecord r =
+      MakeRecord(1, 2005, {{"Title", MakeValueSet({"Engineer"})}});
+  c.Add(r);
+  c.Add(r);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.value_counts().at("Title").at("Engineer"), 1);
+}
+
+TEST(ClusterTest, MajorityStatePicksMostFrequentValues) {
+  Cluster c;
+  c.Add(MakeRecord(1, 2000, {{"Title", MakeValueSet({"Engineer"})}}));
+  c.Add(MakeRecord(2, 2001, {{"Title", MakeValueSet({"Engineer"})}}));
+  c.Add(MakeRecord(3, 2002, {{"Title", MakeValueSet({"Enginer"})}}));
+  const auto state = c.MajorityState();
+  EXPECT_EQ(state.at("Title"), MakeValueSet({"Engineer"}));
+}
+
+TEST(ClusterTest, MajorityStateKeepsTies) {
+  Cluster c;
+  c.Add(MakeRecord(1, 2000, {{"Org", MakeValueSet({"S3", "XJek"})}}));
+  c.Add(MakeRecord(2, 2001, {{"Org", MakeValueSet({"S3", "XJek"})}}));
+  const auto state = c.MajorityState();
+  EXPECT_EQ(state.at("Org"), MakeValueSet({"S3", "XJek"}));
+}
+
+TEST(ClusterTest, AddForAttributeOnlyCountsThatAttribute) {
+  Cluster c;
+  c.Add(MakeRecord(1, 2000, {{"Title", MakeValueSet({"Engineer"})},
+                             {"Location", MakeValueSet({"Chicago"})}}));
+  // A stale record joins only on Title; its Location must not leak in.
+  c.AddForAttribute(
+      MakeRecord(2, 2004,
+                 {{"Title", MakeValueSet({"Engineer"})},
+                  {"Location", MakeValueSet({"Boston"})}}),
+      "Title");
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.value_counts().at("Title").at("Engineer"), 2);
+  EXPECT_EQ(c.value_counts().at("Location").count("Boston"), 0u);
+}
+
+TEST(ClusterTest, AddForAttributeTwiceOnDifferentAttributes) {
+  Cluster c;
+  const TemporalRecord r =
+      MakeRecord(5, 2003, {{"Title", MakeValueSet({"Manager"})},
+                           {"Org", MakeValueSet({"Aelita"})}});
+  c.AddForAttribute(r, "Title");
+  c.AddForAttribute(r, "Org");
+  EXPECT_EQ(c.size(), 1u);  // member added once
+  EXPECT_EQ(c.value_counts().at("Title").at("Manager"), 1);
+  EXPECT_EQ(c.value_counts().at("Org").at("Aelita"), 1);
+}
+
+TEST(ClusterSignatureTest, BuildSignature) {
+  Cluster c;
+  c.Add(MakeRecord(1, 2001, {{"Title", MakeValueSet({"Engineer"})}}));
+  c.Add(MakeRecord(2, 2002, {{"Title", MakeValueSet({"Engineer"})}}));
+  const ClusterSignature sig = c.BuildSignature(0.0);
+  EXPECT_EQ(sig.interval, Interval(2001, 2002));
+  EXPECT_EQ(sig.ValuesOf("Title"), MakeValueSet({"Engineer"}));
+  EXPECT_DOUBLE_EQ(sig.ConfidenceOf("Title"), 0.0);
+  EXPECT_TRUE(sig.ValuesOf("Nothing").empty());
+  EXPECT_DOUBLE_EQ(sig.ConfidenceOf("Nothing"), 0.0);
+}
+
+TEST(ClusterSignatureTest, ToStringRenders) {
+  Cluster c;
+  c.Add(MakeRecord(1, 2001, {{"Title", MakeValueSet({"Engineer"})}}));
+  const std::string s = c.BuildSignature(1.5).ToString();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("Engineer"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,105 @@
+#include "clustering/fusion.h"
+
+#include <gtest/gtest.h>
+
+namespace maroon {
+namespace {
+
+TemporalRecord MakeRecord(RecordId id, TimePoint t, SourceId source,
+                          const Attribute& attribute, const ValueSet& values) {
+  TemporalRecord r(id, "X", t, source);
+  r.SetValue(attribute, values);
+  return r;
+}
+
+class FusionTest : public ::testing::Test {
+ protected:
+  std::map<Value, int64_t> CountsOf(
+      const std::vector<TemporalRecord>& records, const Attribute& attribute) {
+    std::map<Value, int64_t> counts;
+    for (const auto& r : records) {
+      for (const Value& v : r.GetValue(attribute)) ++counts[v];
+    }
+    return counts;
+  }
+  std::vector<const TemporalRecord*> Pointers(
+      const std::vector<TemporalRecord>& records) {
+    std::vector<const TemporalRecord*> out;
+    for (const auto& r : records) out.push_back(&r);
+    return out;
+  }
+};
+
+TEST_F(FusionTest, MajorityVotePicksMostFrequent) {
+  MajorityVoteFusion fusion;
+  std::vector<TemporalRecord> records;
+  records.push_back(MakeRecord(0, 2000, 0, "T", MakeValueSet({"Engineer"})));
+  records.push_back(MakeRecord(1, 2001, 0, "T", MakeValueSet({"Engineer"})));
+  records.push_back(MakeRecord(2, 2002, 0, "T", MakeValueSet({"Enginer"})));
+  EXPECT_EQ(fusion.Fuse("T", CountsOf(records, "T"), Pointers(records)),
+            MakeValueSet({"Engineer"}));
+  EXPECT_EQ(fusion.name(), "majority_vote");
+}
+
+TEST_F(FusionTest, MajorityVoteKeepsTies) {
+  MajorityVoteFusion fusion;
+  std::vector<TemporalRecord> records;
+  records.push_back(MakeRecord(0, 2000, 0, "T", MakeValueSet({"A"})));
+  records.push_back(MakeRecord(1, 2001, 0, "T", MakeValueSet({"B"})));
+  EXPECT_EQ(fusion.Fuse("T", CountsOf(records, "T"), Pointers(records)),
+            MakeValueSet({"A", "B"}));
+  EXPECT_TRUE(fusion.Fuse("T", {}, Pointers(records)).empty());
+}
+
+TEST_F(FusionTest, LatestWinsPrefersNewestRecord) {
+  LatestWinsFusion fusion;
+  std::vector<TemporalRecord> records;
+  // Majority says "Old" (2 votes), but the newest record says "New".
+  records.push_back(MakeRecord(0, 2000, 0, "T", MakeValueSet({"Old"})));
+  records.push_back(MakeRecord(1, 2001, 0, "T", MakeValueSet({"Old"})));
+  records.push_back(MakeRecord(2, 2005, 0, "T", MakeValueSet({"New"})));
+  EXPECT_EQ(fusion.Fuse("T", CountsOf(records, "T"), Pointers(records)),
+            MakeValueSet({"New"}));
+}
+
+TEST_F(FusionTest, LatestWinsFallsBackWithoutAttributeCarriers) {
+  LatestWinsFusion fusion;
+  std::vector<TemporalRecord> records;
+  records.push_back(MakeRecord(0, 2000, 0, "Other", MakeValueSet({"x"})));
+  // No member carries "T": falls back to majority over counts.
+  std::map<Value, int64_t> counts{{"A", 2}, {"B", 1}};
+  EXPECT_EQ(fusion.Fuse("T", counts, Pointers(records)), MakeValueSet({"A"}));
+}
+
+TEST_F(FusionTest, ReliabilityWeightedDiscountsNoisySources) {
+  ReliabilityModel reliability;
+  // Source 0: perfect; source 1: mostly wrong.
+  for (int i = 0; i < 10; ++i) reliability.AddObservation(0, "T", true);
+  for (int i = 0; i < 10; ++i) reliability.AddObservation(1, "T", i < 2);
+  ReliabilityWeightedFusion fusion(&reliability);
+
+  std::vector<TemporalRecord> records;
+  // Two noisy votes for "Wrong", one reliable vote for "Right".
+  records.push_back(MakeRecord(0, 2000, 1, "T", MakeValueSet({"Wrong"})));
+  records.push_back(MakeRecord(1, 2001, 1, "T", MakeValueSet({"Wrong"})));
+  records.push_back(MakeRecord(2, 2002, 0, "T", MakeValueSet({"Right"})));
+  // Plain majority would pick "Wrong" (2 vs 1); reliability weighting picks
+  // "Right" (0.917 vs 2 * 0.25).
+  EXPECT_EQ(fusion.Fuse("T", CountsOf(records, "T"), Pointers(records)),
+            MakeValueSet({"Right"}));
+}
+
+TEST_F(FusionTest, ReliabilityWeightedMatchesMajorityWhenUniform) {
+  ReliabilityModel reliability;  // untrained -> every source 1.0
+  ReliabilityWeightedFusion fusion(&reliability);
+  MajorityVoteFusion majority;
+  std::vector<TemporalRecord> records;
+  records.push_back(MakeRecord(0, 2000, 0, "T", MakeValueSet({"A"})));
+  records.push_back(MakeRecord(1, 2001, 1, "T", MakeValueSet({"A"})));
+  records.push_back(MakeRecord(2, 2002, 2, "T", MakeValueSet({"B"})));
+  EXPECT_EQ(fusion.Fuse("T", CountsOf(records, "T"), Pointers(records)),
+            majority.Fuse("T", CountsOf(records, "T"), Pointers(records)));
+}
+
+}  // namespace
+}  // namespace maroon

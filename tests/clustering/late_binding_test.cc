@@ -1,0 +1,127 @@
+#include "clustering/late_binding_clusterer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace maroon {
+namespace {
+
+TemporalRecord MakeRecord(RecordId id, TimePoint t,
+                          std::initializer_list<std::pair<Attribute, ValueSet>>
+                              values) {
+  TemporalRecord r(id, "X", t, 0);
+  for (const auto& [a, v] : values) r.SetValue(a, v);
+  return r;
+}
+
+std::vector<const TemporalRecord*> Pointers(
+    const std::vector<TemporalRecord>& records) {
+  std::vector<const TemporalRecord*> out;
+  for (const auto& r : records) out.push_back(&r);
+  return out;
+}
+
+TEST(LateBindingTest, UnambiguousDataMatchesEarlyBinding) {
+  SimilarityCalculator sim;
+  LateBindingClusterer clusterer(&sim);
+  std::vector<TemporalRecord> records;
+  records.push_back(MakeRecord(0, 2000, {{"T", MakeValueSet({"Engineer"})}}));
+  records.push_back(MakeRecord(1, 2001, {{"T", MakeValueSet({"Engineer"})}}));
+  records.push_back(MakeRecord(2, 2005, {{"T", MakeValueSet({"Director"})}}));
+  const auto clusters = clusterer.ClusterRecords(Pointers(records));
+  EXPECT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusterer.last_deferred(), 0u);
+}
+
+TEST(LateBindingTest, AmbiguousRecordsAreDeferred) {
+  SimilarityCalculator sim;
+  LateBindingOptions options;
+  options.similarity_threshold = 0.5;
+  options.ambiguity_ratio = 0.8;
+  LateBindingClusterer clusterer(&sim, options);
+
+  std::vector<TemporalRecord> records;
+  // Two distinct states...
+  records.push_back(MakeRecord(0, 2000, {{"T", MakeValueSet({"Engineer"})},
+                                         {"O", MakeValueSet({"Acme"})}}));
+  records.push_back(MakeRecord(1, 2001, {{"T", MakeValueSet({"Director"})},
+                                         {"O", MakeValueSet({"Zeta"})}}));
+  // ...then a partial record similar to both above the threshold: its only
+  // attribute O matches neither strongly, but T is absent -> rely on O.
+  records.push_back(MakeRecord(2, 2002, {{"O", MakeValueSet({"Acme"})}}));
+  records.push_back(MakeRecord(3, 2003, {{"O", MakeValueSet({"Acme"})}}));
+  // A record equally similar to two clusters gets deferred:
+  records.push_back(MakeRecord(4, 2004, {{"T", MakeValueSet({"Engineer"})},
+                                         {"T2", MakeValueSet({"x"})}}));
+
+  const auto clusters = clusterer.ClusterRecords(Pointers(records));
+  size_t total = 0;
+  for (const auto& c : clusters) total += c.size();
+  EXPECT_EQ(total, records.size());
+}
+
+TEST(LateBindingTest, DeferredDecisionUsesFinalStates) {
+  // A record ambiguous between two early clusters ends up with the cluster
+  // that, by the end of the pass, matches it best.
+  SimilarityCalculator sim;
+  LateBindingOptions options;
+  options.similarity_threshold = 0.45;
+  options.ambiguity_ratio = 0.85;
+  LateBindingClusterer clusterer(&sim, options);
+
+  std::vector<TemporalRecord> records;
+  // Cluster A seed and cluster B seed, mutually dissimilar.
+  records.push_back(MakeRecord(0, 2000, {{"T", MakeValueSet({"Engineer"})},
+                                         {"O", MakeValueSet({"AcmeCorp"})}}));
+  records.push_back(MakeRecord(1, 2001, {{"T", MakeValueSet({"Engineen"})},
+                                         {"O", MakeValueSet({"AcmeCorpX"})}}));
+  // The ambiguous record (close to both seeds).
+  records.push_back(MakeRecord(2, 2002, {{"T", MakeValueSet({"Engineer"})},
+                                         {"O", MakeValueSet({"AcmeCorpX"})}}));
+  // Later records reinforce cluster B's exact state to match record 2.
+  records.push_back(MakeRecord(3, 2003, {{"T", MakeValueSet({"Engineer"})},
+                                         {"O", MakeValueSet({"AcmeCorpX"})}}));
+
+  const auto clusters = clusterer.ClusterRecords(Pointers(records));
+  // Wherever record 2 landed, record 3 (its twin) must be in the same
+  // cluster — the late decision saw the final state.
+  size_t r2_cluster = clusters.size(), r3_cluster = clusters.size();
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    if (clusters[i].Contains(2)) r2_cluster = i;
+    if (clusters[i].Contains(3)) r3_cluster = i;
+  }
+  ASSERT_LT(r2_cluster, clusters.size());
+  EXPECT_EQ(r2_cluster, r3_cluster);
+}
+
+TEST(LateBindingTest, EmptyInput) {
+  SimilarityCalculator sim;
+  LateBindingClusterer clusterer(&sim);
+  EXPECT_TRUE(clusterer.ClusterRecords({}).empty());
+  EXPECT_EQ(clusterer.last_deferred(), 0u);
+}
+
+TEST(LateBindingTest, AllRecordsAssignedExactlyOnce) {
+  SimilarityCalculator sim;
+  LateBindingOptions options;
+  options.similarity_threshold = 0.6;
+  LateBindingClusterer clusterer(&sim, options);
+  std::vector<TemporalRecord> records;
+  for (RecordId id = 0; id < 10; ++id) {
+    records.push_back(MakeRecord(
+        id, 2000 + static_cast<TimePoint>(id),
+        {{"T", MakeValueSet({"V" + std::to_string(id % 3)})}}));
+  }
+  const auto clusters = clusterer.ClusterRecords(Pointers(records));
+  std::vector<RecordId> all;
+  for (const auto& c : clusters) {
+    all.insert(all.end(), c.records().begin(), c.records().end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all.size(), 10u);
+  EXPECT_EQ(std::unique(all.begin(), all.end()), all.end());
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,93 @@
+#include "clustering/partition_clusterer.h"
+
+#include <gtest/gtest.h>
+
+namespace maroon {
+namespace {
+
+TemporalRecord MakeRecord(RecordId id, TimePoint t,
+                          std::initializer_list<std::pair<Attribute, ValueSet>>
+                              values) {
+  TemporalRecord r(id, "X", t, 0);
+  for (const auto& [a, v] : values) r.SetValue(a, v);
+  return r;
+}
+
+std::vector<const TemporalRecord*> Pointers(
+    const std::vector<TemporalRecord>& records) {
+  std::vector<const TemporalRecord*> out;
+  for (const auto& r : records) out.push_back(&r);
+  return out;
+}
+
+TEST(PartitionClustererTest, GroupsIdenticalStates) {
+  SimilarityCalculator sim;
+  PartitionClusterer clusterer(&sim, PartitionOptions{0.8});
+  std::vector<TemporalRecord> records;
+  records.push_back(MakeRecord(0, 2001, {{"Title", MakeValueSet({"Engineer"})},
+                                         {"Org", MakeValueSet({"S3"})}}));
+  records.push_back(MakeRecord(1, 2002, {{"Title", MakeValueSet({"Engineer"})},
+                                         {"Org", MakeValueSet({"S3"})}}));
+  records.push_back(MakeRecord(2, 2008, {{"Title", MakeValueSet({"Director"})},
+                                         {"Org", MakeValueSet({"Quest"})}}));
+  const auto clusters = clusterer.ClusterRecords(Pointers(records));
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].size(), 2u);
+  EXPECT_EQ(clusters[1].size(), 1u);
+}
+
+TEST(PartitionClustererTest, SingleRecordSingleCluster) {
+  SimilarityCalculator sim;
+  PartitionClusterer clusterer(&sim);
+  std::vector<TemporalRecord> records;
+  records.push_back(MakeRecord(0, 2001, {{"Title", MakeValueSet({"X"})}}));
+  const auto clusters = clusterer.ClusterRecords(Pointers(records));
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].records(), (std::vector<RecordId>{0}));
+}
+
+TEST(PartitionClustererTest, EmptyInput) {
+  SimilarityCalculator sim;
+  PartitionClusterer clusterer(&sim);
+  EXPECT_TRUE(clusterer.ClusterRecords({}).empty());
+}
+
+TEST(PartitionClustererTest, ThresholdControlsGranularity) {
+  SimilarityCalculator sim;
+  std::vector<TemporalRecord> records;
+  records.push_back(MakeRecord(0, 2000, {{"Title", MakeValueSet({"Engineer"})}}));
+  records.push_back(MakeRecord(1, 2001, {{"Title", MakeValueSet({"Enginer"})}}));
+  // Typo-similar titles merge at a loose threshold, split at a strict one.
+  PartitionClusterer loose(&sim, PartitionOptions{0.85});
+  PartitionClusterer strict(&sim, PartitionOptions{0.999});
+  EXPECT_EQ(loose.ClusterRecords(Pointers(records)).size(), 1u);
+  EXPECT_EQ(strict.ClusterRecords(Pointers(records)).size(), 2u);
+}
+
+TEST(PartitionClustererTest, ProcessesInTimestampOrder) {
+  SimilarityCalculator sim;
+  PartitionClusterer clusterer(&sim, PartitionOptions{0.8});
+  std::vector<TemporalRecord> records;
+  // Presented out of order; the earliest record should seed the cluster and
+  // the span should cover both.
+  records.push_back(MakeRecord(0, 2009, {{"Title", MakeValueSet({"M"})}}));
+  records.push_back(MakeRecord(1, 2001, {{"Title", MakeValueSet({"M"})}}));
+  const auto clusters = clusterer.ClusterRecords(Pointers(records));
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].tmin(), 2001);
+  EXPECT_EQ(clusters[0].tmax(), 2009);
+}
+
+TEST(PartitionClustererTest, DisjointAttributesDoNotMerge) {
+  SimilarityCalculator sim;
+  PartitionClusterer clusterer(&sim, PartitionOptions{0.5});
+  std::vector<TemporalRecord> records;
+  records.push_back(MakeRecord(0, 2000, {{"Title", MakeValueSet({"A"})}}));
+  records.push_back(
+      MakeRecord(1, 2001, {{"Location", MakeValueSet({"Chicago"})}}));
+  const auto clusters = clusterer.ClusterRecords(Pointers(records));
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+}  // namespace
+}  // namespace maroon

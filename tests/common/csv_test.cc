@@ -1,0 +1,108 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace maroon {
+namespace {
+
+using Rows = std::vector<std::vector<std::string>>;
+
+TEST(CsvWriterTest, PlainFields) {
+  CsvWriter w;
+  w.AppendRow({"a", "b", "c"});
+  EXPECT_EQ(w.text(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialFields) {
+  CsvWriter w;
+  w.AppendRow({"has,comma", "has\"quote", "has\nnewline", "plain"});
+  EXPECT_EQ(w.text(),
+            "\"has,comma\",\"has\"\"quote\",\"has\nnewline\",plain\n");
+}
+
+TEST(CsvParseTest, SimpleRows) {
+  auto rows = ParseCsv("a,b\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (Rows{{"a", "b"}, {"c", "d"}}));
+}
+
+TEST(CsvParseTest, NoTrailingNewline) {
+  auto rows = ParseCsv("a,b\nc,d");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (Rows{{"a", "b"}, {"c", "d"}}));
+}
+
+TEST(CsvParseTest, QuotedFieldsWithCommasAndQuotes) {
+  auto rows = ParseCsv("\"x,y\",\"a\"\"b\"\nplain,2\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (Rows{{"x,y", "a\"b"}, {"plain", "2"}}));
+}
+
+TEST(CsvParseTest, QuotedNewline) {
+  auto rows = ParseCsv("\"line1\nline2\",b\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (Rows{{"line1\nline2", "b"}}));
+}
+
+TEST(CsvParseTest, CrLfLineEndings) {
+  auto rows = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (Rows{{"a", "b"}, {"c", "d"}}));
+}
+
+TEST(CsvParseTest, EmptyFields) {
+  auto rows = ParseCsv(",\na,\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (Rows{{"", ""}, {"a", ""}}));
+}
+
+TEST(CsvParseTest, EmptyInputHasNoRows) {
+  auto rows = ParseCsv("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(CsvParseTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsv("\"open,b\n").ok());
+}
+
+TEST(CsvParseTest, QuoteInsideUnquotedFieldFails) {
+  EXPECT_FALSE(ParseCsv("ab\"cd,e\n").ok());
+}
+
+TEST(CsvRoundTripTest, WriterOutputParsesBack) {
+  CsvWriter w;
+  const Rows original = {
+      {"id", "values", "note"},
+      {"1", "a,b,c", "quote \" inside"},
+      {"2", "", "multi\nline"},
+  };
+  for (const auto& row : original) w.AppendRow(row);
+  auto parsed = ParseCsv(w.text());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "/maroon_csv_test.csv";
+  CsvWriter w;
+  w.AppendRow({"x", "y"});
+  w.AppendRow({"1", "2"});
+  ASSERT_TRUE(w.WriteToFile(path).ok());
+  auto rows = ReadCsvFile(path);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (Rows{{"x", "y"}, {"1", "2"}}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIOError) {
+  auto rows = ReadCsvFile("/nonexistent/dir/file.csv");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,80 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace maroon {
+namespace {
+
+TEST(FlagParserTest, ParsesKeyValueFlags) {
+  FlagParser flags({"--entities=100", "--dataset=dblp"});
+  EXPECT_TRUE(flags.Has("entities"));
+  ASSERT_TRUE(flags.GetInt("entities").ok());
+  EXPECT_EQ(*flags.GetInt("entities"), 100);
+  EXPECT_EQ(*flags.GetString("dataset"), "dblp");
+}
+
+TEST(FlagParserTest, BareFlagIsBooleanTrue) {
+  FlagParser flags({"--verbose"});
+  EXPECT_TRUE(flags.GetBoolOr("verbose", false));
+  EXPECT_FALSE(flags.GetBoolOr("quiet", false));
+  EXPECT_TRUE(flags.GetBoolOr("quiet", true));
+}
+
+TEST(FlagParserTest, BooleanValueForms) {
+  FlagParser flags({"--a=true", "--b=1", "--c=false", "--d=0", "--e=junk"});
+  EXPECT_TRUE(flags.GetBoolOr("a", false));
+  EXPECT_TRUE(flags.GetBoolOr("b", false));
+  EXPECT_FALSE(flags.GetBoolOr("c", true));
+  EXPECT_FALSE(flags.GetBoolOr("d", true));
+  EXPECT_TRUE(flags.GetBoolOr("e", true));  // unparseable -> fallback
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser flags({"generate", "--out=dir", "extra"});
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"generate", "extra"}));
+}
+
+TEST(FlagParserTest, DoubleDashEndsFlagParsing) {
+  FlagParser flags({"--a=1", "--", "--b=2"});
+  EXPECT_TRUE(flags.Has("a"));
+  EXPECT_FALSE(flags.Has("b"));
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"--b=2"}));
+}
+
+TEST(FlagParserTest, MissingFlagsError) {
+  FlagParser flags({});
+  EXPECT_EQ(flags.GetString("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(flags.GetIntOr("nope", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDoubleOr("nope", 0.5), 0.5);
+}
+
+TEST(FlagParserTest, TypeErrors) {
+  FlagParser flags({"--n=abc", "--x=1.5z"});
+  EXPECT_EQ(flags.GetInt("n").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(flags.GetDouble("x").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(flags.GetIntOr("n", -1), -1);
+}
+
+TEST(FlagParserTest, DoublesAndNegatives) {
+  FlagParser flags({"--rate=0.25", "--offset=-3"});
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("rate"), 0.25);
+  EXPECT_EQ(*flags.GetInt("offset"), -3);
+}
+
+TEST(FlagParserTest, ArgcArgvConstructorSkipsProgramName) {
+  const char* argv[] = {"prog", "cmd", "--k=v"};
+  FlagParser flags(3, argv);
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"cmd"}));
+  EXPECT_EQ(*flags.GetString("k"), "v");
+}
+
+TEST(FlagParserTest, LastValueWinsAndNamesSorted) {
+  FlagParser flags({"--k=1", "--k=2", "--a=x"});
+  EXPECT_EQ(*flags.GetString("k"), "2");
+  EXPECT_EQ(flags.FlagNames(), (std::vector<std::string>{"a", "k"}));
+}
+
+}  // namespace
+}  // namespace maroon

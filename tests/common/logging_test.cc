@@ -1,0 +1,62 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace maroon {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST(LoggingTest, EmitsAtOrAboveThreshold) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  MAROON_LOG(Warning) << "warn " << 42;
+  MAROON_LOG(Error) << "boom";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("warn 42"), std::string::npos);
+  EXPECT_NE(out.find("boom"), std::string::npos);
+  EXPECT_NE(out.find("[W "), std::string::npos);
+  EXPECT_NE(out.find("[E "), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST(LoggingTest, SuppressesBelowThreshold) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  MAROON_LOG(Debug) << "hidden-debug";
+  MAROON_LOG(Info) << "hidden-info";
+  MAROON_LOG(Warning) << "hidden-warning";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+}
+
+TEST(LoggingTest, StreamsArbitraryTypes) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  MAROON_LOG(Info) << "pi=" << 3.25 << " flag=" << true << " char=" << 'x';
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("pi=3.25"), std::string::npos);
+  EXPECT_NE(out.find("flag=1"), std::string::npos);
+  EXPECT_NE(out.find("char=x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,119 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace maroon {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 20 && !any_diff; ++i) {
+    any_diff = a.UniformInt(0, 1 << 30) != b.UniformInt(0, 1 << 30);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomTest, UniformIntStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.UniformInt(3, 3), 3);
+}
+
+TEST(RandomTest, UniformDoubleInUnitInterval) {
+  Random rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliApproximatesProbability) {
+  Random rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RandomTest, GeometricMeanMatches) {
+  Random rng(17);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(rng.Geometric(0.25));
+  // Mean of Geometric(p) (failures before success) is (1-p)/p = 3.
+  EXPECT_NEAR(total / n, 3.0, 0.15);
+  EXPECT_EQ(rng.Geometric(1.0), 0);
+}
+
+TEST(RandomTest, PoissonMeanMatches) {
+  Random rng(19);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(rng.Poisson(2.5));
+  EXPECT_NEAR(total / n, 2.5, 0.1);
+}
+
+TEST(RandomTest, CategoricalRespectsWeights) {
+  Random rng(23);
+  std::map<size_t, int> counts;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical({1.0, 3.0, 6.0})];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RandomTest, CategoricalSkipsZeroWeights) {
+  Random rng(29);
+  for (int i = 0; i < 200; ++i) {
+    const size_t idx = rng.Categorical({0.0, 1.0, 0.0});
+    EXPECT_EQ(idx, 1u);
+  }
+}
+
+TEST(RandomTest, ShuffleIsPermutation) {
+  Random rng(31);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RandomTest, ForkGivesIndependentStream) {
+  Random parent(37);
+  Random child = parent.Fork();
+  // The child continues deterministically regardless of the parent's use.
+  Random parent2(37);
+  Random child2 = parent2.Fork();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(child.UniformInt(0, 1000), child2.UniformInt(0, 1000));
+  }
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,67 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace maroon {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, EmptyInputGivesSingleEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, JoinsWithDelimiter) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(SplitJoinTest, RoundTrip) {
+  const std::string original = "alpha|beta||gamma";
+  EXPECT_EQ(Join(Split(original, '|'), "|"), original);
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  hello \t\n"), "hello");
+  EXPECT_EQ(StripWhitespace("no-ws"), "no-ws");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(ToLowerAsciiTest, LowersOnlyAscii) {
+  EXPECT_EQ(ToLowerAscii("MiXeD Case 42!"), "mixed case 42!");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("University of X", "University"));
+  EXPECT_FALSE(StartsWith("Uni", "University"));
+  EXPECT_TRUE(EndsWith("Quest Software", "Software"));
+  EXPECT_FALSE(EndsWith("Soft", "Software"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(TokenizeWordsTest, SplitsOnNonAlnumAndLowercases) {
+  EXPECT_EQ(TokenizeWords("Quest Software, Inc."),
+            (std::vector<std::string>{"quest", "software", "inc"}));
+  EXPECT_EQ(TokenizeWords("S3/XJek"), (std::vector<std::string>{"s3", "xjek"}));
+  EXPECT_TRUE(TokenizeWords("---").empty());
+  EXPECT_TRUE(TokenizeWords("").empty());
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(0.126, 2), "0.13");
+  EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+  EXPECT_EQ(FormatDouble(-2.5, 1), "-2.5");
+}
+
+}  // namespace
+}  // namespace maroon

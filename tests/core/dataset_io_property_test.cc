@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/dataset_io.h"
+#include "datagen/dblp_generator.h"
+#include "datagen/recruitment_generator.h"
+
+namespace maroon {
+namespace {
+
+/// Property: any generated dataset round-trips through the CSV files
+/// bit-for-bit at the record/label/profile level.
+class DatasetIoRoundTripProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    // Unique per test case: ctest -j runs parameterized cases concurrently.
+    dir_ = ::testing::TempDir() + "/maroon_io_prop_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           "_" + std::to_string(GetParam());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void ExpectRoundTrip(const Dataset& original) {
+    ASSERT_TRUE(WriteDatasetCsv(original, dir_).ok());
+    auto loaded = ReadDatasetCsv(dir_);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    ASSERT_EQ(loaded->NumRecords(), original.NumRecords());
+    EXPECT_EQ(loaded->attributes(), original.attributes());
+    for (RecordId id = 0; id < original.NumRecords(); ++id) {
+      ASSERT_EQ(loaded->record(id).ToString(), original.record(id).ToString())
+          << "record " << id << " seed " << GetParam();
+      EXPECT_EQ(loaded->LabelOf(id), original.LabelOf(id));
+    }
+    ASSERT_EQ(loaded->targets().size(), original.targets().size());
+    for (const auto& [id, target] : original.targets()) {
+      auto lt = loaded->target(id);
+      ASSERT_TRUE(lt.ok()) << id;
+      EXPECT_EQ((*lt)->clean_profile.ToString(),
+                target.clean_profile.ToString());
+      EXPECT_EQ((*lt)->ground_truth.ToString(),
+                target.ground_truth.ToString());
+    }
+  }
+
+  std::string dir_;
+};
+
+TEST_P(DatasetIoRoundTripProperty, RecruitmentRoundTrips) {
+  RecruitmentOptions options;
+  options.seed = GetParam();
+  options.num_entities = 15;
+  options.num_names = 6;
+  options.social_source_error_rate = GetParam() % 2 == 0 ? 0.2 : 0.0;
+  options.social_source_name_typo_rate = GetParam() % 3 == 0 ? 0.3 : 0.0;
+  ExpectRoundTrip(GenerateRecruitmentDataset(options));
+}
+
+TEST_P(DatasetIoRoundTripProperty, DblpRoundTrips) {
+  DblpOptions options;
+  options.seed = GetParam();
+  options.num_entities = 12;
+  options.num_names = 4;
+  ExpectRoundTrip(GenerateDblpCorpus(options).dataset);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, DatasetIoRoundTripProperty,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,75 @@
+#include "core/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_example.h"
+
+namespace maroon {
+namespace {
+
+TEST(DatasetTest, SourcesGetDenseIds) {
+  Dataset d;
+  EXPECT_EQ(d.AddSource("A"), 0u);
+  EXPECT_EQ(d.AddSource("B"), 1u);
+  EXPECT_EQ(d.source(1).name, "B");
+  EXPECT_EQ(d.sources().size(), 2u);
+}
+
+TEST(DatasetTest, RecordsGetDenseIdsOverridingInput) {
+  Dataset d;
+  d.AddSource("S");
+  TemporalRecord r(/*id=*/999, "Alice", 2001, 0);
+  r.SetValue("Title", MakeValueSet({"Engineer"}));
+  const RecordId id = d.AddRecord(r);
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(d.record(0).id(), 0u);
+  EXPECT_EQ(d.record(0).GetValue("Title"), MakeValueSet({"Engineer"}));
+  EXPECT_EQ(d.NumRecords(), 1u);
+}
+
+TEST(DatasetTest, LabelsRoundTrip) {
+  Dataset d;
+  d.AddSource("S");
+  const RecordId id = d.AddRecord(TemporalRecord(0, "A", 2000, 0));
+  EXPECT_TRUE(d.LabelOf(id).empty());
+  ASSERT_TRUE(d.SetLabel(id, "e1").ok());
+  EXPECT_EQ(d.LabelOf(id), "e1");
+  EXPECT_FALSE(d.SetLabel(42, "e1").ok());
+}
+
+TEST(DatasetTest, TargetRegistrationRejectsDuplicates) {
+  Dataset d;
+  EXPECT_TRUE(d.AddTarget("e1", TargetEntity{}).ok());
+  EXPECT_EQ(d.AddTarget("e1", TargetEntity{}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(d.target("e1").ok());
+  EXPECT_EQ(d.target("e2").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetTest, PaperExampleCandidatesAndMatches) {
+  const Dataset d = testing::PaperRecords();
+  EXPECT_EQ(d.NumRecords(), 9u);
+  // All nine records mention "David Brown" -> all are candidates.
+  EXPECT_EQ(d.CandidatesFor("david_1").size(), 9u);
+  // r6 (id 5) is the only non-match.
+  const std::vector<RecordId> matches = d.TrueMatchesOf("david_1");
+  EXPECT_EQ(matches.size(), 8u);
+  for (RecordId id : matches) EXPECT_NE(id, 5u);
+}
+
+TEST(DatasetTest, CandidatesForUnknownEntityEmpty) {
+  const Dataset d = testing::PaperRecords();
+  EXPECT_TRUE(d.CandidatesFor("nobody").empty());
+}
+
+TEST(DatasetTest, StatisticsStringMentionsSources) {
+  const Dataset d = testing::PaperRecords();
+  const std::string stats = d.StatisticsString();
+  EXPECT_NE(stats.find("GooglePlus"), std::string::npos);
+  EXPECT_NE(stats.find("Facebook"), std::string::npos);
+  EXPECT_NE(stats.find("Twitter"), std::string::npos);
+  EXPECT_NE(stats.find("9 records"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,90 @@
+#include "core/entity_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_example.h"
+
+namespace maroon {
+namespace {
+
+using testing::DavidBrownProfile;
+using testing::kOrg;
+using testing::kTitle;
+
+TEST(EntityProfileTest, IdentityAndName) {
+  const EntityProfile profile = DavidBrownProfile();
+  EXPECT_EQ(profile.id(), "david_1");
+  EXPECT_EQ(profile.name(), "David Brown");
+}
+
+TEST(EntityProfileTest, SequenceAccess) {
+  const EntityProfile profile = DavidBrownProfile();
+  EXPECT_EQ(profile.sequence(kTitle).size(), 2u);
+  EXPECT_EQ(profile.sequence(kOrg).size(), 4u);
+  // Unknown attribute yields the empty sequence, not a crash.
+  EXPECT_TRUE(profile.sequence("Hobby").empty());
+  EXPECT_FALSE(profile.HasAttribute("Hobby"));
+  EXPECT_TRUE(profile.HasAttribute(kTitle));
+}
+
+TEST(EntityProfileTest, MutableSequenceCreatesOnDemand) {
+  EntityProfile profile("e1", "E One");
+  EXPECT_FALSE(profile.HasAttribute("X"));
+  profile.sequence("X");
+  EXPECT_TRUE(profile.HasAttribute("X"));
+}
+
+TEST(EntityProfileTest, AttributesSorted) {
+  const EntityProfile profile = DavidBrownProfile();
+  EXPECT_EQ(profile.Attributes(),
+            (std::vector<Attribute>{"Organization", "Title"}));
+}
+
+TEST(EntityProfileTest, MaxLifespan) {
+  EXPECT_EQ(DavidBrownProfile().MaxLifespan(), 10);
+  EXPECT_EQ(EntityProfile("e", "E").MaxLifespan(), 0);
+}
+
+TEST(EntityProfileTest, EarliestAndLatestAcrossAttributes) {
+  EntityProfile profile("e1", "E");
+  (void)profile.sequence("A").Append(Triple(2005, 2007, MakeValueSet({"x"})));
+  (void)profile.sequence("B").Append(Triple(2001, 2002, MakeValueSet({"y"})));
+  EXPECT_EQ(*profile.EarliestTime(), 2001);
+  EXPECT_EQ(*profile.LatestTime(), 2007);
+}
+
+TEST(EntityProfileTest, CompletenessRequiresEveryAttribute) {
+  const EntityProfile profile = DavidBrownProfile();
+  // Both sequences cover 2000-2009 completely.
+  EXPECT_TRUE(profile.IsCompleteOver(Interval(2000, 2009)));
+  EXPECT_FALSE(profile.IsCompleteOver(Interval(2000, 2013)));
+  EXPECT_FALSE(EntityProfile("e", "E").IsCompleteOver(Interval(2000, 2001)));
+}
+
+TEST(EntityProfileTest, EmptyChecksAllSequences) {
+  EntityProfile profile("e1", "E");
+  EXPECT_TRUE(profile.empty());
+  profile.sequence("A");  // empty sequence created
+  EXPECT_TRUE(profile.empty());
+  (void)profile.sequence("A").Append(Triple(1, 1, MakeValueSet({"v"})));
+  EXPECT_FALSE(profile.empty());
+}
+
+TEST(EntityProfileTest, NormalizeAppliesToAllAttributes) {
+  EntityProfile profile("e1", "E");
+  (void)profile.sequence("A").Insert(Triple(2000, 2003, MakeValueSet({"x"})));
+  (void)profile.sequence("A").Insert(Triple(2002, 2005, MakeValueSet({"y"})));
+  profile.Normalize();
+  EXPECT_TRUE(profile.sequence("A").IsCanonical());
+  EXPECT_EQ(profile.sequence("A").ValuesAt(2002), MakeValueSet({"x", "y"}));
+}
+
+TEST(EntityProfileTest, ToStringMentionsIdAndAttributes) {
+  const std::string s = DavidBrownProfile().ToString();
+  EXPECT_NE(s.find("david_1"), std::string::npos);
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("Organization"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "core/temporal_sequence.h"
+
+namespace maroon {
+namespace {
+
+/// Property tests for TemporalSequence under random Insert/Normalize
+/// workloads: Normalize must preserve the per-instant value semantics while
+/// restoring Def. 1 canonical form.
+class SequenceNormalizeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SequenceNormalizeProperty, NormalizePreservesInstantSemantics) {
+  Random rng(GetParam());
+  static const std::vector<Value> kValues = {"a", "b", "c", "d"};
+
+  TemporalSequence seq;
+  const int inserts = static_cast<int>(rng.UniformInt(1, 12));
+  for (int i = 0; i < inserts; ++i) {
+    const TimePoint b = static_cast<TimePoint>(rng.UniformInt(2000, 2020));
+    const TimePoint e = static_cast<TimePoint>(b + rng.UniformInt(0, 5));
+    std::vector<Value> values;
+    const int n = static_cast<int>(rng.UniformInt(1, 3));
+    for (int k = 0; k < n; ++k) {
+      values.push_back(kValues[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(kValues.size()) - 1))]);
+    }
+    ASSERT_TRUE(seq.Insert(Triple(b, e, MakeValueSet(std::move(values)))).ok());
+  }
+
+  // Snapshot the union semantics before normalization.
+  std::map<TimePoint, ValueSet> before;
+  for (TimePoint t = 1995; t <= 2030; ++t) {
+    before[t] = seq.ValuesAt(t);
+  }
+  const int64_t lifespan_before = seq.Lifespan();
+
+  seq.Normalize();
+
+  EXPECT_TRUE(seq.IsCanonical()) << "seed " << GetParam();
+  EXPECT_EQ(seq.Lifespan(), lifespan_before);
+  for (TimePoint t = 1995; t <= 2030; ++t) {
+    EXPECT_EQ(seq.ValuesAt(t), before[t])
+        << "instant " << t << " seed " << GetParam();
+  }
+  // Normalize is idempotent.
+  const std::string rendered = seq.ToString();
+  seq.Normalize();
+  EXPECT_EQ(seq.ToString(), rendered);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, SequenceNormalizeProperty,
+                         ::testing::Range<uint64_t>(1, 51));
+
+class SequenceQueryProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SequenceQueryProperty, QueriesAgreeWithTripleScan) {
+  Random rng(GetParam() + 1000);
+  static const std::vector<Value> kValues = {"x", "y", "z"};
+
+  // Random canonical sequence via Append.
+  TemporalSequence seq;
+  TimePoint t = 2000;
+  ValueSet previous;
+  const int spells = static_cast<int>(rng.UniformInt(1, 8));
+  for (int i = 0; i < spells; ++i) {
+    ValueSet values;
+    while (values.empty() || values == previous) {
+      std::vector<Value> picked;
+      const int n = static_cast<int>(rng.UniformInt(1, 2));
+      for (int k = 0; k < n; ++k) {
+        picked.push_back(kValues[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(kValues.size()) - 1))]);
+      }
+      values = MakeValueSet(std::move(picked));
+    }
+    const TimePoint end = static_cast<TimePoint>(t + rng.UniformInt(0, 4));
+    ASSERT_TRUE(seq.Append(Triple(t, end, values)).ok());
+    previous = values;
+    t = static_cast<TimePoint>(end + rng.UniformInt(1, 3));
+  }
+
+  // IntervalsOf(v) must exactly cover the instants where v in ValuesAt(t).
+  for (const Value& v : kValues) {
+    std::set<TimePoint> from_intervals;
+    for (const Interval& iv : seq.IntervalsOf(v)) {
+      for (TimePoint u = iv.begin; u <= iv.end; ++u) from_intervals.insert(u);
+    }
+    std::set<TimePoint> from_values;
+    for (TimePoint u = 1995; u <= 2060; ++u) {
+      if (ValueSetContains(seq.ValuesAt(u), v)) from_values.insert(u);
+    }
+    EXPECT_EQ(from_intervals, from_values) << "value " << v << " seed "
+                                           << GetParam();
+    // LatestOccurrenceBefore agrees with the scan.
+    for (TimePoint query : {seq.at(0).interval.begin, *seq.LatestTime(),
+                            static_cast<TimePoint>(*seq.LatestTime() + 5)}) {
+      auto expected = [&]() -> std::optional<TimePoint> {
+        std::optional<TimePoint> best;
+        for (TimePoint u : from_values) {
+          if (u < query) best = u;
+        }
+        return best;
+      }();
+      EXPECT_EQ(seq.LatestOccurrenceBefore(v, query, true), expected)
+          << "value " << v << " query " << query << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, SequenceQueryProperty,
+                         ::testing::Range<uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace maroon

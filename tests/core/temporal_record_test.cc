@@ -1,0 +1,64 @@
+#include "core/temporal_record.h"
+
+#include <gtest/gtest.h>
+
+namespace maroon {
+namespace {
+
+TEST(TemporalRecordTest, ConstructorFields) {
+  const TemporalRecord r(7, "David Brown", 2011, 2);
+  EXPECT_EQ(r.id(), 7u);
+  EXPECT_EQ(r.name(), "David Brown");
+  EXPECT_EQ(r.timestamp(), 2011);
+  EXPECT_EQ(r.source(), 2u);
+  EXPECT_TRUE(r.values().empty());
+}
+
+TEST(TemporalRecordTest, SetValueCanonicalizes) {
+  TemporalRecord r(0, "X", 2000, 0);
+  r.SetValue("Org", {"XJek", "S3", "XJek"});
+  EXPECT_EQ(r.GetValue("Org"), MakeValueSet({"S3", "XJek"}));
+  EXPECT_TRUE(r.HasAttribute("Org"));
+}
+
+TEST(TemporalRecordTest, EmptySetErasesAttribute) {
+  TemporalRecord r(0, "X", 2000, 0);
+  r.SetValue("Org", MakeValueSet({"S3"}));
+  ASSERT_TRUE(r.HasAttribute("Org"));
+  r.SetValue("Org", {});
+  EXPECT_FALSE(r.HasAttribute("Org"));
+  EXPECT_TRUE(r.GetValue("Org").empty());
+}
+
+TEST(TemporalRecordTest, MissingAttributeIsEmpty) {
+  const TemporalRecord r(0, "X", 2000, 0);
+  EXPECT_TRUE(r.GetValue("Anything").empty());
+  EXPECT_FALSE(r.HasAttribute("Anything"));
+}
+
+TEST(TemporalRecordTest, AttributesSorted) {
+  TemporalRecord r(0, "X", 2000, 0);
+  r.SetValue("Title", MakeValueSet({"Engineer"}));
+  r.SetValue("Location", MakeValueSet({"Chicago"}));
+  EXPECT_EQ(r.Attributes(), (std::vector<Attribute>{"Location", "Title"}));
+}
+
+TEST(TemporalRecordTest, ToStringMentionsEverything) {
+  TemporalRecord r(3, "David Brown", 2011, 1);
+  r.SetValue("Title", MakeValueSet({"Director"}));
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("David Brown"), std::string::npos);
+  EXPECT_NE(s.find("2011"), std::string::npos);
+  EXPECT_NE(s.find("Director"), std::string::npos);
+  EXPECT_NE(s.find("s=1"), std::string::npos);
+}
+
+TEST(TemporalRecordTest, OverwriteValue) {
+  TemporalRecord r(0, "X", 2000, 0);
+  r.SetValue("Title", MakeValueSet({"Engineer"}));
+  r.SetValue("Title", MakeValueSet({"Manager"}));
+  EXPECT_EQ(r.GetValue("Title"), MakeValueSet({"Manager"}));
+}
+
+}  // namespace
+}  // namespace maroon

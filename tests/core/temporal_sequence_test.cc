@@ -1,0 +1,211 @@
+#include "core/temporal_sequence.h"
+
+#include <gtest/gtest.h>
+
+namespace maroon {
+namespace {
+
+TemporalSequence DavidTitles() {
+  // Example 3's Φ_David[Title].
+  TemporalSequence seq;
+  EXPECT_TRUE(seq.Append(Triple(2000, 2002, MakeValueSet({"Engineer"}))).ok());
+  EXPECT_TRUE(seq.Append(Triple(2003, 2009, MakeValueSet({"Manager"}))).ok());
+  return seq;
+}
+
+TemporalSequence DavidOrgs() {
+  // Example 3's Φ_David[Organization].
+  TemporalSequence seq;
+  EXPECT_TRUE(
+      seq.Append(Triple(2000, 2001, MakeValueSet({"S3", "XJek"}))).ok());
+  EXPECT_TRUE(seq.Append(Triple(2002, 2002, MakeValueSet({"XJek"}))).ok());
+  EXPECT_TRUE(seq.Append(Triple(2003, 2005, MakeValueSet({"Aelita"}))).ok());
+  EXPECT_TRUE(
+      seq.Append(Triple(2006, 2009, MakeValueSet({"Quest Software"}))).ok());
+  return seq;
+}
+
+TEST(IntervalTest, Basics) {
+  Interval iv(2000, 2004);
+  EXPECT_EQ(iv.Length(), 5);
+  EXPECT_TRUE(iv.Contains(2000));
+  EXPECT_TRUE(iv.Contains(2004));
+  EXPECT_FALSE(iv.Contains(2005));
+  EXPECT_TRUE(iv.IsValid());
+  EXPECT_FALSE(Interval(5, 4).IsValid());
+  EXPECT_EQ(Interval(5, 4).Length(), 0);
+}
+
+TEST(IntervalTest, OverlapAndIntersect) {
+  EXPECT_TRUE(Interval(1, 5).Overlaps(Interval(5, 9)));
+  EXPECT_FALSE(Interval(1, 4).Overlaps(Interval(5, 9)));
+  EXPECT_EQ(Interval(1, 5).Intersect(Interval(3, 9)), Interval(3, 5));
+}
+
+TEST(TripleTest, ToString) {
+  EXPECT_EQ(Triple(2000, 2001, MakeValueSet({"S3", "XJek"})).ToString(),
+            "<2000, 2001, {S3, XJek}>");
+}
+
+TEST(TemporalSequenceTest, AppendEnforcesDefinitionOne) {
+  TemporalSequence seq;
+  ASSERT_TRUE(seq.Append(Triple(2000, 2002, MakeValueSet({"a"}))).ok());
+  // Overlapping start (b' <= e) is rejected.
+  EXPECT_FALSE(seq.Append(Triple(2002, 2005, MakeValueSet({"b"}))).ok());
+  // Adjacent is fine (e < b'), but an identical adjacent value set is
+  // rejected (it should have been one triple).
+  EXPECT_FALSE(seq.Append(Triple(2003, 2005, MakeValueSet({"a"}))).ok());
+  EXPECT_TRUE(seq.Append(Triple(2003, 2005, MakeValueSet({"b"}))).ok());
+  EXPECT_EQ(seq.size(), 2u);
+  EXPECT_TRUE(seq.IsCanonical());
+}
+
+TEST(TemporalSequenceTest, ValuesMayRecurAfterGap) {
+  // Recurrence across a gap is legal (co-authors, locations, ... change
+  // back and forth — the behaviour the mutation model captures).
+  TemporalSequence seq;
+  ASSERT_TRUE(seq.Append(Triple(2000, 2001, MakeValueSet({"a"}))).ok());
+  EXPECT_TRUE(seq.Append(Triple(2005, 2006, MakeValueSet({"a"}))).ok());
+  EXPECT_TRUE(seq.IsCanonical());
+  EXPECT_EQ(seq.IntervalsOf("a").size(), 2u);
+}
+
+TEST(TemporalSequenceTest, AppendRejectsMalformedTriples) {
+  TemporalSequence seq;
+  EXPECT_FALSE(seq.Append(Triple(2005, 2001, MakeValueSet({"a"}))).ok());
+  EXPECT_FALSE(seq.Append(Triple(2000, 2001, ValueSet{})).ok());
+  // Non-canonical value set (unsorted / duplicated) is rejected.
+  EXPECT_FALSE(seq.Append(Triple(2000, 2001, ValueSet{"b", "a"})).ok());
+  EXPECT_FALSE(seq.Append(Triple(2000, 2001, ValueSet{"a", "a"})).ok());
+  EXPECT_TRUE(seq.empty());
+}
+
+TEST(TemporalSequenceTest, FromTriplesValidates) {
+  auto ok = TemporalSequence::FromTriples(
+      {Triple(1, 2, MakeValueSet({"x"})), Triple(3, 4, MakeValueSet({"y"}))});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 2u);
+  auto bad = TemporalSequence::FromTriples(
+      {Triple(1, 5, MakeValueSet({"x"})), Triple(3, 6, MakeValueSet({"y"}))});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(TemporalSequenceTest, ValuesAtMatchesExampleThree) {
+  const TemporalSequence titles = DavidTitles();
+  EXPECT_EQ(titles.ValuesAt(2002), MakeValueSet({"Engineer"}));
+  EXPECT_EQ(titles.ValuesAt(2003), MakeValueSet({"Manager"}));
+  EXPECT_TRUE(titles.ValuesAt(1999).empty());
+  EXPECT_TRUE(titles.ValuesAt(2010).empty());
+}
+
+TEST(TemporalSequenceTest, IntervalsOfMatchesExampleThree) {
+  const TemporalSequence titles = DavidTitles();
+  EXPECT_EQ(titles.IntervalsOf("Engineer"),
+            (std::vector<Interval>{Interval(2000, 2002)}));
+  const TemporalSequence orgs = DavidOrgs();
+  EXPECT_EQ(orgs.IntervalsOf("XJek"),
+            (std::vector<Interval>{Interval(2000, 2001), Interval(2002, 2002)}));
+  EXPECT_TRUE(orgs.IntervalsOf("WSO2").empty());
+}
+
+TEST(TemporalSequenceTest, LifespanMatchesExampleThree) {
+  EXPECT_EQ(DavidTitles().Lifespan(), 10);
+  EXPECT_EQ(DavidOrgs().Lifespan(), 10);
+  EXPECT_EQ(TemporalSequence().Lifespan(), 0);
+}
+
+TEST(TemporalSequenceTest, LatestOccurrenceBefore) {
+  const TemporalSequence titles = DavidTitles();
+  // Engineer last held 2002; query from 2004 (Example 6's delay = 2).
+  auto t = titles.LatestOccurrenceBefore("Engineer", 2004,
+                                         /*strictly_before=*/true);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 2002);
+  // Query at 2001 (inside the spell) strictly before -> 2000.
+  t = titles.LatestOccurrenceBefore("Engineer", 2001, true);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 2000);
+  // Inclusive query at 2001 -> 2001.
+  t = titles.LatestOccurrenceBefore("Engineer", 2001, false);
+  EXPECT_EQ(*t, 2001);
+  // Value never occurs before the query point.
+  EXPECT_FALSE(
+      titles.LatestOccurrenceBefore("Manager", 2002, true).has_value());
+  EXPECT_FALSE(
+      titles.LatestOccurrenceBefore("Director", 2020, true).has_value());
+}
+
+TEST(TemporalSequenceTest, CompletenessMatchesPaperExample) {
+  const TemporalSequence orgs = DavidOrgs();
+  EXPECT_TRUE(orgs.IsCompleteOver(Interval(2000, 2009)));
+  // Not complete w.r.t. [2000, 2013] — no values for [2010, 2013].
+  EXPECT_FALSE(orgs.IsCompleteOver(Interval(2000, 2013)));
+  EXPECT_DOUBLE_EQ(orgs.CoverageFraction(Interval(2000, 2013)), 10.0 / 14.0);
+}
+
+TEST(TemporalSequenceTest, CompletenessWithGaps) {
+  TemporalSequence seq;
+  ASSERT_TRUE(seq.Append(Triple(2000, 2001, MakeValueSet({"a"}))).ok());
+  ASSERT_TRUE(seq.Append(Triple(2004, 2005, MakeValueSet({"b"}))).ok());
+  EXPECT_FALSE(seq.IsCompleteOver(Interval(2000, 2005)));
+  EXPECT_DOUBLE_EQ(seq.CoverageFraction(Interval(2000, 2005)), 4.0 / 6.0);
+  EXPECT_TRUE(seq.IsCompleteOver(Interval(2004, 2005)));
+}
+
+TEST(TemporalSequenceTest, EarliestAndLatest) {
+  const TemporalSequence orgs = DavidOrgs();
+  EXPECT_EQ(*orgs.EarliestTime(), 2000);
+  EXPECT_EQ(*orgs.LatestTime(), 2009);
+  EXPECT_FALSE(TemporalSequence().EarliestTime().has_value());
+}
+
+TEST(TemporalSequenceTest, InsertAllowsOverlapAndNormalizeResolves) {
+  TemporalSequence seq;
+  ASSERT_TRUE(seq.Insert(Triple(2000, 2004, MakeValueSet({"a"}))).ok());
+  ASSERT_TRUE(seq.Insert(Triple(2003, 2006, MakeValueSet({"b"}))).ok());
+  EXPECT_FALSE(seq.IsCanonical());
+  // Overlap region contributes the union of values.
+  EXPECT_EQ(seq.ValuesAt(2003), MakeValueSet({"a", "b"}));
+  seq.Normalize();
+  EXPECT_TRUE(seq.IsCanonical());
+  EXPECT_EQ(seq.ValuesAt(2002), MakeValueSet({"a"}));
+  EXPECT_EQ(seq.ValuesAt(2003), MakeValueSet({"a", "b"}));
+  EXPECT_EQ(seq.ValuesAt(2004), MakeValueSet({"a", "b"}));
+  EXPECT_EQ(seq.ValuesAt(2005), MakeValueSet({"b"}));
+}
+
+TEST(TemporalSequenceTest, NormalizeCompressesEqualRuns) {
+  TemporalSequence seq;
+  ASSERT_TRUE(seq.Insert(Triple(2000, 2001, MakeValueSet({"a"}))).ok());
+  ASSERT_TRUE(seq.Insert(Triple(2002, 2003, MakeValueSet({"a"}))).ok());
+  seq.Normalize();
+  ASSERT_EQ(seq.size(), 1u);
+  EXPECT_EQ(seq.at(0).interval, Interval(2000, 2003));
+}
+
+TEST(TemporalSequenceTest, NormalizePreservesGaps) {
+  TemporalSequence seq;
+  ASSERT_TRUE(seq.Insert(Triple(2000, 2000, MakeValueSet({"a"}))).ok());
+  ASSERT_TRUE(seq.Insert(Triple(2005, 2005, MakeValueSet({"a"}))).ok());
+  seq.Normalize();
+  ASSERT_EQ(seq.size(), 2u);
+  EXPECT_TRUE(seq.ValuesAt(2002).empty());
+}
+
+TEST(TemporalSequenceTest, InsertKeepsSortedOrder) {
+  TemporalSequence seq;
+  ASSERT_TRUE(seq.Insert(Triple(2010, 2012, MakeValueSet({"c"}))).ok());
+  ASSERT_TRUE(seq.Insert(Triple(2000, 2002, MakeValueSet({"a"}))).ok());
+  ASSERT_TRUE(seq.Insert(Triple(2005, 2007, MakeValueSet({"b"}))).ok());
+  EXPECT_EQ(seq.at(0).interval.begin, 2000);
+  EXPECT_EQ(seq.at(1).interval.begin, 2005);
+  EXPECT_EQ(seq.at(2).interval.begin, 2010);
+}
+
+TEST(TemporalSequenceTest, ToStringRendersTriples) {
+  EXPECT_EQ(DavidTitles().ToString(),
+            "[<2000, 2002, {Engineer}>, <2003, 2009, {Manager}>]");
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,50 @@
+#include "core/value.h"
+
+#include <gtest/gtest.h>
+
+namespace maroon {
+namespace {
+
+TEST(MakeValueSetTest, SortsAndDeduplicates) {
+  EXPECT_EQ(MakeValueSet({"b", "a", "b", "c", "a"}),
+            (ValueSet{"a", "b", "c"}));
+}
+
+TEST(MakeValueSetTest, EmptyStaysEmpty) {
+  EXPECT_TRUE(MakeValueSet(std::vector<Value>{}).empty());
+}
+
+TEST(MakeValueSetTest, SingleElement) {
+  EXPECT_EQ(MakeValueSet({"only"}), (ValueSet{"only"}));
+}
+
+TEST(ValueSetContainsTest, FindsPresentValues) {
+  const ValueSet set = MakeValueSet({"S3", "XJek"});
+  EXPECT_TRUE(ValueSetContains(set, "S3"));
+  EXPECT_TRUE(ValueSetContains(set, "XJek"));
+  EXPECT_FALSE(ValueSetContains(set, "Aelita"));
+  EXPECT_FALSE(ValueSetContains({}, "anything"));
+}
+
+TEST(ValueSetUnionTest, MergesCanonically) {
+  EXPECT_EQ(ValueSetUnion(MakeValueSet({"a", "c"}), MakeValueSet({"b", "c"})),
+            (ValueSet{"a", "b", "c"}));
+  EXPECT_EQ(ValueSetUnion({}, MakeValueSet({"x"})), (ValueSet{"x"}));
+  EXPECT_TRUE(ValueSetUnion({}, {}).empty());
+}
+
+TEST(ValueSetIntersectionTest, KeepsCommonOnly) {
+  EXPECT_EQ(ValueSetIntersection(MakeValueSet({"a", "b", "c"}),
+                                 MakeValueSet({"b", "c", "d"})),
+            (ValueSet{"b", "c"}));
+  EXPECT_TRUE(
+      ValueSetIntersection(MakeValueSet({"a"}), MakeValueSet({"b"})).empty());
+}
+
+TEST(ValueSetToStringTest, Renders) {
+  EXPECT_EQ(ValueSetToString(MakeValueSet({"S3", "XJek"})), "{S3, XJek}");
+  EXPECT_EQ(ValueSetToString({}), "{}");
+}
+
+}  // namespace
+}  // namespace maroon

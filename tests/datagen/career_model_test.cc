@@ -1,0 +1,121 @@
+#include "datagen/career_model.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "transition/transition_model.h"
+
+namespace maroon {
+namespace {
+
+TEST(CareerModelTest, TitlesVocabulary) {
+  const std::vector<Value> titles = CareerModel::Titles();
+  EXPECT_EQ(titles.size(), 10u);
+  const std::set<Value> set(titles.begin(), titles.end());
+  EXPECT_TRUE(set.count("Engineer"));
+  EXPECT_TRUE(set.count("Director"));
+  EXPECT_TRUE(set.count("IT Contractor"));
+}
+
+TEST(CareerModelTest, ProfilesAreCanonicalAndComplete) {
+  Random rng(5);
+  CareerModel model(CareerModelOptions{}, rng);
+  for (int i = 0; i < 30; ++i) {
+    Random entity_rng = rng.Fork();
+    const EntityProfile p = model.GenerateProfile(
+        "e" + std::to_string(i), "Name", entity_rng);
+    ASSERT_FALSE(p.empty());
+    for (const auto& [attr, seq] : p.sequences()) {
+      EXPECT_TRUE(seq.IsCanonical()) << attr;
+    }
+    // The three career attributes are all present.
+    EXPECT_TRUE(p.HasAttribute(kAttrOrganization));
+    EXPECT_TRUE(p.HasAttribute(kAttrTitle));
+    EXPECT_TRUE(p.HasAttribute(kAttrLocation));
+    // Careers span from their start to the horizon, gap-free.
+    const Interval span(*p.EarliestTime(), *p.LatestTime());
+    EXPECT_EQ(span.end, model.options().horizon);
+    EXPECT_TRUE(p.IsCompleteOver(span));
+  }
+}
+
+TEST(CareerModelTest, DeterministicForSameSeed) {
+  Random rng_a(7), rng_b(7);
+  CareerModel model_a(CareerModelOptions{}, rng_a);
+  CareerModel model_b(CareerModelOptions{}, rng_b);
+  Random ea(99), eb(99);
+  const EntityProfile pa = model_a.GenerateProfile("e", "N", ea);
+  const EntityProfile pb = model_b.GenerateProfile("e", "N", eb);
+  EXPECT_EQ(pa.sequence(kAttrTitle).ToString(),
+            pb.sequence(kAttrTitle).ToString());
+  EXPECT_EQ(pa.sequence(kAttrOrganization).ToString(),
+            pb.sequence(kAttrOrganization).ToString());
+}
+
+TEST(CareerModelTest, UniversityPrefixIsConsistent) {
+  Random rng(11);
+  CareerModelOptions options;
+  options.num_universities = 10;
+  options.num_organizations = 40;
+  CareerModel model(options, rng);
+  ASSERT_EQ(model.organizations().size(), 40u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_TRUE(model.IsUniversity(i));
+  for (size_t i = 10; i < 40; ++i) EXPECT_FALSE(model.IsUniversity(i));
+}
+
+TEST(CareerModelTest, StableEntityFractionFreezesCareers) {
+  Random rng(19);
+  CareerModelOptions options;
+  options.stable_entity_fraction = 1.0;
+  CareerModel model(options, rng);
+  for (int i = 0; i < 10; ++i) {
+    Random entity_rng = rng.Fork();
+    const EntityProfile p =
+        model.GenerateProfile("e" + std::to_string(i), "N", entity_rng);
+    // Every attribute sequence is a single spell: nothing ever changes.
+    for (const auto& [attr, seq] : p.sequences()) {
+      EXPECT_EQ(seq.size(), 1u) << attr;
+    }
+  }
+}
+
+TEST(CareerModelTest, ZeroStableFractionKeepsMovers) {
+  Random rng(19);
+  CareerModel model(CareerModelOptions{}, rng);  // default 0.0
+  size_t movers = 0;
+  for (int i = 0; i < 20; ++i) {
+    Random entity_rng = rng.Fork();
+    const EntityProfile p =
+        model.GenerateProfile("e" + std::to_string(i), "N", entity_rng);
+    if (p.sequence(kAttrTitle).size() > 1) ++movers;
+  }
+  // Careers spanning decades essentially always change at least once.
+  EXPECT_GT(movers, 15u);
+}
+
+TEST(CareerModelTest, SeniorTitlesPersistLongerInLearnedModel) {
+  // Generate many careers, learn a transition model, and check the Table-7
+  // shape: Director self-transition beats Engineer self-transition at Δt=5.
+  Random rng(13);
+  CareerModel career(CareerModelOptions{}, rng);
+  ProfileSet profiles;
+  for (int i = 0; i < 400; ++i) {
+    Random entity_rng = rng.Fork();
+    profiles.push_back(career.GenerateProfile("e" + std::to_string(i), "N",
+                                              entity_rng));
+  }
+  const TransitionModel model =
+      TransitionModel::Train(profiles, {kAttrTitle});
+  const double director_stays =
+      model.Probability(kAttrTitle, "Director", "Director", 5);
+  const double engineer_stays =
+      model.Probability(kAttrTitle, "Engineer", "Engineer", 5);
+  EXPECT_GT(director_stays, engineer_stays);
+  // Manager -> Director is a plausible move; Manager -> IT Contractor rare.
+  EXPECT_GT(model.Probability(kAttrTitle, "Manager", "Director", 5),
+            model.Probability(kAttrTitle, "Manager", "IT Contractor", 5));
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/dblp_generator.h"
+#include "datagen/name_pool.h"
+#include "datagen/recruitment_generator.h"
+#include "freshness/freshness_model.h"
+
+namespace maroon {
+namespace {
+
+TEST(NamePoolTest, GeneratesDistinctNames) {
+  Random rng(1);
+  const auto names = NamePool::PersonNames(300, rng);
+  EXPECT_EQ(names.size(), 300u);
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(), 300u);
+}
+
+TEST(NamePoolTest, OrganizationsSplitUniversitiesFirst) {
+  Random rng(2);
+  const auto orgs = NamePool::OrganizationNames(30, 10, rng);
+  EXPECT_EQ(orgs.size(), 30u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NE(orgs[i].find("University"), std::string::npos) << orgs[i];
+  }
+  EXPECT_EQ(std::set<std::string>(orgs.begin(), orgs.end()).size(), 30u);
+}
+
+TEST(NamePoolTest, SharedNameAssignmentCoversAllNames) {
+  Random rng(3);
+  const auto assignment = NamePool::AssignSharedNames(100, 10, rng);
+  EXPECT_EQ(assignment.size(), 100u);
+  std::map<size_t, int> counts;
+  for (size_t n : assignment) {
+    ASSERT_LT(n, 10u);
+    ++counts[n];
+  }
+  // Round-robin: every name shared by exactly 10 entities.
+  for (const auto& [name, count] : counts) EXPECT_EQ(count, 10);
+}
+
+TEST(TruncateProfilePrefixTest, KeepsFirstFraction) {
+  EntityProfile full("e", "E");
+  (void)full.sequence("A").Append(Triple(2000, 2009, MakeValueSet({"x"})));
+  const EntityProfile clean = TruncateProfilePrefix(full, 0.3);
+  EXPECT_EQ(*clean.EarliestTime(), 2000);
+  EXPECT_EQ(*clean.LatestTime(), 2002);  // 30% of 10 years = 3 instants
+  const EntityProfile all = TruncateProfilePrefix(full, 1.0);
+  EXPECT_EQ(*all.LatestTime(), 2009);
+  // At least one instant is always kept.
+  const EntityProfile tiny = TruncateProfilePrefix(full, 0.0);
+  EXPECT_EQ(*tiny.LatestTime(), 2000);
+}
+
+TEST(TruncateProfilePrefixTest, ClipsStraddlingTriples) {
+  EntityProfile full("e", "E");
+  (void)full.sequence("A").Append(Triple(2000, 2003, MakeValueSet({"x"})));
+  (void)full.sequence("A").Append(Triple(2004, 2009, MakeValueSet({"y"})));
+  const EntityProfile clean = TruncateProfilePrefix(full, 0.5);  // [2000,2004]
+  EXPECT_EQ(clean.sequence("A").ValuesAt(2004), MakeValueSet({"y"}));
+  EXPECT_TRUE(clean.sequence("A").ValuesAt(2005).empty());
+  EXPECT_TRUE(clean.sequence("A").IsCanonical());
+}
+
+class RecruitmentGeneratorTest : public ::testing::Test {
+ protected:
+  static RecruitmentOptions SmallOptions() {
+    RecruitmentOptions options;
+    options.seed = 99;
+    options.num_entities = 60;
+    options.num_names = 20;
+    return options;
+  }
+};
+
+TEST_F(RecruitmentGeneratorTest, ProducesLabeledRecordsForAllTargets) {
+  const Dataset d = GenerateRecruitmentDataset(SmallOptions());
+  EXPECT_EQ(d.targets().size(), 60u);
+  EXPECT_EQ(d.sources().size(), 3u);
+  EXPECT_GT(d.NumRecords(), 200u);
+  // Every record is labeled with a known target.
+  for (const TemporalRecord& r : d.records()) {
+    const EntityId& label = d.LabelOf(r.id());
+    ASSERT_FALSE(label.empty());
+    EXPECT_TRUE(d.target(label).ok());
+  }
+}
+
+TEST_F(RecruitmentGeneratorTest, NameAmbiguityCreatesDecoyCandidates) {
+  const Dataset d = GenerateRecruitmentDataset(SmallOptions());
+  // 60 entities over 20 names -> 3 entities per name: candidate sets must
+  // contain records of other entities (the decoys temporal linkage must
+  // reject).
+  bool any_decoys = false;
+  for (const auto& [id, target] : d.targets()) {
+    const auto candidates = d.CandidatesFor(id);
+    const auto matches = d.TrueMatchesOf(id);
+    if (candidates.size() > matches.size()) any_decoys = true;
+  }
+  EXPECT_TRUE(any_decoys);
+}
+
+TEST_F(RecruitmentGeneratorTest, CleanProfileIsPrefixOfGroundTruth) {
+  const Dataset d = GenerateRecruitmentDataset(SmallOptions());
+  for (const auto& [id, target] : d.targets()) {
+    ASSERT_FALSE(target.ground_truth.empty());
+    ASSERT_FALSE(target.clean_profile.empty());
+    EXPECT_EQ(*target.clean_profile.EarliestTime(),
+              *target.ground_truth.EarliestTime());
+    EXPECT_LE(*target.clean_profile.LatestTime(),
+              *target.ground_truth.LatestTime());
+  }
+}
+
+TEST_F(RecruitmentGeneratorTest, DeterministicForSameSeed) {
+  const Dataset a = GenerateRecruitmentDataset(SmallOptions());
+  const Dataset b = GenerateRecruitmentDataset(SmallOptions());
+  ASSERT_EQ(a.NumRecords(), b.NumRecords());
+  for (RecordId i = 0; i < a.NumRecords(); ++i) {
+    EXPECT_EQ(a.record(i).ToString(), b.record(i).ToString());
+  }
+}
+
+TEST_F(RecruitmentGeneratorTest, CareerHubIsFreshestSource) {
+  const Dataset d = GenerateRecruitmentDataset(SmallOptions());
+  std::vector<EntityId> all_targets;
+  for (const auto& [id, t] : d.targets()) all_targets.push_back(id);
+  const FreshnessModel model = FreshnessModel::Train(d, all_targets);
+  const auto& attrs = d.attributes();
+  // CareerHub (source 0) publishes only current values.
+  EXPECT_GT(model.FreshnessScore(0, attrs), 0.95);
+  // The social sources lag on at least one attribute.
+  EXPECT_LT(model.FreshnessScore(1, attrs), 0.98);
+  EXPECT_TRUE(model.IsFresh(0, attrs, 0.9));
+}
+
+TEST(DblpGeneratorTest, MatchesPaperShape) {
+  DblpOptions options;
+  options.seed = 4;
+  const DblpCorpus corpus = GenerateDblpCorpus(options);
+  const Dataset& d = corpus.dataset;
+  EXPECT_EQ(d.targets().size(), 216u);
+  EXPECT_EQ(d.sources().size(), 1u);
+  // 216 authors over 21 names -> roughly 10 entities share each name.
+  std::set<std::string> names;
+  for (const auto& [id, target] : d.targets()) {
+    names.insert(target.ground_truth.name());
+  }
+  EXPECT_EQ(names.size(), 21u);
+  EXPECT_GT(d.NumRecords(), 1000u);
+}
+
+TEST(DblpGeneratorTest, AffiliationMapperCoversAllOrganizations) {
+  DblpOptions options;
+  options.seed = 4;
+  options.num_entities = 40;
+  options.num_names = 8;
+  const DblpCorpus corpus = GenerateDblpCorpus(options);
+  ASSERT_NE(corpus.affiliation_category_mapper, nullptr);
+  for (const auto& [id, target] : corpus.dataset.targets()) {
+    const TemporalSequence& seq =
+        target.ground_truth.sequence(kAttrAffiliation);
+    for (const Triple& tr : seq.triples()) {
+      for (const Value& v : tr.values) {
+        const Value category =
+            corpus.affiliation_category_mapper->Map(kAttrAffiliation, v);
+        EXPECT_TRUE(category == "university" || category == "industry")
+            << v << " -> " << category;
+      }
+    }
+  }
+}
+
+TEST(DblpGeneratorTest, ProfilesAreCanonicalAndRecordsFresh) {
+  DblpOptions options;
+  options.seed = 6;
+  options.num_entities = 30;
+  options.num_names = 6;
+  const DblpCorpus corpus = GenerateDblpCorpus(options);
+  const Dataset& d = corpus.dataset;
+  for (const auto& [id, target] : d.targets()) {
+    for (const auto& [attr, seq] : target.ground_truth.sequences()) {
+      EXPECT_TRUE(seq.IsCanonical()) << id << " " << attr;
+    }
+  }
+  // Records carry the affiliation valid at their timestamp (fresh source).
+  for (const TemporalRecord& r : d.records()) {
+    const EntityId& label = d.LabelOf(r.id());
+    const auto target = d.target(label);
+    ASSERT_TRUE(target.ok());
+    const ValueSet truth = (*target)->ground_truth.sequence(kAttrAffiliation)
+                               .ValuesAt(r.timestamp());
+    if (r.HasAttribute(kAttrAffiliation)) {
+      EXPECT_EQ(r.GetValue(kAttrAffiliation), truth);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,178 @@
+#include "datagen/source_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/career_model.h"
+
+namespace maroon {
+namespace {
+
+EntityProfile StaticProfile(TimePoint from, TimePoint to) {
+  EntityProfile p("e1", "Alice Chen");
+  (void)p.sequence(kAttrTitle).Append(
+      Triple(from, to, MakeValueSet({"Engineer"})));
+  (void)p.sequence(kAttrOrganization)
+      .Append(Triple(from, to, MakeValueSet({"Acme"})));
+  return p;
+}
+
+EntityProfile ChangingProfile() {
+  EntityProfile p("e1", "Alice Chen");
+  TemporalSequence& title = p.sequence(kAttrTitle);
+  (void)title.Append(Triple(2000, 2004, MakeValueSet({"Engineer"})));
+  (void)title.Append(Triple(2005, 2014, MakeValueSet({"Manager"})));
+  return p;
+}
+
+Dataset FreshDataset() {
+  Dataset d;
+  d.SetAttributes({kAttrOrganization, kAttrTitle, kAttrLocation});
+  d.AddSource("S");
+  return d;
+}
+
+TEST(SourceSimulatorTest, PublicationRateControlsVolume) {
+  const EntityProfile profile = StaticProfile(2000, 2019);  // 20 years
+  SourceConfig config;
+  config.name = "S";
+  config.publication_rate = 1.0;
+  Dataset dataset = FreshDataset();
+  Random rng(1);
+  SourceSimulator simulator(config, 0);
+  const size_t emitted = simulator.EmitRecords(profile, dataset, rng);
+  EXPECT_EQ(emitted, 20u);
+  EXPECT_EQ(dataset.NumRecords(), 20u);
+
+  config.publication_rate = 0.0;
+  Dataset empty = FreshDataset();
+  SourceSimulator silent(config, 0);
+  Random rng2(1);
+  EXPECT_EQ(silent.EmitRecords(profile, empty, rng2), 0u);
+}
+
+TEST(SourceSimulatorTest, ActiveFromBoundsTimestamps) {
+  const EntityProfile profile = StaticProfile(2000, 2019);
+  SourceConfig config;
+  config.name = "S";
+  config.publication_rate = 1.0;
+  config.active_from = 2010;
+  Dataset dataset = FreshDataset();
+  Random rng(2);
+  SourceSimulator simulator(config, 0);
+  simulator.EmitRecords(profile, dataset, rng);
+  ASSERT_GT(dataset.NumRecords(), 0u);
+  for (const TemporalRecord& r : dataset.records()) {
+    EXPECT_GE(r.timestamp(), 2010);
+  }
+}
+
+TEST(SourceSimulatorTest, FreshSourcePublishesCurrentValues) {
+  const EntityProfile profile = ChangingProfile();
+  SourceConfig config;
+  config.name = "S";
+  config.publication_rate = 1.0;
+  config.fresh_probability = {{kAttrTitle, 1.0}};
+  Dataset dataset = FreshDataset();
+  Random rng(3);
+  SourceSimulator simulator(config, 0);
+  simulator.EmitRecords(profile, dataset, rng);
+  for (const TemporalRecord& r : dataset.records()) {
+    if (!r.HasAttribute(kAttrTitle)) continue;
+    EXPECT_EQ(r.GetValue(kAttrTitle),
+              profile.sequence(kAttrTitle).ValuesAt(r.timestamp()))
+        << "t=" << r.timestamp();
+  }
+}
+
+TEST(SourceSimulatorTest, StaleSourcePublishesPastValues) {
+  const EntityProfile profile = ChangingProfile();
+  SourceConfig config;
+  config.name = "S";
+  config.publication_rate = 1.0;
+  config.fresh_probability = {{kAttrTitle, 0.0}};  // always stale
+  config.stale_decay = {{kAttrTitle, 0.3}};
+  Dataset dataset = FreshDataset();
+  Random rng(4);
+  SourceSimulator simulator(config, 0);
+  simulator.EmitRecords(profile, dataset, rng);
+
+  // Some record published after 2005 must still carry "Engineer".
+  bool lagging_value_seen = false;
+  for (const TemporalRecord& r : dataset.records()) {
+    if (r.timestamp() >= 2007 && r.HasAttribute(kAttrTitle) &&
+        r.GetValue(kAttrTitle) == MakeValueSet({"Engineer"})) {
+      lagging_value_seen = true;
+    }
+    // Values always come from the entity's true history (no fabrication).
+    if (r.HasAttribute(kAttrTitle)) {
+      const Value& v = r.GetValue(kAttrTitle)[0];
+      EXPECT_FALSE(profile.sequence(kAttrTitle).IntervalsOf(v).empty());
+    }
+  }
+  EXPECT_TRUE(lagging_value_seen);
+}
+
+TEST(SourceSimulatorTest, CoverageDropsAttributes) {
+  const EntityProfile profile = StaticProfile(2000, 2019);
+  SourceConfig config;
+  config.name = "S";
+  config.publication_rate = 1.0;
+  config.coverage = {{kAttrTitle, 1.0}, {kAttrOrganization, 0.0}};
+  Dataset dataset = FreshDataset();
+  Random rng(5);
+  SourceSimulator simulator(config, 0);
+  simulator.EmitRecords(profile, dataset, rng);
+  for (const TemporalRecord& r : dataset.records()) {
+    EXPECT_TRUE(r.HasAttribute(kAttrTitle));
+    EXPECT_FALSE(r.HasAttribute(kAttrOrganization));
+  }
+}
+
+TEST(SourceSimulatorTest, ErrorInjectionFabricatesForeignValues) {
+  const EntityProfile profile = StaticProfile(2000, 2019);
+  SourceConfig config;
+  config.name = "S";
+  config.publication_rate = 1.0;
+  config.error_rate = {{kAttrTitle, 1.0}};
+  config.error_pool = {{kAttrTitle, {"Wrong1", "Wrong2"}}};
+  Dataset dataset = FreshDataset();
+  Random rng(6);
+  SourceSimulator simulator(config, 0);
+  simulator.EmitRecords(profile, dataset, rng);
+  for (const TemporalRecord& r : dataset.records()) {
+    if (!r.HasAttribute(kAttrTitle)) continue;
+    const Value& v = r.GetValue(kAttrTitle)[0];
+    EXPECT_TRUE(v == "Wrong1" || v == "Wrong2") << v;
+  }
+}
+
+TEST(SourceSimulatorTest, NameTypoRateCorruptsMentions) {
+  const EntityProfile profile = StaticProfile(2000, 2019);
+  SourceConfig config;
+  config.name = "S";
+  config.publication_rate = 1.0;
+  config.name_typo_rate = 1.0;
+  Dataset dataset = FreshDataset();
+  Random rng(7);
+  SourceSimulator simulator(config, 0);
+  simulator.EmitRecords(profile, dataset, rng);
+  ASSERT_GT(dataset.NumRecords(), 0u);
+  for (const TemporalRecord& r : dataset.records()) {
+    EXPECT_NE(r.name(), "Alice Chen");
+    // Still labelled with the right ground-truth entity.
+    EXPECT_EQ(dataset.LabelOf(r.id()), "e1");
+  }
+}
+
+TEST(SourceSimulatorTest, EmptyProfileEmitsNothing) {
+  SourceConfig config;
+  config.name = "S";
+  config.publication_rate = 1.0;
+  Dataset dataset = FreshDataset();
+  Random rng(8);
+  SourceSimulator simulator(config, 0);
+  EXPECT_EQ(simulator.EmitRecords(EntityProfile("e", "E"), dataset, rng), 0u);
+}
+
+}  // namespace
+}  // namespace maroon

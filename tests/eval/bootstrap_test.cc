@@ -1,0 +1,76 @@
+#include "eval/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace maroon {
+namespace {
+
+TEST(BootstrapTest, DegenerateInputs) {
+  const BootstrapInterval empty = BootstrapMeanInterval({});
+  EXPECT_EQ(empty.samples, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  EXPECT_DOUBLE_EQ(empty.lower, empty.upper);
+
+  const BootstrapInterval single = BootstrapMeanInterval({0.7});
+  EXPECT_DOUBLE_EQ(single.mean, 0.7);
+  EXPECT_DOUBLE_EQ(single.lower, 0.7);
+  EXPECT_DOUBLE_EQ(single.upper, 0.7);
+}
+
+TEST(BootstrapTest, IntervalBracketsMean) {
+  std::vector<double> values = {0.2, 0.4, 0.6, 0.8, 0.5, 0.3, 0.7};
+  const BootstrapInterval ci = BootstrapMeanInterval(values);
+  EXPECT_LE(ci.lower, ci.mean);
+  EXPECT_GE(ci.upper, ci.mean);
+  EXPECT_GT(ci.HalfWidth(), 0.0);
+  EXPECT_EQ(ci.samples, values.size());
+}
+
+TEST(BootstrapTest, DeterministicForSeed) {
+  std::vector<double> values = {0.1, 0.9, 0.5, 0.4, 0.6};
+  const BootstrapInterval a = BootstrapMeanInterval(values, 0.95, 500, 3);
+  const BootstrapInterval b = BootstrapMeanInterval(values, 0.95, 500, 3);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(BootstrapTest, ConstantDataHasZeroWidth) {
+  const BootstrapInterval ci =
+      BootstrapMeanInterval({0.5, 0.5, 0.5, 0.5}, 0.95, 200);
+  EXPECT_DOUBLE_EQ(ci.lower, 0.5);
+  EXPECT_DOUBLE_EQ(ci.upper, 0.5);
+}
+
+TEST(BootstrapTest, WiderConfidenceGivesWiderInterval) {
+  Random rng(5);
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) values.push_back(rng.UniformDouble());
+  const BootstrapInterval narrow = BootstrapMeanInterval(values, 0.5);
+  const BootstrapInterval wide = BootstrapMeanInterval(values, 0.99);
+  EXPECT_GT(wide.HalfWidth(), narrow.HalfWidth());
+}
+
+TEST(BootstrapTest, IntervalShrinksWithSampleSize) {
+  Random rng(7);
+  std::vector<double> small_sample, large_sample;
+  for (int i = 0; i < 10; ++i) small_sample.push_back(rng.UniformDouble());
+  for (int i = 0; i < 1000; ++i) large_sample.push_back(rng.UniformDouble());
+  const BootstrapInterval small_ci = BootstrapMeanInterval(small_sample);
+  const BootstrapInterval large_ci = BootstrapMeanInterval(large_sample);
+  EXPECT_LT(large_ci.HalfWidth(), small_ci.HalfWidth());
+}
+
+TEST(BootstrapTest, CoversTrueMeanOfUniform) {
+  // With many samples from U(0,1), the 95% CI should cover 0.5.
+  Random rng(11);
+  std::vector<double> values;
+  for (int i = 0; i < 400; ++i) values.push_back(rng.UniformDouble());
+  const BootstrapInterval ci = BootstrapMeanInterval(values);
+  EXPECT_LT(ci.lower, 0.5);
+  EXPECT_GT(ci.upper, 0.5);
+}
+
+}  // namespace
+}  // namespace maroon

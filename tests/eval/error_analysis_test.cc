@@ -1,0 +1,92 @@
+#include "eval/error_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/static_linkage.h"
+#include "similarity/record_similarity.h"
+#include "testing/paper_example.h"
+
+namespace maroon {
+namespace {
+
+TEST(ErrorAnalysisTest, PerfectLinkageHasNoErrors) {
+  const Dataset dataset = testing::PaperRecords();
+  const ErrorBreakdown b = AnalyzeLinkageErrors(
+      dataset, "david_1", dataset.TrueMatchesOf("david_1"));
+  EXPECT_EQ(b.true_positives, 8u);
+  EXPECT_EQ(b.false_positives, 0u);
+  EXPECT_EQ(b.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(b.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(b.recall(), 1.0);
+}
+
+TEST(ErrorAnalysisTest, CategorizesMissedFutureStates) {
+  const Dataset dataset = testing::PaperRecords();
+  // Only the early records linked: r1-r4 (ids 0-3).
+  const ErrorBreakdown b =
+      AnalyzeLinkageErrors(dataset, "david_1", {0, 1, 2, 3});
+  EXPECT_EQ(b.true_positives, 4u);
+  EXPECT_EQ(b.false_negatives, 4u);
+  // David's clean profile ends 2009; r5 (2011), r7 (2012), r8/r9 (2013) are
+  // all missed *future* states — the Example-1 failure mode.
+  EXPECT_EQ(b.missed_future_states, 4u);
+  EXPECT_EQ(b.missed_in_history, 0u);
+}
+
+TEST(ErrorAnalysisTest, CategorizesDecoyAndUnlabeledLinks) {
+  const Dataset dataset = testing::PaperRecords();
+  // Linking the decoy r6 (id 5, unlabeled) plus a true record.
+  const ErrorBreakdown b = AnalyzeLinkageErrors(dataset, "david_1", {0, 5});
+  EXPECT_EQ(b.true_positives, 1u);
+  EXPECT_EQ(b.false_positives, 1u);
+  EXPECT_EQ(b.unlabeled_links, 1u);
+  EXPECT_EQ(b.decoy_links, 0u);
+  EXPECT_NE(b.ToString().find("unlabeled 1"), std::string::npos);
+}
+
+TEST(ErrorAnalysisTest, StaticLinkageMissesFutureStates) {
+  // Quantify the paper's core claim: static linkage's false negatives are
+  // dominated by future states.
+  const Dataset dataset = testing::PaperRecords();
+  SimilarityCalculator similarity;
+  StaticLinkage linkage(&similarity, StaticLinkageOptions{0.8});
+  std::vector<const TemporalRecord*> candidates;
+  for (const TemporalRecord& r : dataset.records()) candidates.push_back(&r);
+  const std::vector<RecordId> matched =
+      linkage.Link(dataset.target("david_1").value()->clean_profile,
+                   candidates);
+  const ErrorBreakdown b = AnalyzeLinkageErrors(dataset, "david_1", matched);
+  EXPECT_GT(b.false_negatives, 0u);
+  EXPECT_GT(b.missed_future_states, 0u);
+  EXPECT_GE(b.missed_future_states, b.missed_in_history);
+}
+
+TEST(ErrorAnalysisTest, AccumulatesAcrossEntities) {
+  ErrorBreakdown total;
+  ErrorBreakdown a;
+  a.true_positives = 3;
+  a.missed_future_states = 1;
+  a.false_negatives = 1;
+  ErrorBreakdown b;
+  b.true_positives = 2;
+  b.decoy_links = 2;
+  b.false_positives = 2;
+  total += a;
+  total += b;
+  EXPECT_EQ(total.true_positives, 5u);
+  EXPECT_EQ(total.false_negatives, 1u);
+  EXPECT_EQ(total.false_positives, 2u);
+  EXPECT_EQ(total.missed_future_states, 1u);
+  EXPECT_EQ(total.decoy_links, 2u);
+}
+
+TEST(ErrorAnalysisTest, EmptyEverything) {
+  Dataset dataset;
+  const ErrorBreakdown b = AnalyzeLinkageErrors(dataset, "nobody", {});
+  EXPECT_EQ(b.true_positives, 0u);
+  EXPECT_DOUBLE_EQ(b.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(b.recall(), 1.0);
+}
+
+}  // namespace
+}  // namespace maroon

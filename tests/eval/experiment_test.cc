@@ -1,0 +1,117 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/recruitment_generator.h"
+
+namespace maroon {
+namespace {
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  static Dataset SmallDataset() {
+    RecruitmentOptions options;
+    options.seed = 21;
+    options.num_entities = 40;
+    options.num_names = 16;
+    return GenerateRecruitmentDataset(options);
+  }
+
+  static ExperimentOptions SmallExperiment() {
+    ExperimentOptions options;
+    options.max_eval_entities = 10;
+    return options;
+  }
+};
+
+TEST_F(ExperimentTest, PrepareSplitsEntities) {
+  const Dataset dataset = SmallDataset();
+  Experiment experiment(&dataset, SmallExperiment());
+  experiment.Prepare();
+  EXPECT_EQ(experiment.training_entities().size(), 20u);
+  EXPECT_EQ(experiment.test_entities().size(), 20u);
+  // Deterministic split.
+  Experiment again(&dataset, SmallExperiment());
+  again.Prepare();
+  EXPECT_EQ(experiment.training_entities(), again.training_entities());
+}
+
+TEST_F(ExperimentTest, ModelsAreTrained) {
+  const Dataset dataset = SmallDataset();
+  Experiment experiment(&dataset, SmallExperiment());
+  experiment.Prepare();
+  EXPECT_TRUE(experiment.transition_model().HasAttribute(kAttrTitle));
+  EXPECT_GT(experiment.transition_model().MaxLifespan(kAttrTitle), 0);
+  EXPECT_GT(
+      experiment.freshness_model().ObservationCount(0, kAttrTitle), 0);
+  EXPECT_GT(experiment.muta_model().MaxDelta(kAttrTitle), 0);
+}
+
+TEST_F(ExperimentTest, RunWithoutPrepareReturnsEmpty) {
+  const Dataset dataset = SmallDataset();
+  Experiment experiment(&dataset, SmallExperiment());
+  const ExperimentResult r = experiment.Run(Method::kMaroon);
+  EXPECT_EQ(r.entities_evaluated, 0u);
+}
+
+TEST_F(ExperimentTest, EveryMethodProducesBoundedMetrics) {
+  const Dataset dataset = SmallDataset();
+  Experiment experiment(&dataset, SmallExperiment());
+  experiment.Prepare();
+  for (Method m : {Method::kMaroon, Method::kAfdsTransition,
+                   Method::kAfdsMuta, Method::kAfdsDecay, Method::kStatic}) {
+    const ExperimentResult r = experiment.Run(m);
+    EXPECT_EQ(r.entities_evaluated, 10u) << MethodName(m);
+    EXPECT_GE(r.precision, 0.0);
+    EXPECT_LE(r.precision, 1.0);
+    EXPECT_GE(r.recall, 0.0);
+    EXPECT_LE(r.recall, 1.0);
+    EXPECT_GE(r.accuracy, 0.0);
+    EXPECT_LE(r.accuracy, 1.0);
+    EXPECT_GE(r.completeness, 0.0);
+    EXPECT_LE(r.completeness, 1.0);
+    EXPECT_GE(r.phase1_seconds, 0.0);
+    EXPECT_GE(r.phase2_seconds, 0.0);
+    EXPECT_FALSE(r.ToString().empty());
+  }
+}
+
+TEST_F(ExperimentTest, MethodNamesAreDistinct) {
+  EXPECT_EQ(MethodName(Method::kMaroon), "MAROON");
+  EXPECT_EQ(MethodName(Method::kAfdsMuta), "MUTA+AFDS");
+  EXPECT_NE(MethodName(Method::kAfdsTransition), MethodName(Method::kStatic));
+}
+
+TEST_F(ExperimentTest, UncappedRunEvaluatesAllTestEntities) {
+  const Dataset dataset = SmallDataset();
+  ExperimentOptions options;  // max_eval_entities = 0
+  Experiment experiment(&dataset, options);
+  experiment.Prepare();
+  const ExperimentResult r = experiment.Run(Method::kStatic);
+  EXPECT_EQ(r.entities_evaluated, experiment.test_entities().size());
+  EXPECT_EQ(r.per_entity_precision.size(), r.entities_evaluated);
+}
+
+TEST_F(ExperimentTest, CiRenderingIncludesHalfWidths) {
+  const Dataset dataset = SmallDataset();
+  Experiment experiment(&dataset, SmallExperiment());
+  experiment.Prepare();
+  const ExperimentResult r = experiment.Run(Method::kStatic);
+  const std::string text = r.ToStringWithCi();
+  EXPECT_NE(text.find("±"), std::string::npos);
+  EXPECT_NE(text.find("Static"), std::string::npos);
+}
+
+TEST_F(ExperimentTest, MaroonIsReasonablyEffectiveOnEasyData) {
+  const Dataset dataset = SmallDataset();
+  Experiment experiment(&dataset, SmallExperiment());
+  experiment.Prepare();
+  const ExperimentResult r = experiment.Run(Method::kMaroon);
+  // Sanity floor, not a benchmark: the linkage must clearly beat chance.
+  EXPECT_GT(r.recall, 0.3);
+  EXPECT_GT(r.precision, 0.3);
+  EXPECT_GT(r.completeness, 0.2);
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,67 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/recruitment_generator.h"
+
+namespace maroon {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static Dataset SmallDataset() {
+    RecruitmentOptions options;
+    options.seed = 9;
+    options.num_entities = 30;
+    options.num_names = 12;
+    return GenerateRecruitmentDataset(options);
+  }
+  static ExperimentOptions Base() {
+    ExperimentOptions options;
+    options.max_eval_entities = 6;
+    return options;
+  }
+};
+
+TEST_F(ReportTest, ContainsAllSections) {
+  const Dataset dataset = SmallDataset();
+  ReportOptions report_options;
+  report_options.methods = {Method::kMaroon, Method::kStatic};
+  report_options.theta_sweep = {0.05, 0.2};
+  const std::string report =
+      GenerateComparisonReport(dataset, Base(), report_options);
+
+  EXPECT_NE(report.find("# MAROON evaluation report"), std::string::npos);
+  EXPECT_NE(report.find("## Corpus"), std::string::npos);
+  EXPECT_NE(report.find("## Method comparison"), std::string::npos);
+  EXPECT_NE(report.find("## Runtime"), std::string::npos);
+  EXPECT_NE(report.find("## θ sweep"), std::string::npos);
+  EXPECT_NE(report.find("| MAROON |"), std::string::npos);
+  EXPECT_NE(report.find("| Static |"), std::string::npos);
+  // Confidence half-widths rendered.
+  EXPECT_NE(report.find("±"), std::string::npos);
+  // Dataset statistics embedded.
+  EXPECT_NE(report.find("CareerHub"), std::string::npos);
+}
+
+TEST_F(ReportTest, SweepSectionOptional) {
+  const Dataset dataset = SmallDataset();
+  ReportOptions report_options;
+  report_options.methods = {Method::kStatic};
+  const std::string report =
+      GenerateComparisonReport(dataset, Base(), report_options);
+  EXPECT_EQ(report.find("θ sweep"), std::string::npos);
+}
+
+TEST_F(ReportTest, CustomTitle) {
+  const Dataset dataset = SmallDataset();
+  ReportOptions report_options;
+  report_options.title = "Nightly linkage quality";
+  report_options.methods = {Method::kStatic};
+  const std::string report =
+      GenerateComparisonReport(dataset, Base(), report_options);
+  EXPECT_NE(report.find("# Nightly linkage quality"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maroon

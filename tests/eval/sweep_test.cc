@@ -1,0 +1,74 @@
+#include "eval/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/recruitment_generator.h"
+
+namespace maroon {
+namespace {
+
+class SweepTest : public ::testing::Test {
+ protected:
+  static Dataset SmallDataset() {
+    RecruitmentOptions options;
+    options.seed = 3;
+    options.num_entities = 40;
+    options.num_names = 16;
+    return GenerateRecruitmentDataset(options);
+  }
+  static ExperimentOptions Base() {
+    ExperimentOptions options;
+    options.max_eval_entities = 8;
+    return options;
+  }
+};
+
+TEST_F(SweepTest, ThetaSweepTradesPrecisionForRecall) {
+  const Dataset dataset = SmallDataset();
+  const SweepCurve curve =
+      SweepTheta(dataset, Base(), {0.005, 0.1, 0.5});
+  ASSERT_EQ(curve.points.size(), 3u);
+  EXPECT_EQ(curve.parameter_name, "theta");
+  // Monotone directions across the extremes.
+  EXPECT_GE(curve.points.back().result.precision,
+            curve.points.front().result.precision - 1e-9);
+  EXPECT_LE(curve.points.back().result.recall,
+            curve.points.front().result.recall + 1e-9);
+}
+
+TEST_F(SweepTest, CsvRendering) {
+  const Dataset dataset = SmallDataset();
+  const SweepCurve curve = SweepTheta(dataset, Base(), {0.05});
+  const std::string csv = curve.ToCsv();
+  EXPECT_NE(csv.find("theta,precision,recall,f1"), std::string::npos);
+  // Header + one data row.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST_F(SweepTest, BestByF1) {
+  const Dataset dataset = SmallDataset();
+  const SweepCurve curve = SweepTheta(dataset, Base(), {0.01, 0.1});
+  const SweepPoint* best = curve.BestByF1();
+  ASSERT_NE(best, nullptr);
+  for (const SweepPoint& p : curve.points) {
+    EXPECT_GE(best->result.f1, p.result.f1);
+  }
+  EXPECT_EQ(SweepCurve().BestByF1(), nullptr);
+}
+
+TEST_F(SweepTest, CustomParameterSweep) {
+  const Dataset dataset = SmallDataset();
+  const SweepCurve curve = RunParameterSweep(
+      dataset, Base(), Method::kAfdsMuta, "link_threshold", {0.3, 0.6},
+      [](ExperimentOptions& options, double value) {
+        options.afds.link_threshold = value;
+      });
+  ASSERT_EQ(curve.points.size(), 2u);
+  EXPECT_EQ(curve.method, Method::kAfdsMuta);
+  // Raising the AFDS link threshold cannot raise recall.
+  EXPECT_LE(curve.points[1].result.recall,
+            curve.points[0].result.recall + 1e-9);
+}
+
+}  // namespace
+}  // namespace maroon

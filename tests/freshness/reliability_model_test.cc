@@ -1,0 +1,90 @@
+#include "freshness/reliability_model.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/recruitment_generator.h"
+#include "testing/paper_example.h"
+
+namespace maroon {
+namespace {
+
+using testing::kOrg;
+using testing::kTitle;
+
+TEST(ReliabilityModelTest, SmoothedReliability) {
+  ReliabilityModel model;
+  for (int i = 0; i < 8; ++i) model.AddObservation(0, "Title", true);
+  for (int i = 0; i < 2; ++i) model.AddObservation(0, "Title", false);
+  // (8 + 1) / (10 + 2) = 0.75 with α = 1.
+  EXPECT_DOUBLE_EQ(model.Reliability(0, "Title"), 0.75);
+  EXPECT_DOUBLE_EQ(model.ErrorRate(0, "Title"), 0.2);
+  EXPECT_EQ(model.ObservationCount(0, "Title"), 10);
+}
+
+TEST(ReliabilityModelTest, UntrainedDefaults) {
+  ReliabilityModel model;
+  EXPECT_DOUBLE_EQ(model.Reliability(3, "X"), 1.0);
+  EXPECT_DOUBLE_EQ(model.ErrorRate(3, "X"), 0.0);
+  EXPECT_EQ(model.ObservationCount(3, "X"), 0);
+
+  ReliabilityModelOptions options;
+  options.default_reliability = 0.5;
+  ReliabilityModel pessimistic(options);
+  EXPECT_DOUBLE_EQ(pessimistic.Reliability(3, "X"), 0.5);
+}
+
+TEST(ReliabilityModelTest, PerSourceAndAttribute) {
+  ReliabilityModel model;
+  model.AddObservation(0, "Title", true);
+  model.AddObservation(1, "Title", false);
+  EXPECT_GT(model.Reliability(0, "Title"), model.Reliability(1, "Title"));
+  // Other attributes of the same source are independent.
+  EXPECT_DOUBLE_EQ(model.Reliability(1, "Org"), 1.0);
+}
+
+TEST(ReliabilityModelTest, TrainStaleValuesAreNotErrors) {
+  // r3/r7 publish stale (but genuine) values -> Facebook stays reliable.
+  const Dataset dataset = testing::PaperRecords();
+  const ReliabilityModel model =
+      ReliabilityModel::Train(dataset, {"david_1"});
+  EXPECT_GT(model.ObservationCount(1, kTitle), 0);
+  EXPECT_DOUBLE_EQ(model.ErrorRate(1, kTitle), 0.0);
+  EXPECT_GT(model.Reliability(1, kTitle), 0.5);
+}
+
+TEST(ReliabilityModelTest, TrainDetectsInjectedErrors) {
+  RecruitmentOptions options;
+  options.seed = 31;
+  options.num_entities = 80;
+  options.num_names = 30;
+  options.social_source_error_rate = 0.3;
+  const Dataset dataset = GenerateRecruitmentDataset(options);
+  std::vector<EntityId> entities;
+  for (const auto& [id, t] : dataset.targets()) entities.push_back(id);
+  const ReliabilityModel model = ReliabilityModel::Train(dataset, entities);
+
+  // CareerHub (0) publishes only genuine values; the social sources now err
+  // roughly 30% of the time.
+  EXPECT_LT(model.ErrorRate(0, kAttrTitle), 0.02);
+  EXPECT_GT(model.ErrorRate(1, kAttrTitle), 0.15);
+  EXPECT_GT(model.ErrorRate(2, kAttrOrganization), 0.15);
+  EXPECT_GT(model.Reliability(0, kAttrTitle),
+            model.Reliability(1, kAttrTitle));
+}
+
+TEST(ReliabilityModelTest, NoErrorsWithoutInjection) {
+  RecruitmentOptions options;
+  options.seed = 31;
+  options.num_entities = 40;
+  options.num_names = 20;
+  const Dataset dataset = GenerateRecruitmentDataset(options);
+  std::vector<EntityId> entities;
+  for (const auto& [id, t] : dataset.targets()) entities.push_back(id);
+  const ReliabilityModel model = ReliabilityModel::Train(dataset, entities);
+  for (SourceId s = 0; s < 3; ++s) {
+    EXPECT_DOUBLE_EQ(model.ErrorRate(s, kAttrTitle), 0.0) << "source " << s;
+  }
+}
+
+}  // namespace
+}  // namespace maroon

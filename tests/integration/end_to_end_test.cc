@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "datagen/dblp_generator.h"
+#include "datagen/recruitment_generator.h"
+#include "eval/experiment.h"
+
+namespace maroon {
+namespace {
+
+/// Integration tests asserting the paper's qualitative claims (the "shapes"
+/// of Figures 4-6) on small synthetic corpora. These are the end-to-end
+/// checks that the full pipeline — generators, model training, Phase I/II,
+/// baselines, metrics — composes correctly.
+class EndToEndShapeTest : public ::testing::Test {
+ protected:
+  static Dataset RecruitmentDataset() {
+    RecruitmentOptions options;
+    options.seed = 7;
+    options.num_entities = 120;
+    options.num_names = 40;
+    return GenerateRecruitmentDataset(options);
+  }
+
+  static ExperimentOptions Options() {
+    ExperimentOptions options;
+    options.max_eval_entities = 30;
+    return options;
+  }
+};
+
+TEST_F(EndToEndShapeTest, TransitionModelBeatsMutaUnderAfds) {
+  // Figure 4's shape: MAROON_TR (transition model) outperforms MUTA on F1.
+  const Dataset dataset = RecruitmentDataset();
+  Experiment experiment(&dataset, Options());
+  experiment.Prepare();
+  const ExperimentResult tr = experiment.Run(Method::kAfdsTransition);
+  const ExperimentResult muta = experiment.Run(Method::kAfdsMuta);
+  EXPECT_GT(tr.f1, muta.f1 - 0.02)
+      << "transition model should not lose to MUTA: " << tr.ToString()
+      << " vs " << muta.ToString();
+}
+
+TEST_F(EndToEndShapeTest, MaroonBeatsMutaAfdsOnProfileQuality) {
+  // Figure 6's shape: full MAROON builds more accurate, more complete
+  // profiles than MUTA+AFDS.
+  const Dataset dataset = RecruitmentDataset();
+  Experiment experiment(&dataset, Options());
+  experiment.Prepare();
+  const ExperimentResult maroon = experiment.Run(Method::kMaroon);
+  const ExperimentResult muta = experiment.Run(Method::kAfdsMuta);
+  EXPECT_GT(maroon.completeness, muta.completeness)
+      << maroon.ToString() << " vs " << muta.ToString();
+  EXPECT_GT(maroon.accuracy + maroon.completeness,
+            muta.accuracy + muta.completeness);
+}
+
+TEST_F(EndToEndShapeTest, MaroonBeatsStaticLinkageOnRecall) {
+  // Static linkage misses future states by construction.
+  const Dataset dataset = RecruitmentDataset();
+  Experiment experiment(&dataset, Options());
+  experiment.Prepare();
+  const ExperimentResult maroon = experiment.Run(Method::kMaroon);
+  const ExperimentResult st = experiment.Run(Method::kStatic);
+  EXPECT_GT(maroon.recall, st.recall)
+      << maroon.ToString() << " vs " << st.ToString();
+}
+
+TEST_F(EndToEndShapeTest, DblpPipelineRunsEndToEnd) {
+  DblpOptions options;
+  options.seed = 11;
+  options.num_entities = 60;
+  options.num_names = 10;
+  const DblpCorpus corpus = GenerateDblpCorpus(options);
+  ExperimentOptions exp_options;
+  exp_options.max_eval_entities = 15;
+  Experiment experiment(&corpus.dataset, exp_options);
+  experiment.Prepare();
+  const ExperimentResult maroon = experiment.Run(Method::kMaroon);
+  EXPECT_EQ(maroon.entities_evaluated, 15u);
+  EXPECT_GT(maroon.recall, 0.2);
+  const ExperimentResult muta = experiment.Run(Method::kAfdsMuta);
+  EXPECT_GE(maroon.f1, muta.f1 - 0.1)
+      << maroon.ToString() << " vs " << muta.ToString();
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "datagen/dblp_generator.h"
+#include "datagen/recruitment_generator.h"
+#include "transition/transition_model.h"
+
+namespace maroon {
+namespace {
+
+/// Asserts the qualitative trends of the paper's Figure 3 and Table 7 as
+/// regression tests: the learnt transition probabilities must keep these
+/// shapes whatever else changes in the generators or the model.
+class FigureShapesTest : public ::testing::Test {
+ protected:
+  static ProfileSet RecruitmentProfiles() {
+    RecruitmentOptions options;
+    options.seed = 2015;
+    options.num_entities = 300;
+    options.num_names = 100;
+    const Dataset dataset = GenerateRecruitmentDataset(options);
+    ProfileSet profiles;
+    for (const auto& [id, target] : dataset.targets()) {
+      profiles.push_back(target.ground_truth);
+    }
+    return profiles;
+  }
+};
+
+TEST_F(FigureShapesTest, Table7SeniorityAndPromotionShapes) {
+  const TransitionModel model =
+      TransitionModel::Train(RecruitmentProfiles(), {kAttrTitle});
+
+  // Self-transitions decay with Δt for every rung of the ladder.
+  for (const Value& title : {"Engineer", "Manager", "Director"}) {
+    EXPECT_GT(model.Probability(kAttrTitle, title, title, 3),
+              model.Probability(kAttrTitle, title, title, 10))
+        << title;
+  }
+  // Senior titles persist longer (paper: ~2x at Δt = 5).
+  const double director5 =
+      model.Probability(kAttrTitle, "Director", "Director", 5);
+  const double engineer5 =
+      model.Probability(kAttrTitle, "Engineer", "Engineer", 5);
+  EXPECT_GT(director5, 1.5 * engineer5);
+  // Promotions beat odd moves at every horizon the paper tabulates.
+  for (int64_t dt : {3, 5, 8, 10}) {
+    EXPECT_GT(model.Probability(kAttrTitle, "Manager", "Director", dt),
+              model.Probability(kAttrTitle, "Manager", "Consultant", dt))
+        << "dt=" << dt;
+  }
+  // Engineer -> Manager grows with time (careers take years).
+  EXPECT_GT(model.Probability(kAttrTitle, "Engineer", "Manager", 8),
+            model.Probability(kAttrTitle, "Engineer", "Manager", 3));
+}
+
+TEST_F(FigureShapesTest, Figure3AffiliationTrends) {
+  DblpOptions options;
+  options.seed = 2015;
+  const DblpCorpus corpus = GenerateDblpCorpus(options);
+  ProfileSet profiles;
+  for (const auto& [id, target] : corpus.dataset.targets()) {
+    profiles.push_back(target.ground_truth);
+  }
+  const TransitionModel model =
+      TransitionModel::Train(profiles, {kAttrAffiliation});
+  const TableValueMapper& category = *corpus.affiliation_category_mapper;
+
+  // Aggregate category-level probabilities from the raw tables.
+  const auto series = [&](int64_t dt) {
+    std::map<std::string, double> counts;
+    double from_univ = 0, from_ind = 0;
+    const TransitionTable* table = model.table(kAttrAffiliation, dt);
+    EXPECT_NE(table, nullptr) << "dt=" << dt;
+    if (table == nullptr) return counts;
+    for (const auto& [from, to, count] : table->Entries()) {
+      const bool fu = category.Map(kAttrAffiliation, from) == "university";
+      const bool tu = category.Map(kAttrAffiliation, to) == "university";
+      (fu ? from_univ : from_ind) += static_cast<double>(count);
+      if (from == to) {
+        counts[fu ? "same_univ" : "same_company"] +=
+            static_cast<double>(count);
+      } else if (fu && tu) {
+        counts["univ_univ"] += static_cast<double>(count);
+      } else if (fu) {
+        counts["univ_ind"] += static_cast<double>(count);
+      } else if (tu) {
+        counts["ind_univ"] += static_cast<double>(count);
+      }
+    }
+    for (auto& [key, value] : counts) {
+      value /= (key == "same_company" || key == "ind_univ") ? from_ind
+                                                            : from_univ;
+    }
+    return counts;
+  };
+
+  auto early = series(2);
+  auto late = series(12);
+  // Same university: high early, decreasing over time.
+  EXPECT_GT(early["same_univ"], 0.7);
+  EXPECT_GT(early["same_univ"], late["same_univ"]);
+  // Univ -> another univ grows and dominates univ -> industry early.
+  EXPECT_GT(late["univ_univ"], early["univ_univ"]);
+  EXPECT_GE(early["univ_univ"], early["univ_ind"]);
+  // Industry -> university rare early, grows late in a career.
+  EXPECT_LT(early["ind_univ"], 0.08);
+  EXPECT_GT(late["ind_univ"], early["ind_univ"]);
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "datagen/recruitment_generator.h"
+#include "eval/experiment.h"
+
+namespace maroon {
+namespace {
+
+/// Integration tests under combined publication noise: erroneous values plus
+/// typo'd name mentions, exercising the reliability and fuzzy-blocking
+/// extensions end to end.
+class NoisyPipelineTest : public ::testing::Test {
+ protected:
+  static Dataset NoisyDataset() {
+    RecruitmentOptions options;
+    options.seed = 37;
+    options.num_entities = 120;
+    options.num_names = 40;
+    options.social_source_error_rate = 0.2;
+    options.social_source_name_typo_rate = 0.25;
+    return GenerateRecruitmentDataset(options);
+  }
+
+  static ExperimentOptions Base() {
+    ExperimentOptions options;
+    options.max_eval_entities = 25;
+    return options;
+  }
+};
+
+TEST_F(NoisyPipelineTest, PipelineSurvivesNoise) {
+  const Dataset dataset = NoisyDataset();
+  Experiment experiment(&dataset, Base());
+  experiment.Prepare();
+  const ExperimentResult r = experiment.Run(Method::kMaroon);
+  EXPECT_EQ(r.entities_evaluated, 25u);
+  // Noise hurts, but the pipeline must stay well above chance.
+  EXPECT_GT(r.f1, 0.2);
+  EXPECT_GT(r.accuracy, 0.3);
+}
+
+TEST_F(NoisyPipelineTest, ReliabilityModelSeesTheNoise) {
+  const Dataset dataset = NoisyDataset();
+  Experiment experiment(&dataset, Base());
+  experiment.Prepare();
+  const ReliabilityModel& reliability = experiment.reliability_model();
+  // CareerHub (0) stays clean; the social sources err.
+  EXPECT_LT(reliability.ErrorRate(0, kAttrTitle), 0.02);
+  EXPECT_GT(reliability.ErrorRate(1, kAttrTitle), 0.08);
+  EXPECT_GT(reliability.ErrorRate(2, kAttrOrganization), 0.08);
+}
+
+TEST_F(NoisyPipelineTest, ExtensionsDoNotHurtUnderNoise) {
+  const Dataset dataset = NoisyDataset();
+
+  ExperimentOptions plain = Base();
+  Experiment base_exp(&dataset, plain);
+  base_exp.Prepare();
+  const ExperimentResult base = base_exp.Run(Method::kMaroon);
+
+  ExperimentOptions extended = Base();
+  extended.use_source_reliability = true;
+  extended.use_fuzzy_blocking = true;
+  Experiment ext_exp(&dataset, extended);
+  ext_exp.Prepare();
+  const ExperimentResult ext = ext_exp.Run(Method::kMaroon);
+
+  // Fuzzy blocking recovers typo'd true records; reliability reweights the
+  // noisy sources. Together they must not lose to the plain configuration
+  // on recall, and overall quality should not collapse.
+  EXPECT_GE(ext.recall + 0.02, base.recall)
+      << base.ToString() << " vs " << ext.ToString();
+  EXPECT_GT(ext.f1, base.f1 - 0.05);
+}
+
+TEST_F(NoisyPipelineTest, CleanDataUnaffectedByExtensions) {
+  RecruitmentOptions options;
+  options.seed = 37;
+  options.num_entities = 60;
+  options.num_names = 20;
+  const Dataset dataset = GenerateRecruitmentDataset(options);
+
+  ExperimentOptions plain = Base();
+  plain.max_eval_entities = 15;
+  Experiment base_exp(&dataset, plain);
+  base_exp.Prepare();
+  const ExperimentResult base = base_exp.Run(Method::kMaroon);
+
+  ExperimentOptions extended = plain;
+  extended.use_source_reliability = true;
+  Experiment ext_exp(&dataset, extended);
+  ext_exp.Prepare();
+  const ExperimentResult ext = ext_exp.Run(Method::kMaroon);
+
+  // Without injected errors every source is near-fully reliable, so the
+  // reliability weighting is close to a no-op.
+  EXPECT_NEAR(base.f1, ext.f1, 0.05);
+}
+
+}  // namespace
+}  // namespace maroon

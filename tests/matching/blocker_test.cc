@@ -1,0 +1,134 @@
+#include "matching/blocker.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/recruitment_generator.h"
+#include "testing/paper_example.h"
+
+namespace maroon {
+namespace {
+
+TEST(NormalizeNameTest, LowercasesAndSortsTokens) {
+  EXPECT_EQ(NameBlocker::NormalizeName("David Brown"), "brown david");
+  EXPECT_EQ(NameBlocker::NormalizeName("BROWN,  David"), "brown david");
+  EXPECT_EQ(NameBlocker::NormalizeName("David  Brown"),
+            NameBlocker::NormalizeName("Brown David"));
+  EXPECT_EQ(NameBlocker::NormalizeName(""), "");
+}
+
+TEST(NameBlockerTest, ExactBlockingMatchesPaperCandidates) {
+  const Dataset dataset = testing::PaperRecords();
+  NameBlocker blocker;
+  blocker.Index(dataset);
+  const auto candidates = blocker.Candidates("David Brown");
+  EXPECT_EQ(candidates.size(), 9u);
+  // Token order and casing do not matter.
+  EXPECT_EQ(blocker.Candidates("brown DAVID").size(), 9u);
+  EXPECT_TRUE(blocker.Candidates("Someone Else").empty());
+}
+
+TEST(NameBlockerTest, FuzzyRecoversTypos) {
+  Dataset dataset;
+  dataset.SetAttributes({"Title"});
+  dataset.AddSource("S");
+  const auto add = [&](const std::string& name) {
+    TemporalRecord r(0, name, 2000, 0);
+    r.SetValue("Title", MakeValueSet({"Engineer"}));
+    return dataset.AddRecord(std::move(r));
+  };
+  add("David Brown");
+  add("Davd Brown");     // dropped character
+  add("David Borwn");    // transposition
+  add("Maria Garcia");   // unrelated
+
+  NameBlocker exact;
+  exact.Index(dataset);
+  EXPECT_EQ(exact.Candidates("David Brown").size(), 1u);
+
+  BlockerOptions options;
+  options.fuzzy = true;
+  NameBlocker fuzzy(options);
+  fuzzy.Index(dataset);
+  const auto candidates = fuzzy.Candidates("David Brown");
+  EXPECT_EQ(candidates.size(), 3u);
+  for (RecordId id : candidates) EXPECT_LT(id, 3u);
+}
+
+TEST(NameBlockerTest, FuzzyThresholdControlsAdmission) {
+  Dataset dataset;
+  dataset.SetAttributes({"Title"});
+  dataset.AddSource("S");
+  TemporalRecord r(0, "Daved Brwn", 2000, 0);
+  r.SetValue("Title", MakeValueSet({"X"}));
+  dataset.AddRecord(std::move(r));
+
+  BlockerOptions strict;
+  strict.fuzzy = true;
+  strict.name_similarity_threshold = 0.99;
+  NameBlocker strict_blocker(strict);
+  strict_blocker.Index(dataset);
+  EXPECT_TRUE(strict_blocker.Candidates("David Brown").empty());
+
+  BlockerOptions loose;
+  loose.fuzzy = true;
+  loose.name_similarity_threshold = 0.85;
+  NameBlocker loose_blocker(loose);
+  loose_blocker.Index(dataset);
+  EXPECT_EQ(loose_blocker.Candidates("David Brown").size(), 1u);
+}
+
+TEST(NameBlockerTest, TypoNoiseLimitsExactBlockingRecall) {
+  RecruitmentOptions options;
+  options.seed = 17;
+  options.num_entities = 40;
+  options.num_names = 20;
+  options.social_source_name_typo_rate = 0.4;
+  const Dataset dataset = GenerateRecruitmentDataset(options);
+
+  NameBlocker exact;
+  exact.Index(dataset);
+  BlockerOptions fuzzy_options;
+  fuzzy_options.fuzzy = true;
+  NameBlocker fuzzy(fuzzy_options);
+  fuzzy.Index(dataset);
+
+  size_t exact_found = 0, fuzzy_found = 0, total_true = 0;
+  for (const auto& [id, target] : dataset.targets()) {
+    const auto truth = dataset.TrueMatchesOf(id);
+    total_true += truth.size();
+    const auto exact_set = exact.Candidates(target.clean_profile.name());
+    const auto fuzzy_set = fuzzy.Candidates(target.clean_profile.name());
+    for (RecordId rid : truth) {
+      exact_found += std::binary_search(exact_set.begin(), exact_set.end(),
+                                        rid);
+      fuzzy_found += std::binary_search(fuzzy_set.begin(), fuzzy_set.end(),
+                                        rid);
+    }
+  }
+  ASSERT_GT(total_true, 0u);
+  // Typos push true records out of exact blocks; fuzzy recovers most.
+  EXPECT_LT(exact_found, total_true);
+  EXPECT_GT(fuzzy_found, exact_found);
+}
+
+TEST(NameBlockerTest, ReindexReplacesState) {
+  Dataset a;
+  a.SetAttributes({"T"});
+  a.AddSource("S");
+  TemporalRecord r(0, "Alice", 2000, 0);
+  r.SetValue("T", MakeValueSet({"x"}));
+  a.AddRecord(std::move(r));
+
+  NameBlocker blocker;
+  blocker.Index(a);
+  EXPECT_EQ(blocker.NumKeys(), 1u);
+
+  Dataset b;
+  b.SetAttributes({"T"});
+  blocker.Index(b);
+  EXPECT_EQ(blocker.NumKeys(), 0u);
+  EXPECT_TRUE(blocker.Candidates("Alice").empty());
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "matching/cluster_generator.h"
+#include "testing/paper_example.h"
+
+namespace maroon {
+namespace {
+
+using testing::kLocation;
+using testing::kOrg;
+using testing::kTitle;
+
+TemporalRecord MakeRecord(RecordId id, TimePoint t, SourceId source,
+                          std::initializer_list<std::pair<Attribute, ValueSet>>
+                              values) {
+  TemporalRecord r(id, "X", t, source);
+  for (const auto& [a, v] : values) r.SetValue(a, v);
+  return r;
+}
+
+class ClusterGeneratorEdgeTest : public ::testing::Test {
+ protected:
+  std::vector<GeneratedCluster> Generate(
+      const std::vector<TemporalRecord>& records, const FreshnessModel& model,
+      ClusterGeneratorOptions options = {}) {
+    std::vector<const TemporalRecord*> pointers;
+    for (const auto& r : records) pointers.push_back(&r);
+    ClusterGenerator generator(&similarity_, &model,
+                               testing::PaperAttributes(), options);
+    return generator.Generate(pointers);
+  }
+
+  SimilarityCalculator similarity_;
+};
+
+TEST_F(ClusterGeneratorEdgeTest, AllStaleSourcesStillCluster) {
+  // A freshness model where source 0 is never fresh on any attribute but
+  // has usable delay mass at eta = 0 and 2.
+  FreshnessModel model;
+  for (const Attribute& a : testing::PaperAttributes()) {
+    for (int i = 0; i < 5; ++i) model.AddObservation(0, a, 0);
+    for (int i = 0; i < 5; ++i) model.AddObservation(0, a, 2);
+  }
+  model.Finalize();
+
+  std::vector<TemporalRecord> records;
+  records.push_back(
+      MakeRecord(0, 2000, 0, {{kTitle, MakeValueSet({"Engineer"})}}));
+  records.push_back(
+      MakeRecord(1, 2002, 0, {{kTitle, MakeValueSet({"Engineer"})}}));
+
+  const auto clusters = Generate(records, model);
+  // No fresh records, so r0 seeds a cluster; r1 (eta = 2 w.r.t. that
+  // cluster, Delay = 0.5 > mu') joins it on Title.
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].cluster.size(), 2u);
+  // The signature interval stays at the seeding record's instant.
+  EXPECT_EQ(clusters[0].signature.interval, Interval(2000, 2000));
+}
+
+TEST_F(ClusterGeneratorEdgeTest, StaleRecordBeforeClusterStartSeedsNew) {
+  // Source 0 is stale (mass at 0 and 2); source 2 is fresh.
+  FreshnessModel model;
+  for (const Attribute& a : testing::PaperAttributes()) {
+    for (int i = 0; i < 5; ++i) model.AddObservation(0, a, 0);
+    for (int i = 0; i < 5; ++i) model.AddObservation(0, a, 2);
+    for (int i = 0; i < 20; ++i) model.AddObservation(2, a, 0);
+  }
+  model.Finalize();
+
+  std::vector<TemporalRecord> records;
+  // Fresh cluster at [2010, 2010].
+  records.push_back(
+      MakeRecord(0, 2010, 2, {{kTitle, MakeValueSet({"Engineer"})}}));
+  // Identical values, but timestamped BEFORE the cluster starts: the
+  // r.t >= c.tmin guard (Algorithm 2 line 11) forbids joining — a record
+  // cannot describe a state that only begins after it was published.
+  records.push_back(
+      MakeRecord(1, 2005, 0, {{kTitle, MakeValueSet({"Engineer"})}}));
+  const auto clusters = Generate(records, model);
+  ASSERT_EQ(clusters.size(), 2u);
+  for (const auto& gc : clusters) EXPECT_EQ(gc.cluster.size(), 1u);
+}
+
+TEST_F(ClusterGeneratorEdgeTest, StaleRecordJoinsWhenDelayMassAllows) {
+  FreshnessModel model;
+  for (const Attribute& a : testing::PaperAttributes()) {
+    for (int i = 0; i < 5; ++i) model.AddObservation(0, a, 0);
+    for (int i = 0; i < 5; ++i) model.AddObservation(0, a, 5);
+  }
+  model.Finalize();
+
+  std::vector<TemporalRecord> records;
+  records.push_back(
+      MakeRecord(0, 2005, 0, {{kTitle, MakeValueSet({"Engineer"})}}));
+  // Published 5 years later; Delay(5) = 0.5 > mu' -> joins the 2005 state.
+  records.push_back(
+      MakeRecord(1, 2010, 0, {{kTitle, MakeValueSet({"Engineer"})}}));
+  const auto clusters = Generate(records, model);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].cluster.size(), 2u);
+  EXPECT_EQ(clusters[0].signature.interval, Interval(2005, 2005));
+}
+
+TEST_F(ClusterGeneratorEdgeTest, SingleRecordSingleCluster) {
+  const FreshnessModel model = testing::PaperFreshnessModel();
+  std::vector<TemporalRecord> records;
+  records.push_back(MakeRecord(0, 2004, /*source=*/2,
+                               {{kTitle, MakeValueSet({"Manager"})}}));
+  const auto clusters = Generate(records, model);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].signature.ValuesOf(kTitle), MakeValueSet({"Manager"}));
+  EXPECT_GT(clusters[0].signature.ConfidenceOf(kTitle), 0.0);
+}
+
+TEST_F(ClusterGeneratorEdgeTest, ReliabilityWeightsConfidence) {
+  const FreshnessModel freshness = testing::PaperFreshnessModel();
+  ReliabilityModel reliability;
+  // Source 0 errs half the time on Title.
+  for (int i = 0; i < 10; ++i) reliability.AddObservation(0, kTitle, i < 5);
+
+  std::vector<TemporalRecord> records;
+  records.push_back(MakeRecord(0, 2004, /*source=*/0,
+                               {{kTitle, MakeValueSet({"Manager"})}}));
+  std::vector<const TemporalRecord*> pointers{&records[0]};
+
+  ClusterGenerator with(&similarity_, &freshness, testing::PaperAttributes(),
+                        {});
+  with.SetReliabilityModel(&reliability);
+  const auto weighted = with.Generate(pointers);
+
+  ClusterGenerator without(&similarity_, &freshness,
+                           testing::PaperAttributes(), {});
+  const auto unweighted = without.Generate(pointers);
+
+  ASSERT_EQ(weighted.size(), 1u);
+  ASSERT_EQ(unweighted.size(), 1u);
+  EXPECT_LT(weighted[0].signature.ConfidenceOf(kTitle),
+            unweighted[0].signature.ConfidenceOf(kTitle));
+}
+
+TEST_F(ClusterGeneratorEdgeTest, RecordsWithDisjointAttributesStaySeparate) {
+  const FreshnessModel model = testing::PaperFreshnessModel();
+  std::vector<TemporalRecord> records;
+  records.push_back(
+      MakeRecord(0, 2004, 2, {{kTitle, MakeValueSet({"Manager"})}}));
+  records.push_back(
+      MakeRecord(1, 2004, 2, {{kLocation, MakeValueSet({"Chicago"})}}));
+  const auto clusters = Generate(records, model);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+}  // namespace
+}  // namespace maroon

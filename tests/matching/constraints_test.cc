@@ -1,0 +1,148 @@
+#include "matching/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "matching/profile_matcher.h"
+#include "testing/paper_example.h"
+
+namespace maroon {
+namespace {
+
+using testing::kTitle;
+
+TEST(MaxSimultaneousValuesTest, DetectsOvercrowdedInstants) {
+  MaxSimultaneousValuesConstraint single(kTitle, 1);
+  EntityProfile profile = testing::DavidBrownProfile();
+  // Inserting a second Title over an occupied period violates.
+  EXPECT_TRUE(single.WouldViolate(profile, kTitle,
+                                  MakeValueSet({"Consultant"}),
+                                  Interval(2005, 2005)));
+  // Inserting over a free period is fine.
+  EXPECT_FALSE(single.WouldViolate(profile, kTitle,
+                                   MakeValueSet({"Director"}),
+                                   Interval(2011, 2011)));
+  // Other attributes are ignored.
+  EXPECT_FALSE(single.WouldViolate(profile, "Organization",
+                                   MakeValueSet({"X"}), Interval(2005, 2005)));
+  EXPECT_FALSE(single.Violates(profile));
+}
+
+TEST(MaxSimultaneousValuesTest, AllowsUpToLimit) {
+  MaxSimultaneousValuesConstraint two("Organization", 2);
+  const EntityProfile profile = testing::DavidBrownProfile();
+  // David already holds {S3, XJek} in 2000; a third org violates at k=2.
+  EXPECT_TRUE(two.WouldViolate(profile, "Organization",
+                               MakeValueSet({"Aelita"}), Interval(2000, 2000)));
+  // The existing profile itself is fine at the limit.
+  EXPECT_FALSE(two.Violates(profile));
+  MaxSimultaneousValuesConstraint one("Organization", 1);
+  EXPECT_TRUE(one.Violates(profile));
+}
+
+TEST(ImmutableAttributeTest, SecondDistinctValueViolates) {
+  ImmutableAttributeConstraint immutable("Birthplace");
+  EntityProfile profile("e", "E");
+  EXPECT_FALSE(immutable.WouldViolate(profile, "Birthplace",
+                                      MakeValueSet({"Chicago"}),
+                                      Interval(2000, 2000)));
+  (void)profile.sequence("Birthplace")
+      .Append(Triple(1980, 1980, MakeValueSet({"Chicago"})));
+  EXPECT_FALSE(immutable.WouldViolate(profile, "Birthplace",
+                                      MakeValueSet({"Chicago"}),
+                                      Interval(2000, 2000)));
+  EXPECT_TRUE(immutable.WouldViolate(profile, "Birthplace",
+                                     MakeValueSet({"Boston"}),
+                                     Interval(2000, 2000)));
+  EXPECT_FALSE(immutable.Violates(profile));
+}
+
+TEST(ValueOrderTest, LaterValueCannotPrecedeEarlier) {
+  ValueOrderConstraint order(kTitle, "Engineer", "CEO");
+  EntityProfile profile("e", "E");
+  (void)profile.sequence(kTitle).Append(
+      Triple(2000, 2004, MakeValueSet({"Engineer"})));
+  // CEO after Engineer: fine.
+  EXPECT_FALSE(order.WouldViolate(profile, kTitle, MakeValueSet({"CEO"}),
+                                  Interval(2010, 2010)));
+  // CEO before the last Engineer year: violates.
+  EXPECT_TRUE(order.WouldViolate(profile, kTitle, MakeValueSet({"CEO"}),
+                                 Interval(1999, 1999)));
+  // Engineer again after CEO started: violates.
+  EntityProfile ceo_profile("e2", "E2");
+  (void)ceo_profile.sequence(kTitle).Append(
+      Triple(2005, 2010, MakeValueSet({"CEO"})));
+  EXPECT_TRUE(order.WouldViolate(ceo_profile, kTitle,
+                                 MakeValueSet({"Engineer"}),
+                                 Interval(2012, 2012)));
+  EXPECT_FALSE(order.Violates(profile));
+}
+
+TEST(ValueOrderTest, ViolatesOnExistingProfile) {
+  ValueOrderConstraint order(kTitle, "Engineer", "CEO");
+  EntityProfile profile("e", "E");
+  (void)profile.sequence(kTitle).Append(
+      Triple(2000, 2002, MakeValueSet({"CEO"})));
+  (void)profile.sequence(kTitle).Append(
+      Triple(2005, 2006, MakeValueSet({"Engineer"})));
+  EXPECT_TRUE(order.Violates(profile));
+}
+
+TEST(ConstraintSetTest, CollectsViolationNames) {
+  ConstraintSet set;
+  set.Add(std::make_unique<MaxSimultaneousValuesConstraint>(kTitle, 1));
+  set.Add(std::make_unique<ValueOrderConstraint>(kTitle, "Engineer", "CEO"));
+  EXPECT_EQ(set.size(), 2u);
+
+  const EntityProfile profile = testing::DavidBrownProfile();
+  const auto violations = set.ViolationsOfInsert(
+      profile, kTitle, MakeValueSet({"Consultant"}), Interval(2005, 2005));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("max_simultaneous"), std::string::npos);
+  EXPECT_TRUE(set.ViolationsOf(profile).empty());
+}
+
+TEST(ConstraintSetTest, MatcherRejectsInfeasibleClusters) {
+  // A cluster with a rule-violating Title never links even when its
+  // transition score is the best available.
+  const TransitionModel model = TransitionModel::Train(
+      testing::CareerTrainingProfiles(), {kTitle});
+  ConstraintSet constraints;
+  // Declare: nobody becomes Director again... forbid Director after 2010 via
+  // an order rule instead: Director must come before President — and the
+  // cluster tries to insert Director after an existing President spell.
+  constraints.Add(std::make_unique<ValueOrderConstraint>(kTitle, "Director",
+                                                         "President"));
+
+  EntityProfile profile("e", "E");
+  (void)profile.sequence(kTitle).Append(
+      Triple(2000, 2005, MakeValueSet({"Manager"})));
+  (void)profile.sequence(kTitle).Append(
+      Triple(2006, 2009, MakeValueSet({"President"})));
+
+  GeneratedCluster cluster;
+  cluster.signature.interval = Interval(2012, 2012);
+  cluster.signature.values[kTitle] = MakeValueSet({"Director"});
+  cluster.signature.confidence[kTitle] = 5.0;
+  TemporalRecord r(1, "E", 2012, 0);
+  r.SetValue(kTitle, MakeValueSet({"Director"}));
+  cluster.cluster.Add(r);
+
+  ProfileMatcherOptions options;
+  options.theta = 0.0001;
+  options.constraints = &constraints;
+  ProfileMatcher matcher(&model, {kTitle}, options);
+  const MatchResult result = matcher.MatchAndAugment(profile, {cluster});
+  EXPECT_TRUE(result.matched_records.empty());
+  EXPECT_EQ(result.pruned_clusters, (std::vector<size_t>{0}));
+
+  // Without the constraint the same cluster links.
+  options.constraints = nullptr;
+  ProfileMatcher unconstrained(&model, {kTitle}, options);
+  const MatchResult linked = unconstrained.MatchAndAugment(profile, {cluster});
+  EXPECT_EQ(linked.matched_records.size(), 1u);
+}
+
+}  // namespace
+}  // namespace maroon

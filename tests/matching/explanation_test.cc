@@ -1,0 +1,78 @@
+#include "matching/explanation.h"
+
+#include <gtest/gtest.h>
+
+#include "matching/profile_matcher.h"
+#include "testing/paper_example.h"
+
+namespace maroon {
+namespace {
+
+using testing::kOrg;
+using testing::kTitle;
+
+GeneratedCluster DirectorCluster() {
+  GeneratedCluster gc;
+  gc.signature.interval = Interval(2011, 2011);
+  gc.signature.values[kTitle] = MakeValueSet({"Director"});
+  gc.signature.confidence[kTitle] = 1.5;
+  gc.signature.values[kOrg] = MakeValueSet({"Quest Software"});
+  gc.signature.confidence[kOrg] = 1.0;
+  return gc;
+}
+
+TEST(ExplanationTest, DecompositionSumsToMatchScore) {
+  const TransitionModel model = TransitionModel::Train(
+      testing::CareerTrainingProfiles(), testing::PaperAttributes());
+  const EntityProfile profile = testing::DavidBrownProfile();
+  const GeneratedCluster cluster = DirectorCluster();
+
+  const MatchExplanation explanation =
+      ExplainMatch(model, testing::PaperAttributes(), profile, cluster);
+  ProfileMatcher matcher(&model, testing::PaperAttributes(), {});
+  EXPECT_NEAR(explanation.score, matcher.MatchScore(profile, cluster), 1e-12);
+
+  double sum = 0.0;
+  for (const auto& c : explanation.contributions) sum += c.contribution;
+  EXPECT_NEAR(sum, explanation.score, 1e-12);
+  // One contribution per schema attribute.
+  EXPECT_EQ(explanation.contributions.size(),
+            testing::PaperAttributes().size());
+}
+
+TEST(ExplanationTest, TitleDominatesForTheDirectorCluster) {
+  const TransitionModel model = TransitionModel::Train(
+      testing::CareerTrainingProfiles(), testing::PaperAttributes());
+  const MatchExplanation explanation =
+      ExplainMatch(model, testing::PaperAttributes(),
+                   testing::DavidBrownProfile(), DirectorCluster());
+  // Contributions are sorted descending; Title (trained attribute with a
+  // plausible Manager -> Director move) comes first.
+  ASSERT_FALSE(explanation.contributions.empty());
+  EXPECT_EQ(explanation.contributions[0].attribute, kTitle);
+  EXPECT_GT(explanation.contributions[0].contribution, 0.0);
+  EXPECT_GT(explanation.contributions[0].transit_probability, 0.0);
+}
+
+TEST(ExplanationTest, ToStringListsAttributes) {
+  const TransitionModel model = TransitionModel::Train(
+      testing::CareerTrainingProfiles(), testing::PaperAttributes());
+  const MatchExplanation explanation =
+      ExplainMatch(model, testing::PaperAttributes(),
+                   testing::DavidBrownProfile(), DirectorCluster());
+  const std::string text = explanation.ToString();
+  EXPECT_NE(text.find("match score"), std::string::npos);
+  EXPECT_NE(text.find(kTitle), std::string::npos);
+  EXPECT_NE(text.find("Director"), std::string::npos);
+}
+
+TEST(ExplanationTest, EmptySchemaGivesZero) {
+  const TransitionModel model;
+  const MatchExplanation explanation = ExplainMatch(
+      model, {}, testing::DavidBrownProfile(), DirectorCluster());
+  EXPECT_DOUBLE_EQ(explanation.score, 0.0);
+  EXPECT_TRUE(explanation.contributions.empty());
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,101 @@
+#include "matching/incremental_linker.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "testing/paper_example.h"
+
+namespace maroon {
+namespace {
+
+using testing::kTitle;
+
+class IncrementalLinkerTest : public ::testing::Test {
+ protected:
+  IncrementalLinkerTest()
+      : dataset_(testing::PaperRecords()),
+        freshness_(testing::PaperFreshnessModel()),
+        transition_(TransitionModel::Train(testing::CareerTrainingProfiles(),
+                                           {kTitle})) {
+    MaroonOptions options;
+    options.matcher.theta = 0.01;
+    options.matcher.single_valued_attributes = {kTitle, testing::kLocation};
+    maroon_ = std::make_unique<Maroon>(&transition_, &freshness_,
+                                       &similarity_,
+                                       testing::PaperAttributes(), options);
+  }
+
+  Dataset dataset_;
+  FreshnessModel freshness_;
+  TransitionModel transition_;
+  SimilarityCalculator similarity_;
+  std::unique_ptr<Maroon> maroon_;
+};
+
+TEST_F(IncrementalLinkerTest, ProfileGrowsAsRecordsArrive) {
+  IncrementalLinker linker(maroon_.get(), testing::DavidBrownProfile());
+  EXPECT_EQ(linker.NumObserved(), 0u);
+  // The profile before any flush is the clean history.
+  EXPECT_TRUE(linker.current_profile().sequence(kTitle).ValuesAt(2011).empty());
+
+  // Observe the early records (r1-r4) and flush.
+  for (RecordId id = 0; id <= 3; ++id) linker.Observe(dataset_.record(id));
+  EXPECT_EQ(linker.NumPending(), 4u);
+  (void)linker.Flush();
+  EXPECT_EQ(linker.NumPending(), 0u);
+  const size_t early_links = linker.linked_records().size();
+  EXPECT_GT(early_links, 0u);
+  EXPECT_TRUE(linker.current_profile().sequence(kTitle).ValuesAt(2011).empty());
+
+  // The 2011+ records arrive; the Director promotion is now linked.
+  for (RecordId id = 4; id <= 8; ++id) linker.Observe(dataset_.record(id));
+  const LinkResult result = linker.Flush();
+  EXPECT_GT(linker.linked_records().size(), early_links);
+  EXPECT_EQ(linker.current_profile().sequence(kTitle).ValuesAt(2011),
+            MakeValueSet({"Director"}));
+  // The decoy r6 (id 5) still does not link.
+  EXPECT_FALSE(std::binary_search(result.match.matched_records.begin(),
+                                  result.match.matched_records.end(),
+                                  RecordId{5}));
+}
+
+TEST_F(IncrementalLinkerTest, MatchesBatchResult) {
+  // Streaming all records then flushing equals one batch link.
+  IncrementalLinker linker(maroon_.get(), testing::DavidBrownProfile());
+  for (const TemporalRecord& r : dataset_.records()) linker.Observe(r);
+  const LinkResult streamed = linker.Flush();
+
+  std::vector<const TemporalRecord*> candidates;
+  for (const TemporalRecord& r : dataset_.records()) candidates.push_back(&r);
+  const LinkResult batch =
+      maroon_->Link(testing::DavidBrownProfile(), candidates);
+
+  EXPECT_EQ(streamed.match.matched_records, batch.match.matched_records);
+  EXPECT_EQ(streamed.match.augmented_profile.ToString(),
+            batch.match.augmented_profile.ToString());
+}
+
+TEST_F(IncrementalLinkerTest, FlushWithNoRecordsIsClean) {
+  IncrementalLinker linker(maroon_.get(), testing::DavidBrownProfile());
+  const LinkResult result = linker.Flush();
+  EXPECT_TRUE(result.match.matched_records.empty());
+  EXPECT_EQ(linker.current_profile().sequence(kTitle).ValuesAt(2005),
+            MakeValueSet({"Manager"}));
+}
+
+TEST_F(IncrementalLinkerTest, OutOfOrderArrivalIsHandled) {
+  IncrementalLinker linker(maroon_.get(), testing::DavidBrownProfile());
+  // Newest records first.
+  for (RecordId id = 9; id-- > 0;) linker.Observe(dataset_.record(id));
+  const LinkResult result = linker.Flush();
+  EXPECT_FALSE(std::binary_search(result.match.matched_records.begin(),
+                                  result.match.matched_records.end(),
+                                  RecordId{5}));
+  EXPECT_EQ(linker.current_profile().sequence(kTitle).ValuesAt(2011),
+            MakeValueSet({"Director"}));
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "core/profile_algebra.h"
+#include "datagen/recruitment_generator.h"
+#include "eval/metrics.h"
+#include "matching/maroon.h"
+#include "testing/paper_example.h"
+
+namespace maroon {
+namespace {
+
+/// Property tests over the full Phase I + Phase II pipeline on randomized
+/// small corpora: structural invariants that must hold regardless of data.
+class MatcherInvariantProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatcherInvariantProperty, LinkInvariantsHold) {
+  RecruitmentOptions data_options;
+  data_options.seed = GetParam();
+  data_options.num_entities = 30;
+  data_options.num_names = 10;
+  const Dataset dataset = GenerateRecruitmentDataset(data_options);
+
+  // Train on every profile (small corpus; we test invariants, not quality).
+  ProfileSet profiles;
+  std::vector<EntityId> ids;
+  for (const auto& [id, target] : dataset.targets()) {
+    profiles.push_back(target.ground_truth);
+    ids.push_back(id);
+  }
+  const TransitionModel transition =
+      TransitionModel::Train(profiles, dataset.attributes());
+  const FreshnessModel freshness = FreshnessModel::Train(dataset, ids);
+  SimilarityCalculator similarity;
+  MaroonOptions options;
+  options.matcher.single_valued_attributes = dataset.attributes();
+  Maroon maroon(&transition, &freshness, &similarity, dataset.attributes(),
+                options);
+
+  // Check a handful of targets per seed.
+  size_t checked = 0;
+  for (const EntityId& id : ids) {
+    if (checked >= 5) break;
+    ++checked;
+    const auto target = dataset.target(id);
+    std::vector<const TemporalRecord*> candidates;
+    std::set<RecordId> candidate_ids;
+    for (RecordId rid : dataset.CandidatesFor(id)) {
+      candidates.push_back(&dataset.record(rid));
+      candidate_ids.insert(rid);
+    }
+    const LinkResult result =
+        maroon.Link((*target)->clean_profile, candidates);
+
+    // 1. Matched records are a subset of the candidates, without duplicates.
+    std::set<RecordId> matched(result.match.matched_records.begin(),
+                               result.match.matched_records.end());
+    EXPECT_EQ(matched.size(), result.match.matched_records.size());
+    for (RecordId rid : matched) {
+      EXPECT_TRUE(candidate_ids.count(rid) > 0)
+          << "seed " << GetParam() << " entity " << id;
+    }
+
+    // 2. The augmented profile preserves every clean-profile fact.
+    const ProfileDiff diff =
+        DiffProfiles((*target)->clean_profile, result.match.augmented_profile);
+    EXPECT_TRUE(diff.removed.empty())
+        << "seed " << GetParam() << " entity " << id << ": linkage must not "
+        << "erase trusted history";
+
+    // 3. Every attribute sequence is canonical after post-processing.
+    for (const auto& [attr, seq] : result.match.augmented_profile.sequences()) {
+      EXPECT_TRUE(seq.IsCanonical()) << attr;
+    }
+
+    // 4. Linked + pruned cluster indices are disjoint and within range.
+    std::set<size_t> linked(result.match.linked_clusters.begin(),
+                            result.match.linked_clusters.end());
+    for (size_t i : result.match.pruned_clusters) {
+      EXPECT_EQ(linked.count(i), 0u);
+      EXPECT_LT(i, result.num_clusters);
+    }
+    for (size_t i : linked) EXPECT_LT(i, result.num_clusters);
+
+    // 5. Timings are non-negative.
+    EXPECT_GE(result.timings.phase1_seconds, 0.0);
+    EXPECT_GE(result.timings.phase2_seconds, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, MatcherInvariantProperty,
+                         ::testing::Range<uint64_t>(100, 112));
+
+class ThetaMonotonicityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ThetaMonotonicityProperty, HigherThetaLinksSubset) {
+  // Raising θ can only remove links for the *first* iteration choice chain;
+  // globally, the match count must not increase.
+  RecruitmentOptions data_options;
+  data_options.seed = GetParam();
+  data_options.num_entities = 20;
+  data_options.num_names = 8;
+  const Dataset dataset = GenerateRecruitmentDataset(data_options);
+
+  ProfileSet profiles;
+  std::vector<EntityId> ids;
+  for (const auto& [id, target] : dataset.targets()) {
+    profiles.push_back(target.ground_truth);
+    ids.push_back(id);
+  }
+  const TransitionModel transition =
+      TransitionModel::Train(profiles, dataset.attributes());
+  const FreshnessModel freshness = FreshnessModel::Train(dataset, ids);
+  SimilarityCalculator similarity;
+
+  const EntityId& id = ids.front();
+  const auto target = dataset.target(id);
+  std::vector<const TemporalRecord*> candidates;
+  for (RecordId rid : dataset.CandidatesFor(id)) {
+    candidates.push_back(&dataset.record(rid));
+  }
+
+  size_t previous = SIZE_MAX;
+  for (double theta : {0.001, 0.05, 0.5, 5.0}) {
+    MaroonOptions options;
+    options.matcher.theta = theta;
+    options.matcher.single_valued_attributes = dataset.attributes();
+    Maroon maroon(&transition, &freshness, &similarity, dataset.attributes(),
+                  options);
+    const LinkResult result =
+        maroon.Link((*target)->clean_profile, candidates);
+    EXPECT_LE(result.match.matched_records.size(), previous)
+        << "theta " << theta << " seed " << GetParam();
+    previous = result.match.matched_records.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ThetaMonotonicityProperty,
+                         ::testing::Range<uint64_t>(200, 208));
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,112 @@
+#include "similarity/record_similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace maroon {
+namespace {
+
+TEST(ValueSetTokensTest, FlattensAndLowercases) {
+  EXPECT_EQ(ValueSetTokens(MakeValueSet({"Quest Software", "S3"})),
+            (std::vector<std::string>{"quest", "software", "s3"}));
+  EXPECT_TRUE(ValueSetTokens({}).empty());
+}
+
+TEST(SimilarityCalculatorTest, EmptySets) {
+  SimilarityCalculator calc;
+  EXPECT_DOUBLE_EQ(calc.ValueSetSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(calc.ValueSetSimilarity(MakeValueSet({"a"}), {}), 0.0);
+  EXPECT_DOUBLE_EQ(calc.ValueSetSimilarity({}, MakeValueSet({"a"})), 0.0);
+}
+
+TEST(SimilarityCalculatorTest, SingletonsUseJaroWinkler) {
+  SimilarityCalculator calc;
+  EXPECT_DOUBLE_EQ(
+      calc.ValueSetSimilarity(MakeValueSet({"Manager"}),
+                              MakeValueSet({"Manager"})),
+      1.0);
+  const double similar = calc.ValueSetSimilarity(MakeValueSet({"Engineer"}),
+                                                 MakeValueSet({"Enginer"}));
+  EXPECT_GT(similar, 0.9);
+  const double different = calc.ValueSetSimilarity(
+      MakeValueSet({"Director"}), MakeValueSet({"Engineer"}));
+  EXPECT_LT(different, 0.7);
+}
+
+TEST(SimilarityCalculatorTest, MultiValueWithoutTfIdfUsesBestPair) {
+  SimilarityCalculator calc;
+  const double sim = calc.ValueSetSimilarity(
+      MakeValueSet({"S3", "XJek"}), MakeValueSet({"S3", "XJek"}));
+  EXPECT_DOUBLE_EQ(sim, 1.0);
+  const double partial = calc.ValueSetSimilarity(
+      MakeValueSet({"S3", "XJek"}), MakeValueSet({"S3", "Aelita"}));
+  EXPECT_GT(partial, 0.4);
+  EXPECT_LT(partial, 1.0);
+}
+
+TEST(SimilarityCalculatorTest, TfIdfPathForSetValues) {
+  TfIdfModel tfidf;
+  tfidf.AddDocument({"s3", "xjek"});
+  tfidf.AddDocument({"quest", "software"});
+  tfidf.AddDocument({"aelita"});
+  SimilarityCalculator calc;
+  calc.SetTfIdfModel(&tfidf);
+  EXPECT_NEAR(calc.ValueSetSimilarity(MakeValueSet({"S3", "XJek"}),
+                                      MakeValueSet({"S3", "XJek"})),
+              1.0, 1e-9);
+  EXPECT_LT(calc.ValueSetSimilarity(MakeValueSet({"S3", "XJek"}),
+                                    MakeValueSet({"Aelita", "Quest"})),
+            0.2);
+}
+
+TemporalRecord MakeRecord(RecordId id,
+                          std::initializer_list<std::pair<Attribute, ValueSet>>
+                              values) {
+  TemporalRecord r(id, "X", 2000, 0);
+  for (const auto& [a, v] : values) r.SetValue(a, v);
+  return r;
+}
+
+TEST(SimilarityCalculatorTest, RecordSimilarityAveragesSharedAttributes) {
+  SimilarityCalculator calc;
+  const TemporalRecord a = MakeRecord(
+      0, {{"Title", MakeValueSet({"Engineer"})},
+          {"Org", MakeValueSet({"S3"})}});
+  const TemporalRecord b = MakeRecord(
+      1, {{"Title", MakeValueSet({"Engineer"})},
+          {"Org", MakeValueSet({"S3"})}});
+  EXPECT_DOUBLE_EQ(calc.RecordSimilarity(a, b), 1.0);
+
+  const TemporalRecord c =
+      MakeRecord(2, {{"Title", MakeValueSet({"Engineer"})},
+                     {"Location", MakeValueSet({"Chicago"})}});
+  // Only Title shared; similarity is that attribute's alone.
+  EXPECT_DOUBLE_EQ(calc.RecordSimilarity(a, c), 1.0);
+
+  const TemporalRecord d =
+      MakeRecord(3, {{"Location", MakeValueSet({"Chicago"})}});
+  EXPECT_DOUBLE_EQ(calc.RecordSimilarity(a, d), 0.0);
+}
+
+TEST(SimilarityCalculatorTest, RecordToStateSimilarity) {
+  SimilarityCalculator calc;
+  const TemporalRecord r = MakeRecord(
+      0, {{"Title", MakeValueSet({"Engineer"})},
+          {"Org", MakeValueSet({"S3"})}});
+  std::map<Attribute, ValueSet> state{
+      {"Title", MakeValueSet({"Engineer"})},
+      {"Org", MakeValueSet({"S3"})}};
+  EXPECT_DOUBLE_EQ(calc.RecordToStateSimilarity(r, state), 1.0);
+
+  // Attributes absent from the state are ignored: the comparison runs over
+  // the shared attributes only (here just Title).
+  const TemporalRecord with_extra = MakeRecord(
+      1, {{"Title", MakeValueSet({"Engineer"})},
+          {"Interests", MakeValueSet({"Technology"})}});
+  EXPECT_DOUBLE_EQ(calc.RecordToStateSimilarity(with_extra, state), 1.0);
+
+  const TemporalRecord empty_record(2, "X", 2000, 0);
+  EXPECT_DOUBLE_EQ(calc.RecordToStateSimilarity(empty_record, state), 0.0);
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,74 @@
+#include "similarity/soft_tfidf.h"
+
+#include <gtest/gtest.h>
+
+namespace maroon {
+namespace {
+
+TfIdfModel FittedModel() {
+  TfIdfModel model;
+  model.AddDocument({"quest", "software"});
+  model.AddDocument({"vertex", "labs"});
+  model.AddDocument({"university", "of", "springfield"});
+  model.AddDocument({"quest", "systems"});
+  return model;
+}
+
+TEST(SoftTfIdfTest, ExactMatchIsOne) {
+  const TfIdfModel model = FittedModel();
+  SoftTfIdf soft(&model);
+  EXPECT_NEAR(soft.Similarity({"quest", "software"}, {"quest", "software"}),
+              1.0, 1e-9);
+}
+
+TEST(SoftTfIdfTest, EmptyBags) {
+  const TfIdfModel model = FittedModel();
+  SoftTfIdf soft(&model);
+  EXPECT_DOUBLE_EQ(soft.Similarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(soft.Similarity({"quest"}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(soft.Similarity({}, {"quest"}), 0.0);
+}
+
+TEST(SoftTfIdfTest, RecoversMisspelledTokens) {
+  const TfIdfModel model = FittedModel();
+  SoftTfIdf soft(&model, /*token_threshold=*/0.9);
+  // Plain TF-IDF scores the misspelt token 0; SoftTFIDF pairs
+  // "sofware" ~ "software" via Jaro-Winkler.
+  const double hard =
+      model.CosineSimilarity({"quest", "sofware"}, {"quest", "software"});
+  const double soft_score =
+      soft.Similarity({"quest", "sofware"}, {"quest", "software"});
+  EXPECT_GT(soft_score, hard);
+  EXPECT_GT(soft_score, 0.8);
+}
+
+TEST(SoftTfIdfTest, UnrelatedBagsStayLow) {
+  const TfIdfModel model = FittedModel();
+  SoftTfIdf soft(&model);
+  EXPECT_LT(soft.Similarity({"quest", "software"},
+                            {"university", "springfield"}),
+            0.2);
+}
+
+TEST(SoftTfIdfTest, ThresholdGatesSoftPairs) {
+  const TfIdfModel model = FittedModel();
+  SoftTfIdf strict(&model, /*token_threshold=*/0.99);
+  SoftTfIdf loose(&model, /*token_threshold=*/0.85);
+  const std::vector<std::string> a = {"quest", "sofware"};
+  const std::vector<std::string> b = {"quest", "software"};
+  EXPECT_GT(loose.Similarity(a, b), strict.Similarity(a, b));
+}
+
+TEST(SoftTfIdfTest, BoundedByOne) {
+  const TfIdfModel model = FittedModel();
+  SoftTfIdf soft(&model, 0.8);
+  // Many near-duplicate tokens could inflate the soft dot product; the
+  // score must stay clamped.
+  const double score = soft.Similarity({"quest", "quests", "queste"},
+                                       {"quest", "quests", "queste"});
+  EXPECT_LE(score, 1.0);
+  EXPECT_GE(score, 0.9);
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,98 @@
+#include "similarity/tfidf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace maroon {
+namespace {
+
+std::vector<std::vector<std::string>> SmallCorpus() {
+  return {
+      {"quest", "software", "manager"},
+      {"quest", "software", "director"},
+      {"university", "of", "springfield"},
+      {"vertex", "labs", "engineer"},
+  };
+}
+
+TEST(TfIdfTest, FitCountsDocumentFrequencies) {
+  TfIdfModel model;
+  model.Fit(SmallCorpus());
+  EXPECT_EQ(model.NumDocuments(), 4u);
+  EXPECT_GT(model.VocabularySize(), 5u);
+  // "quest" in 2 of 4 docs; rarer tokens get higher idf.
+  EXPECT_GT(model.Idf("springfield"), model.Idf("quest"));
+  // Unseen tokens get the maximal idf.
+  EXPECT_GT(model.Idf("never-seen"), model.Idf("springfield"));
+}
+
+TEST(TfIdfTest, AddDocumentIsIncrementalFit) {
+  TfIdfModel incremental;
+  for (const auto& doc : SmallCorpus()) incremental.AddDocument(doc);
+  TfIdfModel batch;
+  batch.Fit(SmallCorpus());
+  EXPECT_DOUBLE_EQ(incremental.Idf("quest"), batch.Idf("quest"));
+  EXPECT_EQ(incremental.NumDocuments(), batch.NumDocuments());
+}
+
+TEST(TfIdfTest, VectorizeIsL2Normalized) {
+  TfIdfModel model;
+  model.Fit(SmallCorpus());
+  const SparseVector v = model.Vectorize({"quest", "software"});
+  double norm = 0;
+  for (const auto& [t, w] : v) norm += w * w;
+  EXPECT_NEAR(norm, 1.0, 1e-12);
+}
+
+TEST(TfIdfTest, DuplicateTokensWithinDocCountOnceForDf) {
+  TfIdfModel model;
+  model.AddDocument({"x", "x", "x"});
+  model.AddDocument({"y"});
+  // df(x) == 1 despite three occurrences in the document.
+  EXPECT_DOUBLE_EQ(model.Idf("x"), model.Idf("y"));
+}
+
+TEST(TfIdfTest, CosineBoundsAndIdentity) {
+  TfIdfModel model;
+  model.Fit(SmallCorpus());
+  EXPECT_DOUBLE_EQ(model.CosineSimilarity({"quest", "software"},
+                                          {"quest", "software"}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(model.CosineSimilarity({"quest"}, {"springfield"}), 0.0);
+  const double partial =
+      model.CosineSimilarity({"quest", "software"}, {"quest", "labs"});
+  EXPECT_GT(partial, 0.0);
+  EXPECT_LT(partial, 1.0);
+}
+
+TEST(TfIdfTest, EmptyDocuments) {
+  TfIdfModel model;
+  model.Fit(SmallCorpus());
+  EXPECT_DOUBLE_EQ(model.CosineSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(model.CosineSimilarity({}, {"quest"}), 0.0);
+}
+
+TEST(TfIdfTest, RareTokenOverlapBeatsCommonTokenOverlap) {
+  TfIdfModel model;
+  // "common" appears everywhere, "rare" once.
+  model.AddDocument({"common", "rare"});
+  model.AddDocument({"common", "a"});
+  model.AddDocument({"common", "b"});
+  model.AddDocument({"common", "c"});
+  const double via_rare =
+      model.CosineSimilarity({"common", "rare"}, {"rare", "zzz"});
+  const double via_common =
+      model.CosineSimilarity({"common", "rare"}, {"common", "zzz"});
+  EXPECT_GT(via_rare, via_common);
+}
+
+TEST(SparseCosineTest, Basics) {
+  SparseVector a{{"x", 1.0}, {"y", 1.0}};
+  SparseVector b{{"x", 1.0}};
+  EXPECT_NEAR(SparseCosine(a, b), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(SparseCosine(a, SparseVector{}), 0.0);
+}
+
+}  // namespace
+}  // namespace maroon

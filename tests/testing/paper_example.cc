@@ -1,0 +1,159 @@
+#include "testing/paper_example.h"
+
+namespace maroon::testing {
+
+EntityProfile DavidBrownProfile() {
+  EntityProfile profile("david_1", "David Brown");
+  TemporalSequence& org = profile.sequence(kOrg);
+  (void)org.Append(Triple(2000, 2001, MakeValueSet({"S3", "XJek"})));
+  (void)org.Append(Triple(2002, 2002, MakeValueSet({"XJek"})));
+  (void)org.Append(Triple(2003, 2005, MakeValueSet({"Aelita"})));
+  (void)org.Append(Triple(2006, 2009, MakeValueSet({"Quest Software"})));
+  TemporalSequence& title = profile.sequence(kTitle);
+  (void)title.Append(Triple(2000, 2002, MakeValueSet({"Engineer"})));
+  (void)title.Append(Triple(2003, 2009, MakeValueSet({"Manager"})));
+  return profile;
+}
+
+Dataset PaperRecords() {
+  Dataset dataset;
+  dataset.SetAttributes(PaperAttributes());
+  const SourceId google_plus = dataset.AddSource("GooglePlus");
+  const SourceId facebook = dataset.AddSource("Facebook");
+  const SourceId twitter = dataset.AddSource("Twitter");
+
+  const std::string name = "David Brown";
+  const auto add = [&](TimePoint t, SourceId s,
+                       std::initializer_list<std::pair<Attribute, ValueSet>>
+                           values,
+                       bool matches) {
+    TemporalRecord r(0, name, t, s);
+    for (const auto& [attr, vs] : values) r.SetValue(attr, vs);
+    const RecordId id = dataset.AddRecord(std::move(r));
+    if (matches) (void)dataset.SetLabel(id, "david_1");
+  };
+
+  // r1, r2: fresh Google+ snapshots of the early career.
+  add(2001, google_plus,
+      {{kOrg, MakeValueSet({"S3", "XJek"})},
+       {kTitle, MakeValueSet({"Engineer"})}},
+      true);
+  add(2002, google_plus,
+      {{kOrg, MakeValueSet({"S3", "XJek"})},
+       {kTitle, MakeValueSet({"Engineer"})}},
+      true);
+  // r3: Facebook, 2004, but the values lag by two years (Example 6).
+  add(2004, facebook,
+      {{kOrg, MakeValueSet({"S3", "XJek"})},
+       {kTitle, MakeValueSet({"Engineer"})}},
+      true);
+  // r4: Twitter, fresh.
+  add(2004, twitter,
+      {{kTitle, MakeValueSet({"Manager"})},
+       {kLocation, MakeValueSet({"Chicago"})}},
+      true);
+  // r5: the promotion record (should match via the transition model).
+  add(2011, google_plus,
+      {{kOrg, MakeValueSet({"Quest Software"})},
+       {kTitle, MakeValueSet({"Director"})},
+       {kInterests, MakeValueSet({"Technology"})}},
+      true);
+  // r6: the decoy — same org, implausible title (must NOT match).
+  add(2011, google_plus,
+      {{kOrg, MakeValueSet({"Quest Software"})},
+       {kTitle, MakeValueSet({"IT Contractor"})}},
+      false);
+  // r7: Facebook 2012 — Title stale by a decade, Location/Interests fresh.
+  add(2012, facebook,
+      {{kTitle, MakeValueSet({"Engineer"})},
+       {kLocation, MakeValueSet({"Chicago"})},
+       {kInterests, MakeValueSet({"Politics", "Sports"})}},
+      true);
+  // r8, r9: the 2013 presidency at WSO2.
+  add(2013, twitter,
+      {{kOrg, MakeValueSet({"WSO2"})},
+       {kTitle, MakeValueSet({"President"})},
+       {kLocation, MakeValueSet({"Chicago"})}},
+      true);
+  add(2013, google_plus,
+      {{kOrg, MakeValueSet({"WSO2"})},
+       {kTitle, MakeValueSet({"President"})},
+       {kInterests, MakeValueSet({"Technology"})}},
+      true);
+
+  TargetEntity target;
+  target.clean_profile = DavidBrownProfile();
+  target.ground_truth = DavidBrownProfile();
+  (void)dataset.AddTarget("david_1", std::move(target));
+  return dataset;
+}
+
+FreshnessModel PaperFreshnessModel() {
+  FreshnessModel model;
+  const SourceId google_plus = 0, facebook = 1, twitter = 2;
+  for (const Attribute& a : PaperAttributes()) {
+    // Google+ and Twitter: overwhelmingly fresh.
+    for (int i = 0; i < 19; ++i) model.AddObservation(google_plus, a, 0);
+    model.AddObservation(google_plus, a, 1);
+    for (int i = 0; i < 19; ++i) model.AddObservation(twitter, a, 0);
+    model.AddObservation(twitter, a, 1);
+  }
+  // Facebook: stale on Organization and Title...
+  for (const Attribute& a : {kOrg, kTitle}) {
+    for (int i = 0; i < 3; ++i) model.AddObservation(facebook, a, 0);
+    for (int i = 0; i < 3; ++i) model.AddObservation(facebook, a, 2);
+    for (int i = 0; i < 4; ++i) model.AddObservation(facebook, a, 10);
+  }
+  // ...but fresh on Location and Interests.
+  for (const Attribute& a : {kLocation, kInterests}) {
+    for (int i = 0; i < 19; ++i) model.AddObservation(facebook, a, 0);
+    model.AddObservation(facebook, a, 1);
+  }
+  model.Finalize();
+  return model;
+}
+
+ProfileSet CareerTrainingProfiles() {
+  ProfileSet profiles;
+  const auto career = [&](const std::string& id,
+                          std::initializer_list<
+                              std::tuple<TimePoint, TimePoint, Value>>
+                              title_spells) {
+    EntityProfile p(id, id);
+    TemporalSequence& title = p.sequence(kTitle);
+    for (const auto& [b, e, v] : title_spells) {
+      (void)title.Append(Triple(b, e, MakeValueSet({v})));
+    }
+    profiles.push_back(std::move(p));
+  };
+
+  // The dominant trajectory: long Manager stints end in Director.
+  career("t1", {{2000, 2002, "Engineer"},
+                {2003, 2010, "Manager"},
+                {2011, 2014, "Director"}});
+  career("t2", {{1998, 2001, "Engineer"},
+                {2002, 2009, "Manager"},
+                {2010, 2014, "Director"}});
+  career("t3", {{2001, 2003, "Engineer"},
+                {2004, 2011, "Manager"},
+                {2012, 2014, "Director"}});
+  career("t4", {{1999, 2002, "Engineer"},
+                {2003, 2009, "Manager"},
+                {2010, 2013, "Director"},
+                {2014, 2014, "President"}});
+  // Noise paths: analysts, consultants, a short-tenure contractor start.
+  career("t5", {{2000, 2002, "Analyst"},
+                {2003, 2007, "Manager"},
+                {2008, 2014, "Director"}});
+  career("t6", {{2002, 2003, "IT Contractor"},
+                {2004, 2007, "Engineer"},
+                {2008, 2014, "Manager"}});
+  career("t7", {{2000, 2005, "Engineer"},
+                {2006, 2010, "Consultant"},
+                {2011, 2014, "Manager"}});
+  career("t8", {{2004, 2008, "Director"},
+                {2009, 2014, "President"}});
+  return profiles;
+}
+
+}  // namespace maroon::testing

@@ -1,0 +1,46 @@
+#ifndef MAROON_TESTS_TESTING_PAPER_EXAMPLE_H_
+#define MAROON_TESTS_TESTING_PAPER_EXAMPLE_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/entity_profile.h"
+#include "core/temporal_record.h"
+#include "freshness/freshness_model.h"
+
+namespace maroon::testing {
+
+/// Attribute names of the paper's running example (Tables 1-3).
+inline const Attribute kOrg = "Organization";
+inline const Attribute kTitle = "Title";
+inline const Attribute kLocation = "Location";
+inline const Attribute kInterests = "Interests";
+
+inline std::vector<Attribute> PaperAttributes() {
+  return {kOrg, kTitle, kLocation, kInterests};
+}
+
+/// Table 1: David Brown's submitted employment history, as the profile of
+/// Example 3.
+EntityProfile DavidBrownProfile();
+
+/// Table 2: the nine web records r1-r9. Returned inside a Dataset with
+/// sources GooglePlus(0), Facebook(1), Twitter(2); record ids are 0-based
+/// (r1 -> id 0, ..., r9 -> id 8). Ground-truth labels mark r6 (id 5) as the
+/// only non-match.
+Dataset PaperRecords();
+
+/// A freshness model matching the running example: Google+ and Twitter are
+/// fresh on every attribute; Facebook publishes Organization and Title with
+/// delays (mass at 0/2/10 years) but is fresh on Location and Interests.
+FreshnessModel PaperFreshnessModel();
+
+/// Training careers for the transition model of the running example:
+/// Engineer -> Manager -> Director is the dominant trajectory (plus some
+/// noise paths), so Manager->Director after several years is likely while
+/// Manager->"IT Contractor" is unseen.
+ProfileSet CareerTrainingProfiles();
+
+}  // namespace maroon::testing
+
+#endif  // MAROON_TESTS_TESTING_PAPER_EXAMPLE_H_

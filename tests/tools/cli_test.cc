@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace maroon {
+namespace {
+
+/// End-to-end smoke tests of the maroon_cli binary. Tests run with the
+/// build/tests directory as working directory (gtest_discover_tests), so the
+/// tool lives at ../tools/maroon_cli.
+class CliTest : public ::testing::Test {
+ protected:
+  static constexpr char kCli[] = "../tools/maroon_cli";
+
+  void SetUp() override {
+    if (!std::filesystem::exists(kCli)) {
+      GTEST_SKIP() << "maroon_cli binary not found at " << kCli;
+    }
+    // ctest -j runs each case in its own process concurrently; the scratch
+    // directory must be unique per test case.
+    dir_ = ::testing::TempDir() + "/maroon_cli_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  int Run(const std::string& args, std::string* output = nullptr) {
+    const std::string out_path = dir_ + "/cmd.out";
+    const std::string command =
+        std::string(kCli) + " " + args + " > " + out_path + " 2>&1";
+    const int code = std::system(command.c_str());
+    if (output != nullptr) {
+      std::ifstream in(out_path);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      *output = ss.str();
+    }
+    return code;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CliTest, NoArgumentsPrintsUsage) {
+  std::string out;
+  EXPECT_NE(Run("", &out), 0);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateStatsEvaluatePipeline) {
+  std::string out;
+  ASSERT_EQ(Run("generate --dataset=recruitment --out=" + dir_ +
+                    "/data --entities=25 --names=10 --seed=5",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("wrote"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/data/records.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/data/profiles.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/data/sources.csv"));
+
+  ASSERT_EQ(Run("stats --data=" + dir_ + "/data", &out), 0) << out;
+  EXPECT_NE(out.find("CareerHub"), std::string::npos);
+  EXPECT_NE(out.find("freshness"), std::string::npos);
+
+  ASSERT_EQ(Run("evaluate --data=" + dir_ +
+                    "/data --method=static --eval-entities=4",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("Static:"), std::string::npos);
+}
+
+TEST_F(CliTest, TransitionsAndExport) {
+  std::string out;
+  ASSERT_EQ(Run("generate --dataset=recruitment --out=" + dir_ +
+                    "/data --entities=25 --names=10 --seed=5",
+                &out),
+            0);
+  ASSERT_EQ(Run("transitions --data=" + dir_ +
+                    "/data --attribute=Title --from=Manager --delta=5",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("Manager ->"), std::string::npos);
+
+  ASSERT_EQ(Run("transitions --data=" + dir_ +
+                    "/data --attribute=Title --export=" + dir_ + "/tt.csv",
+                &out),
+            0)
+      << out;
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/tt.csv"));
+}
+
+TEST_F(CliTest, UnknownCommandAndBadFlags) {
+  std::string out;
+  EXPECT_NE(Run("frobnicate", &out), 0);
+  EXPECT_NE(Run("stats --data=/nonexistent", &out), 0);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  EXPECT_NE(Run("generate --dataset=bogus --out=" + dir_ + "/x", &out), 0);
+}
+
+}  // namespace
+}  // namespace maroon

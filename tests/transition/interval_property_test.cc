@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "transition/transition_model.h"
+
+namespace maroon {
+namespace {
+
+const Attribute kAttr = "A";
+
+TransitionModel RandomModel(Random& rng) {
+  static const std::vector<Value> kValues = {"a", "b", "c", "d"};
+  ProfileSet profiles;
+  const int entities = static_cast<int>(rng.UniformInt(2, 5));
+  for (int e = 0; e < entities; ++e) {
+    EntityProfile p("e" + std::to_string(e), "E");
+    TemporalSequence& seq = p.sequence(kAttr);
+    TimePoint t = static_cast<TimePoint>(rng.UniformInt(2000, 2004));
+    ValueSet previous;
+    const int spells = static_cast<int>(rng.UniformInt(2, 5));
+    for (int i = 0; i < spells; ++i) {
+      ValueSet values;
+      while (values.empty() || values == previous) {
+        values = MakeValueSet({kValues[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(kValues.size()) - 1))]});
+      }
+      const TimePoint end = static_cast<TimePoint>(t + rng.UniformInt(0, 4));
+      EXPECT_TRUE(seq.Append(Triple(t, end, values)).ok());
+      previous = values;
+      t = static_cast<TimePoint>(end + rng.UniformInt(1, 3));
+    }
+    profiles.push_back(std::move(p));
+  }
+  return TransitionModel::Train(profiles, {kAttr});
+}
+
+class IntervalProbabilityProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(IntervalProbabilityProperty, SingletonIntervalsReduceToSetProbability) {
+  Random rng(GetParam());
+  const TransitionModel model = RandomModel(rng);
+  static const std::vector<Value> kValues = {"a", "b", "c", "d", "zz"};
+  for (int trial = 0; trial < 20; ++trial) {
+    const ValueSet from = MakeValueSet({kValues[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(kValues.size()) - 1))]});
+    const ValueSet to = MakeValueSet({kValues[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(kValues.size()) - 1))]});
+    const TimePoint t1 = static_cast<TimePoint>(rng.UniformInt(2000, 2015));
+    const TimePoint t2 =
+        static_cast<TimePoint>(t1 + rng.UniformInt(1, 10));
+    // Forward singleton pair: exactly one Δt = t2 - t1 term.
+    EXPECT_NEAR(model.IntervalProbability(kAttr, from, to, Interval(t1, t1),
+                                          Interval(t2, t2)),
+                model.SetProbability(kAttr, from, to, t2 - t1), 1e-12)
+        << "seed " << GetParam() << " trial " << trial;
+    // Reversed singleton pair: one backward term Pr(to, from, Δt).
+    EXPECT_NEAR(model.IntervalProbability(kAttr, from, to, Interval(t2, t2),
+                                          Interval(t1, t1)),
+                model.SetProbability(kAttr, to, from, t2 - t1), 1e-12);
+  }
+}
+
+TEST_P(IntervalProbabilityProperty, BruteForcePairAverageMatches) {
+  Random rng(GetParam() + 500);
+  const TransitionModel model = RandomModel(rng);
+  for (int trial = 0; trial < 5; ++trial) {
+    const ValueSet from = MakeValueSet({"a"});
+    const ValueSet to = MakeValueSet({"b", "c"});
+    const TimePoint b1 = static_cast<TimePoint>(rng.UniformInt(2000, 2010));
+    const Interval i1(b1, static_cast<TimePoint>(b1 + rng.UniformInt(0, 4)));
+    const TimePoint b2 = static_cast<TimePoint>(rng.UniformInt(2000, 2015));
+    const Interval i2(b2, static_cast<TimePoint>(b2 + rng.UniformInt(0, 4)));
+
+    // Literal Eq. 13 via the explicit double loop.
+    double total = 0.0;
+    for (TimePoint t = i1.begin; t <= i1.end; ++t) {
+      for (TimePoint u = i2.begin; u <= i2.end; ++u) {
+        if (u > t) {
+          total += model.SetProbability(kAttr, from, to, u - t);
+        } else if (u < t) {
+          total += model.SetProbability(kAttr, to, from, t - u);
+        }
+      }
+    }
+    const double expected =
+        total / static_cast<double>(i1.Length() * i2.Length());
+    EXPECT_NEAR(model.IntervalProbability(kAttr, from, to, i1, i2), expected,
+                1e-12)
+        << "seed " << GetParam() << " i1=" << i1.ToString()
+        << " i2=" << i2.ToString();
+  }
+}
+
+TEST_P(IntervalProbabilityProperty, ProbabilitiesBounded) {
+  Random rng(GetParam() + 900);
+  const TransitionModel model = RandomModel(rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    const ValueSet from = MakeValueSet({"a", "d"});
+    const ValueSet to = MakeValueSet({"b"});
+    const Interval i1(2000, static_cast<TimePoint>(rng.UniformInt(2000, 2006)));
+    const Interval i2(2003, static_cast<TimePoint>(rng.UniformInt(2003, 2012)));
+    const double p = model.IntervalProbability(kAttr, from, to, i1, i2);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, IntervalProbabilityProperty,
+                         ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,79 @@
+#include "transition/transition_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/csv.h"
+#include "testing/paper_example.h"
+
+namespace maroon {
+namespace {
+
+using testing::kTitle;
+
+TransitionModel SmallModel() {
+  return TransitionModel::Train(testing::CareerTrainingProfiles(), {kTitle});
+}
+
+TEST(TransitionIoTest, CsvHasHeaderAndEntries) {
+  const TransitionModel model = SmallModel();
+  const std::string csv = TransitionTablesToCsv(model, kTitle);
+  auto rows = ParseCsv(csv);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_GT(rows->size(), 10u);
+  EXPECT_EQ((*rows)[0],
+            (std::vector<std::string>{"attribute", "delta", "from", "to",
+                                      "count", "probability"}));
+  // Every data row names the attribute and carries 6 columns.
+  for (size_t i = 1; i < rows->size(); ++i) {
+    ASSERT_EQ((*rows)[i].size(), 6u) << "row " << i;
+    EXPECT_EQ((*rows)[i][0], kTitle);
+  }
+}
+
+TEST(TransitionIoTest, RowsMatchModelCounts) {
+  const TransitionModel model = SmallModel();
+  const std::string csv = TransitionTablesToCsv(model, kTitle);
+  auto rows = ParseCsv(csv);
+  ASSERT_TRUE(rows.ok());
+  size_t checked = 0;
+  for (size_t i = 1; i < rows->size(); ++i) {
+    const auto& row = (*rows)[i];
+    const int64_t delta = std::stoll(row[1]);
+    const TransitionTable* table = model.table(kTitle, delta);
+    ASSERT_NE(table, nullptr);
+    EXPECT_EQ(std::to_string(table->Count(row[2], row[3])), row[4]);
+    ++checked;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST(TransitionIoTest, UnknownAttributeGivesHeaderOnly) {
+  const TransitionModel model = SmallModel();
+  auto rows = ParseCsv(TransitionTablesToCsv(model, "Nothing"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST(TransitionIoTest, WriteToFile) {
+  const TransitionModel model = SmallModel();
+  const std::string path =
+      ::testing::TempDir() + "/maroon_transitions_test.csv";
+  ASSERT_TRUE(WriteTransitionTablesCsv(model, kTitle, path).ok());
+  auto rows = ReadCsvFile(path);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_GT(rows->size(), 10u);
+  std::remove(path.c_str());
+}
+
+TEST(TransitionIoTest, WriteToBadPathFails) {
+  const TransitionModel model = SmallModel();
+  EXPECT_EQ(
+      WriteTransitionTablesCsv(model, kTitle, "/nonexistent/dir/x.csv")
+          .code(),
+      StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace maroon

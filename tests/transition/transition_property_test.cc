@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "transition/transition_model.h"
+
+namespace maroon {
+namespace {
+
+const Attribute kAttr = "A";
+
+/// Brute force per Definition 2: slide a window of size Δt over every
+/// instant and count (v, v') pairs with v in Values(t), v' in Values(t+Δt).
+std::map<std::pair<Value, Value>, int64_t> SlidingWindowCounts(
+    const TemporalSequence& seq, int64_t delta) {
+  std::map<std::pair<Value, Value>, int64_t> counts;
+  const auto earliest = seq.EarliestTime();
+  const auto latest = seq.LatestTime();
+  if (!earliest || !latest) return counts;
+  for (TimePoint t = *earliest; t + delta <= *latest; ++t) {
+    const ValueSet from = seq.ValuesAt(t);
+    const ValueSet to = seq.ValuesAt(static_cast<TimePoint>(t + delta));
+    for (const Value& v : from) {
+      for (const Value& w : to) {
+        ++counts[{v, w}];
+      }
+    }
+  }
+  return counts;
+}
+
+/// Generates a random canonical sequence: spells of random length with
+/// random (possibly multi-) value sets, separated by random gaps.
+TemporalSequence RandomSequence(Random& rng) {
+  static const std::vector<Value> kValues = {"a", "b", "c", "d", "e"};
+  TemporalSequence seq;
+  TimePoint t = static_cast<TimePoint>(rng.UniformInt(2000, 2005));
+  ValueSet previous;
+  const int spells = static_cast<int>(rng.UniformInt(1, 6));
+  for (int i = 0; i < spells; ++i) {
+    ValueSet values;
+    while (values.empty() || values == previous) {
+      std::vector<Value> picked;
+      const int n = static_cast<int>(rng.UniformInt(1, 2));
+      for (int k = 0; k < n; ++k) {
+        picked.push_back(kValues[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(kValues.size()) - 1))]);
+      }
+      values = MakeValueSet(std::move(picked));
+    }
+    const TimePoint end =
+        static_cast<TimePoint>(t + rng.UniformInt(0, 6));
+    EXPECT_TRUE(seq.Append(Triple(t, end, values)).ok());
+    previous = values;
+    t = static_cast<TimePoint>(end + rng.UniformInt(1, 4));
+  }
+  return seq;
+}
+
+class TransitionCountProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TransitionCountProperty,
+       PropositionOneMatchesSlidingWindowOnRandomSequences) {
+  Random rng(GetParam());
+  ProfileSet profiles;
+  EntityProfile p("e", "E");
+  p.sequence(kAttr) = RandomSequence(rng);
+  const TemporalSequence& seq = p.sequence(kAttr);
+  profiles.push_back(p);
+
+  const TransitionModel model = TransitionModel::Train(profiles, {kAttr});
+  const int64_t max_delta = seq.Lifespan();
+  for (int64_t delta = 1; delta < max_delta; ++delta) {
+    const auto expected = SlidingWindowCounts(seq, delta);
+    const TransitionTable* table = model.table(kAttr, delta);
+    int64_t expected_total = 0;
+    for (const auto& [pair, count] : expected) {
+      expected_total += count;
+      ASSERT_NE(table, nullptr)
+          << "missing table for delta " << delta << " seed " << GetParam();
+      EXPECT_EQ(table->Count(pair.first, pair.second), count)
+          << "pair (" << pair.first << ", " << pair.second << ") delta "
+          << delta << " seed " << GetParam();
+    }
+    if (table != nullptr) {
+      EXPECT_EQ(table->Total(), expected_total)
+          << "delta " << delta << " seed " << GetParam();
+    } else {
+      EXPECT_EQ(expected_total, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, TransitionCountProperty,
+                         ::testing::Range<uint64_t>(1, 41));
+
+class ProbabilityAxiomsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProbabilityAxiomsProperty, ProbabilitiesAreWellFormed) {
+  Random rng(GetParam());
+  ProfileSet profiles;
+  for (int i = 0; i < 3; ++i) {
+    EntityProfile p("e" + std::to_string(i), "E");
+    p.sequence(kAttr) = RandomSequence(rng);
+    profiles.push_back(std::move(p));
+  }
+  const TransitionModel model = TransitionModel::Train(profiles, {kAttr});
+
+  static const std::vector<Value> kQueryValues = {"a", "b", "c", "d", "e",
+                                                  "zz"};
+  for (int64_t delta = 0; delta <= model.MaxLifespan(kAttr) + 2; ++delta) {
+    for (const Value& v : kQueryValues) {
+      double row_known_sum = 0.0;
+      const TransitionTable* table = model.table(kAttr, delta);
+      for (const Value& w : kQueryValues) {
+        const double p = model.Probability(kAttr, v, w, delta);
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+        if (delta > 0 && table != nullptr && table->Count(v, w) > 0) {
+          row_known_sum += p;
+        }
+      }
+      // Eq. 1 rows over observed entries never exceed 1.
+      EXPECT_LE(row_known_sum, 1.0 + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ProbabilityAxiomsProperty,
+                         ::testing::Range<uint64_t>(100, 120));
+
+}  // namespace
+}  // namespace maroon

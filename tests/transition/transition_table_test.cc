@@ -1,0 +1,115 @@
+#include "transition/transition_table.h"
+
+#include <gtest/gtest.h>
+
+namespace maroon {
+namespace {
+
+// The paper's Table 4 (obtained from Figure 1 with Δt = 3).
+TransitionTable Table4() {
+  TransitionTable t;
+  t.Add("Engineer", "Manager", 4);
+  t.Add("Manager", "Manager", 4);
+  t.Add("Engineer", "Analyst", 1);
+  t.Add("Analyst", "Manager", 1);
+  t.Finalize();
+  return t;
+}
+
+TEST(TransitionTableTest, CountsAndAggregates) {
+  const TransitionTable t = Table4();
+  EXPECT_EQ(t.Count("Engineer", "Manager"), 4);
+  EXPECT_EQ(t.Count("Engineer", "Analyst"), 1);
+  EXPECT_EQ(t.Count("Engineer", "Engineer"), 0);
+  EXPECT_EQ(t.RowSum("Engineer"), 5);
+  EXPECT_EQ(t.RowSum("Manager"), 4);
+  EXPECT_EQ(t.RowSum("Nobody"), 0);
+  EXPECT_EQ(t.ColumnSum("Manager"), 9);
+  EXPECT_EQ(t.ColumnSum("Analyst"), 1);
+  EXPECT_EQ(t.Total(), 10);
+  EXPECT_EQ(t.SelfTotal(), 4);
+  EXPECT_EQ(t.DiffTotal(), 6);
+  EXPECT_EQ(t.NumEntries(), 4u);
+}
+
+TEST(TransitionTableTest, AddAccumulates) {
+  TransitionTable t;
+  t.Add("a", "b", 2);
+  t.Add("a", "b", 3);
+  t.Finalize();
+  EXPECT_EQ(t.Count("a", "b"), 5);
+}
+
+TEST(TransitionTableTest, OriginAndDestinationMembership) {
+  const TransitionTable t = Table4();
+  EXPECT_TRUE(t.HasOrigin("Engineer"));
+  EXPECT_TRUE(t.HasOrigin("Analyst"));
+  EXPECT_FALSE(t.HasOrigin("CEO"));
+  EXPECT_TRUE(t.HasDestination("Manager"));
+  EXPECT_TRUE(t.HasDestination("Analyst"));
+  // Engineer never appears as a destination in Table 4.
+  EXPECT_FALSE(t.HasDestination("Engineer"));
+}
+
+TEST(TransitionTableTest, ConditionalProbabilityIsEquationOne) {
+  const TransitionTable t = Table4();
+  EXPECT_DOUBLE_EQ(t.ConditionalProbability("Engineer", "Manager"), 0.8);
+  EXPECT_DOUBLE_EQ(t.ConditionalProbability("Engineer", "Analyst"), 0.2);
+  EXPECT_DOUBLE_EQ(t.ConditionalProbability("Manager", "Manager"), 1.0);
+  EXPECT_DOUBLE_EQ(t.ConditionalProbability("Nobody", "Manager"), 0.0);
+}
+
+TEST(TransitionTableTest, MinRowProbability) {
+  const TransitionTable t = Table4();
+  EXPECT_DOUBLE_EQ(t.MinRowProbability("Engineer"), 0.2);
+  EXPECT_DOUBLE_EQ(t.MinRowProbability("Manager"), 1.0);
+  EXPECT_DOUBLE_EQ(t.MinRowProbability("Nobody"), 0.0);
+}
+
+TEST(TransitionTableTest, PriorProbabilityIsEquationFive) {
+  const TransitionTable t = Table4();
+  EXPECT_DOUBLE_EQ(t.PriorProbability("Manager"), 0.9);
+  EXPECT_DOUBLE_EQ(t.PriorProbability("Analyst"), 0.1);
+  EXPECT_DOUBLE_EQ(t.PriorProbability("CEO"), 0.0);
+}
+
+TEST(TransitionTableTest, RecurrenceProbabilityIsEquationSix) {
+  EXPECT_DOUBLE_EQ(Table4().RecurrenceProbability(), 0.4);
+}
+
+TEST(TransitionTableTest, ExpectedChangeProbabilityIsEquationEight) {
+  // E(X) = 0.8*4 + 0.2*1 + 1.0*1 = 4.4 over DiffTotal = 6.
+  EXPECT_NEAR(Table4().ExpectedChangeProbability(), 4.4 / 6.0, 1e-12);
+}
+
+TEST(TransitionTableTest, EmptyTable) {
+  TransitionTable t;
+  t.Finalize();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.Total(), 0);
+  EXPECT_DOUBLE_EQ(t.RecurrenceProbability(), 0.0);
+  EXPECT_DOUBLE_EQ(t.ExpectedChangeProbability(), 0.0);
+  EXPECT_DOUBLE_EQ(t.PriorProbability("x"), 0.0);
+}
+
+TEST(TransitionTableTest, AllSelfTransitionsHaveZeroChangeProbability) {
+  TransitionTable t;
+  t.Add("a", "a", 5);
+  t.Finalize();
+  EXPECT_EQ(t.DiffTotal(), 0);
+  EXPECT_DOUBLE_EQ(t.ExpectedChangeProbability(), 0.0);
+  EXPECT_DOUBLE_EQ(t.RecurrenceProbability(), 1.0);
+}
+
+TEST(TransitionTableTest, EntriesAreOrderedAndComplete) {
+  const auto entries = Table4().Entries();
+  ASSERT_EQ(entries.size(), 4u);
+  // std::map ordering: Analyst < Engineer < Manager.
+  EXPECT_EQ(std::get<0>(entries[0]), "Analyst");
+  EXPECT_EQ(std::get<0>(entries[1]), "Engineer");
+  EXPECT_EQ(std::get<1>(entries[1]), "Analyst");
+  EXPECT_EQ(std::get<2>(entries[1]), 1);
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,58 @@
+#include "transition/value_mapper.h"
+
+#include <gtest/gtest.h>
+
+namespace maroon {
+namespace {
+
+TEST(IdentityValueMapperTest, PassesThrough) {
+  IdentityValueMapper mapper;
+  EXPECT_EQ(mapper.Map("Title", "Engineer"), "Engineer");
+  EXPECT_EQ(mapper.Map("Org", ""), "");
+}
+
+TEST(TableValueMapperTest, MapsKnownValues) {
+  TableValueMapper mapper;
+  mapper.AddMapping("Affiliation", "University of Oxford", "university");
+  mapper.AddMapping("Affiliation", "Quest Software", "industry");
+  EXPECT_EQ(mapper.Map("Affiliation", "University of Oxford"), "university");
+  EXPECT_EQ(mapper.Map("Affiliation", "Quest Software"), "industry");
+  EXPECT_EQ(mapper.NumMappings("Affiliation"), 2u);
+}
+
+TEST(TableValueMapperTest, UnmappedValuesPassThroughWithoutDefault) {
+  TableValueMapper mapper;
+  mapper.AddMapping("Affiliation", "A", "cat");
+  EXPECT_EQ(mapper.Map("Affiliation", "B"), "B");
+  EXPECT_EQ(mapper.Map("OtherAttr", "A"), "A");
+}
+
+TEST(TableValueMapperTest, DefaultCategoryCatchesUnmapped) {
+  TableValueMapper mapper;
+  mapper.AddMapping("Affiliation", "A", "cat");
+  mapper.SetDefaultCategory("Affiliation", "other");
+  EXPECT_EQ(mapper.Map("Affiliation", "A"), "cat");
+  EXPECT_EQ(mapper.Map("Affiliation", "B"), "other");
+  // The default is per-attribute.
+  EXPECT_EQ(mapper.Map("Title", "B"), "B");
+}
+
+TEST(TableValueMapperTest, MappingsArePerAttribute) {
+  TableValueMapper mapper;
+  mapper.AddMapping("A1", "x", "one");
+  mapper.AddMapping("A2", "x", "two");
+  EXPECT_EQ(mapper.Map("A1", "x"), "one");
+  EXPECT_EQ(mapper.Map("A2", "x"), "two");
+  EXPECT_EQ(mapper.NumMappings("A3"), 0u);
+}
+
+TEST(TableValueMapperTest, LaterMappingOverwrites) {
+  TableValueMapper mapper;
+  mapper.AddMapping("A", "x", "first");
+  mapper.AddMapping("A", "x", "second");
+  EXPECT_EQ(mapper.Map("A", "x"), "second");
+  EXPECT_EQ(mapper.NumMappings("A"), 1u);
+}
+
+}  // namespace
+}  // namespace maroon

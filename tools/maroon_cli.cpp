@@ -1,0 +1,297 @@
+// The MAROON command-line tool: generate corpora, inspect statistics,
+// examine learnt transitions, link individual entities, and run the full
+// evaluation — all against CSV datasets on disk.
+//
+// Usage:
+//   maroon_cli generate --dataset=recruitment --out=DIR [--entities=N]
+//              [--names=N] [--seed=S] [--error-rate=E]
+//   maroon_cli generate --dataset=dblp --out=DIR [--entities=N] [--names=N]
+//   maroon_cli stats --data=DIR
+//   maroon_cli transitions --data=DIR --attribute=Title [--from=Manager]
+//              [--delta=5]
+//   maroon_cli link --data=DIR --entity=ID
+//   maroon_cli evaluate --data=DIR [--method=maroon|afds_transition|
+//              muta_afds|decay_afds|static|all] [--eval-entities=N]
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "core/dataset_io.h"
+#include "core/profile_algebra.h"
+#include "datagen/dblp_generator.h"
+#include "datagen/recruitment_generator.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "eval/sweep.h"
+#include "freshness/freshness_model.h"
+#include "transition/transition_io.h"
+
+namespace maroon {
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: maroon_cli <generate|stats|transitions|link|evaluate> "
+         "[--flags]\n"
+         "  generate    --dataset=recruitment|dblp --out=DIR [--entities=N]\n"
+         "              [--names=N] [--seed=S] [--error-rate=E]\n"
+         "  stats       --data=DIR\n"
+         "  transitions --data=DIR --attribute=A [--from=V] [--delta=N]\n"
+         "  link        --data=DIR --entity=ID\n"
+         "  evaluate    --data=DIR [--method=...|all] [--eval-entities=N]\n"
+         "              [--report=FILE.md] [--reliability]\n"
+         "  sweep       --data=DIR [--thetas=0.01,0.1,...] "
+         "[--eval-entities=N]\n";
+  return 2;
+}
+
+int RunGenerate(const FlagParser& flags) {
+  auto out = flags.GetString("out");
+  if (!out.ok()) return Fail(out.status());
+  std::error_code ec;
+  std::filesystem::create_directories(*out, ec);
+  if (ec) {
+    return Fail(Status::IOError("cannot create directory " + *out + ": " +
+                                ec.message()));
+  }
+
+  const std::string kind = flags.GetStringOr("dataset", "recruitment");
+  Dataset dataset;
+  if (kind == "recruitment") {
+    RecruitmentOptions options;
+    options.seed = static_cast<uint64_t>(flags.GetIntOr("seed", 42));
+    options.num_entities =
+        static_cast<size_t>(flags.GetIntOr("entities", 500));
+    options.num_names = static_cast<size_t>(
+        flags.GetIntOr("names", static_cast<int64_t>(options.num_entities) / 3));
+    options.social_source_error_rate = flags.GetDoubleOr("error-rate", 0.0);
+    dataset = GenerateRecruitmentDataset(options);
+  } else if (kind == "dblp") {
+    DblpOptions options;
+    options.seed = static_cast<uint64_t>(flags.GetIntOr("seed", 7));
+    options.num_entities =
+        static_cast<size_t>(flags.GetIntOr("entities", 216));
+    options.num_names = static_cast<size_t>(flags.GetIntOr("names", 21));
+    dataset = std::move(GenerateDblpCorpus(options).dataset);
+  } else {
+    return Fail(Status::InvalidArgument("unknown --dataset '" + kind + "'"));
+  }
+
+  const Status status = WriteDatasetCsv(dataset, *out);
+  if (!status.ok()) return Fail(status);
+  std::cout << "wrote " << dataset.NumRecords() << " records, "
+            << dataset.targets().size() << " targets to " << *out << "\n";
+  return 0;
+}
+
+Result<Dataset> LoadData(const FlagParser& flags) {
+  MAROON_ASSIGN_OR_RETURN(std::string dir, flags.GetString("data"));
+  return ReadDatasetCsv(dir);
+}
+
+int RunStats(const FlagParser& flags) {
+  auto dataset = LoadData(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  std::cout << dataset->StatisticsString();
+
+  std::vector<EntityId> entities;
+  for (const auto& [id, t] : dataset->targets()) entities.push_back(id);
+  const FreshnessModel freshness = FreshnessModel::Train(*dataset, entities);
+  std::cout << "\nSource freshness (mean Delay(0, s, A)):\n";
+  for (const DataSource& s : dataset->sources()) {
+    std::cout << "  " << s.name << ": "
+              << FormatDouble(
+                     freshness.FreshnessScore(s.id, dataset->attributes()), 2)
+              << (freshness.IsFresh(s.id, dataset->attributes(), 0.9)
+                      ? "  (fresh at mu=0.9)"
+                      : "  (stale at mu=0.9)")
+              << "\n";
+  }
+  return 0;
+}
+
+int RunTransitions(const FlagParser& flags) {
+  auto dataset = LoadData(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto attribute = flags.GetString("attribute");
+  if (!attribute.ok()) return Fail(attribute.status());
+
+  ProfileSet profiles;
+  for (const auto& [id, target] : dataset->targets()) {
+    profiles.push_back(target.ground_truth);
+  }
+  const TransitionModel model = TransitionModel::Train(profiles, {*attribute});
+  if (!model.HasAttribute(*attribute)) {
+    return Fail(Status::NotFound("no profile data for attribute '" +
+                                 *attribute + "'"));
+  }
+  if (flags.Has("export")) {
+    auto path = flags.GetString("export");
+    if (!path.ok()) return Fail(path.status());
+    const Status status = WriteTransitionTablesCsv(model, *attribute, *path);
+    if (!status.ok()) return Fail(status);
+    std::cout << "exported transition tables for " << *attribute << " to "
+              << *path << "\n";
+    return 0;
+  }
+
+  const int64_t delta = flags.GetIntOr("delta", 5);
+  const TransitionTable* table = model.table(*attribute, delta);
+  if (table == nullptr) {
+    return Fail(Status::NotFound("no transition table at delta " +
+                                 std::to_string(delta)));
+  }
+  const std::string from_filter = flags.GetStringOr("from", "");
+  std::cout << "transitions for " << *attribute << " at dt=" << delta
+            << (from_filter.empty() ? "" : " from '" + from_filter + "'")
+            << ":\n";
+  size_t printed = 0;
+  for (const auto& [from, to, count] : table->Entries()) {
+    if (!from_filter.empty() && from != from_filter) continue;
+    std::cout << "  " << from << " -> " << to << ": count " << count
+              << ", Pr = "
+              << FormatDouble(model.Probability(*attribute, from, to, delta),
+                              3)
+              << "\n";
+    if (++printed >= 40 && from_filter.empty()) {
+      std::cout << "  ... (" << table->NumEntries() - printed
+                << " more entries)\n";
+      break;
+    }
+  }
+  return 0;
+}
+
+int RunLink(const FlagParser& flags) {
+  auto dataset = LoadData(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto entity = flags.GetString("entity");
+  if (!entity.ok()) return Fail(entity.status());
+  auto target = dataset->target(*entity);
+  if (!target.ok()) return Fail(target.status());
+
+  ExperimentOptions options;
+  Experiment experiment(&*dataset, options);
+  experiment.Prepare();
+
+  MaroonOptions maroon_options;
+  maroon_options.matcher.single_valued_attributes = dataset->attributes();
+  Maroon maroon(&experiment.transition_model(), &experiment.freshness_model(),
+                &experiment.similarity(), dataset->attributes(),
+                maroon_options);
+  std::vector<const TemporalRecord*> candidates;
+  for (RecordId id : dataset->CandidatesFor(*entity)) {
+    candidates.push_back(&dataset->record(id));
+  }
+  const LinkResult result =
+      maroon.Link((*target)->clean_profile, candidates);
+
+  std::cout << "entity " << *entity << " (\""
+            << (*target)->clean_profile.name() << "\"): "
+            << candidates.size() << " candidates, "
+            << result.match.matched_records.size() << " linked, "
+            << result.num_clusters << " clusters\n\n";
+  std::cout << "augmented profile:\n"
+            << result.match.augmented_profile.ToString() << "\n\n"
+            << RenderTimeline(result.match.augmented_profile) << "\n";
+  const auto pr = ComputePrecisionRecall(result.match.matched_records,
+                                         dataset->TrueMatchesOf(*entity));
+  std::cout << "P=" << FormatDouble(pr.precision, 3)
+            << " R=" << FormatDouble(pr.recall, 3) << "\n";
+  return 0;
+}
+
+int RunEvaluate(const FlagParser& flags) {
+  auto dataset = LoadData(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  ExperimentOptions options;
+  options.max_eval_entities =
+      static_cast<size_t>(flags.GetIntOr("eval-entities", 0));
+  options.use_source_reliability = flags.GetBoolOr("reliability", false);
+
+  if (flags.Has("report")) {
+    auto path = flags.GetString("report");
+    if (!path.ok()) return Fail(path.status());
+    ReportOptions report_options;
+    report_options.theta_sweep = {0.01, 0.05, 0.1, 0.2};
+    const std::string report =
+        GenerateComparisonReport(*dataset, options, report_options);
+    std::ofstream out(*path, std::ios::binary | std::ios::trunc);
+    if (!out) return Fail(Status::IOError("cannot write " + *path));
+    out << report;
+    std::cout << "wrote evaluation report to " << *path << "\n";
+    return 0;
+  }
+
+  Experiment experiment(&*dataset, options);
+  experiment.Prepare();
+
+  const std::string method = flags.GetStringOr("method", "all");
+  const std::vector<std::pair<std::string, Method>> known = {
+      {"maroon", Method::kMaroon},
+      {"afds_transition", Method::kAfdsTransition},
+      {"muta_afds", Method::kAfdsMuta},
+      {"decay_afds", Method::kAfdsDecay},
+      {"static", Method::kStatic},
+  };
+  bool ran = false;
+  for (const auto& [name, m] : known) {
+    if (method != "all" && method != name) continue;
+    std::cout << experiment.Run(m).ToString() << "\n";
+    ran = true;
+  }
+  if (!ran) {
+    return Fail(Status::InvalidArgument("unknown --method '" + method + "'"));
+  }
+  return 0;
+}
+
+int RunSweep(const FlagParser& flags) {
+  auto dataset = LoadData(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  ExperimentOptions options;
+  options.max_eval_entities =
+      static_cast<size_t>(flags.GetIntOr("eval-entities", 30));
+  std::vector<double> thetas;
+  for (const std::string& part :
+       Split(flags.GetStringOr("thetas", "0.01,0.05,0.1,0.2,0.4"), ',')) {
+    FlagParser one({"--v=" + std::string(StripWhitespace(part))});
+    auto v = one.GetDouble("v");
+    if (!v.ok()) return Fail(v.status());
+    thetas.push_back(*v);
+  }
+  const SweepCurve curve = SweepTheta(*dataset, options, thetas);
+  std::cout << curve.ToCsv();
+  if (const SweepPoint* best = curve.BestByF1()) {
+    std::cout << "# best theta by F1: " << FormatDouble(best->parameter, 3)
+              << " (F1 " << FormatDouble(best->result.f1, 3) << ")\n";
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const FlagParser flags(argc, argv);
+  if (flags.positional().empty()) return Usage();
+  const std::string& command = flags.positional()[0];
+  if (command == "generate") return RunGenerate(flags);
+  if (command == "stats") return RunStats(flags);
+  if (command == "transitions") return RunTransitions(flags);
+  if (command == "link") return RunLink(flags);
+  if (command == "evaluate") return RunEvaluate(flags);
+  if (command == "sweep") return RunSweep(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace maroon
+
+int main(int argc, char** argv) { return maroon::Main(argc, argv); }
