@@ -36,6 +36,9 @@ Status CsvWriter::WriteToFile(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open for writing: " + path);
   out << text_;
+  // Flush before checking: the final write may sit in the stream buffer and
+  // only fail (e.g. on a full disk) when pushed to the OS.
+  out.flush();
   if (!out) return Status::IOError("write failed: " + path);
   return Status::OK();
 }

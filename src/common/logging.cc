@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 
 namespace maroon {
@@ -46,6 +47,18 @@ LogMessage::~LogMessage() {
   if (level_ < GetLogLevel()) return;
   stream_ << "\n";
   std::cerr << stream_.str();
+}
+
+FatalMessage::FatalMessage(const char* file, int line,
+                           const char* condition) {
+  stream_ << "[F " << BaseName(file) << ":" << line << "] check failed: "
+          << condition << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str() << std::flush;
+  std::abort();
 }
 
 }  // namespace internal_logging

@@ -38,6 +38,26 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Collects a fatal check-failure message and aborts the process on
+/// destruction. Never returns; not suppressible by the log level.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
 }  // namespace internal_logging
 }  // namespace maroon
 
@@ -46,5 +66,14 @@ class LogMessage {
 #define MAROON_LOG(level)                        \
   ::maroon::internal_logging::LogMessage(        \
       ::maroon::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Aborts the process with a message when `condition` is false — in every
+/// build mode, unlike assert(). Streams extra context:
+/// `MAROON_CHECK(r.ok()) << "while loading " << path;`
+/// The `while` never loops: the FatalMessage temporary aborts in its
+/// destructor at the end of the first iteration.
+#define MAROON_CHECK(condition)                                      \
+  while (!(condition))                                               \
+  ::maroon::internal_logging::FatalMessage(__FILE__, __LINE__, #condition)
 
 #endif  // MAROON_COMMON_LOGGING_H_

@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/status.h"
 
 namespace maroon {
@@ -12,7 +13,9 @@ namespace maroon {
 /// A value-or-error container: either holds a `T` or a non-OK `Status`.
 ///
 /// Analogous to `absl::StatusOr<T>` / `arrow::Result<T>`. Accessing the value
-/// of an errored result is a programmer error and asserts in debug builds.
+/// of an errored result is a programmer error and aborts loudly with the
+/// carried status in every build mode (MAROON_CHECK) — never undefined
+/// behavior on an empty optional.
 ///
 /// ```cpp
 /// maroon::Result<TemporalSequence> r = ParseSequence(text);
@@ -42,15 +45,15 @@ class Result {
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    CheckHoldsValue();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CheckHoldsValue();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckHoldsValue();
     return std::move(*value_);
   }
 
@@ -67,6 +70,11 @@ class Result {
   }
 
  private:
+  void CheckHoldsValue() const {
+    MAROON_CHECK(ok()) << "Result value accessed while holding error: "
+                       << status_.ToString();
+  }
+
   std::optional<T> value_;
   Status status_;  // OK iff value_ holds.
 };

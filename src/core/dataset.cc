@@ -23,6 +23,37 @@ RecordId Dataset::AddRecord(TemporalRecord record) {
   return id;
 }
 
+size_t Dataset::EraseRecords(const std::vector<RecordId>& ids) {
+  std::vector<bool> drop(records_.size(), false);
+  size_t erased = 0;
+  for (RecordId id : ids) {
+    if (id < records_.size() && !drop[id]) {
+      drop[id] = true;
+      ++erased;
+    }
+  }
+  if (erased == 0) return 0;
+  std::vector<TemporalRecord> kept_records;
+  std::vector<EntityId> kept_labels;
+  kept_records.reserve(records_.size() - erased);
+  kept_labels.reserve(records_.size() - erased);
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (drop[i]) continue;
+    TemporalRecord record = std::move(records_[i]);
+    TemporalRecord renumbered(static_cast<RecordId>(kept_records.size()),
+                              record.name(), record.timestamp(),
+                              record.source());
+    for (const auto& [attr, vs] : record.values()) {
+      renumbered.SetValue(attr, vs);
+    }
+    kept_records.push_back(std::move(renumbered));
+    kept_labels.push_back(std::move(labels_[i]));
+  }
+  records_ = std::move(kept_records);
+  labels_ = std::move(kept_labels);
+  return erased;
+}
+
 Status Dataset::SetLabel(RecordId id, EntityId entity) {
   if (id >= records_.size()) {
     return Status::OutOfRange("record id " + std::to_string(id) +
@@ -44,6 +75,11 @@ Status Dataset::AddTarget(EntityId id, TargetEntity target) {
                                  " already registered");
   }
   return Status::OK();
+}
+
+TargetEntity* Dataset::mutable_target(const EntityId& id) {
+  auto it = targets_.find(id);
+  return it != targets_.end() ? &it->second : nullptr;
 }
 
 Result<const TargetEntity*> Dataset::target(const EntityId& id) const {

@@ -43,7 +43,16 @@ class Dataset {
   RecordId AddRecord(TemporalRecord record);
   const std::vector<TemporalRecord>& records() const { return records_; }
   const TemporalRecord& record(RecordId id) const { return records_.at(id); }
+  /// Mutable access for in-place repair (core/validation.h). The caller must
+  /// not change the record's id.
+  TemporalRecord* mutable_record(RecordId id) { return &records_.at(id); }
   size_t NumRecords() const { return records_.size(); }
+
+  /// Erases the given records (e.g. quarantined by validation) and
+  /// re-densifies ids; labels follow their records. Out-of-range ids are
+  /// ignored. Returns the number of records erased. All previously held
+  /// RecordIds are invalidated.
+  size_t EraseRecords(const std::vector<RecordId>& ids);
 
   /// Records the ground truth "record `id` refers to entity `entity`".
   Status SetLabel(RecordId id, EntityId entity);
@@ -55,6 +64,8 @@ class Dataset {
   Status AddTarget(EntityId id, TargetEntity target);
   const std::map<EntityId, TargetEntity>& targets() const { return targets_; }
   Result<const TargetEntity*> target(const EntityId& id) const;
+  /// Mutable access for in-place repair; nullptr if `id` is unregistered.
+  TargetEntity* mutable_target(const EntityId& id);
 
   /// Candidate records for a target: every record whose mentioned name equals
   /// the target profile's name (the blocking step used by the paper — records

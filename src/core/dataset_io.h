@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "core/dataset.h"
+#include "core/validation.h"
 
 namespace maroon {
 
@@ -29,8 +30,36 @@ namespace maroon {
 /// records.csv, profiles.csv, sources.csv.
 Status WriteDatasetCsv(const Dataset& dataset, const std::string& directory);
 
-/// Reads a dataset previously written by WriteDatasetCsv.
+/// Reads a dataset previously written by WriteDatasetCsv. Strict: the first
+/// malformed row aborts the whole load.
 Result<Dataset> ReadDatasetCsv(const std::string& directory);
+
+/// Options for the validating load path.
+struct CsvLoadOptions {
+  /// Row handling and the semantic post-validation policy. kStrict fails on
+  /// the first error; kQuarantine/kRepair drop (or fix) bad rows/records and
+  /// keep loading.
+  ValidationOptions validation;
+  /// When no plausible_window is set, derive one from the loaded target
+  /// profiles (PlausibleWindowOf) before the semantic validation pass, so
+  /// out-of-window record timestamps are flagged.
+  bool infer_plausible_window = false;
+};
+
+/// Reads a dataset with full validation. Structural row faults (wrong column
+/// count, bad timestamps, duplicate record ids, unknown sources, inverted
+/// profile intervals) are handled per `options.validation.policy`, then the
+/// in-memory dataset goes through ValidateDataset for semantic checks.
+/// `report`, if non-null, receives every issue, quarantine, and repair even
+/// when the load fails.
+Result<Dataset> ReadDatasetCsv(const std::string& directory,
+                               const CsvLoadOptions& options,
+                               ValidationReport* report);
+
+/// Parses a CSV time-point cell: surrounding ASCII whitespace is tolerated,
+/// anything else non-numeric (including trailing garbage) is rejected with a
+/// precise message. Exposed for tests and tooling.
+Status ParseTimePoint(const std::string& cell, TimePoint* out);
 
 /// Serializes one profile's triples into rows (kind as given); exposed for
 /// tests and tooling.

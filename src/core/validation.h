@@ -1,0 +1,151 @@
+#ifndef MAROON_CORE_VALIDATION_H_
+#define MAROON_CORE_VALIDATION_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/entity_profile.h"
+#include "core/temporal_record.h"
+#include "core/time_types.h"
+
+namespace maroon {
+
+/// How the validation layer reacts to malformed input.
+///
+/// Harvested temporal data is dirty in ways beyond value noise — inverted
+/// intervals, duplicate record ids, unknown sources, missing cells. The
+/// policy turns "crash or silently corrupt profiles" into explicit,
+/// observable, policy-controlled degradation.
+enum class RepairPolicy {
+  /// Report and fail: any error-severity issue aborts the operation with
+  /// Status::InvalidArgument.
+  kStrict,
+  /// Drop offending records/rows into the report and continue with the rest.
+  kQuarantine,
+  /// Normalize what is safely normalizable (swap inverted begin/end, dedupe
+  /// multi-values, trim whitespace, re-split mangled separators); quarantine
+  /// what cannot be repaired.
+  kRepair,
+};
+
+std::string_view RepairPolicyName(RepairPolicy policy);
+
+/// Parses "strict" / "quarantine" / "repair" (case-insensitive).
+Result<RepairPolicy> ParseRepairPolicy(const std::string& name);
+
+/// Classes of structural damage the validator recognizes.
+enum class IssueCode {
+  kWrongColumnCount,      // CSV row does not match the header schema
+  kBadTimestamp,          // unparseable time point cell
+  kInvertedInterval,      // profile triple with begin > end
+  kDuplicateRecordId,     // record id already seen in this load
+  kUnknownSource,         // record references an unregistered source
+  kMissingName,           // record has an empty entity-name mention
+  kTimestampOutOfWindow,  // record timestamp far outside the plausible window
+  kMangledSeparator,      // value carrying a foreign multi-value separator
+  kNonCanonicalValue,     // whitespace-padded or duplicated values
+  kNonCanonicalSequence,  // overlapping or unmerged triples in a sequence
+  kEmptyProfile,          // target registered with no clean history at all
+  kBadRow,                // row unusable for any other structural reason
+};
+
+std::string_view IssueCodeToString(IssueCode code);
+
+/// Issue severity: errors make the carrying record/row unusable (quarantine
+/// candidates); warnings are cosmetic and always safely repairable.
+enum class IssueSeverity { kWarning, kError };
+
+/// One detected defect, locatable for debugging and observability.
+struct ValidationIssue {
+  IssueCode code = IssueCode::kBadRow;
+  IssueSeverity severity = IssueSeverity::kError;
+  /// Where: "records.csv row 17", "record 5", "target e12 attribute Title".
+  std::string location;
+  /// What exactly, with the offending content quoted.
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// Knobs for the semantic checks.
+struct ValidationOptions {
+  RepairPolicy policy = RepairPolicy::kStrict;
+  /// When set, record timestamps outside this interval are flagged as
+  /// kTimestampOutOfWindow (and quarantined under lenient policies — a
+  /// shuffled timestamp cannot be guessed back, so kRepair also drops it).
+  /// See PlausibleWindowOf() for a data-derived default.
+  std::optional<Interval> plausible_window;
+};
+
+/// The structured outcome of a validation pass: every issue found, which
+/// records were dropped, and how many repairs were applied.
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+  /// Ids of in-memory records dropped under kQuarantine/kRepair (ids as they
+  /// were *before* the drop re-densified the pool).
+  std::vector<RecordId> quarantined_records;
+  /// CSV rows dropped during a lenient load before a record/triple was ever
+  /// materialized (wrong column count, duplicate id, unknown source, ...).
+  size_t quarantined_rows = 0;
+  size_t records_checked = 0;
+  size_t profiles_checked = 0;
+  size_t repairs_applied = 0;
+
+  size_t CountOf(IssueCode code) const;
+  size_t ErrorCount() const;
+  /// Everything dropped, across both the row and the record stage.
+  size_t TotalQuarantined() const {
+    return quarantined_records.size() + quarantined_rows;
+  }
+  bool clean() const { return issues.empty(); }
+  void Merge(ValidationReport other);
+  /// OK when no error-severity issue was found; otherwise InvalidArgument
+  /// summarizing the issue counts (first issue quoted).
+  Status ToStatus() const;
+  std::string ToString() const;
+};
+
+/// Checks one record against its dataset context (`num_sources` registered
+/// sources) and appends any issues to `report` (location "record <id>").
+/// Pure inspection; never mutates.
+void ValidateRecord(const TemporalRecord& record, size_t num_sources,
+                    const ValidationOptions& options,
+                    ValidationReport* report);
+
+/// Normalizes what is safely normalizable in `record`: trims surrounding
+/// whitespace from values, re-splits values carrying a mangled '|' separator,
+/// and re-canonicalizes the value sets. Returns the number of cells changed.
+size_t RepairRecord(TemporalRecord* record);
+
+/// Checks one profile (all attribute sequences) and appends issues to
+/// `report`. `location` prefixes issue locations (e.g. "target e12").
+void ValidateProfile(const EntityProfile& profile, const std::string& location,
+                     ValidationReport* report);
+
+/// Repairs a profile in place: swaps inverted triple intervals, trims and
+/// dedupes values, then normalizes the sequences. Returns repairs applied.
+size_t RepairProfile(EntityProfile* profile);
+
+/// A generous plausibility window derived from the dataset's target
+/// profiles: their covered span padded on each side by the span length (at
+/// least 10 instants). Empty when no target covers any instant.
+std::optional<Interval> PlausibleWindowOf(const Dataset& dataset);
+
+/// Validates every record and target profile of `dataset`.
+///
+///  - kStrict: inspect only; the report's ToStatus() is non-OK on errors.
+///  - kQuarantine: erase records carrying error-severity issues (the pool is
+///    re-densified; prior RecordIds are invalidated).
+///  - kRepair: repair records and profiles in place first, then quarantine
+///    whatever remains unusable (e.g. out-of-window timestamps).
+ValidationReport ValidateDataset(Dataset* dataset,
+                                 const ValidationOptions& options);
+
+}  // namespace maroon
+
+#endif  // MAROON_CORE_VALIDATION_H_

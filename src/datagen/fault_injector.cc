@@ -1,0 +1,213 @@
+#include "datagen/fault_injector.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/csv.h"
+#include "core/dataset_io.h"
+
+namespace maroon {
+
+namespace {
+
+/// Column layout of records.csv: id,name,timestamp,source,label,<attrs...>.
+constexpr size_t kIdCol = 0;
+constexpr size_t kTimestampCol = 2;
+constexpr size_t kSourceCol = 3;
+constexpr size_t kFirstAttrCol = 5;
+
+/// Column layout of profiles.csv rows.
+constexpr size_t kBeginCol = 4;
+constexpr size_t kEndCol = 5;
+constexpr size_t kProfileCols = 7;
+
+bool ParseCell(const std::string& cell, TimePoint* out) {
+  return ParseTimePoint(cell, out).ok();
+}
+
+void Record(FaultReport* report, FaultClass fault, const char* file,
+            size_t row, std::string detail) {
+  report->injections.push_back(
+      FaultInjection{fault, file, row, std::move(detail)});
+}
+
+}  // namespace
+
+std::string_view FaultClassToString(FaultClass fault) {
+  switch (fault) {
+    case FaultClass::kDropCell:
+      return "DropCell";
+    case FaultClass::kInvertInterval:
+      return "InvertInterval";
+    case FaultClass::kDuplicateRecordId:
+      return "DuplicateRecordId";
+    case FaultClass::kUnknownSource:
+      return "UnknownSource";
+    case FaultClass::kShuffleTimestamp:
+      return "ShuffleTimestamp";
+    case FaultClass::kMangleSeparator:
+      return "MangleSeparator";
+  }
+  return "Unknown";
+}
+
+size_t FaultReport::CountOf(FaultClass fault) const {
+  return static_cast<size_t>(std::count_if(
+      injections.begin(), injections.end(),
+      [fault](const FaultInjection& i) { return i.fault == fault; }));
+}
+
+std::string FaultReport::ToString() const {
+  std::ostringstream os;
+  os << "FaultReport: " << injections.size() << " injection(s)\n";
+  for (FaultClass fault :
+       {FaultClass::kDropCell, FaultClass::kInvertInterval,
+        FaultClass::kDuplicateRecordId, FaultClass::kUnknownSource,
+        FaultClass::kShuffleTimestamp, FaultClass::kMangleSeparator}) {
+    const size_t count = CountOf(fault);
+    if (count > 0) os << "  " << FaultClassToString(fault) << ": " << count << "\n";
+  }
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultInjectorOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {}
+
+void FaultInjector::CorruptRecordRows(
+    std::vector<std::vector<std::string>>* rows, FaultReport* report) {
+  if (rows->empty()) return;
+  const size_t original_rows = rows->size();
+
+  // Observed timestamp window, for the out-of-window shuffle.
+  TimePoint window_lo = 0, window_hi = 0;
+  bool window_seen = false;
+  for (size_t i = 1; i < original_rows; ++i) {
+    const auto& row = (*rows)[i];
+    TimePoint t = 0;
+    if (row.size() > kTimestampCol && ParseCell(row[kTimestampCol], &t)) {
+      if (!window_seen) {
+        window_lo = window_hi = t;
+        window_seen = true;
+      } else {
+        window_lo = std::min(window_lo, t);
+        window_hi = std::max(window_hi, t);
+      }
+    }
+  }
+
+  std::vector<std::vector<std::string>> duplicates;
+  for (size_t i = 1; i < original_rows; ++i) {
+    std::vector<std::string>& row = (*rows)[i];
+    if (row.size() <= kFirstAttrCol) continue;  // structurally too short
+
+    // At most one fault per row, classes tried in a fixed order, so a
+    // quarantined row attributes to exactly one injection.
+    if (options_.drop_cell_rate > 0.0 &&
+        rng_.Bernoulli(options_.drop_cell_rate)) {
+      const size_t cell = static_cast<size_t>(rng_.UniformInt(
+          static_cast<int64_t>(kFirstAttrCol),
+          static_cast<int64_t>(row.size()) - 1));
+      row.erase(row.begin() + static_cast<ptrdiff_t>(cell));
+      Record(report, FaultClass::kDropCell, "records.csv", i,
+             "erased cell " + std::to_string(cell));
+      continue;
+    }
+    if (options_.duplicate_record_rate > 0.0 &&
+        rng_.Bernoulli(options_.duplicate_record_rate)) {
+      duplicates.push_back(row);
+      Record(report, FaultClass::kDuplicateRecordId, "records.csv", i,
+             "duplicated row with id '" + row[kIdCol] + "'");
+      continue;
+    }
+    if (options_.unknown_source_rate > 0.0 &&
+        rng_.Bernoulli(options_.unknown_source_rate)) {
+      Record(report, FaultClass::kUnknownSource, "records.csv", i,
+             "source '" + row[kSourceCol] + "' -> '" + options_.ghost_source +
+                 "'");
+      row[kSourceCol] = options_.ghost_source;
+      continue;
+    }
+    if (options_.shuffle_timestamp_rate > 0.0 && window_seen &&
+        rng_.Bernoulli(options_.shuffle_timestamp_rate)) {
+      // Far outside the observed window on a random side — well beyond any
+      // plausibility padding a validator might apply.
+      const int64_t offset = 1000 + rng_.UniformInt(0, 999);
+      const TimePoint shuffled =
+          rng_.Bernoulli(0.5)
+              ? static_cast<TimePoint>(window_hi + offset)
+              : static_cast<TimePoint>(window_lo - offset);
+      Record(report, FaultClass::kShuffleTimestamp, "records.csv", i,
+             "timestamp " + row[kTimestampCol] + " -> " +
+                 std::to_string(shuffled));
+      row[kTimestampCol] = std::to_string(shuffled);
+      continue;
+    }
+    if (options_.mangle_separator_rate > 0.0 &&
+        rng_.Bernoulli(options_.mangle_separator_rate)) {
+      // Eligible only when some attribute cell actually joins multiple
+      // values; replace its "; " joins with a foreign '|' separator.
+      std::vector<size_t> eligible;
+      for (size_t c = kFirstAttrCol; c < row.size(); ++c) {
+        if (row[c].find("; ") != std::string::npos) eligible.push_back(c);
+      }
+      if (eligible.empty()) continue;
+      const size_t cell = eligible[static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(eligible.size()) - 1))];
+      std::string mangled = row[cell];
+      size_t pos = 0;
+      while ((pos = mangled.find("; ", pos)) != std::string::npos) {
+        mangled.replace(pos, 2, "|");
+        ++pos;
+      }
+      Record(report, FaultClass::kMangleSeparator, "records.csv", i,
+             "cell " + std::to_string(cell) + ": '" + row[cell] + "' -> '" +
+                 mangled + "'");
+      row[cell] = std::move(mangled);
+      continue;
+    }
+  }
+  for (auto& dup : duplicates) rows->push_back(std::move(dup));
+}
+
+void FaultInjector::CorruptProfileRows(
+    std::vector<std::vector<std::string>>* rows, FaultReport* report) {
+  if (rows->empty() || options_.invert_interval_rate <= 0.0) return;
+  for (size_t i = 1; i < rows->size(); ++i) {
+    std::vector<std::string>& row = (*rows)[i];
+    if (row.size() != kProfileCols) continue;
+    TimePoint begin = 0, end = 0;
+    if (!ParseCell(row[kBeginCol], &begin) || !ParseCell(row[kEndCol], &end)) {
+      continue;
+    }
+    if (begin >= end) continue;  // swapping would be a no-op or already bad
+    if (!rng_.Bernoulli(options_.invert_interval_rate)) continue;
+    std::swap(row[kBeginCol], row[kEndCol]);
+    Record(report, FaultClass::kInvertInterval, "profiles.csv", i,
+           "interval [" + row[kEndCol] + ", " + row[kBeginCol] +
+               "] inverted");
+  }
+}
+
+Result<FaultReport> FaultInjector::CorruptDirectory(
+    const std::string& directory) {
+  FaultReport report;
+  {
+    MAROON_ASSIGN_OR_RETURN(auto rows,
+                            ReadCsvFile(directory + "/records.csv"));
+    CorruptRecordRows(&rows, &report);
+    CsvWriter writer;
+    for (const auto& row : rows) writer.AppendRow(row);
+    MAROON_RETURN_IF_ERROR(writer.WriteToFile(directory + "/records.csv"));
+  }
+  {
+    MAROON_ASSIGN_OR_RETURN(auto rows,
+                            ReadCsvFile(directory + "/profiles.csv"));
+    CorruptProfileRows(&rows, &report);
+    CsvWriter writer;
+    for (const auto& row : rows) writer.AppendRow(row);
+    MAROON_RETURN_IF_ERROR(writer.WriteToFile(directory + "/profiles.csv"));
+  }
+  return report;
+}
+
+}  // namespace maroon

@@ -1,0 +1,96 @@
+#ifndef MAROON_DATAGEN_FAULT_INJECTOR_H_
+#define MAROON_DATAGEN_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace maroon {
+
+/// Structural fault classes the injector can apply to a serialized dataset.
+/// These model how harvested temporal data actually breaks — not value noise
+/// (the generators cover that via social_source_error_rate) but malformed
+/// structure: rows that violate the schema, the id space, the source
+/// registry, or the time axis.
+enum class FaultClass {
+  kDropCell,          // records.csv: erase one attribute cell (column count)
+  kInvertInterval,    // profiles.csv: swap begin/end of a triple row
+  kDuplicateRecordId, // records.csv: append a copy of the row, same id
+  kUnknownSource,     // records.csv: rewrite source to an unregistered name
+  kShuffleTimestamp,  // records.csv: move timestamp far outside the window
+  kMangleSeparator,   // records.csv: pipe-join a multi-valued cell
+};
+
+std::string_view FaultClassToString(FaultClass fault);
+
+/// Per-class injection rates. Every class is independently toggleable so a
+/// test can attribute a pipeline failure to a single fault class. All rates
+/// are probabilities per eligible row; 0 disables the class.
+struct FaultInjectorOptions {
+  uint64_t seed = 99;
+  double drop_cell_rate = 0.0;
+  double invert_interval_rate = 0.0;
+  double duplicate_record_rate = 0.0;
+  double unknown_source_rate = 0.0;
+  double shuffle_timestamp_rate = 0.0;
+  double mangle_separator_rate = 0.0;
+  /// The source name written by kUnknownSource; must not collide with a
+  /// registered source.
+  std::string ghost_source = "__unregistered__";
+};
+
+/// One applied corruption, for exact-count bookkeeping in tests.
+struct FaultInjection {
+  FaultClass fault = FaultClass::kDropCell;
+  std::string file;  // "records.csv" or "profiles.csv"
+  size_t row = 0;    // data row index, 1-based as in loader locations
+  std::string detail;
+};
+
+/// Everything the injector did in one pass.
+struct FaultReport {
+  std::vector<FaultInjection> injections;
+
+  size_t CountOf(FaultClass fault) const;
+  size_t total() const { return injections.size(); }
+  std::string ToString() const;
+};
+
+/// Deterministic, seed-driven corruption of a dataset's CSV serialization.
+///
+/// Operates on the serialized form because that is where structural damage
+/// lives: a `Dataset` object cannot even represent a duplicate record id or
+/// an unregistered source. At most one fault is applied per row (classes are
+/// tried in enum order), so quarantine counts attribute 1:1 to injections.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectorOptions options);
+
+  /// Corrupts parsed records.csv rows in place (rows[0] is the header).
+  /// Duplicated rows are appended at the end. Appends to `report`.
+  void CorruptRecordRows(std::vector<std::vector<std::string>>* rows,
+                         FaultReport* report);
+
+  /// Corrupts parsed profiles.csv rows in place (rows[0] is the header).
+  void CorruptProfileRows(std::vector<std::vector<std::string>>* rows,
+                          FaultReport* report);
+
+  /// Reads records.csv and profiles.csv under `directory`, corrupts them,
+  /// and rewrites the files. sources.csv is left untouched.
+  Result<FaultReport> CorruptDirectory(const std::string& directory);
+
+  const FaultInjectorOptions& options() const { return options_; }
+
+ private:
+  FaultInjectorOptions options_;
+  Random rng_;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_DATAGEN_FAULT_INJECTOR_H_

@@ -1,6 +1,7 @@
 #include "matching/batch_linker.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace maroon {
 
@@ -19,9 +20,13 @@ double BatchLinker::RecordProfileFit(const EntityProfile& profile,
         reference = ValueSetUnion(reference, tr.values);
       }
     }
-    total += similarity.ValueSetSimilarity(reference, values);
+    const double sim = similarity.ValueSetSimilarity(reference, values);
+    // A degenerate similarity (NaN/∞) contributes no evidence either way.
+    if (std::isfinite(sim)) total += sim;
   }
-  return considered == 0 ? 0.0 : total / static_cast<double>(considered);
+  const double fit =
+      considered == 0 ? 0.0 : total / static_cast<double>(considered);
+  return std::isfinite(fit) ? fit : 0.0;
 }
 
 BatchLinkResult BatchLinker::LinkAll(
@@ -31,13 +36,17 @@ BatchLinkResult BatchLinker::LinkAll(
   // Per-entity linkage, paper protocol.
   for (const EntityId& id : targets) {
     auto target = dataset.target(id);
-    if (!target.ok()) continue;
+    if (!target.ok()) {
+      ++result.skipped_entities;
+      continue;
+    }
     std::vector<const TemporalRecord*> candidates;
     for (RecordId rid : dataset.CandidatesFor(id)) {
       candidates.push_back(&dataset.record(rid));
     }
-    result.per_entity[id] =
-        maroon_->Link((*target)->clean_profile, candidates);
+    LinkResult link = maroon_->Link((*target)->clean_profile, candidates);
+    result.skipped_candidates += link.skipped_candidates;
+    result.per_entity[id] = std::move(link);
   }
 
   // Collect claims.

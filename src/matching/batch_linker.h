@@ -25,6 +25,10 @@ struct BatchLinkResult {
   std::map<RecordId, EntityId> assignment;
   /// Records that more than one entity claimed before resolution.
   size_t contested_records = 0;
+  /// Requested targets that are not registered in the dataset (skipped).
+  size_t skipped_entities = 0;
+  /// Degenerate candidates skipped across all entities (see LinkResult).
+  size_t skipped_candidates = 0;
 };
 
 /// Links a set of target entities against a shared dataset — the deployment

@@ -1,5 +1,7 @@
 #include "matching/incremental_linker.h"
 
+#include <string>
+
 namespace maroon {
 
 IncrementalLinker::IncrementalLinker(const Maroon* maroon,
@@ -8,9 +10,15 @@ IncrementalLinker::IncrementalLinker(const Maroon* maroon,
       clean_(clean_profile),
       current_(std::move(clean_profile)) {}
 
-void IncrementalLinker::Observe(TemporalRecord record) {
+Status IncrementalLinker::Observe(TemporalRecord record) {
+  if (record.values().empty()) {
+    ++rejected_;
+    return Status::InvalidArgument("record " + std::to_string(record.id()) +
+                                   " carries no attribute values");
+  }
   records_.push_back(std::move(record));
   ++pending_;
+  return Status::OK();
 }
 
 LinkResult IncrementalLinker::Flush() {

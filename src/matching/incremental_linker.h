@@ -26,13 +26,17 @@ class IncrementalLinker {
   IncrementalLinker(const Maroon* maroon, EntityProfile clean_profile);
 
   /// Buffers one observed record (copied; records may arrive out of
-  /// timestamp order).
-  void Observe(TemporalRecord record);
+  /// timestamp order). Degenerate records — no attribute values at all —
+  /// are rejected with InvalidArgument and counted instead of buffered, so
+  /// a dirty stream degrades the pool instead of corrupting it.
+  Status Observe(TemporalRecord record);
 
   /// Number of records observed so far.
   size_t NumObserved() const { return records_.size(); }
   /// Records buffered since the last Flush().
   size_t NumPending() const { return pending_; }
+  /// Degenerate records rejected by Observe() so far.
+  size_t NumRejected() const { return rejected_; }
 
   /// Re-links the accumulated pool and updates the current profile.
   /// Returns the linkage result over all records observed so far.
@@ -52,6 +56,7 @@ class IncrementalLinker {
   std::vector<TemporalRecord> records_;
   std::vector<RecordId> linked_;
   size_t pending_ = 0;
+  size_t rejected_ = 0;
 };
 
 }  // namespace maroon

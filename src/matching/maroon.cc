@@ -27,12 +27,30 @@ LinkResult Maroon::Link(
     const std::vector<const TemporalRecord*>& candidates) const {
   LinkResult result;
 
+  // Degenerate candidates — null pointers or records with no attribute
+  // values — carry no linkage evidence and would only distort cluster
+  // signatures; skip them up front and report how many were dropped.
+  std::vector<const TemporalRecord*> usable;
+  usable.reserve(candidates.size());
+  for (const TemporalRecord* record : candidates) {
+    if (record == nullptr || record->values().empty()) {
+      ++result.skipped_candidates;
+      continue;
+    }
+    usable.push_back(record);
+  }
+  if (usable.empty()) {
+    result.match.augmented_profile = clean_profile;
+    result.match.augmented_profile.Normalize();
+    return result;
+  }
+
   auto start = std::chrono::steady_clock::now();
   ClusterGenerator generator(similarity_, freshness_, schema_attributes_,
                              options_.cluster);
   generator.SetReliabilityModel(reliability_);
   generator.SetFusionStrategy(fusion_);
-  std::vector<GeneratedCluster> clusters = generator.Generate(candidates);
+  std::vector<GeneratedCluster> clusters = generator.Generate(usable);
   result.num_clusters = clusters.size();
   result.timings.phase1_seconds = SecondsSince(start);
 

@@ -40,6 +40,10 @@ struct LinkResult {
   MatchResult match;
   /// Number of clusters produced by Phase I.
   size_t num_clusters = 0;
+  /// Candidates skipped as degenerate before Phase I: null pointers and
+  /// records carrying no attribute values at all. Non-zero counters signal
+  /// upstream data problems without failing the link.
+  size_t skipped_candidates = 0;
   PhaseTimings timings;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <map>
 
 namespace maroon {
@@ -64,7 +65,10 @@ double ProfileMatcher::MatchScore(const EntityProfile& profile,
                         attribute, profile.sequence(attribute), to,
                         cluster.signature.interval);
   }
-  return total / static_cast<double>(schema_attributes_.size());
+  const double score = total / static_cast<double>(schema_attributes_.size());
+  // A degenerate transition model can emit NaN/∞; a non-finite score carries
+  // no ranking information, so report "no match" rather than poison callers.
+  return std::isfinite(score) ? score : 0.0;
 }
 
 MatchResult ProfileMatcher::MatchAndAugment(
@@ -124,6 +128,17 @@ MatchResult ProfileMatcher::MatchAndAugment(
       for (size_t i = 0; i < n; ++i) {
         if (!active[i]) continue;
         const double s = score_of(i);
+        if (!std::isfinite(s)) {
+          // A NaN/∞ score means the transition or freshness model is
+          // degenerate for this cluster; it can never be ranked
+          // meaningfully, so retire it instead of letting NaN poison the
+          // comparisons below.
+          active[i] = false;
+          --remaining;
+          ++result.degenerate_scores;
+          result.pruned_clusters.push_back(i);
+          continue;
+        }
         if (s > best_score) {
           best_score = s;
           best = i;

@@ -39,6 +39,10 @@ struct MatchResult {
   std::vector<size_t> linked_clusters;
   /// Indices of clusters pruned for conflicting with a linked cluster.
   std::vector<size_t> pruned_clusters;
+  /// Clusters discarded because a degenerate transition or freshness model
+  /// produced a non-finite (NaN/∞) match score. Such clusters are excluded
+  /// rather than allowed to dominate or poison the iteration.
+  size_t degenerate_scores = 0;
   size_t iterations = 0;
 };
 

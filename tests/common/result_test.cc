@@ -1,0 +1,63 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace maroon {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ArrowAccessesMembers) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, MoveExtractsValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultDeathTest, ValueOnErrorAbortsWithStatus) {
+  Result<int> r(Status::NotFound("the missing thing"));
+  // Release builds must abort loudly too — never UB on an empty optional.
+  EXPECT_DEATH(
+      { (void)r.value(); },
+      "check failed: ok\\(\\).*Result value accessed while holding error.*"
+      "the missing thing");
+}
+
+TEST(ResultDeathTest, DereferenceOnErrorAborts) {
+  Result<std::string> r(Status::Internal("broken"));
+  EXPECT_DEATH({ (void)r->size(); }, "Result value accessed while holding");
+}
+
+TEST(ResultDeathTest, CheckMacroAbortsWithCondition) {
+  const int x = 3;
+  EXPECT_DEATH(MAROON_CHECK(x == 4) << "x was " << x,
+               "check failed: x == 4.*x was 3");
+}
+
+TEST(ResultDeathTest, CheckMacroPassesSilently) {
+  const int x = 3;
+  MAROON_CHECK(x == 3) << "never evaluated";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace maroon

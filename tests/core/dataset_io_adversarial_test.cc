@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/dataset_io.h"
+
+namespace maroon {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Round-trip tests over adversarial CSV content: commas, quotes, embedded
+/// newlines and CRLF inside cells. The one documented non-round-tripping
+/// shape — values containing the multi-value separator ';' or surrounding
+/// whitespace — is deliberately absent.
+class AdversarialIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/maroon_adv_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    dir2_ = dir_ + "_second";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::remove_all(dir2_);
+    std::filesystem::create_directories(dir_);
+    std::filesystem::create_directories(dir2_);
+  }
+  void TearDown() override {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::remove_all(dir2_);
+  }
+
+  std::string dir_;
+  std::string dir2_;
+};
+
+Dataset AdversarialDataset() {
+  Dataset dataset;
+  dataset.SetAttributes({"Org,anization", "Ti\"tle\""});
+  dataset.AddSource("Source, \"quoted\"");
+  dataset.AddSource("Line\nBreak Source");
+
+  TemporalRecord r0(0, "Ann \"The Comma\" Smith, Jr.", 2001, 0);
+  r0.SetValue("Org,anization", MakeValueSet({"Acme, Inc.", "A \"q\" org"}));
+  r0.SetValue("Ti\"tle\"", MakeValueSet({"Line\nbreak title"}));
+  TemporalRecord r1(0, "Bob\r\nCarriage", 2003, 1);
+  r1.SetValue("Org,anization", MakeValueSet({"CRLF\r\nvalue"}));
+  TemporalRecord r2(0, "Plain Name", 2005, 0);
+  r2.SetValue("Ti\"tle\"", MakeValueSet({"\"\"", ","}));
+
+  const RecordId id0 = dataset.AddRecord(std::move(r0));
+  (void)dataset.AddRecord(std::move(r1));
+  const RecordId id2 = dataset.AddRecord(std::move(r2));
+  (void)dataset.SetLabel(id0, "entity,one");
+  (void)dataset.SetLabel(id2, "entity\"two\"");
+
+  TargetEntity target;
+  target.clean_profile = EntityProfile("entity,one", "Ann \"The Comma\" Smith, Jr.");
+  (void)target.clean_profile.sequence("Org,anization")
+      .Append(Triple(2000, 2002, MakeValueSet({"Acme, Inc."})));
+  target.ground_truth = target.clean_profile;
+  (void)target.ground_truth.sequence("Ti\"tle\"").Append(
+      Triple(2001, 2001, MakeValueSet({"Line\nbreak title"})));
+  (void)dataset.AddTarget("entity,one", std::move(target));
+  return dataset;
+}
+
+TEST_F(AdversarialIoTest, ByteIdenticalAfterReload) {
+  const Dataset original = AdversarialDataset();
+  ASSERT_TRUE(WriteDatasetCsv(original, dir_).ok());
+
+  auto loaded = ReadDatasetCsv(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(WriteDatasetCsv(*loaded, dir2_).ok());
+
+  for (const char* file : {"records.csv", "profiles.csv", "sources.csv"}) {
+    const std::string a = ReadFileBytes(dir_ + "/" + file);
+    const std::string b = ReadFileBytes(dir2_ + "/" + file);
+    ASSERT_FALSE(a.empty()) << file;
+    EXPECT_EQ(a, b) << file << " did not survive the round trip byte-for-byte";
+  }
+}
+
+TEST_F(AdversarialIoTest, ValuesSurviveSemantically) {
+  const Dataset original = AdversarialDataset();
+  ASSERT_TRUE(WriteDatasetCsv(original, dir_).ok());
+  auto loaded = ReadDatasetCsv(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  ASSERT_EQ(loaded->NumRecords(), original.NumRecords());
+  for (RecordId id = 0; id < original.NumRecords(); ++id) {
+    EXPECT_EQ(loaded->record(id).ToString(), original.record(id).ToString());
+    EXPECT_EQ(loaded->LabelOf(id), original.LabelOf(id));
+  }
+  EXPECT_EQ(loaded->record(1).GetValue("Org,anization"),
+            MakeValueSet({"CRLF\r\nvalue"}));
+  auto target = loaded->target("entity,one");
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ((*target)->ground_truth.ToString(),
+            original.targets().begin()->second.ground_truth.ToString());
+}
+
+TEST(ParseTimePointTest, ParsesPlainIntegers) {
+  TimePoint t = 0;
+  ASSERT_TRUE(ParseTimePoint("2005", &t).ok());
+  EXPECT_EQ(t, 2005);
+  ASSERT_TRUE(ParseTimePoint("-40", &t).ok());
+  EXPECT_EQ(t, -40);
+}
+
+TEST(ParseTimePointTest, ToleratesSurroundingWhitespace) {
+  TimePoint t = 0;
+  ASSERT_TRUE(ParseTimePoint("  1999 ", &t).ok());
+  EXPECT_EQ(t, 1999);
+  ASSERT_TRUE(ParseTimePoint("\t-7\t", &t).ok());
+  EXPECT_EQ(t, -7);
+}
+
+TEST(ParseTimePointTest, RejectsTrailingGarbage) {
+  TimePoint t = 0;
+  const Status status = ParseTimePoint("2005x", &t);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("trailing garbage"), std::string::npos);
+  EXPECT_NE(status.message().find("'x'"), std::string::npos);
+  EXPECT_FALSE(ParseTimePoint("19 99", &t).ok());
+  EXPECT_FALSE(ParseTimePoint("2005.5", &t).ok());
+}
+
+TEST(ParseTimePointTest, RejectsEmptyAndWhitespaceWithDistinctMessages) {
+  TimePoint t = 0;
+  const Status empty = ParseTimePoint("", &t);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.message().find("empty cell"), std::string::npos);
+  const Status blank = ParseTimePoint("   ", &t);
+  ASSERT_FALSE(blank.ok());
+  EXPECT_NE(blank.message().find("whitespace-only"), std::string::npos);
+}
+
+TEST(ParseTimePointTest, RejectsNonIntegersAndOverflow) {
+  TimePoint t = 0;
+  const Status word = ParseTimePoint("soon", &t);
+  ASSERT_FALSE(word.ok());
+  EXPECT_NE(word.message().find("not an integer"), std::string::npos);
+  const Status huge = ParseTimePoint("99999999999", &t);
+  ASSERT_FALSE(huge.ok());
+  EXPECT_NE(huge.message().find("32-bit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maroon

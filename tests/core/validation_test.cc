@@ -1,0 +1,268 @@
+#include "core/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dataset.h"
+#include "core/entity_profile.h"
+#include "core/temporal_record.h"
+
+namespace maroon {
+namespace {
+
+TEST(RepairPolicyTest, ParsesAllNames) {
+  auto strict = ParseRepairPolicy("strict");
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(*strict, RepairPolicy::kStrict);
+  auto quarantine = ParseRepairPolicy("Quarantine");
+  ASSERT_TRUE(quarantine.ok());
+  EXPECT_EQ(*quarantine, RepairPolicy::kQuarantine);
+  auto repair = ParseRepairPolicy("REPAIR");
+  ASSERT_TRUE(repair.ok());
+  EXPECT_EQ(*repair, RepairPolicy::kRepair);
+  EXPECT_FALSE(ParseRepairPolicy("lenient").ok());
+}
+
+TEST(RepairPolicyTest, NamesRoundTrip) {
+  for (RepairPolicy policy : {RepairPolicy::kStrict, RepairPolicy::kQuarantine,
+                              RepairPolicy::kRepair}) {
+    auto parsed = ParseRepairPolicy(std::string(RepairPolicyName(policy)));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, policy);
+  }
+}
+
+TEST(ValidateRecordTest, CleanRecordHasNoIssues) {
+  TemporalRecord record(0, "Ann Smith", 2005, 0);
+  record.SetValue("Title", MakeValueSet({"Engineer"}));
+  ValidationReport report;
+  ValidateRecord(record, /*num_sources=*/1, {}, &report);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.records_checked, 1u);
+}
+
+TEST(ValidateRecordTest, FlagsUnknownSource) {
+  TemporalRecord record(3, "Ann", 2005, /*source=*/7);
+  ValidationReport report;
+  ValidateRecord(record, /*num_sources=*/2, {}, &report);
+  EXPECT_EQ(report.CountOf(IssueCode::kUnknownSource), 1u);
+  EXPECT_EQ(report.ErrorCount(), 1u);
+  EXPECT_NE(report.issues[0].location.find("record 3"), std::string::npos);
+}
+
+TEST(ValidateRecordTest, FlagsMissingName) {
+  TemporalRecord record(0, "   ", 2005, 0);
+  ValidationReport report;
+  ValidateRecord(record, 1, {}, &report);
+  EXPECT_EQ(report.CountOf(IssueCode::kMissingName), 1u);
+}
+
+TEST(ValidateRecordTest, FlagsTimestampOutsidePlausibleWindow) {
+  TemporalRecord inside(0, "Ann", 2005, 0);
+  TemporalRecord outside(1, "Bob", 3456, 0);
+  ValidationOptions options;
+  options.plausible_window = Interval(1990, 2030);
+  ValidationReport report;
+  ValidateRecord(inside, 1, options, &report);
+  EXPECT_TRUE(report.clean());
+  ValidateRecord(outside, 1, options, &report);
+  EXPECT_EQ(report.CountOf(IssueCode::kTimestampOutOfWindow), 1u);
+}
+
+TEST(ValidateRecordTest, FlagsMangledSeparatorAsError) {
+  TemporalRecord record(0, "Ann", 2005, 0);
+  record.SetValue("Coauthors", MakeValueSet({"Bob Jones|Carol White"}));
+  ValidationReport report;
+  ValidateRecord(record, 1, {}, &report);
+  EXPECT_EQ(report.CountOf(IssueCode::kMangledSeparator), 1u);
+  EXPECT_EQ(report.ErrorCount(), 1u);
+}
+
+TEST(ValidateRecordTest, FlagsSurroundingWhitespaceAsWarning) {
+  TemporalRecord record(0, "Ann", 2005, 0);
+  record.SetValue("Title", MakeValueSet({" Engineer "}));
+  ValidationReport report;
+  ValidateRecord(record, 1, {}, &report);
+  EXPECT_EQ(report.CountOf(IssueCode::kNonCanonicalValue), 1u);
+  EXPECT_EQ(report.ErrorCount(), 0u);  // warning only
+}
+
+TEST(RepairRecordTest, ResplitsMangledSeparatorAndTrims) {
+  TemporalRecord record(0, "Ann", 2005, 0);
+  record.SetValue("Coauthors", MakeValueSet({"Bob|Carol| Dave "}));
+  record.SetValue("Title", MakeValueSet({" Engineer "}));
+  EXPECT_EQ(RepairRecord(&record), 2u);
+  EXPECT_EQ(record.GetValue("Coauthors"),
+            MakeValueSet({"Bob", "Carol", "Dave"}));
+  EXPECT_EQ(record.GetValue("Title"), MakeValueSet({"Engineer"}));
+
+  // Idempotent: a repaired record validates clean and repairs to zero.
+  ValidationReport report;
+  ValidateRecord(record, 1, {}, &report);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(RepairRecord(&record), 0u);
+}
+
+TEST(ValidateProfileTest, EmptyProfileIsWarning) {
+  EntityProfile profile("e1", "Ann");
+  ValidationReport report;
+  ValidateProfile(profile, "target e1", &report);
+  EXPECT_EQ(report.CountOf(IssueCode::kEmptyProfile), 1u);
+  EXPECT_EQ(report.ErrorCount(), 0u);
+}
+
+TEST(ValidateProfileTest, FlagsNonCanonicalSequence) {
+  EntityProfile profile("e1", "Ann");
+  ASSERT_TRUE(profile.sequence("Title")
+                  .Insert(Triple(2000, 2005, MakeValueSet({"Engineer"})))
+                  .ok());
+  ASSERT_TRUE(profile.sequence("Title")
+                  .Insert(Triple(2003, 2008, MakeValueSet({"Manager"})))
+                  .ok());
+  ValidationReport report;
+  ValidateProfile(profile, "target e1", &report);
+  EXPECT_EQ(report.CountOf(IssueCode::kNonCanonicalSequence), 1u);
+  EXPECT_EQ(report.ErrorCount(), 0u);
+}
+
+TEST(ValidateProfileTest, FlagsMangledAndPaddedValues) {
+  EntityProfile profile("e1", "Ann");
+  ASSERT_TRUE(profile.sequence("Org")
+                  .Insert(Triple(2000, 2002, MakeValueSet({"Acme|Globex"})))
+                  .ok());
+  ASSERT_TRUE(profile.sequence("Title")
+                  .Insert(Triple(2000, 2002, MakeValueSet({" Engineer "})))
+                  .ok());
+  ValidationReport report;
+  ValidateProfile(profile, "target e1", &report);
+  EXPECT_EQ(report.CountOf(IssueCode::kMangledSeparator), 1u);
+  EXPECT_EQ(report.CountOf(IssueCode::kNonCanonicalValue), 1u);
+}
+
+TEST(RepairProfileTest, NormalizesAndResplits) {
+  EntityProfile profile("e1", "Ann");
+  ASSERT_TRUE(profile.sequence("Org")
+                  .Insert(Triple(2000, 2002, MakeValueSet({"Acme|Globex"})))
+                  .ok());
+  ASSERT_TRUE(profile.sequence("Title")
+                  .Insert(Triple(2000, 2005, MakeValueSet({"Engineer"})))
+                  .ok());
+  ASSERT_TRUE(profile.sequence("Title")
+                  .Insert(Triple(2003, 2008, MakeValueSet({"Manager"})))
+                  .ok());
+  EXPECT_GT(RepairProfile(&profile), 0u);
+
+  ValidationReport report;
+  ValidateProfile(profile, "target e1", &report);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  EXPECT_TRUE(profile.sequence("Title").IsCanonical());
+  // The mangled cell was split back into separate values.
+  bool found_acme = false;
+  for (const Triple& tr : profile.sequence("Org").triples()) {
+    if (ValueSetContains(tr.values, "Acme") &&
+        ValueSetContains(tr.values, "Globex")) {
+      found_acme = true;
+    }
+  }
+  EXPECT_TRUE(found_acme);
+}
+
+Dataset ThreeRecordDataset() {
+  Dataset dataset;
+  dataset.SetAttributes({"Title"});
+  dataset.AddSource("CareerHub");
+  TemporalRecord clean(0, "Ann", 2005, 0);
+  clean.SetValue("Title", MakeValueSet({"Engineer"}));
+  TemporalRecord ghost(0, "Bob", 2006, /*source=*/9);
+  ghost.SetValue("Title", MakeValueSet({"Manager"}));
+  TemporalRecord mangled(0, "Cara", 2007, 0);
+  mangled.SetValue("Title", MakeValueSet({"Director|CTO"}));
+  (void)dataset.AddRecord(std::move(clean));
+  (void)dataset.AddRecord(std::move(ghost));
+  (void)dataset.AddRecord(std::move(mangled));
+  return dataset;
+}
+
+TEST(ValidateDatasetTest, StrictInspectsWithoutMutating) {
+  Dataset dataset = ThreeRecordDataset();
+  ValidationOptions options;
+  options.policy = RepairPolicy::kStrict;
+  const ValidationReport report = ValidateDataset(&dataset, options);
+  EXPECT_EQ(dataset.NumRecords(), 3u);
+  EXPECT_EQ(report.TotalQuarantined(), 0u);
+  EXPECT_EQ(report.CountOf(IssueCode::kUnknownSource), 1u);
+  EXPECT_EQ(report.CountOf(IssueCode::kMangledSeparator), 1u);
+  EXPECT_FALSE(report.ToStatus().ok());
+  EXPECT_EQ(report.ToStatus().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateDatasetTest, QuarantineDropsOffendingRecords) {
+  Dataset dataset = ThreeRecordDataset();
+  ValidationOptions options;
+  options.policy = RepairPolicy::kQuarantine;
+  const ValidationReport report = ValidateDataset(&dataset, options);
+  EXPECT_EQ(dataset.NumRecords(), 1u);
+  EXPECT_EQ(report.quarantined_records, (std::vector<RecordId>{1, 2}));
+  EXPECT_EQ(dataset.record(0).name(), "Ann");
+}
+
+TEST(ValidateDatasetTest, RepairFixesWhatItCanAndQuarantinesTheRest) {
+  Dataset dataset = ThreeRecordDataset();
+  ValidationOptions options;
+  options.policy = RepairPolicy::kRepair;
+  const ValidationReport report = ValidateDataset(&dataset, options);
+  // The mangled record is repairable; the ghost-source record is not.
+  EXPECT_EQ(dataset.NumRecords(), 2u);
+  EXPECT_EQ(report.quarantined_records, (std::vector<RecordId>{1}));
+  EXPECT_GE(report.repairs_applied, 1u);
+  EXPECT_EQ(dataset.record(1).GetValue("Title"),
+            MakeValueSet({"CTO", "Director"}));
+}
+
+TEST(PlausibleWindowTest, PadsTheTargetSpan) {
+  Dataset dataset;
+  dataset.SetAttributes({"Title"});
+  dataset.AddSource("CareerHub");
+  TargetEntity target;
+  target.clean_profile = EntityProfile("e1", "Ann");
+  ASSERT_TRUE(target.clean_profile.sequence("Title")
+                  .Append(Triple(2000, 2009, MakeValueSet({"Engineer"})))
+                  .ok());
+  target.ground_truth = target.clean_profile;
+  ASSERT_TRUE(dataset.AddTarget("e1", std::move(target)).ok());
+
+  const auto window = PlausibleWindowOf(dataset);
+  ASSERT_TRUE(window.has_value());
+  // Span [2000, 2009] (10 instants) padded by 10 on each side.
+  EXPECT_EQ(window->begin, 1990);
+  EXPECT_EQ(window->end, 2019);
+}
+
+TEST(PlausibleWindowTest, EmptyWithoutTargets) {
+  Dataset dataset;
+  EXPECT_FALSE(PlausibleWindowOf(dataset).has_value());
+}
+
+TEST(ValidationReportTest, MergeAccumulates) {
+  ValidationReport a;
+  a.issues.push_back(ValidationIssue{IssueCode::kBadRow, IssueSeverity::kError,
+                                     "records.csv row 1", "bad"});
+  a.quarantined_rows = 2;
+  a.records_checked = 5;
+  ValidationReport b;
+  b.issues.push_back(ValidationIssue{IssueCode::kEmptyProfile,
+                                     IssueSeverity::kWarning, "target e1",
+                                     "empty"});
+  b.quarantined_records = {4};
+  b.repairs_applied = 3;
+  a.Merge(std::move(b));
+  EXPECT_EQ(a.issues.size(), 2u);
+  EXPECT_EQ(a.TotalQuarantined(), 3u);
+  EXPECT_EQ(a.repairs_applied, 3u);
+  EXPECT_EQ(a.ErrorCount(), 1u);
+  const std::string text = a.ToString();
+  EXPECT_NE(text.find("BadRow"), std::string::npos);
+  EXPECT_NE(text.find("EmptyProfile"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maroon

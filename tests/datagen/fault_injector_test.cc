@@ -1,0 +1,209 @@
+#include "datagen/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/csv.h"
+#include "core/dataset_io.h"
+#include "datagen/dblp_generator.h"
+
+namespace maroon {
+namespace {
+
+using Rows = std::vector<std::vector<std::string>>;
+
+Rows SampleRecordRows() {
+  Rows rows;
+  rows.push_back({"id", "name", "timestamp", "source", "label", "Org",
+                  "Coauthors"});
+  for (int i = 0; i < 40; ++i) {
+    rows.push_back({std::to_string(i), "Ann Smith",
+                    std::to_string(2000 + i % 10), "DBLP", "e1", "Acme",
+                    "Bob Jones; Carol White"});
+  }
+  return rows;
+}
+
+Rows SampleProfileRows() {
+  Rows rows;
+  rows.push_back({"entity_id", "entity_name", "kind", "attribute", "begin",
+                  "end", "values"});
+  for (int i = 0; i < 30; ++i) {
+    rows.push_back({"e1", "Ann Smith", "clean", "Org",
+                    std::to_string(2000 + i), std::to_string(2001 + i),
+                    "Acme"});
+  }
+  return rows;
+}
+
+TEST(FaultInjectorTest, ZeroRatesInjectNothing) {
+  Rows rows = SampleRecordRows();
+  const Rows original = rows;
+  FaultInjector injector(FaultInjectorOptions{});
+  FaultReport report;
+  injector.CorruptRecordRows(&rows, &report);
+  EXPECT_EQ(report.total(), 0u);
+  EXPECT_EQ(rows, original);
+}
+
+TEST(FaultInjectorTest, DeterministicUnderSameSeed) {
+  FaultInjectorOptions options;
+  options.seed = 17;
+  options.drop_cell_rate = 0.3;
+  options.unknown_source_rate = 0.3;
+
+  Rows a = SampleRecordRows();
+  Rows b = SampleRecordRows();
+  FaultReport report_a, report_b;
+  FaultInjector(options).CorruptRecordRows(&a, &report_a);
+  FaultInjector(options).CorruptRecordRows(&b, &report_b);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(report_a.total(), report_b.total());
+  for (size_t i = 0; i < report_a.injections.size(); ++i) {
+    EXPECT_EQ(report_a.injections[i].row, report_b.injections[i].row);
+    EXPECT_EQ(report_a.injections[i].fault, report_b.injections[i].fault);
+  }
+}
+
+TEST(FaultInjectorTest, DropCellShrinksColumnCount) {
+  Rows rows = SampleRecordRows();
+  FaultInjectorOptions options;
+  options.drop_cell_rate = 1.0;
+  FaultReport report;
+  FaultInjector(options).CorruptRecordRows(&rows, &report);
+  EXPECT_EQ(report.CountOf(FaultClass::kDropCell), rows.size() - 1);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].size(), rows[0].size() - 1);
+  }
+}
+
+TEST(FaultInjectorTest, DuplicateAppendsCopies) {
+  Rows rows = SampleRecordRows();
+  const size_t before = rows.size();
+  FaultInjectorOptions options;
+  options.duplicate_record_rate = 0.5;
+  FaultReport report;
+  FaultInjector(options).CorruptRecordRows(&rows, &report);
+  const size_t duplicates = report.CountOf(FaultClass::kDuplicateRecordId);
+  EXPECT_GT(duplicates, 0u);
+  EXPECT_EQ(rows.size(), before + duplicates);
+  // Every appended row is a verbatim copy of an earlier row.
+  for (size_t i = before; i < rows.size(); ++i) {
+    bool found = false;
+    for (size_t j = 1; j < before; ++j) {
+      if (rows[i] == rows[j]) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(FaultInjectorTest, UnknownSourceWritesGhostName) {
+  Rows rows = SampleRecordRows();
+  FaultInjectorOptions options;
+  options.unknown_source_rate = 1.0;
+  FaultReport report;
+  FaultInjector(options).CorruptRecordRows(&rows, &report);
+  size_t ghosts = 0;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i][3] == options.ghost_source) ++ghosts;
+  }
+  EXPECT_EQ(ghosts, report.CountOf(FaultClass::kUnknownSource));
+  EXPECT_EQ(ghosts, rows.size() - 1);
+}
+
+TEST(FaultInjectorTest, ShuffledTimestampsLeaveTheObservedWindow) {
+  Rows rows = SampleRecordRows();
+  FaultInjectorOptions options;
+  options.shuffle_timestamp_rate = 1.0;
+  FaultReport report;
+  FaultInjector(options).CorruptRecordRows(&rows, &report);
+  EXPECT_EQ(report.CountOf(FaultClass::kShuffleTimestamp), rows.size() - 1);
+  // The clean corpus spans [2000, 2009]; shuffled stamps land >= 1000 away.
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const int t = std::stoi(rows[i][2]);
+    EXPECT_TRUE(t <= 2000 - 1000 || t >= 2009 + 1000) << t;
+  }
+}
+
+TEST(FaultInjectorTest, MangleOnlyTouchesMultiValuedCells) {
+  Rows rows = SampleRecordRows();
+  // Row 1..20 keep the multi-value; strip it from the rest.
+  for (size_t i = 21; i < rows.size(); ++i) rows[i][6] = "Bob Jones";
+  FaultInjectorOptions options;
+  options.mangle_separator_rate = 1.0;
+  FaultReport report;
+  FaultInjector(options).CorruptRecordRows(&rows, &report);
+  EXPECT_EQ(report.CountOf(FaultClass::kMangleSeparator), 20u);
+  for (size_t i = 1; i <= 20; ++i) {
+    EXPECT_EQ(rows[i][6], "Bob Jones|Carol White");
+  }
+  for (size_t i = 21; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i][6], "Bob Jones");
+  }
+}
+
+TEST(FaultInjectorTest, AtMostOneFaultPerRow) {
+  Rows rows = SampleRecordRows();
+  FaultInjectorOptions options;
+  options.drop_cell_rate = 0.5;
+  options.unknown_source_rate = 0.5;
+  options.shuffle_timestamp_rate = 0.5;
+  options.mangle_separator_rate = 0.5;
+  FaultReport report;
+  FaultInjector(options).CorruptRecordRows(&rows, &report);
+  std::vector<size_t> seen;
+  for (const FaultInjection& injection : report.injections) {
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), injection.row), 0)
+        << "row " << injection.row << " corrupted twice";
+    seen.push_back(injection.row);
+  }
+}
+
+TEST(FaultInjectorTest, InvertsProfileIntervals) {
+  Rows rows = SampleProfileRows();
+  FaultInjectorOptions options;
+  options.invert_interval_rate = 1.0;
+  FaultReport report;
+  FaultInjector(options).CorruptProfileRows(&rows, &report);
+  EXPECT_EQ(report.CountOf(FaultClass::kInvertInterval), rows.size() - 1);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(std::stoi(rows[i][4]), std::stoi(rows[i][5]));
+  }
+}
+
+TEST(FaultInjectorTest, CorruptDirectoryRewritesFiles) {
+  const std::string dir = ::testing::TempDir() + "/maroon_fault_dir";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  DblpOptions gen;
+  gen.num_entities = 20;
+  gen.num_names = 5;
+  ASSERT_TRUE(WriteDatasetCsv(GenerateDblpCorpus(gen).dataset, dir).ok());
+
+  FaultInjectorOptions options;
+  options.seed = 5;
+  options.drop_cell_rate = 0.2;
+  options.invert_interval_rate = 0.2;
+  FaultInjector injector(options);
+  auto report = injector.CorruptDirectory(dir);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(report->total(), 0u);
+  EXPECT_GT(report->CountOf(FaultClass::kDropCell), 0u);
+  EXPECT_GT(report->CountOf(FaultClass::kInvertInterval), 0u);
+
+  // The corrupted serialization no longer loads strictly.
+  EXPECT_FALSE(ReadDatasetCsv(dir).ok());
+  const std::string text = report->ToString();
+  EXPECT_NE(text.find("DropCell"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultInjectorTest, CorruptDirectoryFailsOnMissingDir) {
+  FaultInjector injector(FaultInjectorOptions{});
+  EXPECT_FALSE(injector.CorruptDirectory("/nonexistent/dir").ok());
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/dataset_io.h"
+#include "core/validation.h"
+#include "datagen/dblp_generator.h"
+#include "datagen/fault_injector.h"
+#include "datagen/recruitment_generator.h"
+#include "eval/experiment.h"
+
+namespace maroon {
+namespace {
+
+/// Exhaustive fault matrix: every injector fault class, one at a time, at a
+/// 20% rate over a clean corpus. For each class the pipeline must
+///   (a) refuse the corrupted serialization under the strict policy,
+///   (b) quarantine *exactly* the injected rows/records under kQuarantine
+///       (1:1 attribution — at most one fault per row by construction),
+///   (c) link the surviving records crash-free with F1 close to the clean
+///       baseline, and
+///   (d) for the repairable classes, restore the clean baseline exactly
+///       under kRepair.
+class FaultMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/maroon_matrix_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static Dataset CleanRecruitment() {
+    RecruitmentOptions options;
+    options.seed = 37;
+    options.num_entities = 60;
+    options.num_names = 20;
+    return GenerateRecruitmentDataset(options);
+  }
+
+  static Dataset CleanDblp() {
+    DblpOptions options;
+    options.num_entities = 40;
+    options.num_names = 10;
+    return GenerateDblpCorpus(options).dataset;
+  }
+
+  static ExperimentOptions EvalOptions() {
+    ExperimentOptions options;
+    options.max_eval_entities = 15;
+    return options;
+  }
+
+  static double F1Of(const Dataset& dataset) {
+    Experiment experiment(&dataset, EvalOptions());
+    experiment.Prepare();
+    return experiment.Run(Method::kMaroon).f1;
+  }
+
+  /// Writes `clean`, injects exactly one fault class, and checks the strict /
+  /// quarantine contracts. Returns the lenient-loaded (quarantined) dataset.
+  Dataset InjectAndCheck(const Dataset& clean,
+                         const FaultInjectorOptions& fault_options,
+                         size_t* injected) {
+    EXPECT_TRUE(WriteDatasetCsv(clean, dir_).ok());
+    FaultInjector injector(fault_options);
+    auto fault_report = injector.CorruptDirectory(dir_);
+    EXPECT_TRUE(fault_report.ok()) << fault_report.status();
+    *injected = fault_report->total();
+    EXPECT_GT(*injected, 0u) << "fault class never fired at 20%";
+
+    // (a) Strict: the corrupted serialization must not load silently.
+    CsvLoadOptions strict;
+    strict.validation.policy = RepairPolicy::kStrict;
+    strict.infer_plausible_window = true;
+    ValidationReport strict_report;
+    auto strict_load = ReadDatasetCsv(dir_, strict, &strict_report);
+    EXPECT_FALSE(strict_load.ok())
+        << "strict load accepted a corrupted dataset";
+
+    // (b) Quarantine: exact 1:1 attribution of drops to injections.
+    CsvLoadOptions lenient;
+    lenient.validation.policy = RepairPolicy::kQuarantine;
+    lenient.infer_plausible_window = true;
+    ValidationReport report;
+    auto loaded = ReadDatasetCsv(dir_, lenient, &report);
+    EXPECT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_EQ(report.TotalQuarantined(), *injected)
+        << report.ToString();
+    return std::move(loaded).value();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(FaultMatrixTest, DropCell) {
+  const Dataset clean = CleanRecruitment();
+  const double baseline = F1Of(clean);
+  FaultInjectorOptions options;
+  options.drop_cell_rate = 0.2;
+  size_t injected = 0;
+  const Dataset survived = InjectAndCheck(clean, options, &injected);
+  EXPECT_EQ(survived.NumRecords(), clean.NumRecords() - injected);
+  const double f1 = F1Of(survived);
+  EXPECT_GE(f1, baseline - 0.2) << "baseline " << baseline;
+}
+
+TEST_F(FaultMatrixTest, DuplicateRecordId) {
+  const Dataset clean = CleanRecruitment();
+  const double baseline = F1Of(clean);
+  FaultInjectorOptions options;
+  options.duplicate_record_rate = 0.2;
+  size_t injected = 0;
+  const Dataset survived = InjectAndCheck(clean, options, &injected);
+  // The duplicates themselves are dropped; every original row survives.
+  EXPECT_EQ(survived.NumRecords(), clean.NumRecords());
+  const double f1 = F1Of(survived);
+  EXPECT_NEAR(f1, baseline, 1e-12);
+}
+
+TEST_F(FaultMatrixTest, UnknownSource) {
+  const Dataset clean = CleanRecruitment();
+  const double baseline = F1Of(clean);
+  FaultInjectorOptions options;
+  options.unknown_source_rate = 0.2;
+  size_t injected = 0;
+  const Dataset survived = InjectAndCheck(clean, options, &injected);
+  EXPECT_EQ(survived.NumRecords(), clean.NumRecords() - injected);
+  const double f1 = F1Of(survived);
+  EXPECT_GE(f1, baseline - 0.2) << "baseline " << baseline;
+}
+
+TEST_F(FaultMatrixTest, ShuffleTimestamp) {
+  const Dataset clean = CleanRecruitment();
+  const double baseline = F1Of(clean);
+  FaultInjectorOptions options;
+  options.shuffle_timestamp_rate = 0.2;
+  size_t injected = 0;
+  const Dataset survived = InjectAndCheck(clean, options, &injected);
+  // Shuffled stamps pass the structural row checks but land far outside the
+  // inferred plausibility window, so post-validation quarantines them.
+  EXPECT_EQ(survived.NumRecords(), clean.NumRecords() - injected);
+  const double f1 = F1Of(survived);
+  EXPECT_GE(f1, baseline - 0.2) << "baseline " << baseline;
+}
+
+TEST_F(FaultMatrixTest, InvertInterval) {
+  const Dataset clean = CleanRecruitment();
+  const double baseline = F1Of(clean);
+  FaultInjectorOptions options;
+  options.invert_interval_rate = 0.2;
+  size_t injected = 0;
+  const Dataset survived = InjectAndCheck(clean, options, &injected);
+  // Inverted intervals live in profiles.csv; no record is lost, but clean
+  // profiles thin out, so allow a wider (still bounded) F1 drop.
+  EXPECT_EQ(survived.NumRecords(), clean.NumRecords());
+  const double f1 = F1Of(survived);
+  EXPECT_GE(f1, baseline - 0.3) << "baseline " << baseline;
+
+  // (d) kRepair swaps the bounds back: the dataset is exactly the clean one.
+  CsvLoadOptions repair;
+  repair.validation.policy = RepairPolicy::kRepair;
+  repair.infer_plausible_window = true;
+  ValidationReport report;
+  auto repaired = ReadDatasetCsv(dir_, repair, &report);
+  ASSERT_TRUE(repaired.ok()) << repaired.status();
+  EXPECT_EQ(report.TotalQuarantined(), 0u) << report.ToString();
+  EXPECT_GE(report.repairs_applied, injected);
+  EXPECT_NEAR(F1Of(*repaired), baseline, 1e-12);
+}
+
+TEST_F(FaultMatrixTest, MangleSeparator) {
+  // Recruitment values are single-valued; DBLP coauthor lists give the
+  // separator mangler something to chew on.
+  const Dataset clean = CleanDblp();
+  const double baseline = F1Of(clean);
+  FaultInjectorOptions options;
+  options.mangle_separator_rate = 0.2;
+  size_t injected = 0;
+  const Dataset survived = InjectAndCheck(clean, options, &injected);
+  EXPECT_EQ(survived.NumRecords(), clean.NumRecords() - injected);
+  const double f1 = F1Of(survived);
+  EXPECT_GE(f1, baseline - 0.2) << "baseline " << baseline;
+
+  // (d) kRepair re-splits the pipe-joined values: exactly the clean corpus.
+  CsvLoadOptions repair;
+  repair.validation.policy = RepairPolicy::kRepair;
+  repair.infer_plausible_window = true;
+  ValidationReport report;
+  auto repaired = ReadDatasetCsv(dir_, repair, &report);
+  ASSERT_TRUE(repaired.ok()) << repaired.status();
+  EXPECT_EQ(report.TotalQuarantined(), 0u) << report.ToString();
+  EXPECT_EQ(report.repairs_applied, injected);
+  EXPECT_NEAR(F1Of(*repaired), baseline, 1e-12);
+}
+
+TEST_F(FaultMatrixTest, AllClassesAtOnceStayAttributable) {
+  const Dataset clean = CleanDblp();
+  FaultInjectorOptions options;
+  options.drop_cell_rate = 0.05;
+  options.invert_interval_rate = 0.05;
+  options.duplicate_record_rate = 0.05;
+  options.unknown_source_rate = 0.05;
+  options.shuffle_timestamp_rate = 0.05;
+  options.mangle_separator_rate = 0.05;
+  size_t injected = 0;
+  const Dataset survived = InjectAndCheck(clean, options, &injected);
+  // Crash-free end-to-end linkage over the quarantined remainder.
+  Experiment experiment(&survived, EvalOptions());
+  experiment.Prepare();
+  const ExperimentResult result = experiment.Run(Method::kMaroon);
+  EXPECT_GT(result.entities_evaluated, 0u);
+}
+
+}  // namespace
+}  // namespace maroon

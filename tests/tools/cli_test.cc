@@ -96,6 +96,72 @@ TEST_F(CliTest, TransitionsAndExport) {
   EXPECT_TRUE(std::filesystem::exists(dir_ + "/tt.csv"));
 }
 
+TEST_F(CliTest, ValidateInjectLenientWorkflow) {
+  std::string out;
+  ASSERT_EQ(Run("generate --dataset=recruitment --out=" + dir_ +
+                    "/data --entities=25 --names=10 --seed=5",
+                &out),
+            0)
+      << out;
+
+  // A freshly generated corpus validates clean (exit 0).
+  ASSERT_EQ(Run("validate --data=" + dir_ + "/data", &out), 0) << out;
+  EXPECT_NE(out.find("0 issue(s)"), std::string::npos);
+
+  // Corrupt it; the injector reports what it did.
+  ASSERT_EQ(Run("inject --data=" + dir_ +
+                    "/data --seed=11 --drop-cell=0.15 --unknown-source=0.1 "
+                    "--shuffle-timestamp=0.1",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("FaultReport:"), std::string::npos);
+  EXPECT_NE(out.find("DropCell"), std::string::npos);
+
+  // Now validate exits non-zero and names the damage.
+  EXPECT_NE(Run("validate --data=" + dir_ + "/data", &out), 0);
+  EXPECT_NE(out.find("WrongColumnCount"), std::string::npos);
+  EXPECT_NE(out.find("quarantined"), std::string::npos);
+
+  // Strict loading fails outright...
+  EXPECT_NE(Run("stats --data=" + dir_ + "/data", &out), 0);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+
+  // ...but --lenient quarantines and completes, printing counters.
+  ASSERT_EQ(Run("stats --data=" + dir_ + "/data --lenient", &out), 0) << out;
+  EXPECT_NE(out.find("lenient load: quarantined"), std::string::npos);
+  ASSERT_EQ(Run("evaluate --data=" + dir_ +
+                    "/data --lenient --method=static --eval-entities=4",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("lenient load: quarantined"), std::string::npos);
+  EXPECT_NE(out.find("Static:"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateRepairWritesCleanCopy) {
+  std::string out;
+  ASSERT_EQ(Run("generate --dataset=dblp --out=" + dir_ +
+                    "/data --entities=20 --names=5",
+                &out),
+            0)
+      << out;
+  ASSERT_EQ(Run("inject --data=" + dir_ +
+                    "/data --seed=3 --invert-interval=0.2 "
+                    "--mangle-separator=0.2",
+                &out),
+            0)
+      << out;
+  // Repair policy fixes everything fixable and writes the repaired copy.
+  EXPECT_NE(Run("validate --data=" + dir_ + "/data --policy=repair --out=" +
+                    dir_ + "/fixed",
+                &out),
+            0);  // issues were found, so exit is non-zero...
+  EXPECT_NE(out.find("repair(s)"), std::string::npos);
+  // ...but the repaired copy validates clean.
+  EXPECT_EQ(Run("validate --data=" + dir_ + "/fixed", &out), 0) << out;
+}
+
 TEST_F(CliTest, UnknownCommandAndBadFlags) {
   std::string out;
   EXPECT_NE(Run("frobnicate", &out), 0);

@@ -6,12 +6,22 @@
 //   maroon_cli generate --dataset=recruitment --out=DIR [--entities=N]
 //              [--names=N] [--seed=S] [--error-rate=E]
 //   maroon_cli generate --dataset=dblp --out=DIR [--entities=N] [--names=N]
-//   maroon_cli stats --data=DIR
+//   maroon_cli stats --data=DIR [--lenient]
 //   maroon_cli transitions --data=DIR --attribute=Title [--from=Manager]
 //              [--delta=5]
-//   maroon_cli link --data=DIR --entity=ID
+//   maroon_cli link --data=DIR --entity=ID [--lenient]
 //   maroon_cli evaluate --data=DIR [--method=maroon|afds_transition|
 //              muta_afds|decay_afds|static|all] [--eval-entities=N]
+//              [--lenient]
+//   maroon_cli validate --data=DIR [--policy=strict|quarantine|repair]
+//              [--out=DIR]
+//   maroon_cli inject --data=DIR [--seed=S] [--drop-cell=R]
+//              [--invert-interval=R] [--duplicate-id=R] [--unknown-source=R]
+//              [--shuffle-timestamp=R] [--mangle-separator=R]
+//
+// Data-loading commands accept --lenient: malformed rows and semantically
+// invalid records are quarantined (with counters printed) instead of
+// aborting the load.
 
 #include <filesystem>
 #include <fstream>
@@ -21,7 +31,9 @@
 #include "common/string_util.h"
 #include "core/dataset_io.h"
 #include "core/profile_algebra.h"
+#include "core/validation.h"
 #include "datagen/dblp_generator.h"
+#include "datagen/fault_injector.h"
 #include "datagen/recruitment_generator.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
@@ -39,17 +51,27 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::cerr
-      << "usage: maroon_cli <generate|stats|transitions|link|evaluate> "
+      << "usage: maroon_cli "
+         "<generate|stats|transitions|link|evaluate|sweep|validate|inject> "
          "[--flags]\n"
          "  generate    --dataset=recruitment|dblp --out=DIR [--entities=N]\n"
          "              [--names=N] [--seed=S] [--error-rate=E]\n"
-         "  stats       --data=DIR\n"
+         "  stats       --data=DIR [--lenient]\n"
          "  transitions --data=DIR --attribute=A [--from=V] [--delta=N]\n"
-         "  link        --data=DIR --entity=ID\n"
+         "  link        --data=DIR --entity=ID [--lenient]\n"
          "  evaluate    --data=DIR [--method=...|all] [--eval-entities=N]\n"
-         "              [--report=FILE.md] [--reliability]\n"
+         "              [--report=FILE.md] [--reliability] [--lenient]\n"
          "  sweep       --data=DIR [--thetas=0.01,0.1,...] "
-         "[--eval-entities=N]\n";
+         "[--eval-entities=N]\n"
+         "  validate    --data=DIR [--policy=strict|quarantine|repair]\n"
+         "              [--out=DIR]   (exit 1 when issues are found)\n"
+         "  inject      --data=DIR [--seed=S] [--drop-cell=R]\n"
+         "              [--invert-interval=R] [--duplicate-id=R]\n"
+         "              [--unknown-source=R] [--shuffle-timestamp=R]\n"
+         "              [--mangle-separator=R]   (corrupts DIR in place)\n"
+         "\n"
+         "  --lenient quarantines malformed rows/records instead of failing\n"
+         "  the load, printing quarantine counters.\n";
   return 2;
 }
 
@@ -94,7 +116,77 @@ int RunGenerate(const FlagParser& flags) {
 
 Result<Dataset> LoadData(const FlagParser& flags) {
   MAROON_ASSIGN_OR_RETURN(std::string dir, flags.GetString("data"));
-  return ReadDatasetCsv(dir);
+  if (!flags.GetBoolOr("lenient", false)) return ReadDatasetCsv(dir);
+
+  CsvLoadOptions options;
+  options.validation.policy = RepairPolicy::kQuarantine;
+  options.infer_plausible_window = true;
+  ValidationReport report;
+  MAROON_ASSIGN_OR_RETURN(Dataset dataset,
+                          ReadDatasetCsv(dir, options, &report));
+  if (!report.clean()) {
+    std::cout << "lenient load: quarantined " << report.TotalQuarantined()
+              << " record(s)/row(s), " << report.issues.size()
+              << " issue(s) flagged, " << report.repairs_applied
+              << " repair(s) applied\n";
+  }
+  return dataset;
+}
+
+int RunValidate(const FlagParser& flags) {
+  auto dir = flags.GetString("data");
+  if (!dir.ok()) return Fail(dir.status());
+  auto policy = ParseRepairPolicy(flags.GetStringOr("policy", "quarantine"));
+  if (!policy.ok()) return Fail(policy.status());
+
+  CsvLoadOptions options;
+  options.validation.policy = *policy;
+  options.infer_plausible_window = true;
+  ValidationReport report;
+  auto dataset = ReadDatasetCsv(*dir, options, &report);
+  if (!dataset.ok()) {
+    // Strict policy fails on the first issue; surface whatever the report
+    // gathered before the failure, then the status itself.
+    if (!report.clean()) std::cout << report.ToString();
+    return Fail(dataset.status());
+  }
+  std::cout << report.ToString();
+
+  if (flags.Has("out")) {
+    auto out = flags.GetString("out");
+    if (!out.ok()) return Fail(out.status());
+    std::error_code ec;
+    std::filesystem::create_directories(*out, ec);
+    if (ec) {
+      return Fail(Status::IOError("cannot create directory " + *out + ": " +
+                                  ec.message()));
+    }
+    const Status status = WriteDatasetCsv(*dataset, *out);
+    if (!status.ok()) return Fail(status);
+    std::cout << "wrote validated dataset (" << dataset->NumRecords()
+              << " records) to " << *out << "\n";
+  }
+  return report.clean() ? 0 : 1;
+}
+
+int RunInject(const FlagParser& flags) {
+  auto dir = flags.GetString("data");
+  if (!dir.ok()) return Fail(dir.status());
+
+  FaultInjectorOptions options;
+  options.seed = static_cast<uint64_t>(flags.GetIntOr("seed", 99));
+  options.drop_cell_rate = flags.GetDoubleOr("drop-cell", 0.0);
+  options.invert_interval_rate = flags.GetDoubleOr("invert-interval", 0.0);
+  options.duplicate_record_rate = flags.GetDoubleOr("duplicate-id", 0.0);
+  options.unknown_source_rate = flags.GetDoubleOr("unknown-source", 0.0);
+  options.shuffle_timestamp_rate = flags.GetDoubleOr("shuffle-timestamp", 0.0);
+  options.mangle_separator_rate = flags.GetDoubleOr("mangle-separator", 0.0);
+
+  FaultInjector injector(options);
+  auto report = injector.CorruptDirectory(*dir);
+  if (!report.ok()) return Fail(report.status());
+  std::cout << report->ToString();
+  return 0;
 }
 
 int RunStats(const FlagParser& flags) {
@@ -288,6 +380,8 @@ int Main(int argc, char** argv) {
   if (command == "link") return RunLink(flags);
   if (command == "evaluate") return RunEvaluate(flags);
   if (command == "sweep") return RunSweep(flags);
+  if (command == "validate") return RunValidate(flags);
+  if (command == "inject") return RunInject(flags);
   return Usage();
 }
 
