@@ -94,7 +94,8 @@ void BM_SequenceValuesAt(benchmark::State& state) {
   for (int i = 0; i < 20; ++i) {
     (void)seq.Append(Triple(static_cast<TimePoint>(2000 + 2 * i),
                             static_cast<TimePoint>(2001 + 2 * i),
-                            MakeValueSet({"v" + std::to_string(i)})));
+                            MakeValueSet({std::string("v") +
+                                          std::to_string(i)})));
   }
   TimePoint t = 2000;
   for (auto _ : state) {

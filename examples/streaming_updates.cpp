@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "core/profile_algebra.h"
 #include "datagen/recruitment_generator.h"
@@ -54,7 +55,7 @@ int main() {
        year <= candidates.back()->timestamp(); year += 5) {
     while (next < candidates.size() &&
            candidates[next]->timestamp() < year + 5) {
-      linker.Observe(*candidates[next]);
+      MAROON_CHECK(linker.Observe(*candidates[next]).ok());
       ++next;
     }
     (void)linker.Flush();

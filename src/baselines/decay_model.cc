@@ -1,7 +1,6 @@
 #include "baselines/decay_model.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <set>
 

@@ -1,7 +1,8 @@
 #include "baselines/muta_model.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/logging.h"
 
 namespace maroon {
 
@@ -45,7 +46,7 @@ MutaModel MutaModel::Train(const ProfileSet& profiles,
 
 double MutaModel::RecurrenceProbability(const Attribute& attribute,
                                         int64_t delta) const {
-  assert(delta >= 0);
+  MAROON_DCHECK(delta >= 0);
   if (delta == 0) return 1.0;
   auto attr_it = counts_.find(attribute);
   if (attr_it == counts_.end() || attr_it->second.empty()) return 0.0;

@@ -76,4 +76,16 @@ class FatalMessage {
   while (!(condition))                                               \
   ::maroon::internal_logging::FatalMessage(__FILE__, __LINE__, #condition)
 
+/// Debug-only MAROON_CHECK: compiled out under NDEBUG (like assert) but with
+/// the same streaming interface, so hot-path invariants cost nothing in
+/// release builds. The condition stays ODR-used in release so variables
+/// referenced only by the check do not trigger -Wunused warnings.
+#ifdef NDEBUG
+#define MAROON_DCHECK(condition)                                     \
+  while (false && !(condition))                                      \
+  ::maroon::internal_logging::FatalMessage(__FILE__, __LINE__, #condition)
+#else
+#define MAROON_DCHECK(condition) MAROON_CHECK(condition)
+#endif
+
 #endif  // MAROON_COMMON_LOGGING_H_

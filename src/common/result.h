@@ -1,7 +1,6 @@
 #ifndef MAROON_COMMON_RESULT_H_
 #define MAROON_COMMON_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
@@ -23,17 +22,17 @@ namespace maroon {
 /// UseSequence(*r);
 /// ```
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result (implicit by design, mirroring StatusOr).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
 
-  /// Constructs an errored result. `status` must be non-OK.
+  /// Constructs an errored result. `status` must be non-OK: wrapping an OK
+  /// status in an error-shaped Result means the caller lost an error (or
+  /// fabricated one), so it aborts loudly in every build mode.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result error constructor requires non-OK status");
-    if (status_.ok()) {
-      status_ = Status::Internal("Result constructed from OK status");
-    }
+    MAROON_CHECK(!status_.ok())
+        << "Result error constructor requires a non-OK status";
   }
 
   Result(const Result&) = default;

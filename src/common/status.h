@@ -37,7 +37,7 @@ std::string_view StatusCodeToString(StatusCode code);
 /// maroon::Status s = sequence.Append(triple);
 /// if (!s.ok()) return s;
 /// ```
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

@@ -63,8 +63,8 @@ Status ParseTimePoint(const std::string& cell, TimePoint* out);
 
 /// Serializes one profile's triples into rows (kind as given); exposed for
 /// tests and tooling.
-std::string ProfileToCsv(const EntityProfile& profile,
-                         const std::string& kind);
+[[nodiscard]] std::string ProfileToCsv(const EntityProfile& profile,
+                                       const std::string& kind);
 
 }  // namespace maroon
 

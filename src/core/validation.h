@@ -134,7 +134,7 @@ size_t RepairProfile(EntityProfile* profile);
 /// A generous plausibility window derived from the dataset's target
 /// profiles: their covered span padded on each side by the span length (at
 /// least 10 instants). Empty when no target covers any instant.
-std::optional<Interval> PlausibleWindowOf(const Dataset& dataset);
+[[nodiscard]] std::optional<Interval> PlausibleWindowOf(const Dataset& dataset);
 
 /// Validates every record and target profile of `dataset`.
 ///
@@ -143,8 +143,8 @@ std::optional<Interval> PlausibleWindowOf(const Dataset& dataset);
 ///    re-densified; prior RecordIds are invalidated).
 ///  - kRepair: repair records and profiles in place first, then quarantine
 ///    whatever remains unusable (e.g. out-of-window timestamps).
-ValidationReport ValidateDataset(Dataset* dataset,
-                                 const ValidationOptions& options);
+[[nodiscard]] ValidationReport ValidateDataset(
+    Dataset* dataset, const ValidationOptions& options);
 
 }  // namespace maroon
 

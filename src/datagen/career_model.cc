@@ -1,8 +1,8 @@
 #include "datagen/career_model.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/logging.h"
 #include "datagen/name_pool.h"
 
 namespace maroon {
@@ -36,7 +36,7 @@ std::vector<Value> CareerModel::Titles() {
 
 CareerModel::CareerModel(CareerModelOptions options, Random& rng)
     : options_(options) {
-  assert(options_.num_universities <= options_.num_organizations);
+  MAROON_DCHECK(options_.num_universities <= options_.num_organizations);
   organizations_ = NamePool::OrganizationNames(
       options_.num_organizations, options_.num_universities, rng);
   locations_ = NamePool::CityNames(options_.num_locations, rng);

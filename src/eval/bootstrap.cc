@@ -1,8 +1,9 @@
 #include "eval/bootstrap.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
+
+#include "common/logging.h"
 
 namespace maroon {
 
@@ -17,7 +18,7 @@ double MeanOf(const std::vector<double>& values) {
 BootstrapInterval BootstrapMeanInterval(const std::vector<double>& values,
                                         double confidence, size_t resamples,
                                         uint64_t seed) {
-  assert(confidence > 0.0 && confidence < 1.0);
+  MAROON_DCHECK(confidence > 0.0 && confidence < 1.0);
   BootstrapInterval interval;
   interval.samples = values.size();
   interval.mean = MeanOf(values);

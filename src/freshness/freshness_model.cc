@@ -1,12 +1,12 @@
 #include "freshness/freshness_model.h"
 
 #include <algorithm>
-#include <cassert>
 #include <charconv>
 #include <set>
 #include <system_error>
 
 #include "common/csv.h"
+#include "common/logging.h"
 
 namespace maroon {
 
@@ -29,7 +29,7 @@ std::optional<int64_t> ComputeDelay(const TemporalSequence& seq,
 void FreshnessModel::AddObservation(SourceId source,
                                     const Attribute& attribute,
                                     int64_t delay) {
-  assert(delay >= 0);
+  MAROON_DCHECK(delay >= 0);
   finalized_ = false;
   Distribution& dist = distributions_[{source, attribute}];
   ++dist.counts[delay];
@@ -48,7 +48,7 @@ void FreshnessModel::AddObservation(SourceId source,
 }
 
 int64_t FreshnessModel::EpochOf(TimePoint published_at) const {
-  assert(options_.epoch_width > 0);
+  MAROON_DCHECK(options_.epoch_width > 0);
   // Floor division that behaves for negative time points too.
   int64_t t = published_at;
   int64_t w = options_.epoch_width;
@@ -82,7 +82,7 @@ void FreshnessModel::Finalize() {
 
 double FreshnessModel::Delay(int64_t eta, SourceId source,
                              const Attribute& attribute) const {
-  assert(finalized_);
+  MAROON_DCHECK(finalized_);
   auto it = distributions_.find({source, attribute});
   if (it == distributions_.end() || it->second.total == 0) {
     if (options_.missing_data_is_fresh) return eta == 0 ? 1.0 : 0.0;
@@ -95,7 +95,7 @@ double FreshnessModel::Delay(int64_t eta, SourceId source,
 double FreshnessModel::Delay(int64_t eta, SourceId source,
                              const Attribute& attribute,
                              TimePoint published_at) const {
-  assert(finalized_);
+  MAROON_DCHECK(finalized_);
   if (options_.epoch_width > 0) {
     auto it = epoch_distributions_.find({source, attribute});
     if (it != epoch_distributions_.end()) {

@@ -1,0 +1,250 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace maroon {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Two-character operators the rules care about (fused so that `==` is one
+/// token, not two `=`). Longer operators (`<<=`, `...`) are not needed by any
+/// rule and lex as two tokens harmlessly.
+bool IsTwoCharOp(char a, char b) {
+  switch (a) {
+    case '=': return b == '=';
+    case '!': return b == '=';
+    case '<': return b == '=' || b == '<';
+    case '>': return b == '=' || b == '>';
+    case '-': return b == '>' || b == '-';
+    case '+': return b == '+';
+    case ':': return b == ':';
+    case '&': return b == '&';
+    case '|': return b == '|';
+    default: return false;
+  }
+}
+
+/// True when the identifier just lexed is a raw-string prefix (R, u8R, uR,
+/// LR, ...) and the next char opens a raw string.
+bool IsRawStringPrefix(std::string_view ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "LR";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> tokens;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        Advance();
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+        continue;
+      }
+      const int line = line_;
+      const int col = col_;
+      if (c == '/' && Peek(1) == '/') {
+        tokens.push_back(Make(TokenKind::kComment, LexLineComment(), line, col));
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        tokens.push_back(
+            Make(TokenKind::kComment, LexBlockComment(), line, col));
+        continue;
+      }
+      if (c == '"') {
+        tokens.push_back(Make(TokenKind::kString, LexQuoted('"'), line, col));
+        continue;
+      }
+      if (c == '\'') {
+        tokens.push_back(Make(TokenKind::kChar, LexQuoted('\''), line, col));
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        std::string ident = LexIdentifier();
+        if (IsRawStringPrefix(ident) && pos_ < src_.size() &&
+            src_[pos_] == '"') {
+          tokens.push_back(
+              Make(TokenKind::kString, ident + LexRawString(), line, col));
+        } else {
+          tokens.push_back(Make(TokenKind::kIdentifier, std::move(ident), line, col));
+        }
+        continue;
+      }
+      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        Token t = Make(TokenKind::kNumber, "", line, col);
+        t.text = LexNumber(&t.is_float);
+        tokens.push_back(std::move(t));
+        continue;
+      }
+      if (pos_ + 1 < src_.size() && IsTwoCharOp(c, src_[pos_ + 1])) {
+        std::string text{c, src_[pos_ + 1]};
+        Advance();
+        Advance();
+        tokens.push_back(Make(TokenKind::kPunct, std::move(text), line, col));
+        continue;
+      }
+      Advance();
+      tokens.push_back(Make(TokenKind::kPunct, std::string(1, c), line, col));
+    }
+    return tokens;
+  }
+
+ private:
+  static Token Make(TokenKind kind, std::string text, int line, int col) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.col = col;
+    return t;
+  }
+
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  std::string LexLineComment() {
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      text += src_[pos_];
+      Advance();
+    }
+    return text;
+  }
+
+  std::string LexBlockComment() {
+    std::string text;
+    // Consume "/*".
+    text += src_[pos_];
+    Advance();
+    text += src_[pos_];
+    Advance();
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && Peek(1) == '/') {
+        text += "*/";
+        Advance();
+        Advance();
+        break;
+      }
+      text += src_[pos_];
+      Advance();
+    }
+    return text;
+  }
+
+  std::string LexQuoted(char quote) {
+    std::string text(1, quote);
+    Advance();
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        text += c;
+        Advance();
+        text += src_[pos_];
+        Advance();
+        continue;
+      }
+      text += c;
+      Advance();
+      if (c == quote || c == '\n') break;  // \n: unterminated, fail soft
+    }
+    return text;
+  }
+
+  std::string LexRawString() {
+    // At '"' of R"delim( ... )delim".
+    std::string text(1, src_[pos_]);
+    Advance();
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') {
+      delim += src_[pos_];
+      text += src_[pos_];
+      Advance();
+    }
+    const std::string closer = ")" + delim + "\"";
+    while (pos_ < src_.size()) {
+      if (src_.compare(pos_, closer.size(), closer) == 0) {
+        for (size_t i = 0; i < closer.size(); ++i) {
+          text += src_[pos_];
+          Advance();
+        }
+        break;
+      }
+      text += src_[pos_];
+      Advance();
+    }
+    return text;
+  }
+
+  std::string LexIdentifier() {
+    std::string text;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) {
+      text += src_[pos_];
+      Advance();
+    }
+    return text;
+  }
+
+  std::string LexNumber(bool* is_float) {
+    std::string text;
+    const bool is_hex = src_[pos_] == '0' && (Peek(1) == 'x' || Peek(1) == 'X');
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      const bool exponent =
+          !is_hex && (c == 'e' || c == 'E') &&
+          (Peek(1) == '+' || Peek(1) == '-' || IsDigit(Peek(1)));
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        if (c == '.' || exponent) *is_float = true;
+        text += c;
+        Advance();
+        if (exponent && (src_[pos_] == '+' || src_[pos_] == '-')) {
+          text += src_[pos_];
+          Advance();
+        }
+        continue;
+      }
+      break;
+    }
+    return text;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace lint
+}  // namespace maroon

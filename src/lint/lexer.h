@@ -1,0 +1,44 @@
+#ifndef MAROON_LINT_LEXER_H_
+#define MAROON_LINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maroon {
+namespace lint {
+
+/// A miniature C++ lexer for maroon_lint (see rules.h).
+///
+/// This is deliberately not a compiler front end: it has no preprocessor, no
+/// grammar, and no symbol table. It splits a translation unit into tokens
+/// precisely enough that the project rules can reason about code without
+/// being fooled by comments, string literals (including raw strings), or
+/// character literals — the failure mode of grep-based checks.
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords (the rules tell them apart)
+  kNumber,      // integer or floating literal, suffixes included
+  kString,      // "..." or R"delim(...)delim", prefix included
+  kChar,        // '...'
+  kPunct,       // operators and punctuation, multi-char ops fused
+  kComment,     // // or /* */, text included (suppressions live here)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 1;  // 1-based line of the token's first character
+  int col = 1;   // 1-based column of the token's first character
+  /// Numbers only: literal contains '.' or a decimal exponent.
+  bool is_float = false;
+};
+
+/// Tokenizes `source`. Never fails: unrecognizable bytes become single-char
+/// punct tokens, so the rules degrade gracefully on exotic input.
+std::vector<Token> Tokenize(std::string_view source);
+
+}  // namespace lint
+}  // namespace maroon
+
+#endif  // MAROON_LINT_LEXER_H_

@@ -1,0 +1,172 @@
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+namespace maroon {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasLintableExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+bool InExcludedDir(const fs::path& rel,
+                   const std::vector<std::string>& excluded) {
+  for (const fs::path& part : rel.parent_path()) {
+    for (const std::string& name : excluded) {
+      if (part.string() == name) return true;
+    }
+  }
+  return false;
+}
+
+Result<std::string> ReadFileToString(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("cannot read " + path.string());
+  return buffer.str();
+}
+
+/// Path relative to `root` with forward slashes; falls back to the input
+/// when the file lives outside the root.
+std::string RelativeDisplayPath(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  const fs::path chosen =
+      (ec || rel.empty() || *rel.begin() == "..") ? path : rel;
+  return chosen.generic_string();
+}
+
+void JsonEscapeTo(const std::string& text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Result<LintResult> RunLint(const LintOptions& options) {
+  const fs::path root = options.root;
+  std::vector<std::string> scan_paths = options.paths;
+  const bool defaulted = scan_paths.empty();
+  if (defaulted) {
+    for (const char* dir : {"src", "tools", "tests"}) {
+      scan_paths.push_back((root / dir).string());
+    }
+  }
+
+  // Expand directories; explicit files bypass the excluded-dir filter.
+  // Relative entries are anchored at the root, not the working directory.
+  std::vector<fs::path> files;
+  for (const std::string& entry : scan_paths) {
+    fs::path path = entry;
+    if (path.is_relative()) path = root / path;
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (auto it = fs::recursive_directory_iterator(path, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (!it->is_regular_file() || !HasLintableExtension(it->path())) {
+          continue;
+        }
+        const fs::path rel = fs::relative(it->path(), root, ec);
+        if (!ec && InExcludedDir(rel, options.excluded_dirs)) continue;
+        files.push_back(it->path());
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else if (!defaulted) {
+      // A default scan root (src/tools/tests) may simply not exist under
+      // --root; only paths the caller named explicitly are errors.
+      return Status::NotFound("no such file or directory: " + entry);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // Pass 1: tokenize everything and build the shared R002 registry.
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  std::set<std::string> registry;
+  for (const fs::path& path : files) {
+    MAROON_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+    sources.push_back(
+        MakeSourceFile(RelativeDisplayPath(path, root), content));
+    const std::set<std::string> names =
+        CollectStatusFunctions(sources.back().tokens);
+    registry.insert(names.begin(), names.end());
+  }
+
+  // Pass 2: run the rules.
+  LintResult result;
+  result.files_scanned = sources.size();
+  for (const SourceFile& source : sources) {
+    LintFile(source, registry, &result.findings);
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.col, a.rule) <
+                     std::tie(b.file, b.line, b.col, b.rule);
+            });
+  return result;
+}
+
+std::string RenderText(const LintResult& result) {
+  std::ostringstream out;
+  for (const Finding& f : result.findings) {
+    out << f.file << ":" << f.line << ":" << f.col << ": [" << f.rule << "] "
+        << f.message << "\n";
+  }
+  out << "maroon_lint: " << result.findings.size() << " finding(s) in "
+      << result.files_scanned << " file(s)\n";
+  return out.str();
+}
+
+std::string RenderJson(const LintResult& result) {
+  std::string out = "{\"files_scanned\": ";
+  out += std::to_string(result.files_scanned);
+  out += ", \"findings\": [";
+  bool first = true;
+  for (const Finding& f : result.findings) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"rule\": \"";
+    JsonEscapeTo(f.rule, &out);
+    out += "\", \"file\": \"";
+    JsonEscapeTo(f.file, &out);
+    out += "\", \"line\": ";
+    out += std::to_string(f.line);
+    out += ", \"col\": ";
+    out += std::to_string(f.col);
+    out += ", \"message\": \"";
+    JsonEscapeTo(f.message, &out);
+    out += "\"}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace lint
+}  // namespace maroon

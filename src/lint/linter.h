@@ -1,0 +1,50 @@
+#ifndef MAROON_LINT_LINTER_H_
+#define MAROON_LINT_LINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "lint/rules.h"
+
+namespace maroon {
+namespace lint {
+
+/// Orchestration for maroon_lint: file discovery, the two-pass scan (collect
+/// the Status/Result function registry, then lint every file), and output
+/// rendering.
+
+struct LintOptions {
+  /// Repository root. Display paths, the R005 guard convention, and the
+  /// default scan set are all relative to it.
+  std::string root = ".";
+  /// Files or directories to scan. Directories recurse (".h/.hpp/.cc/.cpp").
+  /// Empty means the project default: src/, tools/, tests/ under `root`.
+  std::vector<std::string> paths;
+  /// Directory names skipped during recursion. Lint fixtures live in
+  /// "testdata" dirs with deliberate violations; explicitly listed files
+  /// bypass this filter.
+  std::vector<std::string> excluded_dirs = {"testdata"};
+};
+
+struct LintResult {
+  std::vector<Finding> findings;  // sorted by file, line, col, rule
+  size_t files_scanned = 0;
+};
+
+/// Runs the linter. Fails only on IO problems (unreadable file, missing
+/// directory); findings are data, not errors.
+Result<LintResult> RunLint(const LintOptions& options);
+
+/// "file:line:col: [R00X] message" lines plus a one-line summary.
+std::string RenderText(const LintResult& result);
+
+/// Machine-readable form:
+/// {"files_scanned": N, "findings": [{"rule": ..., "file": ..., ...}]}.
+std::string RenderJson(const LintResult& result);
+
+}  // namespace lint
+}  // namespace maroon
+
+#endif  // MAROON_LINT_LINTER_H_

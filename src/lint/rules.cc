@@ -1,0 +1,614 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string>
+
+namespace maroon {
+namespace lint {
+namespace {
+
+/// Rule ids, for validating allow(...) lists.
+const char* const kAllRules[] = {"R001", "R002", "R003",
+                                 "R004", "R005", "R006"};
+
+bool IsKnownRule(const std::string& rule) {
+  return std::find(std::begin(kAllRules), std::end(kAllRules), rule) !=
+         std::end(kAllRules);
+}
+
+/// Per-line suppression sets parsed from `// maroon-lint: allow(R003)`
+/// comments. A comment alone on its line also covers the next line.
+class Suppressions {
+ public:
+  Suppressions(const std::vector<Token>& tokens) {
+    std::set<int> code_lines;
+    for (const Token& t : tokens) {
+      if (t.kind != TokenKind::kComment) code_lines.insert(t.line);
+    }
+    for (const Token& t : tokens) {
+      if (t.kind != TokenKind::kComment) continue;
+      for (const std::string& rule : ParseAllowList(t.text)) {
+        by_line_[t.line].insert(rule);
+        if (code_lines.count(t.line) == 0) by_line_[t.line + 1].insert(rule);
+      }
+    }
+  }
+
+  bool Allows(int line, const std::string& rule) const {
+    auto it = by_line_.find(line);
+    if (it == by_line_.end()) return false;
+    return it->second.count("all") > 0 || it->second.count(rule) > 0;
+  }
+
+ private:
+  static std::vector<std::string> ParseAllowList(const std::string& comment) {
+    std::vector<std::string> rules;
+    const size_t marker = comment.find("maroon-lint:");
+    if (marker == std::string::npos) return rules;
+    const size_t open = comment.find("allow(", marker);
+    if (open == std::string::npos) return rules;
+    const size_t close = comment.find(')', open);
+    if (close == std::string::npos) return rules;
+    std::string item;
+    for (size_t i = open + 6; i <= close; ++i) {
+      const char c = comment[i];
+      if (c == ',' || c == ')') {
+        if (item == "all" || IsKnownRule(item)) rules.push_back(item);
+        item.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        item += c;
+      }
+    }
+    return rules;
+  }
+
+  std::map<int, std::set<std::string>> by_line_;
+};
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// The rule runner: significant (non-comment) tokens of one file plus the
+/// shared R002 registry and the suppression table.
+class FileLinter {
+ public:
+  FileLinter(const SourceFile& file, const std::set<std::string>& registry,
+             std::vector<Finding>* findings)
+      : file_(file),
+        registry_(registry),
+        suppressions_(file.tokens),
+        findings_(findings) {
+    for (const Token& t : file_.tokens) {
+      if (t.kind != TokenKind::kComment) sig_.push_back(&t);
+    }
+  }
+
+  void Run() {
+    CheckUnguardedResultAccess();   // R001
+    CheckDiscardedStatusReturns();  // R002
+    CheckFloatEquality();           // R003
+    CheckBannedApis();              // R004
+    if (file_.is_header) CheckHeaderHygiene();  // R005
+    CheckRawAssert();               // R006
+  }
+
+ private:
+  void Emit(const std::string& rule, const Token& at, std::string message) {
+    if (suppressions_.Allows(at.line, rule)) return;
+    findings_->push_back(
+        {rule, file_.display_path, at.line, at.col, std::move(message)});
+  }
+
+  const Token& Tok(size_t i) const { return *sig_[i]; }
+  size_t Size() const { return sig_.size(); }
+
+  bool Is(size_t i, TokenKind kind, const char* text) const {
+    return i < Size() && Tok(i).kind == kind && Tok(i).text == text;
+  }
+  bool IsPunct(size_t i, const char* text) const {
+    return Is(i, TokenKind::kPunct, text);
+  }
+  bool IsIdent(size_t i) const {
+    return i < Size() && Tok(i).kind == TokenKind::kIdentifier;
+  }
+  bool IsIdent(size_t i, const char* text) const {
+    return Is(i, TokenKind::kIdentifier, text);
+  }
+
+  /// Index just past the `)` matching the `(` at `open`, or Size().
+  size_t SkipParens(size_t open) const {
+    int depth = 0;
+    for (size_t i = open; i < Size(); ++i) {
+      if (IsPunct(i, "(")) ++depth;
+      if (IsPunct(i, ")") && --depth == 0) return i + 1;
+    }
+    return Size();
+  }
+
+  /// Index just past the `>` closing the `<` at `open`, or Size(). Treats a
+  /// fused `>>` as two closers (Result<Result<T>>).
+  size_t SkipAngles(size_t open) const {
+    int depth = 0;
+    for (size_t i = open; i < Size(); ++i) {
+      const std::string& t = Tok(i).text;
+      if (Tok(i).kind == TokenKind::kPunct) {
+        if (t == "<") ++depth;
+        if (t == "<<") depth += 2;
+        if (t == ">") --depth;
+        if (t == ">>") depth -= 2;
+        if (depth <= 0 && (t == ">" || t == ">>")) return i + 1;
+        // A type never contains these; bail out of expressions like a < b.
+        if (t == ";" || t == "{" || t == "}") return Size();
+      }
+    }
+    return Size();
+  }
+
+  // ---------------------------------------------------------------- R001
+
+  struct ResultVar {
+    std::string name;
+    int min_depth = 0;   // scope is live while brace depth >= min_depth
+    bool armed = false;  // params arm at the function body's `{`
+    bool guarded = false;
+    bool accessed = false;
+    const Token* first_access = nullptr;
+  };
+
+  void CheckUnguardedResultAccess() {
+    std::vector<ResultVar> vars;
+    int brace_depth = 0;
+    int paren_depth = 0;
+
+    auto finalize = [&](const ResultVar& v) {
+      if (v.accessed && !v.guarded) {
+        Emit("R001", *v.first_access,
+             "Result '" + v.name +
+                 "' is accessed without an ok() guard anywhere in its scope; "
+                 "check " + v.name +
+                 ".ok() first (or use MAROON_ASSIGN_OR_RETURN)");
+      }
+    };
+    auto active = [&](const std::string& name) -> ResultVar* {
+      for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+        if (it->name == name) return &*it;
+      }
+      return nullptr;
+    };
+
+    for (size_t i = 0; i < Size(); ++i) {
+      const Token& t = Tok(i);
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "(") ++paren_depth;
+        if (t.text == ")") paren_depth = std::max(0, paren_depth - 1);
+        if (t.text == "{") {
+          ++brace_depth;
+          for (ResultVar& v : vars) v.armed = true;
+        }
+        if (t.text == "}") {
+          --brace_depth;
+          auto dead = [&](const ResultVar& v) {
+            return v.armed && brace_depth < v.min_depth;
+          };
+          for (const ResultVar& v : vars) {
+            if (dead(v)) finalize(v);
+          }
+          vars.erase(std::remove_if(vars.begin(), vars.end(), dead),
+                     vars.end());
+        }
+      }
+
+      // Declaration: Result<...> name (not followed by `(` = not a function).
+      if (IsIdent(i, "Result") && IsPunct(i + 1, "<")) {
+        const size_t after_type = SkipAngles(i + 1);
+        if (IsIdent(after_type) && !IsPunct(after_type + 1, "(")) {
+          ResultVar v;
+          v.name = Tok(after_type).text;
+          if (paren_depth > 0) {  // parameter: scope is the upcoming body
+            v.min_depth = brace_depth + 1;
+            v.armed = false;
+          } else {
+            v.min_depth = brace_depth;
+            v.armed = true;
+          }
+          vars.push_back(std::move(v));
+          i = after_type;
+          continue;
+        }
+      }
+
+      if (!IsIdent(i)) {
+        // Unary dereference *name in an unambiguous prefix position.
+        if (IsPunct(i, "*") && IsIdent(i + 1)) {
+          ResultVar* v = active(Tok(i + 1).text);
+          if (v != nullptr && i > 0 && IsDerefContext(i - 1)) {
+            RecordAccess(v, Tok(i));
+            ++i;
+          }
+        }
+        continue;
+      }
+
+      ResultVar* v = active(t.text);
+      if (v == nullptr) continue;
+      if (IsPunct(i + 1, ".") && IsIdent(i + 2, "ok") && IsPunct(i + 3, "(")) {
+        v->guarded = true;
+      } else if (IsPunct(i + 1, ".") && IsIdent(i + 2, "value") &&
+                 IsPunct(i + 3, "(")) {
+        RecordAccess(v, t);
+      } else if (IsPunct(i + 1, "->")) {
+        RecordAccess(v, t);
+      }
+    }
+    for (const ResultVar& v : vars) finalize(v);
+  }
+
+  static void RecordAccess(ResultVar* v, const Token& at) {
+    if (!v->accessed) {
+      v->accessed = true;
+      v->first_access = &at;
+    }
+  }
+
+  /// True when a `*` right before an identifier at sig index `prev` must be
+  /// a dereference, not multiplication.
+  bool IsDerefContext(size_t prev) const {
+    const Token& p = Tok(prev);
+    if (p.kind == TokenKind::kIdentifier) {
+      return p.text == "return" || p.text == "co_return";
+    }
+    if (p.kind != TokenKind::kPunct) return false;
+    static const std::set<std::string> kPrefixes = {
+        "(", ",",  "=",  "{",  ";",  "!",  "&&", "||", "<",
+        ">", "<=", ">=", "==", "!=", "+",  "-",  ":"};
+    return kPrefixes.count(p.text) > 0;
+  }
+
+  // ---------------------------------------------------------------- R002
+
+  void CheckDiscardedStatusReturns() {
+    bool expect_stmt = true;
+    std::vector<bool> paren_is_control;
+
+    for (size_t i = 0; i < Size(); ++i) {
+      const Token& t = Tok(i);
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "(") {
+          const bool control =
+              i > 0 && (IsIdent(i - 1, "if") || IsIdent(i - 1, "while") ||
+                        IsIdent(i - 1, "for") || IsIdent(i - 1, "switch"));
+          paren_is_control.push_back(control);
+          expect_stmt = false;
+          continue;
+        }
+        if (t.text == ")") {
+          bool control = false;
+          if (!paren_is_control.empty()) {
+            control = paren_is_control.back();
+            paren_is_control.pop_back();
+          }
+          expect_stmt = control;
+          continue;
+        }
+        if (t.text == ";" || t.text == "{" || t.text == "}" || t.text == ":") {
+          expect_stmt = true;
+          continue;
+        }
+        expect_stmt = false;
+        continue;
+      }
+      if (t.kind == TokenKind::kIdentifier &&
+          (t.text == "else" || t.text == "do")) {
+        expect_stmt = true;
+        continue;
+      }
+      if (expect_stmt && t.kind == TokenKind::kIdentifier) {
+        const size_t consumed = MatchDiscardedCall(i);
+        if (consumed > 0) {
+          i = consumed - 1;  // resume at the ';'
+          continue;
+        }
+      }
+      expect_stmt = false;
+    }
+  }
+
+  /// Matches `name(...)`, `a.b(...).c(...)`, `ns::f(...)` starting at sig
+  /// index `i` in statement position, ending in `;`. Emits R002 when the
+  /// final callee is in the registry. Returns the index of the terminating
+  /// `;` (to skip past), or 0 when the shape does not match.
+  size_t MatchDiscardedCall(size_t i) {
+    const Token& start = Tok(i);
+    std::string callee;
+    size_t j = i;
+    // Leading qualified/member chain: id ((:: | . | ->) id)*
+    while (true) {
+      if (!IsIdent(j)) return 0;
+      callee = Tok(j).text;
+      ++j;
+      if (IsPunct(j, "::") || IsPunct(j, ".") || IsPunct(j, "->")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (!IsPunct(j, "(")) return 0;
+    size_t after = SkipParens(j);
+    // Trailing member-call chain: (.|->) id (...) — the last call decides.
+    while (IsPunct(after, ".") || IsPunct(after, "->")) {
+      ++after;
+      if (!IsIdent(after)) return 0;
+      callee = Tok(after).text;
+      ++after;
+      if (!IsPunct(after, "(")) return 0;  // member access, not a call
+      after = SkipParens(after);
+    }
+    if (!IsPunct(after, ";")) return 0;
+    if (registry_.count(callee) > 0 &&
+        DefaultRegistryBlocklist().count(callee) == 0) {
+      Emit("R002", start,
+           "return value of '" + callee +
+               "' (returns Status/Result) is discarded; handle it, or make "
+               "the discard explicit with (void) and a justification");
+    }
+    return after;
+  }
+
+  // ---------------------------------------------------------------- R003
+
+  void CheckFloatEquality() {
+    for (size_t i = 0; i < Size(); ++i) {
+      if (!IsPunct(i, "==") && !IsPunct(i, "!=")) continue;
+      const bool prev_float = i > 0 &&
+                              Tok(i - 1).kind == TokenKind::kNumber &&
+                              Tok(i - 1).is_float;
+      const bool next_float = i + 1 < Size() &&
+                              Tok(i + 1).kind == TokenKind::kNumber &&
+                              Tok(i + 1).is_float;
+      if (prev_float || next_float) {
+        Emit("R003", Tok(i),
+             "floating-point " + Tok(i).text +
+                 " comparison; use ApproxEqual/ApproxZero from "
+                 "common/float_compare.h");
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------- R004
+
+  void CheckBannedApis() {
+    for (size_t i = 0; i < Size(); ++i) {
+      if (!IsIdent(i)) continue;
+      const std::string& name = Tok(i).text;
+
+      // #include <regex> and std::regex.
+      if (name == "regex") {
+        const bool is_include = i >= 3 && IsPunct(i - 1, "<") &&
+                                IsIdent(i - 2, "include") &&
+                                IsPunct(i - 3, "#");
+        const bool is_std = i >= 2 && IsPunct(i - 1, "::") &&
+                            IsIdent(i - 2, "std");
+        if (is_include || is_std) {
+          Emit("R004", Tok(i),
+               "std::regex is banned in MAROON (slow, locale-dependent); use "
+               "common/string_util.h helpers or a hand-rolled scanner");
+        }
+        continue;
+      }
+
+      if (!IsPunct(i + 1, "(")) continue;
+      if (!IsBannedCallContext(i)) continue;
+
+      if (name == "atoi" || name == "atol" || name == "atof") {
+        Emit("R004", Tok(i),
+             "'" + name +
+                 "' parses without error detection; use std::from_chars or "
+                 "FlagParser (common/flags.h)");
+      } else if (name == "rand" || name == "srand") {
+        Emit("R004", Tok(i),
+             "'" + name +
+                 "' is not seedable per-run and breaks reproducibility; use "
+                 "maroon::Random (common/random.h)");
+      } else if (name == "strtod" || name == "strtof" || name == "strtold") {
+        if (SecondArgIsNull(i + 1)) {
+          Emit("R004", Tok(i),
+               "'" + name +
+                   "' with a null end pointer cannot detect trailing "
+                   "garbage; pass an end pointer and check it consumed the "
+                   "whole input");
+        }
+      }
+    }
+  }
+
+  /// The banned-name call must be unqualified or std-qualified; a member or
+  /// foreign-namespace function that happens to share the name is fine, and
+  /// so is a declaration (`int rand();` in an unrelated class).
+  bool IsBannedCallContext(size_t i) const {
+    if (i == 0) return true;
+    const Token& p = Tok(i - 1);
+    if (p.kind == TokenKind::kPunct &&
+        (p.text == "." || p.text == "->")) {
+      return false;
+    }
+    if (p.kind == TokenKind::kPunct && p.text == "::") {
+      return i >= 2 && IsIdent(i - 2, "std");
+    }
+    if (p.kind == TokenKind::kIdentifier) {
+      // A preceding identifier means a declaration (`int rand()`), unless it
+      // is one of the keywords that legitimately precede a call expression.
+      static const std::set<std::string> kCallPrefixKeywords = {
+          "return", "throw", "co_return", "co_await", "co_yield",
+          "else",   "do",    "case",      "not",      "and",
+          "or"};
+      return kCallPrefixKeywords.count(p.text) > 0;
+    }
+    return true;
+  }
+
+  /// For `strtod(` at sig index `open`: does the second top-level argument
+  /// read nullptr/NULL/0?
+  bool SecondArgIsNull(size_t open) const {
+    int depth = 0;
+    for (size_t i = open; i < Size(); ++i) {
+      if (IsPunct(i, "(")) ++depth;
+      if (IsPunct(i, ")") && --depth == 0) return false;
+      if (depth == 1 && IsPunct(i, ",")) {
+        return IsIdent(i + 1, "nullptr") || IsIdent(i + 1, "NULL") ||
+               Is(i + 1, TokenKind::kNumber, "0");
+      }
+    }
+    return false;
+  }
+
+  // ---------------------------------------------------------------- R005
+
+  void CheckHeaderHygiene() {
+    const std::string expected = ExpectedGuard(file_.guard_path);
+    const bool has_guard = Size() >= 6 && IsPunct(0, "#") &&
+                           IsIdent(1, "ifndef") && IsIdent(2) &&
+                           IsPunct(3, "#") && IsIdent(4, "define") &&
+                           IsIdent(5) && Tok(2).text == Tok(5).text;
+    if (!has_guard) {
+      Token at = Size() > 0 ? Tok(0) : Token{};
+      Emit("R005", at,
+           "header must open with an include guard '#ifndef " + expected +
+               "' + '#define " + expected + "'");
+    } else if (Tok(2).text != expected) {
+      Emit("R005", Tok(2),
+           "include guard '" + Tok(2).text + "' does not match the project "
+               "convention; expected '" + expected + "'");
+    }
+
+    for (size_t i = 0; i + 1 < Size(); ++i) {
+      if (IsIdent(i, "using") && IsIdent(i + 1, "namespace")) {
+        Emit("R005", Tok(i),
+             "'using namespace' in a header leaks into every includer; "
+             "qualify names instead");
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------- R006
+
+  void CheckRawAssert() {
+    if (StartsWith(file_.guard_path, "src/common/")) return;
+    for (size_t i = 0; i < Size(); ++i) {
+      if (!IsIdent(i, "assert") || !IsPunct(i + 1, "(")) continue;
+      if (i > 0) {
+        const Token& p = Tok(i - 1);
+        if (p.kind == TokenKind::kPunct &&
+            (p.text == "." || p.text == "->" || p.text == "::" ||
+             p.text == "#")) {
+          continue;
+        }
+        // #define assert / #undef assert / #ifdef assert
+        if (p.kind == TokenKind::kIdentifier &&
+            (p.text == "define" || p.text == "undef" || p.text == "ifdef" ||
+             p.text == "ifndef")) {
+          continue;
+        }
+      }
+      Emit("R006", Tok(i),
+           "raw assert() vanishes under NDEBUG and cannot stream context; "
+           "use MAROON_CHECK (always on) or MAROON_DCHECK (debug only)");
+    }
+  }
+
+  const SourceFile& file_;
+  const std::set<std::string>& registry_;
+  Suppressions suppressions_;
+  std::vector<Finding>* findings_;
+  std::vector<const Token*> sig_;
+};
+
+}  // namespace
+
+SourceFile MakeSourceFile(const std::string& rel_path,
+                          std::string_view content) {
+  SourceFile file;
+  file.display_path = rel_path;
+  file.guard_path = rel_path;
+  const size_t dot = rel_path.rfind('.');
+  const std::string ext = dot == std::string::npos ? "" : rel_path.substr(dot);
+  file.is_header = ext == ".h" || ext == ".hpp";
+  file.tokens = Tokenize(content);
+  return file;
+}
+
+std::set<std::string> CollectStatusFunctions(const std::vector<Token>& tokens) {
+  std::vector<const Token*> sig;
+  for (const Token& t : tokens) {
+    if (t.kind != TokenKind::kComment) sig.push_back(&t);
+  }
+  auto ident_at = [&](size_t i) {
+    return i < sig.size() && sig[i]->kind == TokenKind::kIdentifier;
+  };
+  auto punct_at = [&](size_t i, const char* text) {
+    return i < sig.size() && sig[i]->kind == TokenKind::kPunct &&
+           sig[i]->text == text;
+  };
+
+  std::set<std::string> names;
+  for (size_t i = 0; i < sig.size(); ++i) {
+    if (sig[i]->kind != TokenKind::kIdentifier) continue;
+    if (sig[i]->text == "Status" && ident_at(i + 1) && punct_at(i + 2, "(")) {
+      names.insert(sig[i + 1]->text);
+    }
+    if (sig[i]->text == "Result" && punct_at(i + 1, "<")) {
+      int depth = 0;
+      size_t j = i + 1;
+      for (; j < sig.size(); ++j) {
+        const std::string& t = sig[j]->text;
+        if (sig[j]->kind != TokenKind::kPunct) continue;
+        if (t == "<") ++depth;
+        if (t == "<<") depth += 2;
+        if (t == ">") --depth;
+        if (t == ">>") depth -= 2;
+        if (depth <= 0 && (t == ">" || t == ">>")) break;
+        if (t == ";" || t == "{" || t == "}") {
+          j = sig.size();
+          break;
+        }
+      }
+      if (j < sig.size() && ident_at(j + 1) && punct_at(j + 2, "(")) {
+        names.insert(sig[j + 1]->text);
+      }
+    }
+  }
+  return names;
+}
+
+const std::set<std::string>& DefaultRegistryBlocklist() {
+  // Status factory methods: used as expressions everywhere; a bare
+  // `Internal(...);` statement is not a plausible bug.
+  static const std::set<std::string> kBlocklist = {
+      "OK",         "InvalidArgument",    "NotFound", "AlreadyExists",
+      "OutOfRange", "FailedPrecondition", "Internal", "IOError"};
+  return kBlocklist;
+}
+
+void LintFile(const SourceFile& file, const std::set<std::string>& registry,
+              std::vector<Finding>* findings) {
+  FileLinter(file, registry, findings).Run();
+}
+
+std::string ExpectedGuard(const std::string& rel_path) {
+  std::string path = rel_path;
+  if (StartsWith(path, "src/")) path = path.substr(4);
+  std::string guard = "MAROON_";
+  for (char c : path) {
+    guard += std::isalnum(static_cast<unsigned char>(c))
+                 ? static_cast<char>(
+                       std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+  }
+  guard += '_';
+  return guard;
+}
+
+}  // namespace lint
+}  // namespace maroon

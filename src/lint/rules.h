@@ -1,0 +1,81 @@
+#ifndef MAROON_LINT_RULES_H_
+#define MAROON_LINT_RULES_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace maroon {
+namespace lint {
+
+/// The MAROON project rules enforced by maroon_lint.
+///
+/// The checker is token-based (no type information), so each rule is an
+/// engineered heuristic: precise enough that the real tree stays clean
+/// without suppressions sprinkled everywhere, honest enough that every rule
+/// can be silenced at a specific site with
+///
+///     // maroon-lint: allow(R003)
+///
+/// on the offending line or alone on the line above. `allow(all)` silences
+/// every rule for that line.
+///
+///   R001  Result<T>::value()/operator*/operator-> on a Result variable
+///         never guarded by ok() in the enclosing scope.
+///   R002  Call to a function returning Status/Result whose return value is
+///         discarded at statement level.
+///   R003  Floating-point ==/!= comparison (a float literal on either side);
+///         probability code must use common/float_compare.h helpers.
+///   R004  Banned APIs: atoi/atol/atof, rand/srand, strtod with a null end
+///         pointer, std::regex.
+///   R005  Header hygiene: include guard must match the MAROON_<PATH>_H_
+///         convention; `using namespace` is forbidden in headers.
+///   R006  Raw assert() outside src/common/ (use MAROON_CHECK/MAROON_DCHECK).
+
+struct Finding {
+  std::string rule;     // "R001".."R006"
+  std::string file;     // path as reported (repo-relative when possible)
+  int line = 0;
+  int col = 0;
+  std::string message;  // what and how to fix
+};
+
+/// One tokenized source file ready for linting.
+struct SourceFile {
+  std::string display_path;  // used in findings (repo-relative)
+  std::string guard_path;    // rel path used to derive the include guard
+  bool is_header = false;
+  std::vector<Token> tokens;
+};
+
+/// Builds a SourceFile from raw text. `rel_path` is the path relative to the
+/// repo root (used both for display and the R005 guard computation).
+SourceFile MakeSourceFile(const std::string& rel_path,
+                          std::string_view content);
+
+/// Scans declarations `Status f(...)` / `Result<T> f(...)` and returns the
+/// function names, feeding the R002 registry. Runs over every scanned file
+/// so call sites in one file see declarations from another.
+std::set<std::string> CollectStatusFunctions(const std::vector<Token>& tokens);
+
+/// Names R002 must never flag even if a declaration matches the registry
+/// pattern (e.g. Status factory methods used as expressions).
+const std::set<std::string>& DefaultRegistryBlocklist();
+
+/// Runs rules R001-R006 over one file and appends findings. `registry` is
+/// the union of CollectStatusFunctions over the whole scan.
+void LintFile(const SourceFile& file, const std::set<std::string>& registry,
+              std::vector<Finding>* findings);
+
+/// Returns the expected include guard for a repo-relative header path:
+/// "src/common/result.h" -> "MAROON_COMMON_RESULT_H_" (the leading "src/" is
+/// dropped; other roots keep their prefix: tests/... -> MAROON_TESTS_...).
+std::string ExpectedGuard(const std::string& rel_path);
+
+}  // namespace lint
+}  // namespace maroon
+
+#endif  // MAROON_LINT_RULES_H_

@@ -45,16 +45,16 @@ class BatchLinker {
 
   /// Runs linkage for every entity in `targets` (candidates come from
   /// Dataset::CandidatesFor), then resolves contested records.
-  BatchLinkResult LinkAll(const Dataset& dataset,
-                          const std::vector<EntityId>& targets) const;
+  [[nodiscard]] BatchLinkResult LinkAll(
+      const Dataset& dataset, const std::vector<EntityId>& targets) const;
 
   /// How well `profile` explains `record`: mean over the record's attributes
   /// of the similarity between the record's values and the profile's values
   /// at the record's timestamp (falling back to the attribute's whole value
   /// universe when the timestamp is uncovered). Exposed for tests.
-  static double RecordProfileFit(const EntityProfile& profile,
-                                 const TemporalRecord& record,
-                                 const SimilarityCalculator& similarity);
+  [[nodiscard]] static double RecordProfileFit(
+      const EntityProfile& profile, const TemporalRecord& record,
+      const SimilarityCalculator& similarity);
 
  private:
   const Maroon* maroon_;

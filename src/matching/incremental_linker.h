@@ -40,7 +40,7 @@ class IncrementalLinker {
 
   /// Re-links the accumulated pool and updates the current profile.
   /// Returns the linkage result over all records observed so far.
-  LinkResult Flush();
+  [[nodiscard]] LinkResult Flush();
 
   /// The latest augmented profile (the clean profile before the first
   /// Flush()).

@@ -71,8 +71,9 @@ class Maroon {
   /// Runs Phase I + Phase II for one target entity: `clean_profile` is the
   /// entity's known history, `candidates` the records to consider (pointers
   /// must stay valid for the call).
-  LinkResult Link(const EntityProfile& clean_profile,
-                  const std::vector<const TemporalRecord*>& candidates) const;
+  [[nodiscard]] LinkResult Link(
+      const EntityProfile& clean_profile,
+      const std::vector<const TemporalRecord*>& candidates) const;
 
   const MaroonOptions& options() const { return options_; }
   const std::vector<Attribute>& schema_attributes() const {

@@ -1,7 +1,6 @@
 #include "matching/profile_matcher.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <map>
 

@@ -63,13 +63,14 @@ class ProfileMatcher {
                  ProfileMatcherOptions options = {});
 
   /// Runs Algorithm 3 starting from `profile` over `clusters`.
-  MatchResult MatchAndAugment(const EntityProfile& profile,
-                              const std::vector<GeneratedCluster>& clusters) const;
+  [[nodiscard]] MatchResult MatchAndAugment(
+      const EntityProfile& profile,
+      const std::vector<GeneratedCluster>& clusters) const;
 
   /// match(Φ_n, c) per Eq. 15 (non-incremental; used by tests and one-off
   /// scoring).
-  double MatchScore(const EntityProfile& profile,
-                    const GeneratedCluster& cluster) const;
+  [[nodiscard]] double MatchScore(const EntityProfile& profile,
+                                  const GeneratedCluster& cluster) const;
 
   const ProfileMatcherOptions& options() const { return options_; }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <set>
 
+#include "common/float_compare.h"
+
 namespace maroon {
 
 void TfIdfModel::Fit(const std::vector<std::vector<std::string>>& corpus) {
@@ -60,7 +62,7 @@ double SparseCosine(const SparseVector& a, const SparseVector& b) {
   double norm_a = 0.0, norm_b = 0.0;
   for (const auto& [t, w] : a) norm_a += w * w;
   for (const auto& [t, w] : b) norm_b += w * w;
-  if (norm_a == 0.0 || norm_b == 0.0) return 0.0;
+  if (ApproxZero(norm_a) || ApproxZero(norm_b)) return 0.0;
   return dot / std::sqrt(norm_a * norm_b);
 }
 

@@ -16,8 +16,8 @@ namespace maroon {
 /// where probability is the Eq. 1 conditional for the entry.
 
 /// Serializes every table of `attribute` to CSV text.
-std::string TransitionTablesToCsv(const TransitionModel& model,
-                                  const Attribute& attribute);
+[[nodiscard]] std::string TransitionTablesToCsv(const TransitionModel& model,
+                                                const Attribute& attribute);
 
 /// Writes TransitionTablesToCsv to `path`.
 Status WriteTransitionTablesCsv(const TransitionModel& model,

@@ -1,11 +1,11 @@
 #include "transition/transition_model.h"
 
 #include <algorithm>
-#include <cassert>
 #include <charconv>
 #include <system_error>
 
 #include "common/csv.h"
+#include "common/logging.h"
 
 namespace maroon {
 
@@ -56,7 +56,7 @@ TransitionModel TransitionModel::Train(
             MapValueSet(mapper, attribute, triples[i].values);
         for (size_t j = i; j < triples.size(); ++j) {
           const Interval& second = triples[j].interval;
-          assert(first.begin <= second.begin);
+          MAROON_DCHECK(first.begin <= second.begin);
           const ValueSet to =
               (j == i) ? from : MapValueSet(mapper, attribute,
                                             triples[j].values);
@@ -160,7 +160,7 @@ double TransitionModel::PairProbability(const TransitionTable& table,
 
 double TransitionModel::Probability(const Attribute& attribute, const Value& v,
                                     const Value& v_next, int64_t delta) const {
-  assert(delta >= 0);
+  MAROON_DCHECK(delta >= 0);
   if (delta == 0) return 1.0;  // Eq. 2.
   auto attr_it = attributes_.find(attribute);
   if (attr_it == attributes_.end()) return 0.0;
@@ -193,7 +193,7 @@ double TransitionModel::SetProbability(const Attribute& attribute,
                                        const ValueSet& to,
                                        int64_t delta) const {
   if (to.empty() || from.empty()) return 0.0;
-  assert(delta >= 0);
+  MAROON_DCHECK(delta >= 0);
   auto attr_it = attributes_.find(attribute);
   if (attr_it == attributes_.end()) return 0.0;
   const AttributeModel& am = attr_it->second;

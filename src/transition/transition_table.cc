@@ -1,12 +1,13 @@
 #include "transition/transition_table.h"
 
-#include <cassert>
 #include <tuple>
+
+#include "common/logging.h"
 
 namespace maroon {
 
 void TransitionTable::Add(const Value& from, const Value& to, int64_t count) {
-  assert(count > 0);
+  MAROON_DCHECK(count > 0);
   finalized_ = false;
   rows_[from][to] += count;
 }
@@ -67,13 +68,13 @@ int64_t TransitionTable::Count(const Value& from, const Value& to) const {
 }
 
 int64_t TransitionTable::RowSum(const Value& from) const {
-  assert(finalized_);
+  MAROON_DCHECK(finalized_);
   auto it = row_sums_.find(from);
   return it != row_sums_.end() ? it->second : 0;
 }
 
 int64_t TransitionTable::ColumnSum(const Value& to) const {
-  assert(finalized_);
+  MAROON_DCHECK(finalized_);
   auto it = column_sums_.find(to);
   return it != column_sums_.end() ? it->second : 0;
 }
@@ -86,7 +87,7 @@ double TransitionTable::ConditionalProbability(const Value& from,
 }
 
 double TransitionTable::MinRowProbability(const Value& from) const {
-  assert(finalized_);
+  MAROON_DCHECK(finalized_);
   auto it = min_row_probability_.find(from);
   return it != min_row_probability_.end() ? it->second : 0.0;
 }

@@ -47,6 +47,27 @@ TEST(ResultDeathTest, DereferenceOnErrorAborts) {
   EXPECT_DEATH({ (void)r->size(); }, "Result value accessed while holding");
 }
 
+TEST(ResultDeathTest, ErrorConstructorRejectsOkStatus) {
+  // Wrapping an OK status in an error-shaped Result means the caller lost an
+  // error; this must abort in every build mode, not silently repair.
+  EXPECT_DEATH(
+      {
+        Result<int> r(Status::OK());
+        (void)r;
+      },
+      "Result error constructor requires a non-OK status");
+}
+
+TEST(ResultDeathTest, DcheckAbortsInDebugAndVanishesInRelease) {
+#ifdef NDEBUG
+  MAROON_DCHECK(false) << "compiled out in release";
+  SUCCEED();
+#else
+  EXPECT_DEATH(MAROON_DCHECK(false) << "dcheck boom",
+               "check failed: false.*dcheck boom");
+#endif
+}
+
 TEST(ResultDeathTest, CheckMacroAbortsWithCondition) {
   const int x = 3;
   EXPECT_DEATH(MAROON_CHECK(x == 4) << "x was " << x,

@@ -33,7 +33,7 @@ TEST_F(FigureShapesTest, Table7SeniorityAndPromotionShapes) {
       TransitionModel::Train(RecruitmentProfiles(), {kAttrTitle});
 
   // Self-transitions decay with Δt for every rung of the ladder.
-  for (const Value& title : {"Engineer", "Manager", "Director"}) {
+  for (const auto* title : {"Engineer", "Manager", "Director"}) {
     EXPECT_GT(model.Probability(kAttrTitle, title, title, 3),
               model.Probability(kAttrTitle, title, title, 10))
         << title;

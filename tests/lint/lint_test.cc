@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "lint/linter.h"
+#include "lint/rules.h"
+
+namespace maroon {
+namespace lint {
+namespace {
+
+constexpr char kRoot[] = MAROON_SOURCE_DIR;
+
+/// Lints one fixture under tests/lint/testdata/ through the full RunLint
+/// path (explicit file args bypass the testdata exclusion).
+LintResult LintFixture(const std::string& name) {
+  LintOptions options;
+  options.root = kRoot;
+  options.paths = {std::string(kRoot) + "/tests/lint/testdata/" + name};
+  auto result = RunLint(options);
+  MAROON_CHECK(result.ok()) << result.status();
+  return *std::move(result);
+}
+
+/// Lints in-memory content (unit tests for lexer-level behavior).
+std::vector<Finding> LintSource(const std::string& rel_path,
+                                const std::string& content) {
+  const SourceFile file = MakeSourceFile(rel_path, content);
+  const std::set<std::string> registry = CollectStatusFunctions(file.tokens);
+  std::vector<Finding> findings;
+  LintFile(file, registry, &findings);
+  return findings;
+}
+
+std::vector<int> LinesOf(const LintResult& result, const std::string& rule) {
+  std::vector<int> lines;
+  for (const Finding& f : result.findings) {
+    if (f.rule == rule) lines.push_back(f.line);
+  }
+  return lines;
+}
+
+std::string Render(const LintResult& result) { return RenderText(result); }
+
+TEST(LintRuleTest, R001CatchesUnguardedResultAccess) {
+  const LintResult result = LintFixture("r001_unguarded.cc");
+  EXPECT_EQ(LinesOf(result, "R001"), (std::vector<int>{11, 16}))
+      << Render(result);
+  // Guarded, checked, and suppressed functions stay silent; no other rule
+  // fires on this fixture.
+  EXPECT_EQ(result.findings.size(), 2u) << Render(result);
+}
+
+TEST(LintRuleTest, R002CatchesDiscardedStatusReturns) {
+  const LintResult result = LintFixture("r002_discarded.cc");
+  EXPECT_EQ(LinesOf(result, "R002"), (std::vector<int>{18, 19, 20}))
+      << Render(result);
+  EXPECT_EQ(result.findings.size(), 3u) << Render(result);
+}
+
+TEST(LintRuleTest, R003CatchesFloatEquality) {
+  const LintResult result = LintFixture("r003_float_eq.cc");
+  EXPECT_EQ(LinesOf(result, "R003"), (std::vector<int>{7, 8}))
+      << Render(result);
+  EXPECT_EQ(result.findings.size(), 2u) << Render(result);
+}
+
+TEST(LintRuleTest, R004CatchesBannedApis) {
+  const LintResult result = LintFixture("r004_banned_api.cc");
+  EXPECT_EQ(LinesOf(result, "R004"), (std::vector<int>{4, 9, 10, 11}))
+      << Render(result);
+  EXPECT_EQ(result.findings.size(), 4u) << Render(result);
+}
+
+TEST(LintRuleTest, R005CatchesHeaderHygiene) {
+  const LintResult result = LintFixture("r005_bad_guard.h");
+  EXPECT_EQ(LinesOf(result, "R005"), (std::vector<int>{3, 6}))
+      << Render(result);
+  const Finding& guard = result.findings.front();
+  EXPECT_NE(
+      guard.message.find("MAROON_TESTS_LINT_TESTDATA_R005_BAD_GUARD_H_"),
+      std::string::npos)
+      << guard.message;
+}
+
+TEST(LintRuleTest, R005SuppressionsSilenceBothSites) {
+  const LintResult result = LintFixture("r005_suppressed.h");
+  EXPECT_TRUE(result.findings.empty()) << Render(result);
+}
+
+TEST(LintRuleTest, R006CatchesRawAssert) {
+  const LintResult result = LintFixture("r006_assert.cc");
+  EXPECT_EQ(LinesOf(result, "R006"), (std::vector<int>{8}))
+      << Render(result);
+  EXPECT_EQ(result.findings.size(), 1u) << Render(result);
+}
+
+TEST(LintRuleTest, R006ExemptsSrcCommon) {
+  const std::string content = "void F(int n) { assert(n > 0); }\n";
+  EXPECT_TRUE(LintSource("src/common/scratch.cc", content).empty());
+  EXPECT_EQ(LintSource("src/core/scratch.cc", content).size(), 1u);
+}
+
+TEST(LintLexerTest, LiteralsAndCommentsAreNotCode) {
+  // Violation-shaped text inside strings, raw strings, and comments must
+  // never fire a rule.
+  const std::string content =
+      "const char* a = \"assert(x); p == 1.0; atoi(s);\";\n"
+      "const char* b = R\"(assert(y); q != 0.5)\";\n"
+      "// assert(z); r == 2.0; rand();\n"
+      "/* strtod(s, nullptr); using namespace std; */\n";
+  EXPECT_TRUE(LintSource("src/core/scratch.cc", content).empty());
+}
+
+TEST(LintLexerTest, TokenizerTracksLinesThroughBlockComments) {
+  const std::string content = "/* line one\nline two */\nassert(n);\n";
+  const std::vector<Finding> findings =
+      LintSource("src/core/scratch.cc", content);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintRuleTest, ExpectedGuardFollowsConvention) {
+  EXPECT_EQ(ExpectedGuard("src/common/result.h"), "MAROON_COMMON_RESULT_H_");
+  EXPECT_EQ(ExpectedGuard("tests/testing/paper_example.h"),
+            "MAROON_TESTS_TESTING_PAPER_EXAMPLE_H_");
+  EXPECT_EQ(ExpectedGuard("src/lint/lexer.h"), "MAROON_LINT_LEXER_H_");
+}
+
+TEST(LintRuleTest, AllowAllSuppresssEveryRule) {
+  const std::string content =
+      "void F(int n) {\n"
+      "  assert(n > 0);  // maroon-lint: allow(all)\n"
+      "}\n";
+  EXPECT_TRUE(LintSource("src/core/scratch.cc", content).empty());
+}
+
+TEST(LintJsonTest, RenderJsonEscapesAndStructures) {
+  LintResult result;
+  result.files_scanned = 1;
+  result.findings.push_back(
+      {"R004", "src/a.cc", 3, 7, "bad \"quote\" and \\slash"});
+  const std::string json = RenderJson(result);
+  EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rule\": \"R004\""), std::string::npos) << json;
+  EXPECT_NE(json.find("bad \\\"quote\\\" and \\\\slash"), std::string::npos)
+      << json;
+}
+
+/// The acceptance gate: the real tree must be lint-clean. Fixture dirs named
+/// testdata are excluded by default, so the seeded violations above do not
+/// trip this.
+TEST(LintSelfCheckTest, RepositoryTreeIsClean) {
+  LintOptions options;
+  options.root = kRoot;
+  auto result = RunLint(options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->files_scanned, 150u);
+  EXPECT_TRUE(result->findings.empty())
+      << "the tree must stay lint-clean:\n" << RenderText(*result);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace maroon

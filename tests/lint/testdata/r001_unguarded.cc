@@ -1,0 +1,37 @@
+// Lint fixture (never compiled): R001 — Result access without an ok() guard.
+// Scanned by lint_test; line numbers below are asserted there.
+#include "common/result.h"
+
+namespace maroon {
+
+Result<int> MakeValue();
+
+int PositiveValueCall() {
+  Result<int> r = MakeValue();
+  return r.value();  // R001 expected on this line (11)
+}
+
+int PositiveDereference() {
+  Result<int> r = MakeValue();
+  return *r;  // R001 expected on this line (16)
+}
+
+int GuardedIsClean() {
+  Result<int> r = MakeValue();
+  if (!r.ok()) return -1;
+  return r.value();
+}
+
+int CheckGuardIsClean() {
+  Result<int> r = MakeValue();
+  MAROON_CHECK(r.ok());
+  return *r;
+}
+
+int SuppressedIsSilent() {
+  Result<int> r = MakeValue();
+  // maroon-lint: allow(R001)
+  return r.value();
+}
+
+}  // namespace maroon

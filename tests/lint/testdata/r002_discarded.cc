@@ -1,0 +1,35 @@
+// Lint fixture (never compiled): R002 — discarded Status/Result returns.
+// Scanned by lint_test; line numbers below are asserted there.
+#include "common/result.h"
+#include "common/status.h"
+
+namespace maroon {
+
+Status SaveThing();
+Result<int> LoadThing();
+
+class Sink {
+ public:
+  Status Append(int v);
+  void Clear();
+};
+
+void PositiveDiscards(Sink& sink) {
+  SaveThing();      // R002 expected on this line (18)
+  LoadThing();      // R002 expected on this line (19)
+  sink.Append(3);   // R002 expected on this line (20)
+}
+
+Status HandledIsClean(Sink& sink) {
+  MAROON_RETURN_IF_ERROR(SaveThing());
+  Status s = sink.Append(4);
+  sink.Clear();  // void return: clean
+  if (SaveThing().ok()) sink.Clear();
+  return s;
+}
+
+void SuppressedIsSilent() {
+  SaveThing();  // maroon-lint: allow(R002)
+}
+
+}  // namespace maroon

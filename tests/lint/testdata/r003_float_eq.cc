@@ -1,0 +1,21 @@
+// Lint fixture (never compiled): R003 — floating-point ==/!= comparisons.
+// Scanned by lint_test; line numbers below are asserted there.
+
+namespace maroon {
+
+bool PositiveComparisons(double p) {
+  if (p == 1.0) return true;  // R003 expected on this line (7)
+  return p != 0.5;            // R003 expected on this line (8)
+}
+
+bool IntegersAreClean(int n) { return n == 1 || n != 2; }
+
+bool EpsilonStyleIsClean(double p) { return p > 1.0 - 1e-9; }
+
+const char* StringsAreClean() { return "p == 1.0 inside a literal"; }
+
+bool SuppressedIsSilent(double p) {
+  return p == 1.0;  // maroon-lint: allow(R003)
+}
+
+}  // namespace maroon

@@ -1,0 +1,30 @@
+// Lint fixture (never compiled): R004 — banned APIs.
+// Scanned by lint_test; line numbers below are asserted there.
+#include <cstdlib>
+#include <regex>  // R004 expected on this line (4)
+
+namespace maroon {
+
+int PositiveCalls(const char* text) {
+  int a = atoi(text);                // R004 expected on this line (9)
+  double b = strtod(text, nullptr);  // R004 expected on this line (10)
+  int c = std::rand();               // R004 expected on this line (11)
+  return a + static_cast<int>(b) + c;
+}
+
+double EndPointerIsClean(const char* text) {
+  char* end = nullptr;
+  return strtod(text, &end);
+}
+
+struct Rng {
+  int rand();
+};
+
+int MemberNamedRandIsClean(Rng& rng) { return rng.rand(); }
+
+int SuppressedIsSilent(const char* text) {
+  return atoi(text);  // maroon-lint: allow(R004)
+}
+
+}  // namespace maroon

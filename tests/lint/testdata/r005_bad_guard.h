@@ -1,0 +1,8 @@
+// Lint fixture (never compiled): R005 — header hygiene.
+// Scanned by lint_test; line numbers below are asserted there.
+#ifndef TESTS_LINT_WRONG_GUARD_H  // R005 expected on this line (3)
+#define TESTS_LINT_WRONG_GUARD_H
+
+using namespace std;  // R005 expected on this line (6)
+
+#endif  // TESTS_LINT_WRONG_GUARD_H

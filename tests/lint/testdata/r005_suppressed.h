@@ -1,0 +1,9 @@
+// Lint fixture (never compiled): R005 suppressed-negative case — same
+// violations as r005_bad_guard.h, silenced per site.
+// maroon-lint: allow(R005)
+#ifndef TESTS_LINT_ALSO_WRONG_H
+#define TESTS_LINT_ALSO_WRONG_H
+
+using namespace std;  // maroon-lint: allow(R005)
+
+#endif  // TESTS_LINT_ALSO_WRONG_H

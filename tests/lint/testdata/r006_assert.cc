@@ -1,0 +1,17 @@
+// Lint fixture (never compiled): R006 — raw assert() outside src/common/.
+// Scanned by lint_test; line numbers below are asserted there.
+#include <cassert>
+
+namespace maroon {
+
+void PositiveAssert(int n) {
+  assert(n > 0);  // R006 expected on this line (8)
+}
+
+void StaticAssertIsClean() { static_assert(sizeof(int) >= 4, "size"); }
+
+void SuppressedIsSilent(int n) {
+  assert(n > 0);  // maroon-lint: allow(R006)
+}
+
+}  // namespace maroon

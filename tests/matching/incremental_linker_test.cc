@@ -41,7 +41,9 @@ TEST_F(IncrementalLinkerTest, ProfileGrowsAsRecordsArrive) {
   EXPECT_TRUE(linker.current_profile().sequence(kTitle).ValuesAt(2011).empty());
 
   // Observe the early records (r1-r4) and flush.
-  for (RecordId id = 0; id <= 3; ++id) linker.Observe(dataset_.record(id));
+  for (RecordId id = 0; id <= 3; ++id) {
+    ASSERT_TRUE(linker.Observe(dataset_.record(id)).ok());
+  }
   EXPECT_EQ(linker.NumPending(), 4u);
   (void)linker.Flush();
   EXPECT_EQ(linker.NumPending(), 0u);
@@ -50,7 +52,9 @@ TEST_F(IncrementalLinkerTest, ProfileGrowsAsRecordsArrive) {
   EXPECT_TRUE(linker.current_profile().sequence(kTitle).ValuesAt(2011).empty());
 
   // The 2011+ records arrive; the Director promotion is now linked.
-  for (RecordId id = 4; id <= 8; ++id) linker.Observe(dataset_.record(id));
+  for (RecordId id = 4; id <= 8; ++id) {
+    ASSERT_TRUE(linker.Observe(dataset_.record(id)).ok());
+  }
   const LinkResult result = linker.Flush();
   EXPECT_GT(linker.linked_records().size(), early_links);
   EXPECT_EQ(linker.current_profile().sequence(kTitle).ValuesAt(2011),
@@ -64,7 +68,9 @@ TEST_F(IncrementalLinkerTest, ProfileGrowsAsRecordsArrive) {
 TEST_F(IncrementalLinkerTest, MatchesBatchResult) {
   // Streaming all records then flushing equals one batch link.
   IncrementalLinker linker(maroon_.get(), testing::DavidBrownProfile());
-  for (const TemporalRecord& r : dataset_.records()) linker.Observe(r);
+  for (const TemporalRecord& r : dataset_.records()) {
+    ASSERT_TRUE(linker.Observe(r).ok());
+  }
   const LinkResult streamed = linker.Flush();
 
   std::vector<const TemporalRecord*> candidates;
@@ -88,7 +94,9 @@ TEST_F(IncrementalLinkerTest, FlushWithNoRecordsIsClean) {
 TEST_F(IncrementalLinkerTest, OutOfOrderArrivalIsHandled) {
   IncrementalLinker linker(maroon_.get(), testing::DavidBrownProfile());
   // Newest records first.
-  for (RecordId id = 9; id-- > 0;) linker.Observe(dataset_.record(id));
+  for (RecordId id = 9; id-- > 0;) {
+    ASSERT_TRUE(linker.Observe(dataset_.record(id)).ok());
+  }
   const LinkResult result = linker.Flush();
   EXPECT_FALSE(std::binary_search(result.match.matched_records.begin(),
                                   result.match.matched_records.end(),

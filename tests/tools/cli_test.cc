@@ -51,6 +51,27 @@ TEST_F(CliTest, NoArgumentsPrintsUsage) {
   EXPECT_NE(out.find("usage:"), std::string::npos);
 }
 
+TEST_F(CliTest, VersionFlagPrintsVersion) {
+  std::string out;
+  EXPECT_EQ(Run("--version", &out), 0) << out;
+  EXPECT_NE(out.find("maroon_cli "), std::string::npos) << out;
+}
+
+TEST_F(CliTest, LintToolReportsVersionAndCleanExit) {
+  constexpr char kLint[] = "../tools/maroon_lint";
+  if (!std::filesystem::exists(kLint)) {
+    GTEST_SKIP() << "maroon_lint binary not found at " << kLint;
+  }
+  const std::string out_path = dir_ + "/lint.out";
+  const int code =
+      std::system((std::string(kLint) + " --version > " + out_path).c_str());
+  EXPECT_EQ(code, 0);
+  std::ifstream in(out_path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("maroon_lint "), std::string::npos) << ss.str();
+}
+
 TEST_F(CliTest, GenerateStatsEvaluatePipeline) {
   std::string out;
   ASSERT_EQ(Run("generate --dataset=recruitment --out=" + dir_ +

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Checks that the tree is clang-format clean (Google style, .clang-format).
+# Registered as the ctest `check_format` test and run by the CI lint job.
+#
+# Exit codes: 0 clean, 1 violations, 77 clang-format unavailable (ctest
+# SKIP_RETURN_CODE — skipped with a notice, not failed).
+set -u
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found on PATH; skipping" >&2
+  exit 77
+fi
+
+# Lint fixtures under testdata/ contain deliberate rule violations and are
+# exempt from formatting too.
+mapfile -t files < <(find src tools tests bench \
+  \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) \
+  -not -path '*/testdata/*' | sort)
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "check_format: no sources found" >&2
+  exit 1
+fi
+
+clang-format --dry-run -Werror "${files[@]}"
+status=$?
+if [ "$status" -eq 0 ]; then
+  echo "check_format: ${#files[@]} file(s) clean"
+fi
+exit "$status"

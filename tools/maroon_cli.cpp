@@ -39,6 +39,7 @@
 #include "eval/report.h"
 #include "eval/sweep.h"
 #include "freshness/freshness_model.h"
+#include "maroon/version_info.h"
 #include "transition/transition_io.h"
 
 namespace maroon {
@@ -372,6 +373,11 @@ int RunSweep(const FlagParser& flags) {
 
 int Main(int argc, char** argv) {
   const FlagParser flags(argc, argv);
+  if (flags.GetBoolOr("version", false)) {
+    std::cout << "maroon_cli " << MAROON_VERSION << " (" << MAROON_GIT_DESCRIBE
+              << ")\n";
+    return 0;
+  }
   if (flags.positional().empty()) return Usage();
   const std::string& command = flags.positional()[0];
   if (command == "generate") return RunGenerate(flags);

@@ -1,0 +1,71 @@
+// maroon_lint — the MAROON project-invariant static checker.
+//
+// Tokenizes the C++ sources under src/, tools/, and tests/ (no compiler or
+// LLVM dependency) and enforces the project rules R001-R006 documented in
+// docs/static_analysis.md and src/lint/rules.h. Zero findings is the merge
+// bar; per-site escapes use `// maroon-lint: allow(<rule>)`.
+//
+// Usage:
+//   maroon_lint [--root=DIR] [--json] [path...]
+//
+//   --root=DIR   repository root (default "."); guards and display paths
+//                are derived relative to it
+//   --json       machine-readable output (for CI and editors)
+//   --version    print version and exit
+//   path...      files or directories to scan instead of the default
+//                {src, tools, tests}; explicit files bypass the testdata
+//                exclusion, which is how the fixture tests run
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or IO error.
+
+#include <iostream>
+
+#include "common/flags.h"
+#include "lint/linter.h"
+#include "maroon/version_info.h"
+
+namespace maroon {
+namespace {
+
+int Usage() {
+  std::cerr << "usage: maroon_lint [--root=DIR] [--json] [path...]\n"
+               "  Lints MAROON C++ sources (default scan: src/ tools/ "
+               "tests/ under --root).\n"
+               "  Rules R001-R006; see docs/static_analysis.md.\n";
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  const FlagParser flags(argc, argv);
+  if (flags.GetBoolOr("version", false)) {
+    std::cout << "maroon_lint " << MAROON_VERSION << " ("
+              << MAROON_GIT_DESCRIBE << ")\n";
+    return 0;
+  }
+  if (flags.GetBoolOr("help", false)) return Usage();
+  for (const std::string& name : flags.FlagNames()) {
+    if (name != "root" && name != "json" && name != "version" &&
+        name != "help") {
+      std::cerr << "maroon_lint: unknown flag --" << name << "\n";
+      return Usage();
+    }
+  }
+
+  lint::LintOptions options;
+  options.root = flags.GetStringOr("root", ".");
+  options.paths = flags.positional();
+
+  const Result<lint::LintResult> result = lint::RunLint(options);
+  if (!result.ok()) {
+    std::cerr << "maroon_lint: error: " << result.status() << "\n";
+    return 2;
+  }
+  std::cout << (flags.GetBoolOr("json", false) ? lint::RenderJson(*result)
+                                               : lint::RenderText(*result));
+  return result->findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace maroon
+
+int main(int argc, char** argv) { return maroon::Main(argc, argv); }
