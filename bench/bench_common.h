@@ -2,13 +2,17 @@
 #define MAROON_BENCH_BENCH_COMMON_H_
 
 #include <cstdlib>
+#include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "datagen/dblp_generator.h"
 #include "datagen/recruitment_generator.h"
 #include "eval/experiment.h"
+#include "obs/json.h"
 
 namespace maroon::bench {
 
@@ -54,6 +58,26 @@ inline void PrintHeader(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
   std::cout << "(seed 2015, scale " << Scale()
             << "; set MAROON_BENCH_SCALE to enlarge)\n\n";
+}
+
+/// Appends one JSONL row to the file named by MAROON_BENCH_JSON (no-op when
+/// the variable is unset). tools/run_bench.sh collects these rows into
+/// BENCH_runtime.json; each row is
+///   {"bench": ..., <label: string>..., <value: number>...}.
+inline void EmitBenchRow(
+    const std::string& bench,
+    std::initializer_list<std::pair<const char*, std::string>> labels,
+    std::initializer_list<std::pair<const char*, double>> values) {
+  const char* path = std::getenv("MAROON_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String(bench);
+  for (const auto& [key, value] : labels) w.Key(key).String(value);
+  for (const auto& [key, value] : values) w.Key(key).Number(value);
+  w.EndObject();
+  std::ofstream out(path, std::ios::app);
+  if (out) out << w.text() << "\n";
 }
 
 /// Runs `methods` on a prepared experiment and prints one row per method.

@@ -16,12 +16,18 @@
 namespace maroon::bench {
 namespace {
 
-void PrintRuntimeRow(const ExperimentResult& r) {
+void PrintRuntimeRow(const std::string& corpus, const ExperimentResult& r) {
   std::cout << "  " << MethodName(r.method) << ": Phase I "
             << FormatDouble(r.phase1_seconds, 3) << "s, Phase II "
             << FormatDouble(r.phase2_seconds, 3) << "s, Total "
             << FormatDouble(r.total_seconds(), 3) << "s  (n="
             << r.entities_evaluated << ")\n";
+  EmitBenchRow("fig7_runtime",
+               {{"corpus", corpus}, {"method", MethodName(r.method)}},
+               {{"phase1_s", r.phase1_seconds},
+                {"phase2_s", r.phase2_seconds},
+                {"total_s", r.total_seconds()},
+                {"entities", static_cast<double>(r.entities_evaluated)}});
 }
 
 void PrintFigure7() {
@@ -33,16 +39,16 @@ void PrintFigure7() {
         GenerateRecruitmentDataset(BenchRecruitmentOptions());
     Experiment experiment(&dataset, BenchExperimentOptions());
     experiment.Prepare();
-    PrintRuntimeRow(experiment.Run(Method::kMaroon));
-    PrintRuntimeRow(experiment.Run(Method::kAfdsMuta));
+    PrintRuntimeRow("recruitment", experiment.Run(Method::kMaroon));
+    PrintRuntimeRow("recruitment", experiment.Run(Method::kAfdsMuta));
   }
   {
     std::cout << "\n(b) DBLP data\n";
     const DblpCorpus corpus = GenerateDblpCorpus(BenchDblpOptions());
     Experiment experiment(&corpus.dataset, BenchExperimentOptions());
     experiment.Prepare();
-    PrintRuntimeRow(experiment.Run(Method::kMaroon));
-    PrintRuntimeRow(experiment.Run(Method::kAfdsMuta));
+    PrintRuntimeRow("dblp", experiment.Run(Method::kMaroon));
+    PrintRuntimeRow("dblp", experiment.Run(Method::kAfdsMuta));
   }
 }
 

@@ -34,13 +34,19 @@ void PrintScaling() {
                                       train_start)
             .count();
     const ExperimentResult r = experiment.Run(Method::kMaroon);
+    const double per_entity_ms =
+        1000.0 * r.total_seconds() /
+        static_cast<double>(r.entities_evaluated);
     std::cout << "  " << entities << "      " << dataset.NumRecords()
               << "    " << FormatDouble(train_seconds, 2) << "     "
               << FormatDouble(r.total_seconds(), 3) << "         "
-              << FormatDouble(1000.0 * r.total_seconds() /
-                                  static_cast<double>(r.entities_evaluated),
-                              2)
-              << "\n";
+              << FormatDouble(per_entity_ms, 2) << "\n";
+    EmitBenchRow("scaling", {{"corpus", "recruitment"}, {"method", "MAROON"}},
+                 {{"entities", static_cast<double>(entities)},
+                  {"records", static_cast<double>(dataset.NumRecords())},
+                  {"train_s", train_seconds},
+                  {"link_total_s", r.total_seconds()},
+                  {"per_entity_ms", per_entity_ms}});
   }
 }
 

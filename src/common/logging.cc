@@ -1,8 +1,13 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <mutex>
+#include <string>
 
 namespace maroon {
 
@@ -12,6 +17,29 @@ std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
 const char* BaseName(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash != nullptr ? slash + 1 : path;
+}
+
+/// "2026-08-06T12:00:00Z" — wall-clock UTC at second granularity.
+std::string Iso8601Timestamp() {
+  const std::time_t now = std::chrono::system_clock::to_time_t(
+      std::chrono::system_clock::now());
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[80];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec);
+  return buffer;
+}
+
+/// One mutex-guarded write per log line: concurrent writers cannot
+/// interleave characters inside a line. fwrite targets the same fd as
+/// std::cerr, so stream redirection (tests, shells) keeps working.
+void WriteLineToStderr(const std::string& text) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fwrite(text.data(), 1, text.size(), stderr);
+  std::fflush(stderr);
 }
 
 const char* LevelTag(LogLevel level) {
@@ -37,27 +65,32 @@ void SetLogLevel(LogLevel level) {
 
 namespace internal_logging {
 
+bool ShouldLogEveryN(std::atomic<uint64_t>& counter, uint64_t n) {
+  const uint64_t count = counter.fetch_add(1, std::memory_order_relaxed);
+  return n <= 1 || count % n == 0;
+}
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelTag(level) << " " << BaseName(file) << ":" << line
-          << "] ";
+  stream_ << "[" << LevelTag(level) << " " << Iso8601Timestamp() << " "
+          << BaseName(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
   if (level_ < GetLogLevel()) return;
   stream_ << "\n";
-  std::cerr << stream_.str();
+  WriteLineToStderr(stream_.str());
 }
 
 FatalMessage::FatalMessage(const char* file, int line,
                            const char* condition) {
-  stream_ << "[F " << BaseName(file) << ":" << line << "] check failed: "
-          << condition << " ";
+  stream_ << "[F " << Iso8601Timestamp() << " " << BaseName(file) << ":"
+          << line << "] check failed: " << condition << " ";
 }
 
 FatalMessage::~FatalMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str() << std::flush;
+  WriteLineToStderr(stream_.str());
   std::abort();
 }
 

@@ -1,6 +1,8 @@
 #ifndef MAROON_COMMON_LOGGING_H_
 #define MAROON_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <iostream>
 #include <sstream>
 #include <string_view>
@@ -18,7 +20,13 @@ void SetLogLevel(LogLevel level);
 
 namespace internal_logging {
 
+/// True on the 1st, (n+1)th, (2n+1)th ... call for `counter` (each
+/// MAROON_LOG_EVERY_N site owns one). n <= 1 logs every time.
+bool ShouldLogEveryN(std::atomic<uint64_t>& counter, uint64_t n);
+
 /// Collects one log statement and emits it to stderr on destruction.
+/// The emission is a single mutex-guarded write, so concurrent log lines
+/// from different threads never interleave mid-line.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -63,9 +71,27 @@ class FatalMessage {
 
 /// Streams a log statement: `MAROON_LOG(Info) << "built " << n << " tables";`
 /// Statements below the process log level are formatted but not emitted.
+/// Lines carry an ISO-8601 UTC timestamp and a severity tag:
+/// `[I 2026-08-06T12:00:00Z transition_model.cc:87] built 102 tables`.
 #define MAROON_LOG(level)                        \
   ::maroon::internal_logging::LogMessage(        \
       ::maroon::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Rate-limited MAROON_LOG: emits the 1st, (n+1)th, (2n+1)th ... execution
+/// of this statement (counted per call site, thread-safe):
+/// `MAROON_LOG_EVERY_N(Warning, 100) << "slow path taken";`
+/// The for-loop runs at most once; the immediately-invoked lambda gives each
+/// expansion site its own static counter.
+#define MAROON_LOG_EVERY_N(level, n)                                     \
+  for (bool maroon_log_every_n_flag =                                    \
+           ::maroon::internal_logging::ShouldLogEveryN(                  \
+               []() -> ::std::atomic<::std::uint64_t>& {                 \
+                 static ::std::atomic<::std::uint64_t> counter{0};       \
+                 return counter;                                         \
+               }(),                                                      \
+               static_cast<::std::uint64_t>(n));                        \
+       maroon_log_every_n_flag; maroon_log_every_n_flag = false)         \
+  MAROON_LOG(level)
 
 /// Aborts the process with a message when `condition` is false — in every
 /// build mode, unlike assert(). Streams extra context:

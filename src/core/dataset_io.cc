@@ -8,6 +8,7 @@
 
 #include "common/csv.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace maroon {
 
@@ -56,6 +57,7 @@ Result<Dataset> ReadDatasetCsvImpl(const std::string& directory,
                                    const CsvLoadOptions& options,
                                    bool post_validate,
                                    ValidationReport* report) {
+  MAROON_TRACE_SPAN("io.read_dataset");
   ValidationReport scratch;
   LoadContext ctx{options.validation.policy,
                   report != nullptr ? report : &scratch};
@@ -223,6 +225,7 @@ Result<Dataset> ReadDatasetCsvImpl(const std::string& directory,
       MAROON_RETURN_IF_ERROR(ctx.report->ToStatus());
     }
   }
+  PublishValidationMetrics(*ctx.report);
   return dataset;
 }
 

@@ -136,6 +136,12 @@ size_t RepairProfile(EntityProfile* profile);
 /// least 10 instants). Empty when no target covers any instant.
 [[nodiscard]] std::optional<Interval> PlausibleWindowOf(const Dataset& dataset);
 
+/// Publishes a load/validation outcome to the global metrics registry
+/// (`maroon.validation.*` counters: records/profiles checked, issues,
+/// errors, quarantined rows/records, repairs). Called once per completed
+/// dataset load; safe to call again for standalone ValidateDataset passes.
+void PublishValidationMetrics(const ValidationReport& report);
+
 /// Validates every record and target profile of `dataset`.
 ///
 ///  - kStrict: inspect only; the report's ToStatus() is non-OK on errors.

@@ -8,6 +8,8 @@
 #include "common/random.h"
 #include "common/string_util.h"
 #include "eval/bootstrap.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace maroon {
 
@@ -66,6 +68,7 @@ Experiment::Experiment(const Dataset* dataset, ExperimentOptions options)
     : dataset_(dataset), options_(std::move(options)) {}
 
 void Experiment::Prepare() {
+  MAROON_TRACE_SPAN("experiment.prepare");
   // Deterministic train/test split over target entities.
   std::vector<EntityId> ids;
   ids.reserve(dataset_->targets().size());
@@ -182,6 +185,7 @@ Experiment::PerEntityOutcome Experiment::RunOne(
 }
 
 ExperimentResult Experiment::Run(Method method) const {
+  MAROON_TRACE_SPAN("experiment.run");
   ExperimentResult result;
   result.method = method;
   if (!prepared_) return result;
@@ -239,6 +243,8 @@ ExperimentResult Experiment::Run(Method method) const {
   result.phase1_seconds = phase1;
   result.phase2_seconds = phase2;
   result.entities_evaluated = evaluated;
+  MAROON_COUNTER("maroon.experiment.entities_evaluated")
+      ->Add(static_cast<int64_t>(evaluated));
   return result;
 }
 

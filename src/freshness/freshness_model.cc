@@ -7,6 +7,8 @@
 
 #include "common/csv.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace maroon {
 
@@ -146,7 +148,9 @@ int64_t FreshnessModel::ObservationCount(SourceId source,
 FreshnessModel FreshnessModel::Train(
     const Dataset& dataset, const std::vector<EntityId>& training_entities,
     FreshnessModelOptions options) {
+  MAROON_TRACE_SPAN("freshness.train");
   FreshnessModel model(options);
+  int64_t observations = 0;
   std::set<EntityId> training(training_entities.begin(),
                               training_entities.end());
   for (const TemporalRecord& r : dataset.records()) {
@@ -161,12 +165,39 @@ FreshnessModel FreshnessModel::Train(
       for (const Value& v : values) {
         std::optional<int64_t> delay = ComputeDelay(seq, v, r.timestamp());
         if (delay) {
+          ++observations;
           model.AddObservation(r.source(), attribute, *delay, r.timestamp());
         }
       }
     }
   }
   model.Finalize();
+  MAROON_COUNTER("maroon.freshness.observations")->Add(observations);
+  MAROON_COUNTER("maroon.freshness.distributions")
+      ->Add(static_cast<int64_t>(model.distributions_.size()));
+  // Per-source delay summaries: mean delay and the zero-delay (perfectly
+  // fresh) share, aggregated across attributes.
+  std::map<SourceId, std::pair<int64_t, int64_t>> per_source;  // {sum, total}
+  std::map<SourceId, int64_t> zero_delay;
+  for (const auto& [key, dist] : model.distributions_) {
+    auto& [sum, total] = per_source[key.first];
+    for (const auto& [eta, count] : dist.counts) {
+      sum += eta * count;
+      if (eta == 0) zero_delay[key.first] += count;
+    }
+    total += dist.total;
+  }
+  for (const auto& [source, stats] : per_source) {
+    if (stats.second == 0) continue;
+    const std::string prefix =
+        "maroon.freshness.source" + std::to_string(source);
+    MAROON_GAUGE(prefix + ".mean_delay")
+        ->Set(static_cast<double>(stats.first) /
+              static_cast<double>(stats.second));
+    MAROON_GAUGE(prefix + ".zero_delay_share")
+        ->Set(static_cast<double>(zero_delay[source]) /
+              static_cast<double>(stats.second));
+  }
   return model;
 }
 

@@ -10,8 +10,8 @@ namespace lint {
 namespace {
 
 /// Rule ids, for validating allow(...) lists.
-const char* const kAllRules[] = {"R001", "R002", "R003",
-                                 "R004", "R005", "R006"};
+const char* const kAllRules[] = {"R001", "R002", "R003", "R004",
+                                 "R005", "R006", "R007"};
 
 bool IsKnownRule(const std::string& rule) {
   return std::find(std::begin(kAllRules), std::end(kAllRules), rule) !=
@@ -93,6 +93,7 @@ class FileLinter {
     CheckBannedApis();              // R004
     if (file_.is_header) CheckHeaderHygiene();  // R005
     CheckRawAssert();               // R006
+    CheckSystemClockNow();          // R007
   }
 
  private:
@@ -515,6 +516,30 @@ class FileLinter {
       Emit("R006", Tok(i),
            "raw assert() vanishes under NDEBUG and cannot stream context; "
            "use MAROON_CHECK (always on) or MAROON_DCHECK (debug only)");
+    }
+  }
+
+  // ---------------------------------------------------------------- R007
+
+  void CheckSystemClockNow() {
+    // Wall-clock reads scattered through the pipeline skew span timings and
+    // make runs irreproducible. Durations belong on steady_clock; the only
+    // sanctioned wall-clock call sites are the timestamp helpers in src/obs/
+    // (run reports) and src/common/ (log lines).
+    if (StartsWith(file_.guard_path, "src/obs/") ||
+        StartsWith(file_.guard_path, "src/common/")) {
+      return;
+    }
+    for (size_t i = 0; i < Size(); ++i) {
+      if (!IsIdent(i, "system_clock")) continue;
+      if (!IsPunct(i + 1, "::") || !IsIdent(i + 2, "now") ||
+          !IsPunct(i + 3, "(")) {
+        continue;
+      }
+      Emit("R007", Tok(i),
+           "direct system_clock::now() outside src/obs/ and src/common/; "
+           "use steady_clock for durations, or the sanctioned wall-clock "
+           "helpers (obs::Iso8601UtcNow, MAROON_LOG timestamps)");
     }
   }
 

@@ -4,6 +4,9 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace maroon {
 
 ClusterGenerator::ClusterGenerator(const SimilarityCalculator* similarity,
@@ -34,17 +37,26 @@ double ClusterGenerator::SourceReliability(SourceId source,
 
 std::vector<GeneratedCluster> ClusterGenerator::Generate(
     const std::vector<const TemporalRecord*>& records) const {
+  MAROON_TRACE_SPAN("phase1.generate");
   // Line 1: split by source freshness.
   std::vector<const TemporalRecord*> fresh;
   std::vector<const TemporalRecord*> stale;
   for (const TemporalRecord* r : records) {
     (SourceIsFresh(r->source()) ? fresh : stale).push_back(r);
   }
+  MAROON_COUNTER("maroon.phase1.fresh_records")
+      ->Add(static_cast<int64_t>(fresh.size()));
+  MAROON_COUNTER("maroon.phase1.stale_records")
+      ->Add(static_cast<int64_t>(stale.size()));
 
   // Line 2: traditional single-pass clustering of the fresh records.
-  PartitionClusterer partitioner(
-      similarity_, PartitionOptions{options_.partition_threshold});
-  std::vector<Cluster> initial = partitioner.ClusterRecords(fresh);
+  std::vector<Cluster> initial;
+  {
+    MAROON_TRACE_SPAN("phase1.partition");
+    PartitionClusterer partitioner(
+        similarity_, PartitionOptions{options_.partition_threshold});
+    initial = partitioner.ClusterRecords(fresh);
+  }
 
   // Lines 3-7: signatures with the fresh span and majority-vote values.
   std::vector<GeneratedCluster> clusters;
@@ -59,6 +71,10 @@ std::vector<GeneratedCluster> ClusterGenerator::Generate(
   // Lines 8-19: place stale records. Processed in (timestamp, id) order for
   // determinism; each record may land in several clusters, one per attribute
   // whose delayed value plausibly describes that cluster's period (Eq. 10).
+  static obs::Counter* placements_accepted =
+      MAROON_COUNTER("maroon.phase1.stale_placements_accepted");
+  static obs::Counter* placements_rejected =
+      MAROON_COUNTER("maroon.phase1.stale_placements_rejected");
   std::vector<const TemporalRecord*> ordered_stale = stale;
   std::stable_sort(ordered_stale.begin(), ordered_stale.end(),
                    [](const TemporalRecord* a, const TemporalRecord* b) {
@@ -68,42 +84,46 @@ std::vector<GeneratedCluster> ClusterGenerator::Generate(
                      return a->id() < b->id();
                    });
 
-  for (const TemporalRecord* r : ordered_stale) {
-    std::set<Attribute> covered;
-    for (GeneratedCluster& gc : clusters) {
-      const Interval span = gc.signature.interval;
-      if (r->timestamp() < span.begin) continue;  // line 11: r.t >= c.tmin
+  {
+    MAROON_TRACE_SPAN("phase1.stale_placement");
+    for (const TemporalRecord* r : ordered_stale) {
+      std::set<Attribute> covered;
+      for (GeneratedCluster& gc : clusters) {
+        const Interval span = gc.signature.interval;
+        if (r->timestamp() < span.begin) continue;  // line 11: r.t >= c.tmin
+        for (const auto& [attribute, values] : r->values()) {
+          const int64_t eta = std::max<int64_t>(
+              0, static_cast<int64_t>(r->timestamp()) - span.end);
+          if (DelayProbability(eta, r->source(), attribute) <=
+              options_.mu_prime) {
+            placements_rejected->Add();
+            continue;  // Eq. 10 fails.
+          }
+          const ValueSet& cluster_values = gc.signature.ValuesOf(attribute);
+          if (cluster_values.empty()) continue;
+          if (similarity_->ValueSetSimilarity(cluster_values, values) <
+              options_.value_match_threshold) {
+            continue;  // line 14: c.A !~ r.A
+          }
+          gc.cluster.AddForAttribute(*r, attribute);  // line 15
+          placements_accepted->Add();
+          covered.insert(attribute);  // line 16
+        }
+      }
+      // Lines 17-19: attributes not captured anywhere seed a new cluster.
+      std::vector<Attribute> uncovered;
       for (const auto& [attribute, values] : r->values()) {
-        const int64_t eta =
-            std::max<int64_t>(0, static_cast<int64_t>(r->timestamp()) -
-                                     span.end);
-        if (DelayProbability(eta, r->source(), attribute) <=
-            options_.mu_prime) {
-          continue;  // Eq. 10 fails.
-        }
-        const ValueSet& cluster_values = gc.signature.ValuesOf(attribute);
-        if (cluster_values.empty()) continue;
-        if (similarity_->ValueSetSimilarity(cluster_values, values) <
-            options_.value_match_threshold) {
-          continue;  // line 14: c.A !~ r.A
-        }
-        gc.cluster.AddForAttribute(*r, attribute);  // line 15
-        covered.insert(attribute);                  // line 16
+        if (covered.count(attribute) == 0) uncovered.push_back(attribute);
       }
-    }
-    // Lines 17-19: attributes not captured anywhere seed a new cluster.
-    std::vector<Attribute> uncovered;
-    for (const auto& [attribute, values] : r->values()) {
-      if (covered.count(attribute) == 0) uncovered.push_back(attribute);
-    }
-    if (!uncovered.empty()) {
-      GeneratedCluster gc;
-      for (const Attribute& attribute : uncovered) {
-        gc.cluster.AddForAttribute(*r, attribute);
+      if (!uncovered.empty()) {
+        GeneratedCluster gc;
+        for (const Attribute& attribute : uncovered) {
+          gc.cluster.AddForAttribute(*r, attribute);
+        }
+        gc.signature = gc.cluster.BuildSignature(0.0);
+        gc.signature.interval = Interval(r->timestamp(), r->timestamp());
+        clusters.push_back(std::move(gc));
       }
-      gc.signature = gc.cluster.BuildSignature(0.0);
-      gc.signature.interval = Interval(r->timestamp(), r->timestamp());
-      clusters.push_back(std::move(gc));
     }
   }
 
@@ -129,6 +149,8 @@ std::vector<GeneratedCluster> ClusterGenerator::Generate(
     }
   }
   ComputeConfidences(records, clusters);
+  MAROON_COUNTER("maroon.phase1.clusters_formed")
+      ->Add(static_cast<int64_t>(clusters.size()));
   return clusters;
 }
 
@@ -162,6 +184,11 @@ void ClusterGenerator::ComputeConfidences(
                 static_cast<double>(members.size());
       }
       gc.signature.confidence[attribute] = conf;
+      // Eq. 11 confidence distribution; one observation per (cluster,
+      // attribute), so histogram locking stays off the hot path.
+      static obs::Histogram* confidence_histogram = MAROON_HISTOGRAM(
+          "maroon.phase1.confidence", obs::UnitIntervalBuckets());
+      confidence_histogram->Record(conf);
     }
   }
 }

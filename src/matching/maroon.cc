@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace maroon {
 
 namespace {
@@ -25,6 +28,7 @@ Maroon::Maroon(const TransitionModel* transition,
 LinkResult Maroon::Link(
     const EntityProfile& clean_profile,
     const std::vector<const TemporalRecord*>& candidates) const {
+  MAROON_TRACE_SPAN("link.entity");
   LinkResult result;
 
   // Degenerate candidates — null pointers or records with no attribute
@@ -39,6 +43,10 @@ LinkResult Maroon::Link(
     }
     usable.push_back(record);
   }
+  MAROON_COUNTER("maroon.link.skipped_candidates")
+      ->Add(static_cast<int64_t>(result.skipped_candidates));
+  MAROON_COUNTER("maroon.link.candidates")
+      ->Add(static_cast<int64_t>(usable.size()));
   if (usable.empty()) {
     result.match.augmented_profile = clean_profile;
     result.match.augmented_profile.Normalize();
@@ -46,17 +54,24 @@ LinkResult Maroon::Link(
   }
 
   auto start = std::chrono::steady_clock::now();
-  ClusterGenerator generator(similarity_, freshness_, schema_attributes_,
-                             options_.cluster);
-  generator.SetReliabilityModel(reliability_);
-  generator.SetFusionStrategy(fusion_);
-  std::vector<GeneratedCluster> clusters = generator.Generate(usable);
+  std::vector<GeneratedCluster> clusters;
+  {
+    MAROON_TRACE_SPAN("link.phase1");
+    ClusterGenerator generator(similarity_, freshness_, schema_attributes_,
+                               options_.cluster);
+    generator.SetReliabilityModel(reliability_);
+    generator.SetFusionStrategy(fusion_);
+    clusters = generator.Generate(usable);
+  }
   result.num_clusters = clusters.size();
   result.timings.phase1_seconds = SecondsSince(start);
 
   start = std::chrono::steady_clock::now();
-  ProfileMatcher matcher(transition_, schema_attributes_, options_.matcher);
-  result.match = matcher.MatchAndAugment(clean_profile, clusters);
+  {
+    MAROON_TRACE_SPAN("link.phase2");
+    ProfileMatcher matcher(transition_, schema_attributes_, options_.matcher);
+    result.match = matcher.MatchAndAugment(clean_profile, clusters);
+  }
   result.timings.phase2_seconds = SecondsSince(start);
   return result;
 }

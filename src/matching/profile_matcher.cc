@@ -4,6 +4,9 @@
 #include <cmath>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace maroon {
 
 namespace {
@@ -73,6 +76,9 @@ double ProfileMatcher::MatchScore(const EntityProfile& profile,
 MatchResult ProfileMatcher::MatchAndAugment(
     const EntityProfile& profile,
     const std::vector<GeneratedCluster>& clusters) const {
+  MAROON_TRACE_SPAN("phase2.match_and_augment");
+  static obs::Histogram* score_histogram = MAROON_HISTOGRAM(
+      "maroon.phase2.best_score", obs::UnitIntervalBuckets());
   MatchResult result;
   result.augmented_profile = profile;
   EntityProfile& working = result.augmented_profile;
@@ -169,6 +175,9 @@ MatchResult ProfileMatcher::MatchAndAugment(
         if (remaining == 0) break;
       }
     }
+    // Eq. 15 decision value of this iteration (one observation per
+    // iteration, not per candidate).
+    if (best_score >= 0.0) score_histogram->Record(best_score);
     if (!found || best_score <= options_.theta) break;
 
     // Lines 7-8: link the cluster.
@@ -215,6 +224,15 @@ MatchResult ProfileMatcher::MatchAndAugment(
       }
     }
   }
+
+  MAROON_COUNTER("maroon.phase2.iterations")
+      ->Add(static_cast<int64_t>(result.iterations));
+  MAROON_COUNTER("maroon.phase2.clusters_linked")
+      ->Add(static_cast<int64_t>(result.linked_clusters.size()));
+  MAROON_COUNTER("maroon.phase2.clusters_pruned")
+      ->Add(static_cast<int64_t>(result.pruned_clusters.size()));
+  MAROON_COUNTER("maroon.phase2.degenerate_scores")
+      ->Add(static_cast<int64_t>(result.degenerate_scores));
 
   // Post-processing: sort triples and resolve overlapping intervals.
   working.Normalize();

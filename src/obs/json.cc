@@ -1,0 +1,377 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace maroon {
+namespace obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  // Integral values print without an exponent or trailing ".000000"; other
+  // values keep full round-trip precision.
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      std::fabs(value) < 1e15) {  // maroon-lint: allow(R003)
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void JsonWriter::BeforeValue() {
+  if (scope_has_value_.empty()) return;
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (scope_has_value_.back()) out_ += ", ";
+  scope_has_value_.back() = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  scope_has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  MAROON_CHECK(!scope_has_value_.empty()) << "EndObject without BeginObject";
+  scope_has_value_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  scope_has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  MAROON_CHECK(!scope_has_value_.empty()) << "EndArray without BeginArray";
+  scope_has_value_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  MAROON_CHECK(!scope_has_value_.empty()) << "Key outside an object";
+  if (scope_has_value_.back()) out_ += ", ";
+  scope_has_value_.back() = true;
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  BeforeValue();
+  out_ += JsonNumber(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  auto it = object.find(key);
+  return it != object.end() ? &it->second : nullptr;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view cursor.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseRoot() {
+    MAROON_ASSIGN_OR_RETURN(JsonValue value, ParseValue(/*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing garbage at offset " +
+                                     std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    JsonValue value;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      MAROON_ASSIGN_OR_RETURN(value.string_value, ParseString());
+      value.kind = JsonValue::Kind::kString;
+      return value;
+    }
+    if (ConsumeWord("true")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.bool_value = true;
+      return value;
+    }
+    if (ConsumeWord("false")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.bool_value = false;
+      return value;
+    }
+    if (ConsumeWord("null")) {
+      value.kind = JsonValue::Kind::kNull;
+      return value;
+    }
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    Consume('{');
+    SkipWhitespace();
+    if (Consume('}')) return value;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      MAROON_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after key");
+      MAROON_ASSIGN_OR_RETURN(JsonValue member, ParseValue(depth + 1));
+      value.object[std::move(key)] = std::move(member);
+      SkipWhitespace();
+      if (Consume('}')) return value;
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    Consume('[');
+    SkipWhitespace();
+    if (Consume(']')) return value;
+    while (true) {
+      MAROON_ASSIGN_OR_RETURN(JsonValue element, ParseValue(depth + 1));
+      value.array.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) return value;
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          // The emitters only escape control characters; decode the BMP
+          // point as UTF-8 without surrogate-pair handling.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    double parsed = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, parsed);
+    if (ec != std::errc{} || ptr != text_.data() + pos_) {
+      return Error("malformed number '" +
+                   std::string(text_.substr(start, pos_ - start)) + "'");
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number_value = parsed;
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).ParseRoot();
+}
+
+}  // namespace obs
+}  // namespace maroon

@@ -1,0 +1,92 @@
+#ifndef MAROON_OBS_JSON_H_
+#define MAROON_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace maroon {
+namespace obs {
+
+/// Minimal JSON support for the observability layer: a streaming writer used
+/// by the metrics/trace/run-report emitters, and a small recursive-descent
+/// parser used by tests and tooling to validate emitted documents. No
+/// external dependency; numbers are doubles (sufficient for metric values).
+
+/// Escapes `s` per RFC 8259 (quotes, backslashes, control characters).
+std::string JsonEscape(std::string_view s);
+
+/// Formats a double as a JSON number. Non-finite values (which JSON cannot
+/// represent) become null.
+std::string JsonNumber(double value);
+
+/// A streaming JSON writer with explicit Begin/End scoping and automatic
+/// comma placement. Misuse (ending a scope never begun) trips MAROON_CHECK.
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("counters").BeginObject();
+///   w.Key("maroon.phase1.clusters_formed").Int(42);
+///   w.EndObject();
+///   w.EndObject();
+///   w.text();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Must be called inside an object, directly before the member's value.
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Number(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  const std::string& text() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open scope: whether a value has already been written in
+  /// it (controls comma insertion).
+  std::vector<bool> scope_has_value_;
+  bool pending_key_ = false;
+};
+
+/// A parsed JSON value. Objects preserve no duplicate keys (last wins).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses one JSON document (with optional surrounding whitespace). Trailing
+/// garbage is an error.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace obs
+}  // namespace maroon
+
+#endif  // MAROON_OBS_JSON_H_

@@ -1,0 +1,205 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace maroon {
+namespace obs {
+
+namespace {
+
+bool EnabledFromEnvironment() {
+  const char* env = std::getenv("MAROON_METRICS");
+  if (env == nullptr) return true;
+  return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0 &&
+         std::strcmp(env, "false") != 0;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{EnabledFromEnvironment()};
+  return enabled;
+}
+
+}  // namespace
+
+void Counter::Add(int64_t delta) {
+  if (!MetricsRegistry::Enabled()) return;
+  value_.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Gauge::Set(double value) {
+  if (!MetricsRegistry::Enabled()) return;
+  value_.store(value, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  MAROON_CHECK(!bounds_.empty()) << "histogram needs at least one bucket";
+  MAROON_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must ascend";
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Record(double value) {
+  if (!MetricsRegistry::Enabled()) return;
+  const size_t bucket =
+      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                           value) -
+                          bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[bucket];
+  sum_ += value;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counts = counts_;
+  snapshot.count = count_;
+  snapshot.sum = sum_;
+  snapshot.min = min_;
+  snapshot.max = max_;
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+std::vector<double> UnitIntervalBuckets() {
+  std::vector<double> bounds;
+  bounds.reserve(20);
+  for (int i = 1; i <= 20; ++i) bounds.push_back(0.05 * i);
+  return bounds;
+}
+
+std::vector<double> LatencySecondsBuckets() {
+  std::vector<double> bounds;
+  double bound = 1e-5;
+  for (int i = 0; i <= 10; ++i) {
+    bounds.push_back(bound);
+    bound *= 4.0;
+  }
+  return bounds;
+}
+
+std::vector<double> SmallCountBuckets() {
+  std::vector<double> bounds;
+  for (double bound = 1.0; bound <= 1024.0; bound *= 2.0) {
+    bounds.push_back(bound);
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void MetricsRegistry::SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsRegistry::Enabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MAROON_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0)
+      << "metric '" << name << "' already registered with another kind";
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MAROON_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0)
+      << "metric '" << name << "' already registered with another kind";
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MAROON_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0)
+      << "metric '" << name << "' already registered with another kind";
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  Snapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Snapshot();
+  }
+  return snapshot;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  const Snapshot snapshot = TakeSnapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    w.Key(name).Int(value);
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    w.Key(name).Number(value);
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : snapshot.histograms) {
+    w.Key(name).BeginObject();
+    w.Key("count").Int(h.count);
+    w.Key("sum").Number(h.sum);
+    w.Key("min").Number(h.min);
+    w.Key("max").Number(h.max);
+    w.Key("mean").Number(h.Mean());
+    w.Key("bounds").BeginArray();
+    for (const double bound : h.bounds) w.Number(bound);
+    w.EndArray();
+    w.Key("counts").BeginArray();
+    for (const int64_t count : h.counts) w.Int(count);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.text();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace obs
+}  // namespace maroon

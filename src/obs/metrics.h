@@ -1,0 +1,154 @@
+#ifndef MAROON_OBS_METRICS_H_
+#define MAROON_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace maroon {
+namespace obs {
+
+/// Process-wide metrics for the MAROON pipeline.
+///
+/// Naming convention: `maroon.<subsystem>.<name>`, e.g.
+/// `maroon.phase1.clusters_formed` (see docs/observability.md for the full
+/// inventory). Metrics are registered lazily on first use and live for the
+/// process lifetime, so instrumentation sites cache the returned pointer in
+/// a function-local static:
+///
+///   static Counter* c = MAROON_COUNTER("maroon.phase1.clusters_formed");
+///   c->Add(clusters.size());
+///
+/// The fast path is lock-free: counters and gauges are single relaxed
+/// atomics; histograms serialize on a per-histogram mutex (observations are
+/// infrequent — per cluster or per iteration, never per record pair).
+/// `MetricsRegistry::SetEnabled(false)` (or env MAROON_METRICS=off) turns
+/// every mutation into a cheap early return, which is how the
+/// instrumentation-overhead benchmark measures the cost of the layer.
+
+/// A monotonically increasing counter.
+class Counter {
+ public:
+  void Add(int64_t delta = 1);
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A last-value-wins gauge.
+class Gauge {
+ public:
+  void Set(double value);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A point-in-time copy of a histogram's state.
+struct HistogramSnapshot {
+  /// Ascending upper bounds; bucket i counts observations v <= bounds[i]
+  /// (and > bounds[i-1]). counts.back() is the overflow bucket
+  /// (v > bounds.back()), so counts.size() == bounds.size() + 1.
+  std::vector<double> bounds;
+  std::vector<int64_t> counts;
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when count == 0
+  double max = 0.0;
+
+  double Mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// A fixed-bucket histogram. Bounds are set at registration and immutable.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  const std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<int64_t> counts_;  // bounds_.size() + 1: last is overflow
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Canonical bucket sets. Scores and confidences from Eq. 11/15 live in
+/// [0, 1]; latencies are exponential from 10µs to ~10s.
+std::vector<double> UnitIntervalBuckets();    // 0.05, 0.10, ..., 1.00
+std::vector<double> LatencySecondsBuckets();  // 1e-5 * 4^k, k = 0..10
+std::vector<double> SmallCountBuckets();      // 1, 2, 4, 8, ..., 1024
+
+/// The process-wide named-metric registry.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Mutations are dropped while disabled. Defaults to enabled unless the
+  /// MAROON_METRICS environment variable is "0", "off", or "false" at first
+  /// use.
+  static void SetEnabled(bool enabled);
+  static bool Enabled();
+
+  /// Lazily registers and returns the named metric. Pointers stay valid for
+  /// the registry's lifetime. Registering an existing name with a different
+  /// metric kind trips MAROON_CHECK; GetHistogram ignores `bounds` when the
+  /// name already exists.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  struct Snapshot {
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {"count": ...,
+  ///  "sum": ..., "min": ..., "max": ..., "mean": ..., "bounds": [...],
+  ///  "counts": [...]}}}
+  std::string SnapshotJson() const;
+
+  /// Zeroes every registered metric (names stay registered). Tests and the
+  /// CLI use this to scope metrics to one run.
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;  // guards the maps, not the metric values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace maroon
+
+/// Registration shorthands for instrumentation sites (cache the result in a
+/// function-local static — registration takes the registry lock).
+#define MAROON_COUNTER(name) \
+  ::maroon::obs::MetricsRegistry::Global().GetCounter(name)
+#define MAROON_GAUGE(name) \
+  ::maroon::obs::MetricsRegistry::Global().GetGauge(name)
+#define MAROON_HISTOGRAM(name, bounds) \
+  ::maroon::obs::MetricsRegistry::Global().GetHistogram(name, bounds)
+
+#endif  // MAROON_OBS_METRICS_H_

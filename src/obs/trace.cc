@@ -1,0 +1,125 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace maroon {
+namespace obs {
+
+namespace {
+
+int CurrentTid() {
+  static std::atomic<int> next_tid{1};
+  thread_local const int tid = next_tid.fetch_add(1);
+  return tid;
+}
+
+/// Per-thread count of open spans — the depth assigned to the next one.
+int& OpenSpanDepth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+}  // namespace
+
+std::atomic<bool> Tracer::enabled_{false};
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::SetEnabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+double Tracer::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> spans = spans_;
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_us != b.start_us) {  // maroon-lint: allow(R003)
+                return a.start_us < b.start_us;
+              }
+              return a.depth < b.depth;
+            });
+  return spans;
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  const std::vector<SpanRecord> spans = Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  for (const SpanRecord& span : spans) {
+    w.BeginObject();
+    w.Key("name").String(span.name);
+    w.Key("cat").String("maroon");
+    w.Key("ph").String("X");
+    w.Key("ts").Number(span.start_us);
+    w.Key("dur").Number(span.duration_us);
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(span.tid);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.text();
+}
+
+double Tracer::RootSpanSeconds() const {
+  double total_us = 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const SpanRecord& span : spans_) {
+    if (span.depth == 0) total_us += span.duration_us;
+  }
+  return total_us / 1e6;
+}
+
+Span::Span(const char* name) : name_(name) {
+  if (!Tracer::Enabled()) return;
+  active_ = true;
+  depth_ = OpenSpanDepth()++;
+  start_us_ = Tracer::Global().NowMicros();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  --OpenSpanDepth();
+  SpanRecord record;
+  record.name = name_;
+  record.start_us = start_us_;
+  record.duration_us = Tracer::Global().NowMicros() - start_us_;
+  record.tid = CurrentTid();
+  record.depth = depth_;
+  Tracer::Global().Record(std::move(record));
+}
+
+}  // namespace obs
+}  // namespace maroon

@@ -1,0 +1,105 @@
+#ifndef MAROON_OBS_TRACE_H_
+#define MAROON_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace maroon {
+namespace obs {
+
+/// One completed span. Times are microseconds on the steady clock, relative
+/// to the tracer epoch (process start or the last Clear()).
+struct SpanRecord {
+  std::string name;
+  double start_us = 0.0;
+  double duration_us = 0.0;
+  /// Small dense id per OS thread (1, 2, ...), stable within the process.
+  int tid = 0;
+  /// Nesting depth on its thread at the time the span opened (0 = root).
+  int depth = 0;
+};
+
+/// A span-based tracer with Chrome trace_event JSON export
+/// (chrome://tracing and https://ui.perfetto.dev load the output directly).
+///
+/// Tracing is off by default; a disabled MAROON_TRACE_SPAN costs one relaxed
+/// atomic load. Span nesting is tracked per thread: spans opened while
+/// another span is live on the same thread record a larger depth, and the
+/// exported ts/dur containment lets trace viewers rebuild the hierarchy.
+///
+/// Span names form a dot taxonomy parallel to the metric names:
+/// `cli.link` > `experiment.prepare` > `train.transition`, `link.phase1` >
+/// `phase1.partition`, ... (see docs/observability.md).
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  static void SetEnabled(bool enabled);
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops all recorded spans and restarts the epoch.
+  void Clear();
+
+  std::vector<SpanRecord> Snapshot() const;
+  size_t span_count() const;
+
+  /// {"displayTimeUnit": "ms", "traceEvents": [{"name": ..., "ph": "X",
+  ///  "ts": ..., "dur": ..., "pid": 1, "tid": ...}, ...]}
+  std::string ToChromeTraceJson() const;
+
+  /// Total wall time covered by root (depth 0) spans, in seconds.
+  double RootSpanSeconds() const;
+
+  /// Called by Span; records one completed span.
+  void Record(SpanRecord record);
+
+  /// Microseconds since the epoch, on the steady clock.
+  double NowMicros() const;
+
+ private:
+  Tracer();
+
+  static std::atomic<bool> enabled_;
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII span: records [construction, destruction) on the global tracer when
+/// tracing is enabled at construction. The name must outlive the span
+/// (string literals always do).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  double start_us_ = 0.0;
+  int depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace obs
+}  // namespace maroon
+
+#define MAROON_TRACE_CONCAT_INNER(a, b) a##b
+#define MAROON_TRACE_CONCAT(a, b) MAROON_TRACE_CONCAT_INNER(a, b)
+
+/// Opens a span covering the rest of the enclosing scope:
+/// `MAROON_TRACE_SPAN("phase1.partition");`
+#define MAROON_TRACE_SPAN(name)                                  \
+  ::maroon::obs::Span MAROON_TRACE_CONCAT(maroon_trace_span_,    \
+                                          __LINE__)(name)
+
+#endif  // MAROON_OBS_TRACE_H_

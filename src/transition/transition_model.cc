@@ -6,6 +6,8 @@
 
 #include "common/csv.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace maroon {
 
@@ -27,9 +29,11 @@ ValueSet MapValueSet(const ValueMapper* mapper, const Attribute& attribute,
 TransitionModel TransitionModel::Train(
     const ProfileSet& profiles, const std::vector<Attribute>& attributes,
     TransitionModelOptions options) {
+  MAROON_TRACE_SPAN("transition.train");
   TransitionModel model;
   model.options_ = std::move(options);
   const ValueMapper* mapper = model.options_.mapper.get();
+  int64_t observations = 0;
 
   for (const Attribute& attribute : attributes) {
     AttributeModel& am = model.attributes_[attribute];
@@ -73,6 +77,7 @@ TransitionModel TransitionModel::Train(
                 first.end, static_cast<int64_t>(second.end) - delta);
             const int64_t occurrences = hi - lo + 1;
             if (occurrences <= 0) continue;
+            ++observations;
             TransitionTable& table = am.tables[delta];
             for (const Value& v : from) {
               for (const Value& w : to) {
@@ -85,7 +90,12 @@ TransitionModel TransitionModel::Train(
     }
 
     for (auto& [delta, table] : am.tables) table.Finalize();
+    MAROON_COUNTER("maroon.transition.tables_built")
+        ->Add(static_cast<int64_t>(am.tables.size()));
   }
+  MAROON_COUNTER("maroon.transition.attributes_trained")
+      ->Add(static_cast<int64_t>(attributes.size()));
+  MAROON_COUNTER("maroon.transition.delta_observations")->Add(observations);
   return model;
 }
 
@@ -130,6 +140,19 @@ double TransitionModel::PairProbability(const TransitionTable& table,
   const bool from_seen = from.frequent && table.HasOrigin(from.value);
   const bool to_seen = to.frequent && table.HasDestination(to.value);
 
+  // Smoothing-case hit rates (Eq. 1 and Eq. 3-8): one relaxed atomic add per
+  // lookup, dominated by the table probes above.
+  static obs::Counter* hits_exact =
+      MAROON_COUNTER("maroon.transition.case_exact");
+  static obs::Counter* hits_case1 =
+      MAROON_COUNTER("maroon.transition.case1_unseen_pair");
+  static obs::Counter* hits_case2 =
+      MAROON_COUNTER("maroon.transition.case2_unseen_destination");
+  static obs::Counter* hits_case3 =
+      MAROON_COUNTER("maroon.transition.case3_unseen_origin");
+  static obs::Counter* hits_case4 =
+      MAROON_COUNTER("maroon.transition.case4_both_unseen");
+
   // "Unseen transitions are rare": optionally bound smoothed probabilities
   // by the evidence mass that failed to produce the transition.
   const auto rare = [&](double probability, int64_t support) {
@@ -141,19 +164,24 @@ double TransitionModel::PairProbability(const TransitionTable& table,
   if (from_seen && to_seen) {
     const int64_t count = table.Count(from.value, to.value);
     if (count > 0) {
+      hits_exact->Add();
       return table.ConditionalProbability(from.value, to.value);  // Eq. 1.
     }
     // Case 1 (Eq. 3).
+    hits_case1->Add();
     return rare(table.MinRowProbability(from.value), table.RowSum(from.value));
   }
   if (from_seen) {
     // Case 2 (Eq. 4).
+    hits_case2->Add();
     return rare(table.MinRowProbability(from.value), table.RowSum(from.value));
   }
   if (to_seen) {
+    hits_case3->Add();
     return table.PriorProbability(to.value);  // Case 3 (Eq. 5).
   }
   // Case 4 (Eq. 6-8).
+  hits_case4->Add();
   if (from.value == to.value) return table.RecurrenceProbability();
   return rare(table.ExpectedChangeProbability(), table.DiffTotal());
 }

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace maroon {
 namespace {
 
@@ -45,6 +50,90 @@ TEST(LoggingTest, SuppressesBelowThreshold) {
   MAROON_LOG(Warning) << "hidden-warning";
   const std::string out = ::testing::internal::GetCapturedStderr();
   EXPECT_EQ(out.find("hidden"), std::string::npos);
+}
+
+TEST(LoggingTest, LinesCarryIso8601UtcTimestamp) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  MAROON_LOG(Info) << "stamped";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  // "[I 2026-08-06T12:00:00Z logging_test.cc:NN] stamped"
+  ASSERT_NE(out.find("[I "), std::string::npos);
+  const size_t stamp = out.find("[I ") + 3;
+  ASSERT_GE(out.size(), stamp + 20);
+  EXPECT_EQ(out[stamp + 4], '-');
+  EXPECT_EQ(out[stamp + 7], '-');
+  EXPECT_EQ(out[stamp + 10], 'T');
+  EXPECT_EQ(out[stamp + 13], ':');
+  EXPECT_EQ(out[stamp + 16], ':');
+  EXPECT_EQ(out[stamp + 19], 'Z');
+  EXPECT_NE(out.find("Z logging_test.cc:"), std::string::npos);
+}
+
+TEST(LoggingTest, LogEveryNEmitsFirstAndEveryNth) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  for (int i = 0; i < 10; ++i) {
+    MAROON_LOG_EVERY_N(Info, 4) << "tick " << i << ";";
+  }
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("tick 0;"), std::string::npos);
+  EXPECT_NE(out.find("tick 4;"), std::string::npos);
+  EXPECT_NE(out.find("tick 8;"), std::string::npos);
+  EXPECT_EQ(out.find("tick 1;"), std::string::npos);
+  EXPECT_EQ(out.find("tick 3;"), std::string::npos);
+  EXPECT_EQ(out.find("tick 9;"), std::string::npos);
+}
+
+TEST(LoggingTest, LogEveryNSitesCountIndependently) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  for (int i = 0; i < 3; ++i) {
+    MAROON_LOG_EVERY_N(Info, 100) << "site-a " << i << ";";
+    MAROON_LOG_EVERY_N(Info, 100) << "site-b " << i << ";";
+  }
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  // Each site emits exactly its own first occurrence.
+  EXPECT_NE(out.find("site-a 0;"), std::string::npos);
+  EXPECT_NE(out.find("site-b 0;"), std::string::npos);
+  EXPECT_EQ(out.find("site-a 1;"), std::string::npos);
+  EXPECT_EQ(out.find("site-b 1;"), std::string::npos);
+}
+
+TEST(LoggingTest, ConcurrentWritersDoNotInterleaveWithinLines) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  constexpr int kThreads = 8;
+  constexpr int kLines = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        MAROON_LOG(Info) << "thread=" << t << " line=" << i << " end";
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  // Every captured line is one complete statement: starts with the severity
+  // prefix and carries the "end" marker exactly once.
+  std::istringstream lines(out);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.rfind("[I ", 0), 0u) << "mangled line: " << line;
+    EXPECT_NE(line.find(" end"), std::string::npos)
+        << "mangled line: " << line;
+    EXPECT_EQ(line.find("end"), line.rfind("end")) << "mangled line: " << line;
+    ++count;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
 }
 
 TEST(LoggingTest, StreamsArbitraryTypes) {

@@ -105,6 +105,22 @@ TEST(LintRuleTest, R006ExemptsSrcCommon) {
   EXPECT_EQ(LintSource("src/core/scratch.cc", content).size(), 1u);
 }
 
+TEST(LintRuleTest, R007CatchesSystemClockNow) {
+  const LintResult result = LintFixture("r007_system_clock.cc");
+  EXPECT_EQ(LinesOf(result, "R007"), (std::vector<int>{9}))
+      << Render(result);
+  EXPECT_EQ(result.findings.size(), 1u) << Render(result);
+}
+
+TEST(LintRuleTest, R007ExemptsObsAndCommon) {
+  const std::string content =
+      "auto T() { return std::chrono::system_clock::now(); }\n";
+  EXPECT_TRUE(LintSource("src/obs/scratch.cc", content).empty());
+  EXPECT_TRUE(LintSource("src/common/scratch.cc", content).empty());
+  EXPECT_EQ(LintSource("src/core/scratch.cc", content).size(), 1u);
+  EXPECT_EQ(LintSource("tools/scratch.cpp", content).size(), 1u);
+}
+
 TEST(LintLexerTest, LiteralsAndCommentsAreNotCode) {
   // Violation-shaped text inside strings, raw strings, and comments must
   // never fire a rule.

@@ -1,0 +1,32 @@
+// Lint fixture (never compiled): R007 — direct system_clock::now() outside
+// src/obs/ and src/common/. Scanned by lint_test; line numbers below are
+// asserted there.
+#include <chrono>
+
+namespace maroon {
+
+long WallClockRead() {
+  auto t = std::chrono::system_clock::now();  // R007 expected on this line (9)
+  return t.time_since_epoch().count();
+}
+
+double SteadyDurationIsClean() {
+  const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+long SuppressedIsSilent() {
+  // maroon-lint: allow(R007)
+  auto t = std::chrono::system_clock::now();
+  return t.time_since_epoch().count();
+}
+
+void MentionWithoutCallIsClean() {
+  using clock = std::chrono::system_clock;
+  clock::time_point unused;
+  (void)unused;
+}
+
+}  // namespace maroon

@@ -1,0 +1,121 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace maroon {
+namespace obs {
+namespace {
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(JsonNumberTest, IntegralValuesPrintWithoutExponent) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(42.0), "42");
+  EXPECT_EQ(JsonNumber(-7.0), "-7");
+  EXPECT_EQ(JsonNumber(1.5), "1.5");
+}
+
+TEST(JsonNumberTest, NonFiniteValuesBecomeNull) {
+  EXPECT_EQ(JsonNumber(std::nan("")), "null");
+  EXPECT_EQ(JsonNumber(HUGE_VAL), "null");
+  EXPECT_EQ(JsonNumber(-HUGE_VAL), "null");
+}
+
+TEST(JsonWriterTest, NestedScopesPlaceCommasAutomatically) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a").Int(1);
+  w.Key("b").BeginArray();
+  w.Int(1).Int(2).String("x");
+  w.EndArray();
+  w.Key("c").BeginObject();
+  w.Key("nested").Bool(true);
+  w.Key("gone").Null();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.text(),
+            "{\"a\": 1, \"b\": [1, 2, \"x\"], "
+            "\"c\": {\"nested\": true, \"gone\": null}}");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("o").BeginObject().EndObject();
+  w.Key("a").BeginArray().EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.text(), "{\"o\": {}, \"a\": []}");
+}
+
+TEST(JsonParseTest, ParsesScalars) {
+  auto number = ParseJson(" 42 ");
+  ASSERT_TRUE(number.ok());
+  EXPECT_TRUE(number->is_number());
+  EXPECT_DOUBLE_EQ(number->number_value, 42.0);
+
+  auto truth = ParseJson("true");
+  ASSERT_TRUE(truth.ok());
+  EXPECT_TRUE(truth->bool_value);
+
+  auto nothing = ParseJson("null");
+  ASSERT_TRUE(nothing.ok());
+  EXPECT_EQ(nothing->kind, JsonValue::Kind::kNull);
+
+  auto text = ParseJson("\"he\\nllo \\u0041\"");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->string_value, "he\nllo A");
+}
+
+TEST(JsonParseTest, ParsesNestedDocument) {
+  auto parsed = ParseJson(
+      "{\"counters\": {\"maroon.phase1.clusters_formed\": 13},"
+      " \"values\": [1, 2.5, -3e2]}");
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* formed = counters->Find("maroon.phase1.clusters_formed");
+  ASSERT_NE(formed, nullptr);
+  EXPECT_DOUBLE_EQ(formed->number_value, 13.0);
+  const JsonValue* values = parsed->Find("values");
+  ASSERT_NE(values, nullptr);
+  ASSERT_EQ(values->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(values->array[2].number_value, -300.0);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": }").ok());
+  EXPECT_FALSE(ParseJson("[1, 2").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": 1,}").ok());
+}
+
+TEST(JsonParseTest, WriterOutputRoundTrips) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("phase1.partition");
+  w.Key("quoted \"key\"").String("line\nbreak");
+  w.Key("count").Int(1234);
+  w.Key("share").Number(0.375);
+  w.EndObject();
+  auto parsed = ParseJson(w.text());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("name")->string_value, "phase1.partition");
+  EXPECT_EQ(parsed->Find("quoted \"key\"")->string_value, "line\nbreak");
+  EXPECT_DOUBLE_EQ(parsed->Find("count")->number_value, 1234.0);
+  EXPECT_DOUBLE_EQ(parsed->Find("share")->number_value, 0.375);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace maroon

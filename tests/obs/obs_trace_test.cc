@@ -1,0 +1,129 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace maroon {
+namespace obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::SetEnabled(true);
+    Tracer::Global().Clear();
+  }
+  void TearDown() override {
+    Tracer::SetEnabled(false);
+    Tracer::Global().Clear();
+  }
+};
+
+TEST(TraceDisabledTest, DisabledSpanRecordsNothing) {
+  Tracer::SetEnabled(false);
+  Tracer::Global().Clear();
+  { MAROON_TRACE_SPAN("test.disabled"); }
+  EXPECT_EQ(Tracer::Global().span_count(), 0u);
+}
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndContainment) {
+  {
+    MAROON_TRACE_SPAN("test.parent");
+    { MAROON_TRACE_SPAN("test.child"); }
+  }
+  const std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Snapshot orders by start time: the parent opened first.
+  EXPECT_EQ(spans[0].name, "test.parent");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].name, "test.child");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[0].tid, spans[1].tid);
+  // ts/dur containment is what lets trace viewers rebuild the hierarchy.
+  EXPECT_GE(spans[1].start_us, spans[0].start_us);
+  EXPECT_LE(spans[1].start_us + spans[1].duration_us,
+            spans[0].start_us + spans[0].duration_us);
+}
+
+TEST_F(TraceTest, SiblingSpansKeepTheirOpeningOrder) {
+  {
+    MAROON_TRACE_SPAN("test.outer");
+    { MAROON_TRACE_SPAN("test.first"); }
+    { MAROON_TRACE_SPAN("test.second"); }
+  }
+  const std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "test.outer");
+  EXPECT_EQ(spans[1].name, "test.first");
+  EXPECT_EQ(spans[2].name, "test.second");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].depth, 1);
+  EXPECT_GE(spans[2].start_us, spans[1].start_us + spans[1].duration_us);
+}
+
+TEST_F(TraceTest, SpansFromOtherThreadsGetDistinctTids) {
+  {
+    MAROON_TRACE_SPAN("test.main_thread");
+    std::thread worker([] { MAROON_TRACE_SPAN("test.worker_thread"); });
+    worker.join();
+  }
+  const std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  ASSERT_EQ(spans[0].name, "test.main_thread");
+  EXPECT_NE(spans[0].tid, spans[1].tid);
+  // Depth is per thread: the worker's span is a root on its own thread.
+  EXPECT_EQ(spans[1].depth, 0);
+}
+
+TEST_F(TraceTest, RootSpanSecondsSumsOnlyDepthZeroSpans) {
+  SpanRecord root;
+  root.name = "test.root";
+  root.start_us = 0.0;
+  root.duration_us = 1.5e6;
+  Tracer::Global().Record(root);
+  SpanRecord child;
+  child.name = "test.child";
+  child.start_us = 100.0;
+  child.duration_us = 5e5;
+  child.depth = 1;
+  Tracer::Global().Record(child);
+  EXPECT_DOUBLE_EQ(Tracer::Global().RootSpanSeconds(), 1.5);
+}
+
+TEST_F(TraceTest, ClearDropsSpans) {
+  { MAROON_TRACE_SPAN("test.span"); }
+  EXPECT_EQ(Tracer::Global().span_count(), 1u);
+  Tracer::Global().Clear();
+  EXPECT_EQ(Tracer::Global().span_count(), 0u);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsValidAndComplete) {
+  {
+    MAROON_TRACE_SPAN("test.parent");
+    { MAROON_TRACE_SPAN("test.child"); }
+  }
+  auto parsed = ParseJson(Tracer::Global().ToChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Find("displayTimeUnit")->string_value, "ms");
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 2u);
+  for (const JsonValue& event : events->array) {
+    EXPECT_EQ(event.Find("ph")->string_value, "X");
+    EXPECT_EQ(event.Find("cat")->string_value, "maroon");
+    EXPECT_DOUBLE_EQ(event.Find("pid")->number_value, 1.0);
+    EXPECT_TRUE(event.Find("ts")->is_number());
+    EXPECT_TRUE(event.Find("dur")->is_number());
+  }
+  EXPECT_EQ(events->array[0].Find("name")->string_value, "test.parent");
+  EXPECT_EQ(events->array[1].Find("name")->string_value, "test.child");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace maroon

@@ -42,6 +42,13 @@ class CliTest : public ::testing::Test {
     return code;
   }
 
+  static std::string ReadFile(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
   std::string dir_;
 };
 
@@ -181,6 +188,55 @@ TEST_F(CliTest, ValidateRepairWritesCleanCopy) {
   EXPECT_NE(out.find("repair(s)"), std::string::npos);
   // ...but the repaired copy validates clean.
   EXPECT_EQ(Run("validate --data=" + dir_ + "/fixed", &out), 0) << out;
+}
+
+TEST_F(CliTest, ObservabilityFlagsWriteMetricsTraceAndReport) {
+  std::string out;
+  ASSERT_EQ(Run("generate --dataset=recruitment --out=" + dir_ +
+                    "/data --entities=25 --names=10 --seed=5",
+                &out),
+            0)
+      << out;
+  ASSERT_EQ(Run("link --data=" + dir_ + "/data --entity=entity_0" +
+                    " --metrics-out=" + dir_ + "/metrics.json" +
+                    " --trace-out=" + dir_ + "/trace.json" +
+                    " --run-report=" + dir_ + "/report.json",
+                &out),
+            0)
+      << out;
+
+  // The snapshot must carry at least one counter from every instrumented
+  // pipeline layer.
+  const std::string metrics = ReadFile(dir_ + "/metrics.json");
+  EXPECT_NE(metrics.find("\"maroon.validation.records_checked\""),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("\"maroon.transition.delta_observations\""),
+            std::string::npos);
+  EXPECT_NE(metrics.find("\"maroon.freshness.observations\""),
+            std::string::npos);
+  EXPECT_NE(metrics.find("\"maroon.phase1.clusters_formed\""),
+            std::string::npos);
+  EXPECT_NE(metrics.find("\"maroon.phase2.iterations\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"histograms\""), std::string::npos);
+
+  const std::string trace = ReadFile(dir_ + "/trace.json");
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cli.link\""), std::string::npos);
+  EXPECT_NE(trace.find("\"phase1.partition\""), std::string::npos);
+
+  const std::string report = ReadFile(dir_ + "/report.json");
+  EXPECT_NE(report.find("\"maroon_run_report_v1\""), std::string::npos);
+  EXPECT_NE(report.find("\"command\": \"link\""), std::string::npos);
+  EXPECT_NE(report.find("\"metrics\""), std::string::npos);
+
+  // Bare --run-report prints the human-readable table instead.
+  ASSERT_EQ(Run("stats --data=" + dir_ + "/data --run-report", &out), 0)
+      << out;
+  EXPECT_NE(out.find("== MAROON run report =="), std::string::npos);
+  // The table elides zero counters; freshness training always observes
+  // something on this corpus.
+  EXPECT_NE(out.find("maroon.freshness.observations"), std::string::npos);
 }
 
 TEST_F(CliTest, UnknownCommandAndBadFlags) {

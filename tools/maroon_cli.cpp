@@ -22,6 +22,13 @@
 // Data-loading commands accept --lenient: malformed rows and semantically
 // invalid records are quarantined (with counters printed) instead of
 // aborting the load.
+//
+// Observability (any command):
+//   --metrics-out=FILE  write the metrics registry snapshot as JSON
+//   --trace-out=FILE    enable span tracing, write Chrome trace_event JSON
+//                       (loadable in chrome://tracing / ui.perfetto.dev)
+//   --run-report[=FILE] print a human-readable run report; with =FILE,
+//                       write the maroon_run_report_v1 JSON instead
 
 #include <filesystem>
 #include <fstream>
@@ -40,6 +47,9 @@
 #include "eval/sweep.h"
 #include "freshness/freshness_model.h"
 #include "maroon/version_info.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "transition/transition_io.h"
 
 namespace maroon {
@@ -72,7 +82,12 @@ int Usage() {
          "              [--mangle-separator=R]   (corrupts DIR in place)\n"
          "\n"
          "  --lenient quarantines malformed rows/records instead of failing\n"
-         "  the load, printing quarantine counters.\n";
+         "  the load, printing quarantine counters.\n"
+         "\n"
+         "  Observability flags (any command):\n"
+         "  --metrics-out=FILE   write the metrics snapshot as JSON\n"
+         "  --trace-out=FILE     enable tracing, write Chrome trace JSON\n"
+         "  --run-report[=FILE]  print a run report (JSON when =FILE)\n";
   return 2;
 }
 
@@ -371,15 +386,7 @@ int RunSweep(const FlagParser& flags) {
   return 0;
 }
 
-int Main(int argc, char** argv) {
-  const FlagParser flags(argc, argv);
-  if (flags.GetBoolOr("version", false)) {
-    std::cout << "maroon_cli " << MAROON_VERSION << " (" << MAROON_GIT_DESCRIBE
-              << ")\n";
-    return 0;
-  }
-  if (flags.positional().empty()) return Usage();
-  const std::string& command = flags.positional()[0];
+int Dispatch(const FlagParser& flags, const std::string& command) {
   if (command == "generate") return RunGenerate(flags);
   if (command == "stats") return RunStats(flags);
   if (command == "transitions") return RunTransitions(flags);
@@ -389,6 +396,62 @@ int Main(int argc, char** argv) {
   if (command == "validate") return RunValidate(flags);
   if (command == "inject") return RunInject(flags);
   return Usage();
+}
+
+/// Writes the requested observability artifacts after the command ran.
+/// Export failures are reported but do not override the command's exit code
+/// unless the command itself succeeded.
+int ExportObservability(const FlagParser& flags, const std::string& command,
+                        int code) {
+  const auto write = [&code](const std::string& path,
+                             const std::string& content) {
+    const Status status = obs::WriteTextFile(path, content);
+    if (!status.ok()) {
+      std::cerr << "error: " << status << "\n";
+      if (code == 0) code = 1;
+    }
+  };
+  if (flags.Has("metrics-out")) {
+    write(flags.GetStringOr("metrics-out", ""),
+          obs::MetricsRegistry::Global().SnapshotJson() + "\n");
+  }
+  if (flags.Has("trace-out")) {
+    write(flags.GetStringOr("trace-out", ""),
+          obs::Tracer::Global().ToChromeTraceJson() + "\n");
+  }
+  if (flags.Has("run-report")) {
+    obs::RunReportOptions report;
+    report.config.emplace_back("command", command);
+    report.config.emplace_back("binary", "maroon_cli " MAROON_VERSION);
+    const std::string value = flags.GetStringOr("run-report", "true");
+    if (value == "true" || value.empty()) {
+      std::cout << obs::RenderRunReportText(report);
+    } else {
+      write(value, obs::BuildRunReportJson(report) + "\n");
+    }
+  }
+  return code;
+}
+
+int Main(int argc, char** argv) {
+  const FlagParser flags(argc, argv);
+  if (flags.GetBoolOr("version", false)) {
+    std::cout << "maroon_cli " << MAROON_VERSION << " (" << MAROON_GIT_DESCRIBE
+              << ")\n";
+    return 0;
+  }
+  if (flags.positional().empty()) return Usage();
+  const std::string& command = flags.positional()[0];
+  if (flags.Has("trace-out")) obs::Tracer::SetEnabled(true);
+  int code = 0;
+  {
+    // Top-level span so the exported trace covers the full command wall
+    // time. Span names must outlive the tracer; one command per process.
+    static const std::string top_name = "cli." + command;
+    obs::Span top(top_name.c_str());
+    code = Dispatch(flags, command);
+  }
+  return ExportObservability(flags, command, code);
 }
 
 }  // namespace

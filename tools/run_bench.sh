@@ -1,0 +1,163 @@
+#!/bin/sh
+# Smoke benchmark runner: collects pipeline timing rows and observability
+# sample artifacts into a reviewable baseline.
+#
+# Runs bench_fig7_runtime and bench_scaling in the pinned smoke
+# configuration (seed 2015, MAROON_BENCH_SCALE=1, google-benchmark loops
+# filtered out), gathers their EmitBenchRow JSONL rows, and measures the
+# instrumentation overhead of the metrics layer by timing bench_fig7_runtime
+# with MAROON_METRICS=off versus on (tracing stays off in both runs; a
+# warm-up run is discarded first). It then links one entity of a freshly
+# generated clean Recruitment corpus through maroon_cli with
+# --metrics-out/--trace-out to produce sample observability artifacts, and
+# fails if the quarantine or degenerate-score counters are nonzero — clean
+# seed data must link cleanly.
+#
+# Usage: tools/run_bench.sh [BUILD_DIR] [OUT_FILE] [ARTIFACTS_DIR]
+#   BUILD_DIR      cmake build tree, default ./build
+#   OUT_FILE       baseline to write, default ./BENCH_runtime.json
+#   ARTIFACTS_DIR  smoke_metrics.json / smoke_trace.json, default ./bench_artifacts
+#
+# BENCH_runtime.json schema ("maroon_bench_runtime_v1"):
+# {
+#   "schema": "maroon_bench_runtime_v1",
+#   "config": {"bench_scale": 1, "seed": 2015, "benchmark_loops": false},
+#   "rows": [
+#     {"bench": "fig7_runtime", "corpus": "recruitment"|"dblp",
+#      "method": "MAROON"|"MUTA+AFDS",
+#      "phase1_s": N, "phase2_s": N, "total_s": N, "entities": N},
+#     {"bench": "scaling", "corpus": "recruitment", "method": "MAROON",
+#      "entities": N, "records": N, "train_s": N, "link_total_s": N,
+#      "per_entity_ms": N},
+#     ...
+#   ],
+#   "overhead": {
+#     "bench": "fig7_runtime",
+#     "metrics_off_total_s": N,   # sum of fig7 total_s, MAROON_METRICS=off
+#     "metrics_on_total_s": N,    # same with metrics on (tracing off)
+#     "overhead_pct": N           # 100 * (on - off) / off; target <= 3
+#   }
+# }
+#
+# Timings are machine-dependent: the committed baseline is for spotting
+# gross regressions and schema drift, not a calibrated benchmark.
+
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_runtime.json}"
+ARTIFACTS="${3:-bench_artifacts}"
+
+FIG7="$BUILD_DIR/bench/bench_fig7_runtime"
+SCALING="$BUILD_DIR/bench/bench_scaling"
+CLI="$BUILD_DIR/tools/maroon_cli"
+for binary in "$FIG7" "$SCALING" "$CLI"; do
+  if [ ! -x "$binary" ]; then
+    echo "run_bench.sh: missing $binary (build the bench and tools targets first)" >&2
+    exit 1
+  fi
+done
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT INT TERM
+mkdir -p "$ARTIFACTS"
+
+# Pin the smoke configuration: seed 2015 is compiled into bench_common.h,
+# scale is forced to 1 here, and the google-benchmark loops are skipped so
+# only the deterministic figure/scaling passes run.
+export MAROON_BENCH_SCALE=1
+FILTER="--benchmark_filter=__skip_all__"
+
+# Sums total_s over the rows of one bench in a JSONL file.
+sum_total_s() {
+  awk -v bench="$2" '
+    index($0, "\"bench\": \"" bench "\"") == 0 { next }
+    {
+      i = index($0, "\"total_s\": ")
+      if (i == 0) next
+      rest = substr($0, i + 11)
+      sub(/[,}].*/, "", rest)
+      sum += rest + 0
+    }
+    END { printf "%.6f", sum }
+  ' "$1"
+}
+
+# Extracts one counter from a metrics snapshot JSON (0 when absent).
+counter_value() {
+  value="$(awk -v name="$2" '
+    {
+      pat = "\"" name "\": "
+      i = index($0, pat)
+      if (i == 0) next
+      rest = substr($0, i + length(pat))
+      sub(/[^0-9].*/, "", rest)
+      print rest
+      exit
+    }
+  ' "$1")"
+  echo "${value:-0}"
+}
+
+echo "== bench_fig7_runtime: warm-up (discarded) =="
+MAROON_METRICS=off "$FIG7" "$FILTER" > /dev/null
+
+echo "== bench_fig7_runtime: metrics off =="
+MAROON_METRICS=off MAROON_BENCH_JSON="$WORK/off.jsonl" \
+  "$FIG7" "$FILTER" > /dev/null
+OFF_TOTAL="$(sum_total_s "$WORK/off.jsonl" fig7_runtime)"
+
+echo "== bench_fig7_runtime: metrics on =="
+MAROON_BENCH_JSON="$WORK/rows.jsonl" "$FIG7" "$FILTER" > /dev/null
+ON_TOTAL="$(sum_total_s "$WORK/rows.jsonl" fig7_runtime)"
+
+echo "== bench_scaling =="
+MAROON_BENCH_JSON="$WORK/rows.jsonl" "$SCALING" "$FILTER" > /dev/null
+
+OVERHEAD_PCT="$(awk -v off="$OFF_TOTAL" -v on="$ON_TOTAL" 'BEGIN {
+  if (off <= 0) { printf "0"; exit }
+  printf "%.2f", 100.0 * (on - off) / off
+}')"
+echo "metrics off ${OFF_TOTAL}s, on ${ON_TOTAL}s, overhead ${OVERHEAD_PCT}%"
+
+{
+  printf '{\n'
+  printf '  "schema": "maroon_bench_runtime_v1",\n'
+  printf '  "config": {"bench_scale": 1, "seed": 2015, "benchmark_loops": false},\n'
+  printf '  "rows": [\n'
+  awk 'NR > 1 { printf ",\n" } { printf "    %s", $0 } END { printf "\n" }' \
+    "$WORK/rows.jsonl"
+  printf '  ],\n'
+  printf '  "overhead": {"bench": "fig7_runtime", "metrics_off_total_s": %s, "metrics_on_total_s": %s, "overhead_pct": %s}\n' \
+    "$OFF_TOTAL" "$ON_TOTAL" "$OVERHEAD_PCT"
+  printf '}\n'
+} > "$OUT"
+echo "wrote $OUT"
+
+echo "== observability smoke: clean corpus link =="
+"$CLI" generate --dataset=recruitment --out="$WORK/data" \
+  --entities=60 --seed=2015 > /dev/null
+"$CLI" link --data="$WORK/data" --entity=entity_0 \
+  --metrics-out="$ARTIFACTS/smoke_metrics.json" \
+  --trace-out="$ARTIFACTS/smoke_trace.json" > /dev/null
+if ! grep -q '"traceEvents"' "$ARTIFACTS/smoke_trace.json"; then
+  echo "FAIL: $ARTIFACTS/smoke_trace.json has no traceEvents" >&2
+  exit 1
+fi
+
+status=0
+for name in maroon.validation.quarantined_records \
+            maroon.validation.quarantined_rows \
+            maroon.phase2.degenerate_scores; do
+  value="$(counter_value "$ARTIFACTS/smoke_metrics.json" "$name")"
+  if [ "$value" -ne 0 ]; then
+    echo "FAIL: $name = $value on clean seed data" >&2
+    status=1
+  fi
+done
+if [ "$status" -ne 0 ]; then
+  exit "$status"
+fi
+
+echo "wrote $ARTIFACTS/smoke_metrics.json and $ARTIFACTS/smoke_trace.json"
+echo "run_bench.sh: OK"
