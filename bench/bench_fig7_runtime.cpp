@@ -12,6 +12,7 @@
 
 #include "bench_common.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace maroon::bench {
 namespace {
@@ -27,6 +28,8 @@ void PrintRuntimeRow(const std::string& corpus, const ExperimentResult& r) {
                {{"phase1_s", r.phase1_seconds},
                 {"phase2_s", r.phase2_seconds},
                 {"total_s", r.total_seconds()},
+                {"threads",
+                 static_cast<double>(ThreadPool::DefaultThreadCount())},
                 {"entities", static_cast<double>(r.entities_evaluated)}});
 }
 

@@ -6,13 +6,99 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdint>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "matching/batch_linker.h"
+#include "matching/maroon.h"
 
 namespace maroon::bench {
 namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// FNV-1a over the batch assignment map, truncated to 53 bits so the hash
+/// survives the JSON double round-trip exactly. Identical hashes across
+/// thread counts prove the sweep timed the same computation.
+double AssignmentHash(const BatchLinkResult& result) {
+  uint64_t hash = 14695981039346656037ull;
+  const auto mix_byte = [&hash](unsigned char byte) {
+    hash = (hash ^ byte) * 1099511628211ull;
+  };
+  for (const auto& [record, entity] : result.assignment) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      mix_byte(static_cast<unsigned char>(record >> shift));
+    }
+    for (const char c : entity) mix_byte(static_cast<unsigned char>(c));
+    mix_byte(0xff);
+  }
+  return static_cast<double>(hash & ((uint64_t{1} << 53) - 1));
+}
+
+/// Thread sweep on the paper-sized DBLP corpus: the whole parallel surface
+/// (sharded training, parallel evaluation, batch linking) at 1/2/4/8
+/// threads. The committed baseline records wall times from the CI host —
+/// speedups there reflect that host's core count, not the code's ceiling —
+/// plus a result hash that must be identical at every width.
+void PrintThreadSweep() {
+  PrintHeader("Thread sweep: MAROON end-to-end vs threads (DBLP)");
+  const DblpCorpus corpus = GenerateDblpCorpus(BenchDblpOptions());
+  std::vector<EntityId> targets;
+  for (const auto& [id, target] : corpus.dataset.targets()) {
+    targets.push_back(id);
+  }
+  std::cout << "threads  train_s  eval_s  batch_s  total_s  result_hash\n";
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool::SetDefaultThreadCount(threads);
+
+    const auto train_start = std::chrono::steady_clock::now();
+    Experiment experiment(&corpus.dataset, BenchExperimentOptions());
+    experiment.Prepare();
+    const double train_s = SecondsSince(train_start);
+
+    const auto eval_start = std::chrono::steady_clock::now();
+    const ExperimentResult r = experiment.Run(Method::kMaroon);
+    const double eval_s = SecondsSince(eval_start);
+
+    MaroonOptions maroon_options;
+    maroon_options.matcher.single_valued_attributes =
+        corpus.dataset.attributes();
+    const Maroon maroon(&experiment.transition_model(),
+                        &experiment.freshness_model(),
+                        &experiment.similarity(), corpus.dataset.attributes(),
+                        maroon_options);
+    const auto batch_start = std::chrono::steady_clock::now();
+    const BatchLinkResult batch =
+        BatchLinker(&maroon).LinkAll(corpus.dataset, targets);
+    const double batch_s = SecondsSince(batch_start);
+
+    const double hash = AssignmentHash(batch);
+    const double total_s = train_s + eval_s + batch_s;
+    std::cout << "  " << threads << "      " << FormatDouble(train_s, 3)
+              << "    " << FormatDouble(eval_s, 3) << "   "
+              << FormatDouble(batch_s, 3) << "    "
+              << FormatDouble(total_s, 3) << "    "
+              << FormatDouble(hash, 0) << "\n";
+    EmitBenchRow("thread_sweep", {{"corpus", "dblp"}, {"method", "MAROON"}},
+                 {{"threads", static_cast<double>(threads)},
+                  {"train_wall_s", train_s},
+                  {"eval_wall_s", eval_s},
+                  {"batch_wall_s", batch_s},
+                  {"total_wall_s", total_s},
+                  {"result_hash", hash},
+                  {"entities", static_cast<double>(targets.size())}});
+    benchmark::DoNotOptimize(r.f1);
+  }
+  ThreadPool::SetDefaultThreadCount(1);
+}
 
 void PrintScaling() {
   PrintHeader("Scaling: MAROON cost vs corpus size (Recruitment)");
@@ -44,6 +130,8 @@ void PrintScaling() {
     EmitBenchRow("scaling", {{"corpus", "recruitment"}, {"method", "MAROON"}},
                  {{"entities", static_cast<double>(entities)},
                   {"records", static_cast<double>(dataset.NumRecords())},
+                  {"threads",
+                   static_cast<double>(ThreadPool::DefaultThreadCount())},
                   {"train_s", train_seconds},
                   {"link_total_s", r.total_seconds()},
                   {"per_entity_ms", per_entity_ms}});
@@ -72,6 +160,7 @@ BENCHMARK(BM_EndToEnd)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   maroon::bench::PrintScaling();
+  maroon::bench::PrintThreadSweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,168 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+namespace maroon {
+
+namespace {
+
+/// Set for the lifetime of each pool helper thread; nested ParallelFor calls
+/// check it to run inline instead of deadlocking on the fixed-size pool.
+bool& InPoolWorkerFlag() {
+  thread_local bool in_pool_worker = false;
+  return in_pool_worker;
+}
+
+int ClampThreadCount(int count) {
+  return std::min(std::max(count, 1), ThreadPool::kMaxThreads);
+}
+
+/// MAROON_THREADS, clamped; 1 when unset or unparsable (serial default).
+int EnvThreadCount() {
+  const char* env = std::getenv("MAROON_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  int value = 0;
+  const char* end = env + std::strlen(env);
+  auto [ptr, ec] = std::from_chars(env, end, value);
+  if (ec != std::errc{} || ptr != end) return 1;
+  return ClampThreadCount(value);
+}
+
+/// 0 until SetDefaultThreadCount or the first DefaultThreadCount call.
+std::atomic<int>& DefaultThreadCountSlot() {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(ClampThreadCount(num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::OnWorkerThread() { return InPoolWorkerFlag(); }
+
+void ThreadPool::RunStrand(Batch* batch, int strand) {
+  for (;;) {
+    const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->count) return;
+    (*batch->fn)(strand, i);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count, int width,
+                             const std::function<void(int, size_t)>& fn) {
+  if (count == 0) return;
+  width = std::min(width, num_threads_);
+  if (width > 0 && static_cast<size_t>(width) > count) {
+    width = static_cast<int>(count);
+  }
+  // Serial behaviour, bit for bit: ascending indexes on the calling thread.
+  // Nested sections also land here — a pool strand never waits on the pool.
+  if (width <= 1 || OnWorkerThread()) {
+    for (size_t i = 0; i < count; ++i) fn(0, i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  Batch batch;
+  batch.count = count;
+  batch.fn = &fn;
+  const int helpers = width - 1;
+  batch.active_helpers = helpers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &batch;
+    strands_to_claim_ = helpers;
+  }
+  work_cv_.notify_all();
+
+  // The caller is strand 0. It counts as a pool worker while running tasks
+  // so that nested ParallelFor calls from its tasks run inline instead of
+  // re-locking run_mu_ (self-deadlock); the flag was necessarily false here
+  // (a worker thread would have taken the inline path above).
+  InPoolWorkerFlag() = true;
+  RunStrand(&batch, 0);
+  InPoolWorkerFlag() = false;
+
+  {
+    std::unique_lock<std::mutex> lock(batch.mu);
+    batch.done_cv.wait(lock, [&batch] { return batch.active_helpers == 0; });
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  batch_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  InPoolWorkerFlag() = true;
+  for (;;) {
+    Batch* batch = nullptr;
+    int strand = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return shutdown_ || (batch_ != nullptr && strands_to_claim_ > 0);
+      });
+      if (shutdown_) return;
+      batch = batch_;
+      strand = strands_to_claim_--;
+    }
+    RunStrand(batch, strand);
+    // Notify while holding the batch mutex: once active_helpers reaches 0
+    // the caller may destroy the batch, so no touch-after-notify is allowed.
+    std::lock_guard<std::mutex> lock(batch->mu);
+    if (--batch->active_helpers == 0) batch->done_cv.notify_all();
+  }
+}
+
+int ThreadPool::DefaultThreadCount() {
+  std::atomic<int>& slot = DefaultThreadCountSlot();
+  const int configured = slot.load(std::memory_order_relaxed);
+  if (configured > 0) return configured;
+  const int from_env = EnvThreadCount();
+  int expected = 0;
+  slot.compare_exchange_strong(expected, from_env,
+                               std::memory_order_relaxed);
+  return slot.load(std::memory_order_relaxed);
+}
+
+void ThreadPool::SetDefaultThreadCount(int count) {
+  DefaultThreadCountSlot().store(ClampThreadCount(count),
+                                 std::memory_order_relaxed);
+}
+
+int ThreadPool::ResolveThreadCount(int requested) {
+  if (requested >= 1) return ClampThreadCount(requested);
+  return DefaultThreadCount();
+}
+
+ThreadPool* ThreadPool::Shared(int num_threads) {
+  const int width = ResolveThreadCount(num_threads);
+  // Leaked like the obs singletons: helper threads live for the process, so
+  // shared pools are never destroyed (no shutdown races at exit).
+  static std::mutex* registry_mu = new std::mutex;
+  static std::map<int, ThreadPool*>* registry = new std::map<int, ThreadPool*>;
+  std::lock_guard<std::mutex> lock(*registry_mu);
+  ThreadPool*& pool = (*registry)[width];
+  if (pool == nullptr) pool = new ThreadPool(width);
+  return pool;
+}
+
+}  // namespace maroon

@@ -1,0 +1,125 @@
+#ifndef MAROON_COMMON_THREAD_POOL_H_
+#define MAROON_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace maroon {
+
+/// A fixed-size worker pool driving the pipeline's data-parallel loops
+/// (batch linking, transition training, eval sweeps, bootstrap replicates).
+///
+/// Design rules that keep parallel runs bit-for-bit equal to serial ones:
+///  - `ParallelFor(count, width, fn)` calls `fn(strand, index)` exactly once
+///    for every index in [0, count), any order, any strand. Callers must
+///    write results into index-addressed slots and do any order-sensitive
+///    reduction serially afterwards.
+///  - A width (or count) of 1 never touches the pool: the loop runs inline
+///    on the calling thread, index-ascending — the pre-pool serial code
+///    path, byte for byte.
+///  - A nested ParallelFor issued from inside a pool task also runs inline
+///    (no strand handoff), so composed layers cannot deadlock on the
+///    fixed-size pool.
+///
+/// The calling thread participates as strand 0; a pool of `num_threads`
+/// provides `num_threads - 1` helper threads. Work is handed out by a shared
+/// index counter, so uneven per-item costs balance dynamically. Tasks must
+/// not throw: an escaping exception terminates the process.
+///
+/// Thread-count configuration, in precedence order: the `--threads` CLI flag
+/// (which calls SetDefaultThreadCount), the MAROON_THREADS environment
+/// variable, else 1 (serial). Layers expose an `int threads` option where 0
+/// means "use the default" — see ResolveThreadCount.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` helper threads (clamped to [1, kMaxThreads]).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(strand, index) once per index in [0, count) across
+  /// min(width, num_threads(), count) strands and returns when every index
+  /// completed. Strand ids are dense in [0, width); the caller runs strand 0.
+  void ParallelFor(size_t count, int width,
+                   const std::function<void(int, size_t)>& fn);
+
+  /// ParallelFor at the pool's full width.
+  void ParallelFor(size_t count, const std::function<void(int, size_t)>& fn) {
+    ParallelFor(count, num_threads_, fn);
+  }
+
+  /// Maps [0, count) through `fn` into an index-ordered vector — the
+  /// deterministic fan-out/merge shape used by the linking layers.
+  template <typename T, typename Fn>
+  std::vector<T> ParallelMap(size_t count, int width, Fn&& fn) {
+    std::vector<T> results(count);
+    ParallelFor(count, width,
+                [&results, &fn](int /*strand*/, size_t i) {
+                  results[i] = fn(i);
+                });
+    return results;
+  }
+
+  /// Hard ceiling on configurable widths (sanity bound, not a target).
+  static constexpr int kMaxThreads = 256;
+
+  /// The process-wide default width: SetDefaultThreadCount() if called,
+  /// else MAROON_THREADS, else 1.
+  static int DefaultThreadCount();
+
+  /// Overrides the default width (the CLI's --threads lands here).
+  static void SetDefaultThreadCount(int count);
+
+  /// Resolves a per-call-site `threads` option: >= 1 is taken literally
+  /// (clamped to kMaxThreads); <= 0 means DefaultThreadCount().
+  static int ResolveThreadCount(int requested);
+
+  /// A process-wide pool of `num_threads` strands (0 = DefaultThreadCount()).
+  /// Pools are created on first use and intentionally leaked, mirroring the
+  /// obs singletons — helper threads live for the process.
+  static ThreadPool* Shared(int num_threads = 0);
+
+  /// True on a pool helper thread; ParallelFor uses this to run nested
+  /// parallel sections inline.
+  static bool OnWorkerThread();
+
+ private:
+  /// One in-flight ParallelFor: a shared index counter plus a count of
+  /// helper strands still running.
+  struct Batch {
+    size_t count = 0;
+    const std::function<void(int, size_t)>* fn = nullptr;
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int active_helpers = 0;  // guarded by mu
+  };
+
+  void WorkerLoop();
+  static void RunStrand(Batch* batch, int strand);
+
+  const int num_threads_;
+
+  /// Serializes external ParallelFor callers; one batch runs at a time.
+  std::mutex run_mu_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  Batch* batch_ = nullptr;   // guarded by mu_ (null = idle)
+  int strands_to_claim_ = 0; // guarded by mu_
+  bool shutdown_ = false;    // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_COMMON_THREAD_POOL_H_

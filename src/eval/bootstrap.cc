@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace maroon {
 
@@ -28,15 +30,43 @@ BootstrapInterval BootstrapMeanInterval(const std::vector<double>& values,
   }
 
   Random rng(seed);
+  const size_t n = values.size();
   std::vector<double> means;
-  means.reserve(resamples);
-  std::vector<double> resample(values.size());
-  for (size_t r = 0; r < resamples; ++r) {
-    for (size_t i = 0; i < values.size(); ++i) {
-      resample[i] = values[static_cast<size_t>(
-          rng.UniformInt(0, static_cast<int64_t>(values.size()) - 1))];
+  const int width = ThreadPool::ResolveThreadCount(0);
+  // The parallel path keeps bit-identical output: the single RNG draws
+  // every resample index serially in the exact (replicate, position) order
+  // of the serial loop, and each replicate's mean is the same ascending
+  // left-fold MeanOf computes. Only the embarrassingly parallel summing
+  // fans out. Huge index sets fall back to the serial loop rather than
+  // materializing them.
+  if (width <= 1 || resamples * n > (size_t{1} << 26)) {
+    means.reserve(resamples);
+    std::vector<double> resample(n);
+    for (size_t r = 0; r < resamples; ++r) {
+      for (size_t i = 0; i < n; ++i) {
+        resample[i] = values[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(n) - 1))];
+      }
+      means.push_back(MeanOf(resample));
     }
-    means.push_back(MeanOf(resample));
+  } else {
+    std::vector<uint32_t> indices(resamples * n);
+    for (size_t r = 0; r < resamples; ++r) {
+      for (size_t i = 0; i < n; ++i) {
+        indices[r * n + i] = static_cast<uint32_t>(
+            rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+      }
+    }
+    means.resize(resamples);
+    ThreadPool::Shared(width)->ParallelFor(
+        resamples, width, [&](int /*strand*/, size_t r) {
+          obs::PoolTaskScope task("pool.bootstrap_replicate");
+          double sum = 0.0;
+          for (size_t i = 0; i < n; ++i) {
+            sum += values[indices[r * n + i]];
+          }
+          means[r] = sum / static_cast<double>(n);
+        });
   }
   std::sort(means.begin(), means.end());
   const double alpha = (1.0 - confidence) / 2.0;

@@ -7,6 +7,7 @@
 #include "baselines/temporal_model.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "eval/bootstrap.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -193,10 +194,17 @@ ExperimentResult Experiment::Run(Method method) const {
   MeanAccumulator precision, recall, f1, accuracy, completeness;
   double phase1 = 0.0, phase2 = 0.0;
 
-  size_t evaluated = 0;
+  // Serial prepass: select the evaluated entities exactly as the serial
+  // loop would (same skip conditions, same max_eval_entities cutoff).
+  struct EvalEntry {
+    const EntityId* id;
+    const TargetEntity* target;
+    std::vector<const TemporalRecord*> candidates;
+  };
+  std::vector<EvalEntry> entries;
   for (const EntityId& id : test_entities_) {
     if (options_.max_eval_entities != 0 &&
-        evaluated >= options_.max_eval_entities) {
+        entries.size() >= options_.max_eval_entities) {
       break;
     }
     auto target_or = dataset_->target(id);
@@ -211,8 +219,34 @@ ExperimentResult Experiment::Run(Method method) const {
       candidates.push_back(&dataset_->record(rid));
     }
     if (candidates.empty()) continue;
+    entries.push_back(EvalEntry{&id, &target, std::move(candidates)});
+  }
 
-    PerEntityOutcome outcome = RunOne(method, id, target, candidates);
+  // Independent per-entity linkage, fanned out; outcomes land in their
+  // entry's slot, so the accumulation below is order-identical to the
+  // serial loop at any thread width.
+  std::vector<PerEntityOutcome> outcomes(entries.size());
+  const int width = ThreadPool::ResolveThreadCount(options_.threads);
+  const auto run_one = [&](size_t i) {
+    outcomes[i] =
+        RunOne(method, *entries[i].id, *entries[i].target,
+               entries[i].candidates);
+  };
+  if (width <= 1) {
+    for (size_t i = 0; i < entries.size(); ++i) run_one(i);
+  } else {
+    ThreadPool::Shared(width)->ParallelFor(
+        entries.size(), width, [&](int /*strand*/, size_t i) {
+          obs::PoolTaskScope task("pool.eval_entity");
+          run_one(i);
+        });
+  }
+
+  size_t evaluated = 0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const EntityId& id = *entries[i].id;
+    const TargetEntity& target = *entries[i].target;
+    PerEntityOutcome& outcome = outcomes[i];
 
     const PrecisionRecall pr = ComputePrecisionRecall(
         outcome.matched, dataset_->TrueMatchesOf(id));

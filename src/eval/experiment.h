@@ -58,6 +58,13 @@ struct ExperimentOptions {
   /// whose mentions carry typos).
   bool use_fuzzy_blocking = false;
 
+  /// Worker threads for the per-entity evaluation loop of Run() (and the
+  /// parameter sweeps built on it). <= 0 uses the process default
+  /// (--threads / MAROON_THREADS, else 1). Results are identical at every
+  /// width: entity selection and metric accumulation stay serial in test
+  /// order; only the independent per-entity linkage fans out.
+  int threads = 0;
+
   TransitionModelOptions transition;
   MaroonOptions maroon;
   AfdsOptions afds;

@@ -1,6 +1,8 @@
 #include "eval/sweep.h"
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace maroon {
 
@@ -34,15 +36,29 @@ SweepCurve RunParameterSweep(
   SweepCurve curve;
   curve.parameter_name = parameter_name;
   curve.method = method;
-  for (double value : values) {
+  // Sweep points are independent experiments over the same immutable
+  // dataset; fan them out and store each by index, so the curve is ordered
+  // exactly as the serial loop would produce it at any width. Nested
+  // parallelism is harmless: Experiment::Run on a pool strand falls back to
+  // its serial loop (ThreadPool never nests).
+  curve.points.resize(values.size());
+  const auto run_point = [&](size_t i) {
     ExperimentOptions options = base_options;
-    configure(options, value);
+    configure(options, values[i]);
     Experiment experiment(&dataset, options);
     experiment.Prepare();
-    SweepPoint point;
-    point.parameter = value;
-    point.result = experiment.Run(method);
-    curve.points.push_back(std::move(point));
+    curve.points[i].parameter = values[i];
+    curve.points[i].result = experiment.Run(method);
+  };
+  const int width = ThreadPool::ResolveThreadCount(base_options.threads);
+  if (width <= 1) {
+    for (size_t i = 0; i < values.size(); ++i) run_point(i);
+  } else {
+    ThreadPool::Shared(width)->ParallelFor(
+        values.size(), width, [&](int /*strand*/, size_t i) {
+          obs::PoolTaskScope task("pool.sweep_point");
+          run_point(i);
+        });
   }
   return curve;
 }

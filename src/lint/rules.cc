@@ -11,7 +11,7 @@ namespace {
 
 /// Rule ids, for validating allow(...) lists.
 const char* const kAllRules[] = {"R001", "R002", "R003", "R004",
-                                 "R005", "R006", "R007"};
+                                 "R005", "R006", "R007", "R008"};
 
 bool IsKnownRule(const std::string& rule) {
   return std::find(std::begin(kAllRules), std::end(kAllRules), rule) !=
@@ -94,6 +94,7 @@ class FileLinter {
     if (file_.is_header) CheckHeaderHygiene();  // R005
     CheckRawAssert();               // R006
     CheckSystemClockNow();          // R007
+    CheckRawThread();               // R008
   }
 
  private:
@@ -540,6 +541,26 @@ class FileLinter {
            "direct system_clock::now() outside src/obs/ and src/common/; "
            "use steady_clock for durations, or the sanctioned wall-clock "
            "helpers (obs::Iso8601UtcNow, MAROON_LOG timestamps)");
+    }
+  }
+
+  // ---------------------------------------------------------------- R008
+
+  void CheckRawThread() {
+    // Hand-rolled std::thread/std::jthread fan-out bypasses the project
+    // runtime: no --threads/MAROON_THREADS control, no nested-section
+    // inlining, no PoolTaskScope span attribution, and the TSan CI job only
+    // exercises pool-driven code paths. `#include <thread>` and
+    // std::this_thread remain fine — only thread *construction* is flagged.
+    if (StartsWith(file_.guard_path, "src/common/thread_pool.")) return;
+    for (size_t i = 0; i < Size(); ++i) {
+      if (!IsIdent(i, "thread") && !IsIdent(i, "jthread")) continue;
+      if (i < 2 || !IsPunct(i - 1, "::") || !IsIdent(i - 2, "std")) continue;
+      Emit("R008", Tok(i - 2),
+           "raw std::" + Tok(i).text +
+               " outside src/common/thread_pool.*; run parallel work "
+               "through maroon::ThreadPool so --threads, span attribution, "
+               "and TSan coverage stay accurate");
     }
   }
 

@@ -34,9 +34,15 @@ namespace lint {
 ///   R005  Header hygiene: include guard must match the MAROON_<PATH>_H_
 ///         convention; `using namespace` is forbidden in headers.
 ///   R006  Raw assert() outside src/common/ (use MAROON_CHECK/MAROON_DCHECK).
+///   R007  system_clock::now() outside src/obs/ and src/common/ (durations
+///         belong on steady_clock; wall clock only via sanctioned helpers).
+///   R008  std::thread/std::jthread construction outside
+///         src/common/thread_pool.* (parallel work goes through
+///         maroon::ThreadPool so --threads, span attribution, and TSan
+///         coverage stay accurate).
 
 struct Finding {
-  std::string rule;     // "R001".."R006"
+  std::string rule;     // "R001".."R008"
   std::string file;     // path as reported (repo-relative when possible)
   int line = 0;
   int col = 0;
@@ -65,7 +71,7 @@ std::set<std::string> CollectStatusFunctions(const std::vector<Token>& tokens);
 /// pattern (e.g. Status factory methods used as expressions).
 const std::set<std::string>& DefaultRegistryBlocklist();
 
-/// Runs rules R001-R006 over one file and appends findings. `registry` is
+/// Runs rules R001-R008 over one file and appends findings. `registry` is
 /// the union of CollectStatusFunctions over the whole scan.
 void LintFile(const SourceFile& file, const std::set<std::string>& registry,
               std::vector<Finding>* findings);

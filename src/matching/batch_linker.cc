@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace maroon {
 
 double BatchLinker::RecordProfileFit(const EntityProfile& profile,
@@ -33,20 +37,44 @@ BatchLinkResult BatchLinker::LinkAll(
     const Dataset& dataset, const std::vector<EntityId>& targets) const {
   BatchLinkResult result;
 
-  // Per-entity linkage, paper protocol.
-  for (const EntityId& id : targets) {
-    auto target = dataset.target(id);
-    if (!target.ok()) {
+  // Per-entity linkage, paper protocol. Entities are independent: each
+  // strand reads the shared immutable dataset/models and writes only its
+  // claimed slots of `linked`, so any interleaving produces the same slots.
+  // The merge below runs serially in input order, making the whole result
+  // identical at every thread width.
+  struct PerTarget {
+    bool linked = false;
+    LinkResult link;
+  };
+  std::vector<PerTarget> linked(targets.size());
+  const int width = ThreadPool::ResolveThreadCount(options_.threads);
+  MAROON_GAUGE("maroon.batch.link_threads")->Set(width);
+  const auto link_one = [&](size_t i) {
+    auto target = dataset.target(targets[i]);
+    if (!target.ok()) return;
+    std::vector<const TemporalRecord*> candidates;
+    for (RecordId rid : dataset.CandidatesFor(targets[i])) {
+      candidates.push_back(&dataset.record(rid));
+    }
+    linked[i].link = maroon_->Link((*target)->clean_profile, candidates);
+    linked[i].linked = true;
+  };
+  if (width <= 1) {
+    for (size_t i = 0; i < targets.size(); ++i) link_one(i);
+  } else {
+    ThreadPool::Shared(width)->ParallelFor(
+        targets.size(), width, [&](int /*strand*/, size_t i) {
+          obs::PoolTaskScope task("pool.link_entity");
+          link_one(i);
+        });
+  }
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (!linked[i].linked) {
       ++result.skipped_entities;
       continue;
     }
-    std::vector<const TemporalRecord*> candidates;
-    for (RecordId rid : dataset.CandidatesFor(id)) {
-      candidates.push_back(&dataset.record(rid));
-    }
-    LinkResult link = maroon_->Link((*target)->clean_profile, candidates);
-    result.skipped_candidates += link.skipped_candidates;
-    result.per_entity[id] = std::move(link);
+    result.skipped_candidates += linked[i].link.skipped_candidates;
+    result.per_entity[targets[i]] = std::move(linked[i].link);
   }
 
   // Collect claims.

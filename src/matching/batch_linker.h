@@ -15,6 +15,13 @@ struct BatchLinkOptions {
   /// to the entity whose augmented profile explains it best; the others drop
   /// it from their matched set.
   bool exclusive_assignment = true;
+
+  /// Worker threads for the per-entity linkage loop. <= 0 uses the process
+  /// default (--threads / MAROON_THREADS, else 1). The result is identical
+  /// at every width: entities link independently against the immutable
+  /// dataset and models, per-entity results merge in input order, and claim
+  /// collection plus conflict resolution stay serial.
+  int threads = 0;
 };
 
 /// The outcome of linking many targets over a shared record pool.

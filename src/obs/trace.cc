@@ -21,6 +21,13 @@ int& OpenSpanDepth() {
   return depth;
 }
 
+/// True while the thread is inside a PoolTaskScope; spans recorded then
+/// carry pool_worker attribution.
+bool& PoolWorkerFlag() {
+  thread_local bool pool_worker = false;
+  return pool_worker;
+}
+
 }  // namespace
 
 std::atomic<bool> Tracer::enabled_{false};
@@ -86,6 +93,11 @@ std::string Tracer::ToChromeTraceJson() const {
     w.Key("dur").Number(span.duration_us);
     w.Key("pid").Int(1);
     w.Key("tid").Int(span.tid);
+    if (span.pool_worker) {
+      w.Key("args").BeginObject();
+      w.Key("pool_worker").Int(1);
+      w.EndObject();
+    }
     w.EndObject();
   }
   w.EndArray();
@@ -97,7 +109,7 @@ double Tracer::RootSpanSeconds() const {
   double total_us = 0.0;
   std::lock_guard<std::mutex> lock(mu_);
   for (const SpanRecord& span : spans_) {
-    if (span.depth == 0) total_us += span.duration_us;
+    if (span.depth == 0 && !span.pool_worker) total_us += span.duration_us;
   }
   return total_us / 1e6;
 }
@@ -118,7 +130,35 @@ Span::~Span() {
   record.duration_us = Tracer::Global().NowMicros() - start_us_;
   record.tid = CurrentTid();
   record.depth = depth_;
+  record.pool_worker = PoolWorkerFlag();
   Tracer::Global().Record(std::move(record));
+}
+
+PoolTaskScope::PoolTaskScope(const char* name) : name_(name) {
+  if (!Tracer::Enabled()) return;
+  active_ = true;
+  // The task root occupies depth 0 on this thread; spans opened inside the
+  // task nest from depth 1. The previous depth (the caller strand's open
+  // spans, or garbage-free 0 on a helper) is restored on destruction.
+  saved_depth_ = OpenSpanDepth();
+  OpenSpanDepth() = 1;
+  saved_worker_ = PoolWorkerFlag();
+  PoolWorkerFlag() = true;
+  start_us_ = Tracer::Global().NowMicros();
+}
+
+PoolTaskScope::~PoolTaskScope() {
+  if (!active_) return;
+  SpanRecord record;
+  record.name = name_;
+  record.start_us = start_us_;
+  record.duration_us = Tracer::Global().NowMicros() - start_us_;
+  record.tid = CurrentTid();
+  record.depth = 0;
+  record.pool_worker = true;
+  Tracer::Global().Record(std::move(record));
+  OpenSpanDepth() = saved_depth_;
+  PoolWorkerFlag() = saved_worker_;
 }
 
 }  // namespace obs

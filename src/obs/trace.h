@@ -21,6 +21,10 @@ struct SpanRecord {
   int tid = 0;
   /// Nesting depth on its thread at the time the span opened (0 = root).
   int depth = 0;
+  /// True when the span was recorded inside a PoolTaskScope: its wall time
+  /// is already covered by the span of the thread that issued the parallel
+  /// section, so RootSpanSeconds() skips worker roots.
+  bool pool_worker = false;
 };
 
 /// A span-based tracer with Chrome trace_event JSON export
@@ -53,7 +57,9 @@ class Tracer {
   ///  "ts": ..., "dur": ..., "pid": 1, "tid": ...}, ...]}
   std::string ToChromeTraceJson() const;
 
-  /// Total wall time covered by root (depth 0) spans, in seconds.
+  /// Total wall time covered by root (depth 0) spans, in seconds. Pool-task
+  /// roots are excluded: they run concurrently under some caller's span, and
+  /// counting them would bill the same wall time twice.
   double RootSpanSeconds() const;
 
   /// Called by Span; records one completed span.
@@ -87,6 +93,38 @@ class Span {
   const char* name_;
   double start_us_ = 0.0;
   int depth_ = 0;
+  bool active_ = false;
+};
+
+/// Marks one task executed on behalf of a ThreadPool parallel section.
+///
+/// Spans on a pool helper thread would otherwise interleave with whatever
+/// depth state the thread last held; on the caller strand they would nest
+/// under the caller's open span and inherit its depth. This scope gives the
+/// task a fresh per-thread root instead: the task span records at depth 0
+/// with pool_worker set, spans opened inside it nest under that root, and on
+/// destruction the thread's previous depth is restored exactly, so the
+/// calling thread's span stack is never corrupted. Parallel call sites open
+/// one at the top of each task lambda:
+///
+///   pool->ParallelFor(n, width, [&](int strand, size_t i) {
+///     obs::PoolTaskScope task("pool.link_entity");
+///     ...
+///   });
+class PoolTaskScope {
+ public:
+  /// `name` must outlive the scope (string literals always do).
+  explicit PoolTaskScope(const char* name);
+  ~PoolTaskScope();
+
+  PoolTaskScope(const PoolTaskScope&) = delete;
+  PoolTaskScope& operator=(const PoolTaskScope&) = delete;
+
+ private:
+  const char* name_;
+  double start_us_ = 0.0;
+  int saved_depth_ = 0;
+  bool saved_worker_ = false;
   bool active_ = false;
 };
 

@@ -6,6 +6,7 @@
 
 #include "common/csv.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -24,6 +25,71 @@ ValueSet MapValueSet(const ValueMapper* mapper, const Attribute& attribute,
   return MakeValueSet(std::move(mapped));
 }
 
+/// One worker's private slice of the training counts for one attribute.
+/// Sharding is exact: Δt-transition counting is integer addition, which
+/// commutes, so merging shards in any grouping reproduces the serial counts
+/// bit for bit (and Finalize derives all doubles from those integers).
+struct TrainShard {
+  std::map<int64_t, TransitionTable> tables;
+  std::map<Value, int64_t> value_frequency;
+  int64_t max_lifespan = 0;
+  int64_t observations = 0;
+};
+
+/// Counts one profile's contribution for `attribute` into `shard`
+/// (Algorithm 1 over every ordered triple pair via Proposition 1).
+void CountProfileTransitions(const ValueMapper* mapper,
+                             const Attribute& attribute,
+                             const EntityProfile& profile, TrainShard* shard) {
+  const TemporalSequence& seq = profile.sequence(attribute);
+  if (seq.empty()) return;
+  shard->max_lifespan = std::max(shard->max_lifespan, seq.Lifespan());
+
+  // Value frequencies (instants-weighted) for the low-frequency fallback.
+  for (const Triple& tr : seq.triples()) {
+    const ValueSet mapped = MapValueSet(mapper, attribute, tr.values);
+    for (const Value& v : mapped) {
+      shard->value_frequency[v] += tr.interval.Length();
+    }
+  }
+
+  // Algorithm 1: every ordered pair of triples (b <= b'), every valid Δt,
+  // counted in closed form via Proposition 1.
+  const std::vector<Triple>& triples = seq.triples();
+  for (size_t i = 0; i < triples.size(); ++i) {
+    const Interval& first = triples[i].interval;
+    const ValueSet from = MapValueSet(mapper, attribute, triples[i].values);
+    for (size_t j = i; j < triples.size(); ++j) {
+      const Interval& second = triples[j].interval;
+      MAROON_DCHECK(first.begin <= second.begin);
+      const ValueSet to =
+          (j == i) ? from : MapValueSet(mapper, attribute,
+                                        triples[j].values);
+      const int64_t delta_min = std::max<int64_t>(
+          1, static_cast<int64_t>(second.begin) - first.end);
+      const int64_t delta_max =
+          static_cast<int64_t>(second.end) - first.begin;
+      for (int64_t delta = delta_min; delta <= delta_max; ++delta) {
+        // Proposition 1: number of instants x with x in [b, e] and
+        // x + Δt in [b', e'].
+        const int64_t lo = std::max<int64_t>(
+            first.begin, static_cast<int64_t>(second.begin) - delta);
+        const int64_t hi = std::min<int64_t>(
+            first.end, static_cast<int64_t>(second.end) - delta);
+        const int64_t occurrences = hi - lo + 1;
+        if (occurrences <= 0) continue;
+        ++shard->observations;
+        TransitionTable& table = shard->tables[delta];
+        for (const Value& v : from) {
+          for (const Value& w : to) {
+            table.Add(v, w, occurrences);
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 TransitionModel TransitionModel::Train(
@@ -35,58 +101,35 @@ TransitionModel TransitionModel::Train(
   const ValueMapper* mapper = model.options_.mapper.get();
   int64_t observations = 0;
 
+  const int width = ThreadPool::ResolveThreadCount(0);
+  ThreadPool* pool = width > 1 ? ThreadPool::Shared(width) : nullptr;
+
   for (const Attribute& attribute : attributes) {
     AttributeModel& am = model.attributes_[attribute];
 
-    for (const EntityProfile& profile : profiles) {
-      const TemporalSequence& seq = profile.sequence(attribute);
-      if (seq.empty()) continue;
-      am.max_lifespan = std::max(am.max_lifespan, seq.Lifespan());
-
-      // Value frequencies (instants-weighted) for the low-frequency fallback.
-      for (const Triple& tr : seq.triples()) {
-        const ValueSet mapped = MapValueSet(mapper, attribute, tr.values);
-        for (const Value& v : mapped) {
-          am.value_frequency[v] += tr.interval.Length();
-        }
+    std::vector<TrainShard> shards(pool != nullptr ? width : 1);
+    if (pool == nullptr) {
+      for (const EntityProfile& profile : profiles) {
+        CountProfileTransitions(mapper, attribute, profile, &shards[0]);
       }
+    } else {
+      pool->ParallelFor(profiles.size(), width, [&](int strand, size_t i) {
+        obs::PoolTaskScope task("pool.train_profile");
+        CountProfileTransitions(mapper, attribute, profiles[i],
+                                &shards[strand]);
+      });
+    }
 
-      // Algorithm 1: every ordered pair of triples (b <= b'), every valid Δt,
-      // counted in closed form via Proposition 1.
-      const std::vector<Triple>& triples = seq.triples();
-      for (size_t i = 0; i < triples.size(); ++i) {
-        const Interval& first = triples[i].interval;
-        const ValueSet from =
-            MapValueSet(mapper, attribute, triples[i].values);
-        for (size_t j = i; j < triples.size(); ++j) {
-          const Interval& second = triples[j].interval;
-          MAROON_DCHECK(first.begin <= second.begin);
-          const ValueSet to =
-              (j == i) ? from : MapValueSet(mapper, attribute,
-                                            triples[j].values);
-          const int64_t delta_min = std::max<int64_t>(
-              1, static_cast<int64_t>(second.begin) - first.end);
-          const int64_t delta_max =
-              static_cast<int64_t>(second.end) - first.begin;
-          for (int64_t delta = delta_min; delta <= delta_max; ++delta) {
-            // Proposition 1: number of instants x with x in [b, e] and
-            // x + Δt in [b', e'].
-            const int64_t lo = std::max<int64_t>(
-                first.begin, static_cast<int64_t>(second.begin) - delta);
-            const int64_t hi = std::min<int64_t>(
-                first.end, static_cast<int64_t>(second.end) - delta);
-            const int64_t occurrences = hi - lo + 1;
-            if (occurrences <= 0) continue;
-            ++observations;
-            TransitionTable& table = am.tables[delta];
-            for (const Value& v : from) {
-              for (const Value& w : to) {
-                table.Add(v, w, occurrences);
-              }
-            }
-          }
-        }
+    // Serial merge in strand order; see TrainShard on why this is exact.
+    for (TrainShard& shard : shards) {
+      am.max_lifespan = std::max(am.max_lifespan, shard.max_lifespan);
+      for (const auto& [value, count] : shard.value_frequency) {
+        am.value_frequency[value] += count;
       }
+      for (auto& [delta, table] : shard.tables) {
+        am.tables[delta].MergeFrom(table);
+      }
+      observations += shard.observations;
     }
 
     for (auto& [delta, table] : am.tables) table.Finalize();
@@ -96,6 +139,9 @@ TransitionModel TransitionModel::Train(
   MAROON_COUNTER("maroon.transition.attributes_trained")
       ->Add(static_cast<int64_t>(attributes.size()));
   MAROON_COUNTER("maroon.transition.delta_observations")->Add(observations);
+  if (model.options_.cache_probabilities) {
+    model.cache_ = std::make_shared<TransitionProbabilityCache>();
+  }
   return model;
 }
 
@@ -216,6 +262,34 @@ double TransitionModel::SetProbabilityImpl(
   return total / static_cast<double>(to.size());
 }
 
+SetFingerprint TransitionModel::FingerprintOf(
+    const std::vector<MappedValue>& set) {
+  SetFingerprintBuilder fp;
+  for (const MappedValue& mv : set) fp.Add(mv.value, mv.frequent);
+  return fp.fingerprint();
+}
+
+double TransitionModel::CachedSetProbability(
+    const TransitionTable* table, const std::vector<MappedValue>& from,
+    const std::vector<MappedValue>& to, const SetFingerprint& from_fp,
+    const SetFingerprint& to_fp) const {
+  if (cache_ == nullptr || table == nullptr || table->empty()) {
+    return SetProbabilityImpl(table, from, to);
+  }
+  static obs::Counter* hits = MAROON_COUNTER("maroon.transition.cache_hits");
+  static obs::Counter* misses =
+      MAROON_COUNTER("maroon.transition.cache_misses");
+  double value = 0.0;
+  if (cache_->Lookup(table->cache_salt(), from_fp, to_fp, &value)) {
+    hits->Add();
+    return value;
+  }
+  misses->Add();
+  value = SetProbabilityImpl(table, from, to);
+  cache_->Put(table->cache_salt(), from_fp, to_fp, value);
+  return value;
+}
+
 double TransitionModel::SetProbability(const Attribute& attribute,
                                        const ValueSet& from,
                                        const ValueSet& to,
@@ -226,9 +300,14 @@ double TransitionModel::SetProbability(const Attribute& attribute,
   if (attr_it == attributes_.end()) return 0.0;
   const AttributeModel& am = attr_it->second;
   if (delta == 0) return 1.0;  // Eq. 2 lifts to sets: every max term is 1.
-  return SetProbabilityImpl(ResolveTable(am, delta),
-                            MapSet(am, attribute, from),
-                            MapSet(am, attribute, to));
+  const std::vector<MappedValue> mapped_from = MapSet(am, attribute, from);
+  const std::vector<MappedValue> mapped_to = MapSet(am, attribute, to);
+  if (cache_ == nullptr) {
+    return SetProbabilityImpl(ResolveTable(am, delta), mapped_from, mapped_to);
+  }
+  return CachedSetProbability(ResolveTable(am, delta), mapped_from, mapped_to,
+                              FingerprintOf(mapped_from),
+                              FingerprintOf(mapped_to));
 }
 
 double TransitionModel::IntervalProbability(const Attribute& attribute,
@@ -242,9 +321,15 @@ double TransitionModel::IntervalProbability(const Attribute& attribute,
   if (attr_it == attributes_.end()) return 0.0;
   const AttributeModel& am = attr_it->second;
   // Resolve the attribute state once; the delta loops below only pick the
-  // per-delta table.
+  // per-delta table. Fingerprints are likewise computed once and reused for
+  // every delta (the backward terms swap them along with the sets).
   const std::vector<MappedValue> mapped_from = MapSet(am, attribute, from);
   const std::vector<MappedValue> mapped_to = MapSet(am, attribute, to);
+  SetFingerprint from_fp, to_fp;
+  if (cache_ != nullptr) {
+    from_fp = FingerprintOf(mapped_from);
+    to_fp = FingerprintOf(mapped_to);
+  }
 
   const int64_t pair_count = from_interval.Length() * to_interval.Length();
   double total = 0.0;
@@ -263,7 +348,8 @@ double TransitionModel::IntervalProbability(const Attribute& attribute,
       const int64_t multiplicity = hi - lo + 1;
       if (multiplicity <= 0) continue;
       total += static_cast<double>(multiplicity) *
-               SetProbabilityImpl(ResolveTable(am, d), mapped_from, mapped_to);
+               CachedSetProbability(ResolveTable(am, d), mapped_from,
+                                    mapped_to, from_fp, to_fp);
     }
   }
   // Backward terms: t' < t with gap g, contributing Pr(V', V, g) per Eq. 13.
@@ -280,7 +366,8 @@ double TransitionModel::IntervalProbability(const Attribute& attribute,
       const int64_t multiplicity = hi - lo + 1;
       if (multiplicity <= 0) continue;
       total += static_cast<double>(multiplicity) *
-               SetProbabilityImpl(ResolveTable(am, g), mapped_to, mapped_from);
+               CachedSetProbability(ResolveTable(am, g), mapped_to,
+                                    mapped_from, to_fp, from_fp);
     }
   }
   if (options_.include_zero_delta_terms && from_interval.Overlaps(to_interval)) {
@@ -443,6 +530,9 @@ Result<TransitionModel> TransitionModel::Deserialize(
   }
   for (auto& [attribute, am] : model.attributes_) {
     for (auto& [delta, table] : am.tables) table.Finalize();
+  }
+  if (model.options_.cache_probabilities) {
+    model.cache_ = std::make_shared<TransitionProbabilityCache>();
   }
   return model;
 }

@@ -1,10 +1,23 @@
 #include "transition/transition_table.h"
 
+#include <atomic>
 #include <tuple>
 
 #include "common/logging.h"
 
 namespace maroon {
+
+namespace {
+
+/// Each Finalize() takes the next id; salts are unique across all tables in
+/// the process, so a cache entry keyed on one can never alias another
+/// table's (or a stale generation of the same table's) probabilities.
+uint64_t NextCacheSalt() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 void TransitionTable::Add(const Value& from, const Value& to, int64_t count) {
   MAROON_DCHECK(count > 0);
@@ -12,7 +25,16 @@ void TransitionTable::Add(const Value& from, const Value& to, int64_t count) {
   rows_[from][to] += count;
 }
 
+void TransitionTable::MergeFrom(const TransitionTable& other) {
+  finalized_ = false;
+  for (const auto& [from, row] : other.rows_) {
+    auto& dest = rows_[from];
+    for (const auto& [to, count] : row) dest[to] += count;
+  }
+}
+
 void TransitionTable::Finalize() {
+  cache_salt_ = NextCacheSalt();
   row_sums_.clear();
   column_sums_.clear();
   min_row_probability_.clear();

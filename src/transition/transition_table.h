@@ -21,6 +21,12 @@ class TransitionTable {
   /// Adds `count` occurrences of the transition (from -> to).
   void Add(const Value& from, const Value& to, int64_t count);
 
+  /// Adds every entry of `other` into this table. Used to merge per-worker
+  /// count shards after parallel training; integer addition commutes, so the
+  /// merged table is identical to serially-built counts regardless of how
+  /// transitions were sharded. Requires Finalize() afterwards.
+  void MergeFrom(const TransitionTable& other);
+
   /// Precomputes row sums, column sums, totals, per-row minimum transition
   /// probabilities and the case-4 expected-change probability. Must be called
   /// after the last Add and before any probability query.
@@ -77,6 +83,11 @@ class TransitionTable {
   /// All entries as (from, to, count), ordered; for inspection and tests.
   std::vector<std::tuple<Value, Value, int64_t>> Entries() const;
 
+  /// Process-unique id stamped at Finalize(), 0 before the first Finalize().
+  /// The transition-probability cache keys entries on it, so re-finalizing a
+  /// mutated table invalidates cached probabilities computed against it.
+  uint64_t cache_salt() const { return cache_salt_; }
+
  private:
   // Deterministic ordering (std::map) keeps Entries() and debugging stable.
   std::map<Value, std::map<Value, int64_t>> rows_;
@@ -87,6 +98,7 @@ class TransitionTable {
   int64_t self_total_ = 0;
   double case4_diff_probability_ = 0.0;
   size_t num_entries_ = 0;
+  uint64_t cache_salt_ = 0;
   bool finalized_ = false;
 };
 

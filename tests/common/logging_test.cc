@@ -109,7 +109,7 @@ TEST(LoggingTest, ConcurrentWritersDoNotInterleaveWithinLines) {
   ::testing::internal::CaptureStderr();
   constexpr int kThreads = 8;
   constexpr int kLines = 25;
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // maroon-lint: allow(R008)
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([t] {
@@ -118,7 +118,7 @@ TEST(LoggingTest, ConcurrentWritersDoNotInterleaveWithinLines) {
       }
     });
   }
-  for (std::thread& t : threads) t.join();
+  for (std::thread& t : threads) t.join();  // maroon-lint: allow(R008)
   const std::string out = ::testing::internal::GetCapturedStderr();
   // Every captured line is one complete statement: starts with the severity
   // prefix and carries the "end" marker exactly once.

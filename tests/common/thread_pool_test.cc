@@ -1,0 +1,135 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace maroon {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> visits(kCount);
+  pool.ParallelFor(kCount, 4, [&](int /*strand*/, size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WidthOneRunsSeriallyInAscendingOrder) {
+  ThreadPool pool(4);
+  std::vector<size_t> order;
+  pool.ParallelFor(100, 1, [&](int strand, size_t i) {
+    EXPECT_EQ(strand, 0);
+    order.push_back(i);  // no synchronization needed: serial by contract
+  });
+  std::vector<size_t> expected(100);
+  std::iota(expected.begin(), expected.end(), size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, StrandIdsStayWithinWidth) {
+  ThreadPool pool(8);
+  std::atomic<int> max_strand{0};
+  pool.ParallelFor(500, 3, [&](int strand, size_t /*i*/) {
+    EXPECT_GE(strand, 0);
+    int seen = max_strand.load(std::memory_order_relaxed);
+    while (strand > seen &&
+           !max_strand.compare_exchange_weak(seen, strand)) {
+    }
+  });
+  EXPECT_LT(max_strand.load(), 3);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, 2, [&](int, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, NestedSectionsRunInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(8, 4, [&](int /*strand*/, size_t /*i*/) {
+    // A nested section on any strand must run inline (serially) rather
+    // than waiting on the already-busy pool.
+    pool.ParallelFor(10, 4, [&](int inner_strand, size_t /*j*/) {
+      EXPECT_EQ(inner_strand, 0);
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST(ThreadPoolTest, ParallelMapFillsResultsByIndex) {
+  ThreadPool pool(4);
+  const std::vector<int> squares =
+      pool.ParallelMap<int>(64, 4, [](size_t i) {
+        return static_cast<int>(i * i);
+      });
+  ASSERT_EQ(squares.size(), 64u);
+  for (size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ThreadPoolTest, SequentialBatchesReuseTheSamePool) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(100, 4, [&](int /*strand*/, size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 100u * 99u / 2u);
+  }
+}
+
+TEST(ThreadPoolTest, ResolveThreadCountPrefersExplicitRequest) {
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(3), 3);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(ThreadPool::kMaxThreads + 50),
+            ThreadPool::kMaxThreads);
+}
+
+TEST(ThreadPoolTest, SetDefaultThreadCountGovernsUnspecifiedWidth) {
+  ThreadPool::SetDefaultThreadCount(5);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(0), 5);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(-1), 5);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(2), 2);
+  ThreadPool::SetDefaultThreadCount(1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(0), 1);
+}
+
+TEST(ThreadPoolTest, SharedReturnsOneInstancePerWidth) {
+  ThreadPool* a = ThreadPool::Shared(3);
+  ThreadPool* b = ThreadPool::Shared(3);
+  ThreadPool* c = ThreadPool::Shared(2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadIsTrueInsideTasksAndFalseOutside) {
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+  ThreadPool pool(2);
+  std::atomic<int> inside{0};
+  // Every task — on the caller strand or a helper — counts as pool work, so
+  // nested sections always take the inline path.
+  pool.ParallelFor(64, 2, [&](int /*strand*/, size_t /*i*/) {
+    if (ThreadPool::OnWorkerThread()) {
+      inside.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+  EXPECT_EQ(inside.load(), 64);
+}
+
+}  // namespace
+}  // namespace maroon

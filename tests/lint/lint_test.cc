@@ -121,6 +121,32 @@ TEST(LintRuleTest, R007ExemptsObsAndCommon) {
   EXPECT_EQ(LintSource("tools/scratch.cpp", content).size(), 1u);
 }
 
+TEST(LintRuleTest, R008CatchesRawThreads) {
+  const LintResult result = LintFixture("r008_raw_thread.cc");
+  EXPECT_EQ(LinesOf(result, "R008"), (std::vector<int>{10, 15, 19}))
+      << Render(result);
+  EXPECT_EQ(result.findings.size(), 3u) << Render(result);
+}
+
+TEST(LintRuleTest, R008ExemptsThreadPool) {
+  const std::string content =
+      "#include <thread>\n"
+      "void F() { std::thread t([] {}); t.join(); }\n";
+  // Count R008 findings specifically: header paths also run R005 hygiene.
+  const auto r008_count = [&](const std::string& rel_path) {
+    size_t n = 0;
+    for (const Finding& f : LintSource(rel_path, content)) {
+      if (f.rule == "R008") ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(r008_count("src/common/thread_pool.cc"), 0u);
+  EXPECT_EQ(r008_count("src/common/thread_pool.h"), 0u);
+  EXPECT_EQ(r008_count("src/common/scratch.cc"), 1u);
+  EXPECT_EQ(r008_count("src/matching/scratch.cc"), 1u);
+  EXPECT_EQ(r008_count("tools/scratch.cpp"), 1u);
+}
+
 TEST(LintLexerTest, LiteralsAndCommentsAreNotCode) {
   // Violation-shaped text inside strings, raw strings, and comments must
   // never fire a rule.

@@ -1,0 +1,33 @@
+// Lint fixture (never compiled): R008 — raw std::thread/std::jthread
+// construction outside src/common/thread_pool.*. Scanned by lint_test; line
+// numbers below are asserted there.
+#include <thread>
+#include <vector>
+
+namespace maroon {
+
+void RawThreadFires() {
+  std::thread worker([] {});  // R008 expected on this line (10)
+  worker.join();
+}
+
+void RawJthreadFires() {
+  std::jthread helper([] {});  // R008 expected on this line (15)
+}
+
+void ThreadVectorFires() {
+  std::vector<std::thread> workers;  // R008 expected on this line (19)
+  for (auto& w : workers) w.join();
+}
+
+void SuppressedIsSilent() {
+  // maroon-lint: allow(R008)
+  std::thread quiet([] {});
+  quiet.join();
+}
+
+void ThisThreadIsClean() {
+  std::this_thread::yield();
+}
+
+}  // namespace maroon

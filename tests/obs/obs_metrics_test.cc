@@ -92,14 +92,14 @@ TEST_F(MetricsTest, ConcurrentCounterIncrementsLoseNothing) {
   Counter* c = MAROON_COUNTER("maroon.test.concurrent_counter");
   constexpr int kThreads = 8;
   constexpr int kPerThread = 10000;
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // maroon-lint: allow(R008)
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([c] {
       for (int i = 0; i < kPerThread; ++i) c->Add();
     });
   }
-  for (std::thread& t : threads) t.join();
+  for (std::thread& t : threads) t.join();  // maroon-lint: allow(R008)
   EXPECT_EQ(c->value(), kThreads * kPerThread);
 }
 
@@ -107,7 +107,7 @@ TEST_F(MetricsTest, ConcurrentHistogramRecordsLoseNothing) {
   Histogram h({0.5, 1.0});
   constexpr int kThreads = 8;
   constexpr int kPerThread = 2000;
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // maroon-lint: allow(R008)
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&h, t] {
@@ -115,7 +115,7 @@ TEST_F(MetricsTest, ConcurrentHistogramRecordsLoseNothing) {
       for (int i = 0; i < kPerThread; ++i) h.Record(value);
     });
   }
-  for (std::thread& t : threads) t.join();
+  for (std::thread& t : threads) t.join();  // maroon-lint: allow(R008)
   const HistogramSnapshot s = h.Snapshot();
   EXPECT_EQ(s.count, kThreads * kPerThread);
   EXPECT_EQ(s.counts[0], kThreads / 2 * kPerThread);

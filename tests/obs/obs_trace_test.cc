@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "obs/json.h"
 
 namespace maroon {
@@ -69,6 +71,7 @@ TEST_F(TraceTest, SiblingSpansKeepTheirOpeningOrder) {
 TEST_F(TraceTest, SpansFromOtherThreadsGetDistinctTids) {
   {
     MAROON_TRACE_SPAN("test.main_thread");
+    // maroon-lint: allow(R008)
     std::thread worker([] { MAROON_TRACE_SPAN("test.worker_thread"); });
     worker.join();
   }
@@ -122,6 +125,121 @@ TEST_F(TraceTest, ChromeTraceJsonIsValidAndComplete) {
   }
   EXPECT_EQ(events->array[0].Find("name")->string_value, "test.parent");
   EXPECT_EQ(events->array[1].Find("name")->string_value, "test.child");
+}
+
+TEST_F(TraceTest, PoolTaskScopeAttributesSpansPerWorker) {
+  {
+    MAROON_TRACE_SPAN("test.caller");
+    ThreadPool pool(4);
+    pool.ParallelFor(8, 4, [&](int /*strand*/, size_t /*i*/) {
+      PoolTaskScope task("pool.test_task");
+      MAROON_TRACE_SPAN("test.inner_work");
+    });
+  }
+  const std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  // 1 caller span + 8 task roots + 8 inner spans.
+  ASSERT_EQ(spans.size(), 17u);
+
+  size_t task_roots = 0;
+  size_t inner = 0;
+  size_t caller_roots = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.name == "pool.test_task") {
+      ++task_roots;
+      // Every task gets a fresh per-thread root — even tasks on the caller
+      // strand, whose thread already has "test.caller" open.
+      EXPECT_EQ(span.depth, 0);
+      EXPECT_TRUE(span.pool_worker);
+    } else if (span.name == "test.inner_work") {
+      ++inner;
+      // Spans inside a task nest under the task root, not the caller span,
+      // and carry the pool_worker mark: their wall time is pool work too.
+      EXPECT_EQ(span.depth, 1);
+      EXPECT_TRUE(span.pool_worker);
+    } else {
+      ++caller_roots;
+      EXPECT_EQ(span.name, "test.caller");
+      EXPECT_EQ(span.depth, 0);
+      EXPECT_FALSE(span.pool_worker);
+    }
+  }
+  EXPECT_EQ(task_roots, 8u);
+  EXPECT_EQ(inner, 8u);
+  EXPECT_EQ(caller_roots, 1u);
+
+  // Each inner span shares its task root's tid (per-worker attribution).
+  std::map<int, int> open_root_tids;
+  for (const SpanRecord& span : spans) {
+    if (span.name == "pool.test_task") open_root_tids[span.tid]++;
+  }
+  for (const SpanRecord& span : spans) {
+    if (span.name == "test.inner_work") {
+      EXPECT_TRUE(open_root_tids.count(span.tid))
+          << "inner span on tid " << span.tid << " has no task root";
+    }
+  }
+}
+
+TEST_F(TraceTest, PoolTaskScopeRestoresTheCallerSpanStack) {
+  {
+    MAROON_TRACE_SPAN("test.outer");
+    ThreadPool pool(2);
+    pool.ParallelFor(4, 2, [&](int /*strand*/, size_t /*i*/) {
+      PoolTaskScope task("pool.test_task");
+    });
+    // After the section the caller's depth state must be back: this span is
+    // a child of test.outer, not a root.
+    { MAROON_TRACE_SPAN("test.after_section"); }
+  }
+  for (const SpanRecord& span : Tracer::Global().Snapshot()) {
+    if (span.name == "test.after_section") {
+      EXPECT_EQ(span.depth, 1);
+    }
+    if (span.name == "test.outer") {
+      EXPECT_EQ(span.depth, 0);
+    }
+  }
+}
+
+TEST_F(TraceTest, RootSpanSecondsSkipsPoolTaskRoots) {
+  {
+    MAROON_TRACE_SPAN("test.caller");
+    ThreadPool pool(4);
+    pool.ParallelFor(16, 4, [&](int /*strand*/, size_t /*i*/) {
+      PoolTaskScope task("pool.test_task");
+    });
+  }
+  double caller_seconds = 0.0;
+  for (const SpanRecord& span : Tracer::Global().Snapshot()) {
+    if (span.name == "test.caller") caller_seconds = span.duration_us / 1e6;
+  }
+  // Worker roots overlap the caller span; counting them would double-bill
+  // the same wall time. RootSpanSeconds must equal the caller span alone.
+  EXPECT_DOUBLE_EQ(Tracer::Global().RootSpanSeconds(), caller_seconds);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonTagsPoolWorkerSpans) {
+  {
+    ThreadPool pool(4);
+    pool.ParallelFor(4, 4, [&](int /*strand*/, size_t /*i*/) {
+      PoolTaskScope task("pool.test_task");
+    });
+    MAROON_TRACE_SPAN("test.plain");
+  }
+  auto parsed = ParseJson(Tracer::Global().ToChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 5u);
+  for (const JsonValue& event : events->array) {
+    const JsonValue* args = event.Find("args");
+    if (event.Find("name")->string_value == "pool.test_task") {
+      ASSERT_NE(args, nullptr);
+      EXPECT_DOUBLE_EQ(args->Find("pool_worker")->number_value, 1.0);
+    } else {
+      EXPECT_EQ(args, nullptr);
+    }
+  }
 }
 
 }  // namespace

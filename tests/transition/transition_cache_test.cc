@@ -1,0 +1,183 @@
+#include "transition/transition_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/time_types.h"
+#include "core/value.h"
+#include "transition/transition_model.h"
+
+namespace maroon {
+namespace {
+
+const Attribute kTitle = "Title";
+
+EntityProfile MakeTitleProfile(
+    const std::string& id,
+    std::initializer_list<std::tuple<TimePoint, TimePoint, Value>> spells) {
+  EntityProfile p(id, id);
+  TemporalSequence& seq = p.sequence(kTitle);
+  for (const auto& [b, e, v] : spells) {
+    EXPECT_TRUE(seq.Append(Triple(b, e, MakeValueSet({v}))).ok());
+  }
+  return p;
+}
+
+ProfileSet CareerProfiles() {
+  ProfileSet profiles;
+  profiles.push_back(MakeTitleProfile(
+      "David", {{2000, 2002, "Engineer"}, {2003, 2009, "Manager"}}));
+  profiles.push_back(MakeTitleProfile("Tom", {{2000, 2001, "Engineer"},
+                                              {2002, 2003, "Analyst"},
+                                              {2004, 2005, "Manager"}}));
+  profiles.push_back(MakeTitleProfile("Ann", {{2001, 2004, "Analyst"},
+                                              {2005, 2008, "Director"}}));
+  return profiles;
+}
+
+// ----------------------------------------------------------- cache unit
+
+TEST(TransitionProbabilityCacheTest, MissThenHitRoundTrips) {
+  TransitionProbabilityCache cache(8);
+  SetFingerprintBuilder from, to;
+  from.Add("Engineer", true);
+  to.Add("Manager", true);
+  double value = -1.0;
+  EXPECT_FALSE(
+      cache.Lookup(1, from.fingerprint(), to.fingerprint(), &value));
+  cache.Put(1, from.fingerprint(), to.fingerprint(), 0.625);
+  ASSERT_TRUE(
+      cache.Lookup(1, from.fingerprint(), to.fingerprint(), &value));
+  EXPECT_EQ(value, 0.625);  // maroon-lint: allow(R003) — exact bits cached
+}
+
+TEST(TransitionProbabilityCacheTest, KeyIsOrderDependent) {
+  TransitionProbabilityCache cache(8);
+  SetFingerprintBuilder a, b;
+  a.Add("Engineer", true);
+  b.Add("Manager", true);
+  cache.Put(7, a.fingerprint(), b.fingerprint(), 0.25);
+  double value = -1.0;
+  // (to, from) must be a distinct entry: Eq. 12 is not symmetric.
+  EXPECT_FALSE(cache.Lookup(7, b.fingerprint(), a.fingerprint(), &value));
+  ASSERT_TRUE(cache.Lookup(7, a.fingerprint(), b.fingerprint(), &value));
+  EXPECT_EQ(value, 0.25);  // maroon-lint: allow(R003) — exact bits cached
+}
+
+TEST(TransitionProbabilityCacheTest, SaltSeparatesTables) {
+  TransitionProbabilityCache cache(8);
+  SetFingerprintBuilder a, b;
+  a.Add("Engineer", true);
+  b.Add("Manager", true);
+  cache.Put(1, a.fingerprint(), b.fingerprint(), 0.5);
+  double value = -1.0;
+  EXPECT_FALSE(cache.Lookup(2, a.fingerprint(), b.fingerprint(), &value));
+}
+
+TEST(TransitionProbabilityCacheTest, FingerprintSeparatesFrequencyFlag) {
+  SetFingerprintBuilder frequent, rare;
+  frequent.Add("Engineer", true);
+  rare.Add("Engineer", false);
+  EXPECT_NE(frequent.fingerprint().a, rare.fingerprint().a);
+}
+
+TEST(TransitionProbabilityCacheTest, FingerprintSeparatesElementBoundaries) {
+  SetFingerprintBuilder ab_c, a_bc;
+  ab_c.Add("ab", true);
+  ab_c.Add("c", true);
+  a_bc.Add("a", true);
+  a_bc.Add("bc", true);
+  EXPECT_NE(ab_c.fingerprint().a, a_bc.fingerprint().a);
+}
+
+TEST(TransitionProbabilityCacheTest, ProbeWindowExhaustionDropsSilently) {
+  // A 2-slot cache overflows quickly; Put must neither crash nor evict.
+  TransitionProbabilityCache cache(1);
+  for (int i = 0; i < 64; ++i) {
+    SetFingerprintBuilder fp;
+    fp.Add("v" + std::to_string(i), true);
+    cache.Put(1, fp.fingerprint(), fp.fingerprint(), 0.5);
+  }
+  EXPECT_LE(cache.SizeForTest(), 2u);
+}
+
+TEST(TransitionProbabilityCacheTest, ConcurrentMixedReadWriteIsSafe) {
+  TransitionProbabilityCache cache(12);
+  ThreadPool pool(4);
+  std::atomic<int> wrong_values{0};
+  // 4 strands race inserts and lookups over 256 overlapping keys; any hit
+  // must return the exact value every writer stores for that key.
+  pool.ParallelFor(4096, 4, [&](int /*strand*/, size_t i) {
+    const int key = static_cast<int>(i % 256);
+    SetFingerprintBuilder fp;
+    fp.Add("value" + std::to_string(key), key % 2 == 0);
+    const double expected = static_cast<double>(key) / 256.0;
+    cache.Put(9, fp.fingerprint(), fp.fingerprint(), expected);
+    double got = -1.0;
+    if (cache.Lookup(9, fp.fingerprint(), fp.fingerprint(), &got) &&
+        got != expected) {  // maroon-lint: allow(R003) — exact bits cached
+      wrong_values.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(wrong_values.load(), 0);
+}
+
+// -------------------------------------------- model-level equivalence
+
+TEST(TransitionCacheModelTest, CachedMatchesUncachedExactly) {
+  TransitionModelOptions cached_options;
+  cached_options.cache_probabilities = true;
+  TransitionModelOptions uncached_options;
+  uncached_options.cache_probabilities = false;
+  const TransitionModel cached =
+      TransitionModel::Train(CareerProfiles(), {kTitle}, cached_options);
+  const TransitionModel uncached =
+      TransitionModel::Train(CareerProfiles(), {kTitle}, uncached_options);
+
+  const std::vector<ValueSet> sets = {
+      MakeValueSet({"Engineer"}), MakeValueSet({"Manager"}),
+      MakeValueSet({"Analyst", "Director"}), MakeValueSet({"Unseen"})};
+  const std::vector<Interval> intervals = {Interval(2000, 2002),
+                                           Interval(2003, 2006),
+                                           Interval(2001, 2008)};
+  for (const ValueSet& from : sets) {
+    for (const ValueSet& to : sets) {
+      for (int64_t delta = 1; delta <= 6; ++delta) {
+        // Query twice so the second cached pass exercises cache hits.
+        const double u = uncached.SetProbability(kTitle, from, to, delta);
+        EXPECT_EQ(cached.SetProbability(kTitle, from, to, delta), u);
+        EXPECT_EQ(cached.SetProbability(kTitle, from, to, delta), u);
+      }
+      for (const Interval& fi : intervals) {
+        for (const Interval& ti : intervals) {
+          const double u =
+              uncached.IntervalProbability(kTitle, from, to, fi, ti);
+          EXPECT_EQ(cached.IntervalProbability(kTitle, from, to, fi, ti), u);
+          EXPECT_EQ(cached.IntervalProbability(kTitle, from, to, fi, ti), u);
+        }
+      }
+    }
+  }
+}
+
+TEST(TransitionCacheModelTest, ShardedTrainingMatchesSerialSerialization) {
+  // The serialized model is a total, canonical rendering of the learnt
+  // state; byte equality proves 1-thread and 8-thread training build
+  // identical tables, frequencies, and lifespans.
+  ThreadPool::SetDefaultThreadCount(1);
+  const TransitionModel serial =
+      TransitionModel::Train(CareerProfiles(), {kTitle});
+  ThreadPool::SetDefaultThreadCount(8);
+  const TransitionModel sharded =
+      TransitionModel::Train(CareerProfiles(), {kTitle});
+  ThreadPool::SetDefaultThreadCount(1);
+  EXPECT_EQ(serial.Serialize(), sharded.Serialize());
+}
+
+}  // namespace
+}  // namespace maroon

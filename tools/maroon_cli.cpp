@@ -23,6 +23,10 @@
 // invalid records are quarantined (with counters printed) instead of
 // aborting the load.
 //
+// Any command accepts --threads=N to fan the training / linking /
+// evaluation loops over N pool workers (default: MAROON_THREADS, else 1);
+// outputs are identical at every N.
+//
 // Observability (any command):
 //   --metrics-out=FILE  write the metrics registry snapshot as JSON
 //   --trace-out=FILE    enable span tracing, write Chrome trace_event JSON
@@ -36,6 +40,7 @@
 
 #include "common/flags.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/dataset_io.h"
 #include "core/profile_algebra.h"
 #include "core/validation.h"
@@ -83,6 +88,11 @@ int Usage() {
          "\n"
          "  --lenient quarantines malformed rows/records instead of failing\n"
          "  the load, printing quarantine counters.\n"
+         "\n"
+         "  Global flags (any command):\n"
+         "  --threads=N          worker threads for training, linking, and\n"
+         "                       evaluation (default: MAROON_THREADS or 1;\n"
+         "                       results are identical at every N)\n"
          "\n"
          "  Observability flags (any command):\n"
          "  --metrics-out=FILE   write the metrics snapshot as JSON\n"
@@ -443,6 +453,10 @@ int Main(int argc, char** argv) {
   if (flags.positional().empty()) return Usage();
   const std::string& command = flags.positional()[0];
   if (flags.Has("trace-out")) obs::Tracer::SetEnabled(true);
+  const int64_t threads = flags.GetIntOr("threads", 0);
+  if (threads > 0) {
+    ThreadPool::SetDefaultThreadCount(static_cast<int>(threads));
+  }
   int code = 0;
   {
     // Top-level span so the exported trace covers the full command wall

@@ -27,8 +27,12 @@
 #      "method": "MAROON"|"MUTA+AFDS",
 #      "phase1_s": N, "phase2_s": N, "total_s": N, "entities": N},
 #     {"bench": "scaling", "corpus": "recruitment", "method": "MAROON",
-#      "entities": N, "records": N, "train_s": N, "link_total_s": N,
-#      "per_entity_ms": N},
+#      "entities": N, "records": N, "threads": N, "train_s": N,
+#      "link_total_s": N, "per_entity_ms": N},
+#     {"bench": "thread_sweep", "corpus": "dblp", "method": "MAROON",
+#      "threads": 1|2|4|8, "train_wall_s": N, "eval_wall_s": N,
+#      "batch_wall_s": N, "total_wall_s": N, "result_hash": N,
+#      "entities": N},
 #     ...
 #   ],
 #   "overhead": {
@@ -36,8 +40,18 @@
 #     "metrics_off_total_s": N,   # sum of fig7 total_s, MAROON_METRICS=off
 #     "metrics_on_total_s": N,    # same with metrics on (tracing off)
 #     "overhead_pct": N           # 100 * (on - off) / off; target <= 3
+#   },
+#   "thread_sweep": {
+#     "bench": "thread_sweep",
+#     "host_cores": N,            # nproc on the machine that ran the sweep
+#     "total_wall_s_1t": N,       # thread_sweep total at --threads=1
+#     "total_wall_s_8t": N,       # same at --threads=8
+#     "speedup_8v1": N            # 1t / 8t; bounded by host_cores
 #   }
 # }
+#
+# The sweep hard-fails if the four thread_sweep result_hash values differ:
+# every thread count must compute the identical batch assignment.
 #
 # Timings are machine-dependent: the committed baseline is for spotting
 # gross regressions and schema drift, not a calibrated benchmark.
@@ -120,6 +134,48 @@ OVERHEAD_PCT="$(awk -v off="$OFF_TOTAL" -v on="$ON_TOTAL" 'BEGIN {
 }')"
 echo "metrics off ${OFF_TOTAL}s, on ${ON_TOTAL}s, overhead ${OVERHEAD_PCT}%"
 
+# Thread-sweep equality gate: the four widths must produce the identical
+# batch assignment (result_hash), or the parallel path is nondeterministic.
+extract_field() {
+  awk -v field="$2" '
+    index($0, "\"bench\": \"thread_sweep\"") == 0 { next }
+    {
+      pat = "\"" field "\": "
+      i = index($0, pat)
+      if (i == 0) next
+      rest = substr($0, i + length(pat))
+      sub(/[,}].*/, "", rest)
+      print rest + 0
+    }
+  ' "$1"
+}
+HASHES="$(extract_field "$WORK/rows.jsonl" result_hash | sort -u | wc -l)"
+if [ "$HASHES" -ne 1 ]; then
+  echo "FAIL: thread_sweep result_hash differs across thread counts" >&2
+  extract_field "$WORK/rows.jsonl" result_hash >&2
+  exit 1
+fi
+SWEEP_1T="$(awk '
+  index($0, "\"bench\": \"thread_sweep\"") == 0 { next }
+  index($0, "\"threads\": 1,") == 0 { next }
+  {
+    i = index($0, "\"total_wall_s\": ")
+    rest = substr($0, i + 16); sub(/[,}].*/, "", rest); print rest + 0
+  }' "$WORK/rows.jsonl")"
+SWEEP_8T="$(awk '
+  index($0, "\"bench\": \"thread_sweep\"") == 0 { next }
+  index($0, "\"threads\": 8,") == 0 { next }
+  {
+    i = index($0, "\"total_wall_s\": ")
+    rest = substr($0, i + 16); sub(/[,}].*/, "", rest); print rest + 0
+  }' "$WORK/rows.jsonl")"
+HOST_CORES="$(nproc 2>/dev/null || echo 1)"
+SPEEDUP="$(awk -v one="$SWEEP_1T" -v eight="$SWEEP_8T" 'BEGIN {
+  if (eight <= 0) { printf "0"; exit }
+  printf "%.2f", one / eight
+}')"
+echo "thread sweep: 1t ${SWEEP_1T}s, 8t ${SWEEP_8T}s, speedup ${SPEEDUP}x (host cores: ${HOST_CORES})"
+
 {
   printf '{\n'
   printf '  "schema": "maroon_bench_runtime_v1",\n'
@@ -128,8 +184,10 @@ echo "metrics off ${OFF_TOTAL}s, on ${ON_TOTAL}s, overhead ${OVERHEAD_PCT}%"
   awk 'NR > 1 { printf ",\n" } { printf "    %s", $0 } END { printf "\n" }' \
     "$WORK/rows.jsonl"
   printf '  ],\n'
-  printf '  "overhead": {"bench": "fig7_runtime", "metrics_off_total_s": %s, "metrics_on_total_s": %s, "overhead_pct": %s}\n' \
+  printf '  "overhead": {"bench": "fig7_runtime", "metrics_off_total_s": %s, "metrics_on_total_s": %s, "overhead_pct": %s},\n' \
     "$OFF_TOTAL" "$ON_TOTAL" "$OVERHEAD_PCT"
+  printf '  "thread_sweep": {"bench": "thread_sweep", "host_cores": %s, "total_wall_s_1t": %s, "total_wall_s_8t": %s, "speedup_8v1": %s}\n' \
+    "$HOST_CORES" "$SWEEP_1T" "$SWEEP_8T" "$SPEEDUP"
   printf '}\n'
 } > "$OUT"
 echo "wrote $OUT"
