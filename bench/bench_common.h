@@ -63,7 +63,10 @@ inline void PrintHeader(const std::string& title) {
 /// Appends one JSONL row to the file named by MAROON_BENCH_JSON (no-op when
 /// the variable is unset). tools/run_bench.sh collects these rows into
 /// BENCH_runtime.json; each row is
-///   {"bench": ..., <label: string>..., <value: number>...}.
+///   {"schema": "maroon_bench_runtime_v1", "bench": ...,
+///    <label: string>..., <value: number>...}.
+/// The per-row schema tag lets run_bench.sh (and any other consumer)
+/// validate each row before assembling the document.
 inline void EmitBenchRow(
     const std::string& bench,
     std::initializer_list<std::pair<const char*, std::string>> labels,
@@ -72,6 +75,7 @@ inline void EmitBenchRow(
   if (path == nullptr || *path == '\0') return;
   obs::JsonWriter w;
   w.BeginObject();
+  w.Key("schema").String("maroon_bench_runtime_v1");
   w.Key("bench").String(bench);
   for (const auto& [key, value] : labels) w.Key(key).String(value);
   for (const auto& [key, value] : values) w.Key(key).Number(value);

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <iostream>
@@ -15,6 +16,7 @@
 #include "common/thread_pool.h"
 #include "matching/batch_linker.h"
 #include "matching/maroon.h"
+#include "obs/latency_histogram.h"
 
 namespace maroon::bench {
 namespace {
@@ -102,7 +104,8 @@ void PrintThreadSweep() {
 
 void PrintScaling() {
   PrintHeader("Scaling: MAROON cost vs corpus size (Recruitment)");
-  std::cout << "entities  records  train_s  link_total_s  per_entity_ms\n";
+  std::cout << "entities  records  train_s  link_total_s  per_entity_ms  "
+               "p50_ms  p95_ms  p99_ms  p999_ms\n";
   for (size_t entities : {100, 300, 900}) {
     RecruitmentOptions data_options;
     data_options.seed = 2015;
@@ -123,10 +126,22 @@ void PrintScaling() {
     const double per_entity_ms =
         1000.0 * r.total_seconds() /
         static_cast<double>(r.entities_evaluated);
+    // Tail latency from the exact per-entity samples (not the histogram
+    // estimate): the scaling story is mean AND tail, since one slow name
+    // cluster can dominate the wall clock.
+    std::vector<double> latencies = r.per_entity_link_seconds;
+    std::sort(latencies.begin(), latencies.end());
+    const double p50_ms = 1e3 * obs::PercentileOfSorted(latencies, 0.50);
+    const double p95_ms = 1e3 * obs::PercentileOfSorted(latencies, 0.95);
+    const double p99_ms = 1e3 * obs::PercentileOfSorted(latencies, 0.99);
+    const double p999_ms = 1e3 * obs::PercentileOfSorted(latencies, 0.999);
     std::cout << "  " << entities << "      " << dataset.NumRecords()
               << "    " << FormatDouble(train_seconds, 2) << "     "
               << FormatDouble(r.total_seconds(), 3) << "         "
-              << FormatDouble(per_entity_ms, 2) << "\n";
+              << FormatDouble(per_entity_ms, 2) << "        "
+              << FormatDouble(p50_ms, 2) << "   " << FormatDouble(p95_ms, 2)
+              << "   " << FormatDouble(p99_ms, 2) << "   "
+              << FormatDouble(p999_ms, 2) << "\n";
     EmitBenchRow("scaling", {{"corpus", "recruitment"}, {"method", "MAROON"}},
                  {{"entities", static_cast<double>(entities)},
                   {"records", static_cast<double>(dataset.NumRecords())},
@@ -134,7 +149,11 @@ void PrintScaling() {
                    static_cast<double>(ThreadPool::DefaultThreadCount())},
                   {"train_s", train_seconds},
                   {"link_total_s", r.total_seconds()},
-                  {"per_entity_ms", per_entity_ms}});
+                  {"per_entity_ms", per_entity_ms},
+                  {"per_entity_p50_ms", p50_ms},
+                  {"per_entity_p95_ms", p95_ms},
+                  {"per_entity_p99_ms", p99_ms},
+                  {"per_entity_p999_ms", p999_ms}});
   }
 }
 

@@ -153,6 +153,36 @@ int ThreadPool::ResolveThreadCount(int requested) {
   return DefaultThreadCount();
 }
 
+PeriodicTimer::PeriodicTimer(std::chrono::milliseconds period,
+                             std::function<void()> fn)
+    : period_(period), fn_(std::move(fn)), worker_([this] { Loop(); }) {}
+
+PeriodicTimer::~PeriodicTimer() { Stop(); }
+
+void PeriodicTimer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void PeriodicTimer::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, period_, [this] { return stop_; })) return;
+    // Run the callback unlocked so it can take its own locks (the metrics
+    // registry's, a file sink's) without ordering against ours.
+    lock.unlock();
+    fn_();
+    ticks_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+    if (stop_) return;
+  }
+}
+
 ThreadPool* ThreadPool::Shared(int num_threads) {
   const int width = ResolveThreadCount(num_threads);
   // Leaked like the obs singletons: helper threads live for the process, so

@@ -2,8 +2,10 @@
 #define MAROON_COMMON_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -118,6 +120,42 @@ class ThreadPool {
   int strands_to_claim_ = 0; // guarded by mu_
   bool shutdown_ = false;    // guarded by mu_
   std::vector<std::thread> workers_;
+};
+
+/// A background thread invoking `fn` every `period` until Stop() or
+/// destruction — the timer primitive behind long-lived maintenance work
+/// (the obs layer's periodic metrics snapshots). Lives with ThreadPool
+/// because thread construction is confined to src/common/thread_pool.*
+/// (lint rule R008): everything else schedules through this runtime.
+///
+/// The first invocation fires one period after construction; Stop() wakes
+/// the worker immediately, so destruction never waits out a period. `fn`
+/// runs on the timer thread and must not throw.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(std::chrono::milliseconds period, std::function<void()> fn);
+  ~PeriodicTimer();
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Stops and joins the timer thread; idempotent. No invocation of `fn`
+  /// is in flight once Stop() returns.
+  void Stop();
+
+  /// Completed invocations of `fn` so far.
+  int64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  const std::chrono::milliseconds period_;
+  const std::function<void()> fn_;
+  std::atomic<int64_t> ticks_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;  // guarded by mu_
+  std::thread worker_;
 };
 
 }  // namespace maroon

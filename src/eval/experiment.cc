@@ -266,6 +266,13 @@ ExperimentResult Experiment::Run(Method method) const {
 
     phase1 += outcome.phase1_seconds;
     phase2 += outcome.phase2_seconds;
+    // Tail-latency sample per entity, from timings the methods already
+    // measured — no extra clock reads on this path.
+    const double link_seconds =
+        outcome.phase1_seconds + outcome.phase2_seconds;
+    result.per_entity_link_seconds.push_back(link_seconds);
+    MAROON_LATENCY("maroon.experiment.entity_link_seconds")
+        ->Record(link_seconds);
     ++evaluated;
   }
 

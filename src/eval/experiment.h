@@ -91,6 +91,9 @@ struct ExperimentResult {
   std::vector<double> per_entity_f1;
   std::vector<double> per_entity_accuracy;
   std::vector<double> per_entity_completeness;
+  /// Per-entity linkage wall time (phase 1 + phase 2), same order as the
+  /// metric vectors; feed to PercentileOfSorted for tail-latency rows.
+  std::vector<double> per_entity_link_seconds;
 
   double total_seconds() const { return phase1_seconds + phase2_seconds; }
   std::string ToString() const;

@@ -10,8 +10,8 @@ namespace lint {
 namespace {
 
 /// Rule ids, for validating allow(...) lists.
-const char* const kAllRules[] = {"R001", "R002", "R003", "R004",
-                                 "R005", "R006", "R007", "R008"};
+const char* const kAllRules[] = {"R001", "R002", "R003", "R004", "R005",
+                                 "R006", "R007", "R008", "R009"};
 
 bool IsKnownRule(const std::string& rule) {
   return std::find(std::begin(kAllRules), std::end(kAllRules), rule) !=
@@ -95,6 +95,7 @@ class FileLinter {
     CheckRawAssert();               // R006
     CheckSystemClockNow();          // R007
     CheckRawThread();               // R008
+    CheckStdEndl();                 // R009
   }
 
  private:
@@ -561,6 +562,28 @@ class FileLinter {
                " outside src/common/thread_pool.*; run parallel work "
                "through maroon::ThreadPool so --threads, span attribution, "
                "and TSan coverage stay accurate");
+    }
+  }
+
+  // ---------------------------------------------------------------- R009
+
+  void CheckStdEndl() {
+    // std::endl flushes on every use; in the pipeline's hot emitters (bench
+    // rows, JSONL snapshots, lint output over hundreds of files) that turns
+    // buffered writes into one syscall per line. Library and pipeline code
+    // must use "\n" and flush explicitly where durability matters. Tests
+    // and tools print small amounts interactively, so they are exempt —
+    // except their fixture trees, which exist to exercise the rule.
+    const bool exempt = (StartsWith(file_.guard_path, "tests/") ||
+                         StartsWith(file_.guard_path, "tools/")) &&
+                        file_.guard_path.find("testdata") == std::string::npos;
+    if (exempt) return;
+    for (size_t i = 0; i < Size(); ++i) {
+      if (!IsIdent(i, "endl")) continue;
+      if (i < 2 || !IsPunct(i - 1, "::") || !IsIdent(i - 2, "std")) continue;
+      Emit("R009", Tok(i - 2),
+           "std::endl forces a flush per line; stream \"\\n\" and flush "
+           "explicitly (out.flush()) only where durability requires it");
     }
   }
 

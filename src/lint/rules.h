@@ -40,9 +40,12 @@ namespace lint {
 ///         src/common/thread_pool.* (parallel work goes through
 ///         maroon::ThreadPool so --threads, span attribution, and TSan
 ///         coverage stay accurate).
+///   R009  std::endl outside tests/ and tools/ (flushes per line; stream
+///         "\n" and flush explicitly where durability matters). Fixture
+///         trees (paths containing "testdata") are not exempt.
 
 struct Finding {
-  std::string rule;     // "R001".."R008"
+  std::string rule;     // "R001".."R009"
   std::string file;     // path as reported (repo-relative when possible)
   int line = 0;
   int col = 0;
@@ -71,7 +74,7 @@ std::set<std::string> CollectStatusFunctions(const std::vector<Token>& tokens);
 /// pattern (e.g. Status factory methods used as expressions).
 const std::set<std::string>& DefaultRegistryBlocklist();
 
-/// Runs rules R001-R008 over one file and appends findings. `registry` is
+/// Runs rules R001-R009 over one file and appends findings. `registry` is
 /// the union of CollectStatusFunctions over the whole scan.
 void LintFile(const SourceFile& file, const std::set<std::string>& registry,
               std::vector<Finding>* findings);

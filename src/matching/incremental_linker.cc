@@ -1,8 +1,19 @@
 #include "matching/incremental_linker.h"
 
+#include <chrono>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace maroon {
+
+namespace {
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+}  // namespace
 
 IncrementalLinker::IncrementalLinker(const Maroon* maroon,
                                      EntityProfile clean_profile)
@@ -11,6 +22,12 @@ IncrementalLinker::IncrementalLinker(const Maroon* maroon,
       current_(std::move(clean_profile)) {}
 
 Status IncrementalLinker::Observe(TemporalRecord record) {
+  // Ingest latency is worth a histogram sample even though the path is
+  // cheap: a p999 spike here means vector growth or allocator stalls in the
+  // streaming path. Clock reads are skipped while metrics are off.
+  const bool timed = obs::MetricsRegistry::Enabled();
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point();
   if (record.values().empty()) {
     ++rejected_;
     return Status::InvalidArgument("record " + std::to_string(record.id()) +
@@ -18,10 +35,17 @@ Status IncrementalLinker::Observe(TemporalRecord record) {
   }
   records_.push_back(std::move(record));
   ++pending_;
+  if (timed) {
+    MAROON_LATENCY("maroon.incremental.observe_seconds")
+        ->Record(SecondsSince(start));
+  }
   return Status::OK();
 }
 
 LinkResult IncrementalLinker::Flush() {
+  const bool timed = obs::MetricsRegistry::Enabled();
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point();
   std::vector<const TemporalRecord*> candidates;
   candidates.reserve(records_.size());
   for (const TemporalRecord& r : records_) candidates.push_back(&r);
@@ -32,6 +56,14 @@ LinkResult IncrementalLinker::Flush() {
   current_ = result.match.augmented_profile;
   linked_ = result.match.matched_records;
   pending_ = 0;
+  if (timed) {
+    const double seconds = SecondsSince(start);
+    MAROON_LATENCY("maroon.incremental.flush_seconds")->Record(seconds);
+    if (!candidates.empty()) {
+      MAROON_LATENCY("maroon.incremental.record_link_seconds")
+          ->Record(seconds / static_cast<double>(candidates.size()));
+    }
+  }
   return result;
 }
 

@@ -118,7 +118,8 @@ bool MetricsRegistry::Enabled() {
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  MAROON_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0)
+  MAROON_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0 &&
+               latency_histograms_.count(name) == 0)
       << "metric '" << name << "' already registered with another kind";
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
@@ -127,7 +128,8 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  MAROON_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0)
+  MAROON_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0 &&
+               latency_histograms_.count(name) == 0)
       << "metric '" << name << "' already registered with another kind";
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
@@ -137,10 +139,22 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
   std::lock_guard<std::mutex> lock(mu_);
-  MAROON_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0)
+  MAROON_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0 &&
+               latency_histograms_.count(name) == 0)
       << "metric '" << name << "' already registered with another kind";
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetLatencyHistogram(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MAROON_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0 &&
+               histograms_.count(name) == 0)
+      << "metric '" << name << "' already registered with another kind";
+  auto& slot = latency_histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
   return slot.get();
 }
 
@@ -155,6 +169,9 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   }
   for (const auto& [name, histogram] : histograms_) {
     snapshot.histograms[name] = histogram->Snapshot();
+  }
+  for (const auto& [name, histogram] : latency_histograms_) {
+    snapshot.latency_histograms[name] = histogram->Snapshot();
   }
   return snapshot;
 }
@@ -190,6 +207,22 @@ std::string MetricsRegistry::SnapshotJson() const {
     w.EndObject();
   }
   w.EndObject();
+  w.Key("latency_histograms").BeginObject();
+  for (const auto& [name, h] : snapshot.latency_histograms) {
+    w.Key(name).BeginObject();
+    w.Key("count").Int(h.count);
+    w.Key("sum").Number(h.sum);
+    w.Key("min").Number(h.min);
+    w.Key("max").Number(h.max);
+    w.Key("mean").Number(h.Mean());
+    w.Key("p50").Number(h.P50());
+    w.Key("p90").Number(h.P90());
+    w.Key("p95").Number(h.P95());
+    w.Key("p99").Number(h.P99());
+    w.Key("p999").Number(h.P999());
+    w.EndObject();
+  }
+  w.EndObject();
   w.EndObject();
   return w.text();
 }
@@ -199,6 +232,7 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, histogram] : latency_histograms_) histogram->Reset();
 }
 
 }  // namespace obs

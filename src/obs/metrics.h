@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/latency_histogram.h"
+
 namespace maroon {
 namespace obs {
 
@@ -113,17 +115,27 @@ class MetricsRegistry {
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+  /// Log-bucketed latency histogram with a lock-free record path — the
+  /// right kind for per-record / per-entity latencies (the mutexed
+  /// fixed-bucket Histogram stays for coarse-grained scores and sizes).
+  LatencyHistogram* GetLatencyHistogram(const std::string& name);
 
   struct Snapshot {
     std::map<std::string, int64_t> counters;
     std::map<std::string, double> gauges;
     std::map<std::string, HistogramSnapshot> histograms;
+    std::map<std::string, LatencyHistogramSnapshot> latency_histograms;
   };
   Snapshot TakeSnapshot() const;
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {"count": ...,
   ///  "sum": ..., "min": ..., "max": ..., "mean": ..., "bounds": [...],
-  ///  "counts": [...]}}}
+  ///  "counts": [...]}}, "latency_histograms": {name: {"count": ...,
+  ///  "sum": ..., "min": ..., "max": ..., "mean": ..., "p50": ...,
+  ///  "p90": ..., "p95": ..., "p99": ..., "p999": ...}}}
+  ///
+  /// Latency histograms serialize as their percentile digest, not their
+  /// ~2800 raw buckets; use TakeSnapshot() for bucket-level access.
   std::string SnapshotJson() const;
 
   /// Zeroes every registered metric (names stay registered). Tests and the
@@ -137,6 +149,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> latency_histograms_;
 };
 
 }  // namespace obs
@@ -150,5 +163,7 @@ class MetricsRegistry {
   ::maroon::obs::MetricsRegistry::Global().GetGauge(name)
 #define MAROON_HISTOGRAM(name, bounds) \
   ::maroon::obs::MetricsRegistry::Global().GetHistogram(name, bounds)
+#define MAROON_LATENCY(name) \
+  ::maroon::obs::MetricsRegistry::Global().GetLatencyHistogram(name)
 
 #endif  // MAROON_OBS_METRICS_H_

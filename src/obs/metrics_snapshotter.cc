@@ -1,0 +1,83 @@
+#include "obs/metrics_snapshotter.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace maroon {
+namespace obs {
+
+MetricsSnapshotWriter::MetricsSnapshotWriter(
+    const MetricsSnapshotWriterOptions& options)
+    : start_(std::chrono::steady_clock::now()),
+      out_(options.path, std::ios::binary | std::ios::trunc) {
+  if (!out_) {
+    status_ = Status::IOError("cannot open " + options.path + " for writing");
+  }
+  const double period_s = std::max(options.period_s, 0.01);
+  timer_ = std::make_unique<PeriodicTimer>(
+      std::chrono::milliseconds(static_cast<int64_t>(period_s * 1000.0)),
+      [this] { WriteRow(); });
+}
+
+MetricsSnapshotWriter::~MetricsSnapshotWriter() { Stop(); }
+
+void MetricsSnapshotWriter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+  }
+  timer_->Stop();  // joins; no WriteRow is in flight afterwards
+  WriteRow();      // closing state, so short runs still get one row
+  std::lock_guard<std::mutex> lock(mu_);
+  stopped_ = true;
+  out_.flush();
+  if (!out_ && status_.ok()) {
+    status_ = Status::IOError("failed writing metrics snapshot file");
+  }
+}
+
+int64_t MetricsSnapshotWriter::rows_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_written_;
+}
+
+Status MetricsSnapshotWriter::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+void MetricsSnapshotWriter::WriteRow() {
+  // Snapshot outside mu_: the registry serializes itself and can be slow;
+  // only the file append needs our lock.
+  const double t_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const std::string metrics = MetricsRegistry::Global().SnapshotJson();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_ || !status_.ok()) return;
+  JsonWriter head;
+  head.BeginObject();
+  head.Key("schema").String("maroon_metrics_snapshot_v1");
+  head.Key("seq").Int(rows_written_);
+  head.Key("t_s").Number(t_s);
+  // Splice the registry's own JSON in verbatim rather than re-serializing,
+  // matching BuildRunReportJson.
+  std::string row = head.text();
+  row += ", \"metrics\": ";
+  row += metrics;
+  row += "}\n";
+  out_ << row;
+  out_.flush();
+  if (!out_) {
+    status_ = Status::IOError("failed writing metrics snapshot row");
+    return;
+  }
+  ++rows_written_;
+}
+
+}  // namespace obs
+}  // namespace maroon

@@ -1,0 +1,75 @@
+#ifndef MAROON_OBS_METRICS_SNAPSHOTTER_H_
+#define MAROON_OBS_METRICS_SNAPSHOTTER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace maroon {
+namespace obs {
+
+/// Periodic metrics time series: while alive, appends one JSONL row with the
+/// global registry's full snapshot every `period_s` seconds, so a long batch
+/// run leaves behind the *trajectory* of its counters and latency
+/// percentiles, not just the end state. One row per line, schema
+/// `maroon_metrics_snapshot_v1`:
+///
+///   {"schema": "maroon_metrics_snapshot_v1", "seq": 0, "t_s": 10.0,
+///    "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...},
+///                "latency_histograms": {...}}}
+///
+/// `t_s` is steady-clock seconds since the writer started; `seq` ascends
+/// from 0. Stop() (also run by the destructor) writes one final row so the
+/// series always ends with the run's closing state, even for runs shorter
+/// than a period.
+///
+/// The ticking thread comes from maroon::PeriodicTimer — thread construction
+/// stays confined to src/common/thread_pool.* (lint rule R008). I/O errors
+/// don't throw: the first failure is latched into status() and later rows
+/// are skipped.
+struct MetricsSnapshotWriterOptions {
+  std::string path;        // JSONL output file (truncated on start)
+  double period_s = 10.0;  // snapshot period; clamped to >= 0.01
+};
+
+class MetricsSnapshotWriter {
+ public:
+  explicit MetricsSnapshotWriter(const MetricsSnapshotWriterOptions& options);
+  ~MetricsSnapshotWriter();
+
+  MetricsSnapshotWriter(const MetricsSnapshotWriter&) = delete;
+  MetricsSnapshotWriter& operator=(const MetricsSnapshotWriter&) = delete;
+
+  /// Stops the timer and writes the final row; idempotent. The output file
+  /// is complete once this returns.
+  void Stop();
+
+  /// Rows successfully written so far (periodic rows plus the final one).
+  int64_t rows_written() const;
+
+  /// OK, or the first I/O error encountered.
+  Status status() const;
+
+ private:
+  void WriteRow();
+
+  const std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+  std::ofstream out_;        // guarded by mu_
+  Status status_;            // guarded by mu_
+  int64_t rows_written_ = 0; // guarded by mu_
+  bool stopped_ = false;     // guarded by mu_
+  // Last member: the timer thread may call WriteRow immediately.
+  std::unique_ptr<PeriodicTimer> timer_;
+};
+
+}  // namespace obs
+}  // namespace maroon
+
+#endif  // MAROON_OBS_METRICS_SNAPSHOTTER_H_

@@ -1,0 +1,101 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace maroon {
+namespace obs {
+
+namespace {
+
+/// Prometheus sample values: shortest round-trip decimal form ("%g" is
+/// enough for exposition; counts are integers and print as such).
+std::string PromNumber(double value) {
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      std::abs(value) < 1e15) {  // maroon-lint: allow(R003)
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+void EmitHeader(const std::string& name, const char* type, std::string* out) {
+  out->append("# HELP ").append(name).append(" MAROON pipeline metric\n");
+  out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+void EmitBucketLine(const std::string& name, const std::string& le,
+                    int64_t cumulative, std::string* out) {
+  out->append(name)
+      .append("_bucket{le=\"")
+      .append(le)
+      .append("\"} ")
+      .append(std::to_string(cumulative))
+      .append("\n");
+}
+
+void EmitSumCount(const std::string& name, double sum, int64_t count,
+                  std::string* out) {
+  out->append(name).append("_sum ").append(PromNumber(sum)).append("\n");
+  out->append(name).append("_count ").append(std::to_string(count)).append(
+      "\n");
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(name[i]);
+    const bool ok = std::isalpha(c) || c == '_' || c == ':' ||
+                    (i > 0 && std::isdigit(c));
+    out += ok ? name[i] : '_';
+  }
+  return out.empty() ? "_" : out;
+}
+
+std::string PrometheusText(const MetricsRegistry::Snapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    EmitHeader(prom, "counter", &out);
+    out.append(prom).append(" ").append(std::to_string(value)).append("\n");
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    EmitHeader(prom, "gauge", &out);
+    out.append(prom).append(" ").append(PromNumber(value)).append("\n");
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string prom = PrometheusName(name);
+    EmitHeader(prom, "histogram", &out);
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.counts.size() ? h.counts[i] : 0;
+      EmitBucketLine(prom, PromNumber(h.bounds[i]), cumulative, &out);
+    }
+    EmitBucketLine(prom, "+Inf", h.count, &out);
+    EmitSumCount(prom, h.sum, h.count, &out);
+  }
+  for (const auto& [name, h] : snapshot.latency_histograms) {
+    const std::string prom = PrometheusName(name);
+    EmitHeader(prom, "histogram", &out);
+    for (const double bound : LatencySecondsBuckets()) {
+      EmitBucketLine(prom, PromNumber(bound), h.CountAtOrBelow(bound), &out);
+    }
+    EmitBucketLine(prom, "+Inf", h.count, &out);
+    EmitSumCount(prom, h.sum, h.count, &out);
+  }
+  return out;
+}
+
+std::string PrometheusTextFromGlobal() {
+  return PrometheusText(MetricsRegistry::Global().TakeSnapshot());
+}
+
+}  // namespace obs
+}  // namespace maroon

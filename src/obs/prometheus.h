@@ -1,0 +1,42 @@
+#ifndef MAROON_OBS_PROMETHEUS_H_
+#define MAROON_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace maroon {
+namespace obs {
+
+/// Prometheus text exposition (format version 0.0.4) for the metrics
+/// registry — the scrape surface for a future `maroon_cli serve` mode, and
+/// already writable per run via `maroon_cli --metrics-prom-out=FILE`.
+///
+/// Mapping:
+///  - metric names: dots become underscores (`maroon.phase1.confidence`
+///    -> `maroon_phase1_confidence`); every series gets `# TYPE` and
+///    `# HELP` headers;
+///  - counters / gauges: one sample line each;
+///  - fixed-bucket histograms: cumulative `name_bucket{le="<bound>"}`
+///    series over the registered bounds plus `le="+Inf"`, then `name_sum`
+///    and `name_count`;
+///  - latency histograms: the same shape, downsampled to the
+///    LatencySecondsBuckets() ladder (1e-5 * 4^k) — Prometheus does not
+///    need the ~2800 fine buckets to reconstruct quantiles at scrape
+///    resolution.
+///
+/// Renders from `snapshot`, so one consistent snapshot can feed both the
+/// JSON and the Prometheus artifacts.
+std::string PrometheusText(const MetricsRegistry::Snapshot& snapshot);
+
+/// PrometheusText over the global registry's current snapshot.
+std::string PrometheusTextFromGlobal();
+
+/// A metric name sanitized to Prometheus conventions:
+/// [a-zA-Z_:][a-zA-Z0-9_:]*; every other byte becomes '_'.
+std::string PrometheusName(const std::string& name);
+
+}  // namespace obs
+}  // namespace maroon
+
+#endif  // MAROON_OBS_PROMETHEUS_H_

@@ -89,6 +89,18 @@ std::string RenderRunReportText(const RunReportOptions& options) {
          << " max=" << FormatDouble(h.max, 4) << "\n";
     }
   }
+  if (!snapshot.latency_histograms.empty()) {
+    os << "latency (ms):\n";
+    for (const auto& [name, h] : snapshot.latency_histograms) {
+      os << "  " << name << ": count=" << h.count
+         << " p50=" << FormatDouble(h.P50() * 1e3, 3)
+         << " p90=" << FormatDouble(h.P90() * 1e3, 3)
+         << " p95=" << FormatDouble(h.P95() * 1e3, 3)
+         << " p99=" << FormatDouble(h.P99() * 1e3, 3)
+         << " p999=" << FormatDouble(h.P999() * 1e3, 3)
+         << " max=" << FormatDouble(h.max * 1e3, 3) << "\n";
+    }
+  }
   os << "trace: " << Tracer::Global().span_count() << " span(s), "
      << FormatDouble(Tracer::Global().RootSpanSeconds(), 3)
      << "s in root spans ("

@@ -18,7 +18,8 @@ namespace obs {
 ///     "schema": "maroon_run_report_v1",
 ///     "generated_at": "2015-06-04T12:00:00Z",   // "" when suppressed
 ///     "config": {"command": "link", "data": "corpus/", ...},
-///     "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
+///     "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...},
+///                 "latency_histograms": {...}},
 ///     "trace": {"enabled": true, "span_count": 42,
 ///               "root_span_seconds": 1.25}
 ///   }
@@ -38,7 +39,8 @@ struct RunReportOptions {
 std::string BuildRunReportJson(const RunReportOptions& options = {});
 
 /// A human-readable summary table of the same snapshot: config, non-zero
-/// counters, gauges, histogram digests, and trace totals.
+/// counters, gauges, histogram digests, latency percentiles (p50..p999, in
+/// milliseconds), and trace totals.
 std::string RenderRunReportText(const RunReportOptions& options = {});
 
 /// Writes `content` to `path` atomically enough for CLI use (truncate +

@@ -147,6 +147,26 @@ TEST(LintRuleTest, R008ExemptsThreadPool) {
   EXPECT_EQ(r008_count("tools/scratch.cpp"), 1u);
 }
 
+TEST(LintRuleTest, R009CatchesStdEndl) {
+  const LintResult result = LintFixture("r009_endl.cc");
+  EXPECT_EQ(LinesOf(result, "R009"), (std::vector<int>{9, 13}))
+      << Render(result);
+  EXPECT_EQ(result.findings.size(), 2u) << Render(result);
+}
+
+TEST(LintRuleTest, R009ExemptsTestsAndToolsButNotTestdata) {
+  const std::string content =
+      "#include <iostream>\n"
+      "void F() { std::cout << 1 << std::endl; }\n";
+  EXPECT_EQ(LintSource("src/obs/scratch.cc", content).size(), 1u);
+  EXPECT_EQ(LintSource("src/core/scratch.cc", content).size(), 1u);
+  EXPECT_TRUE(LintSource("tests/obs/scratch_test.cc", content).empty());
+  EXPECT_TRUE(LintSource("tools/scratch.cpp", content).empty());
+  // Fixture trees under tests/ and tools/ exist to exercise the rules, so
+  // the exemption does not reach them.
+  EXPECT_EQ(LintSource("tests/lint/testdata/scratch.cc", content).size(), 1u);
+}
+
 TEST(LintLexerTest, LiteralsAndCommentsAreNotCode) {
   // Violation-shaped text inside strings, raw strings, and comments must
   // never fire a rule.

@@ -1,0 +1,34 @@
+// Lint fixture (never compiled): R009 — std::endl outside tests/ and
+// tools/. Scanned by lint_test; line numbers below are asserted there. This
+// file lives under testdata, which the rule deliberately does not exempt.
+#include <iostream>
+
+namespace maroon {
+
+void EndlFires() {
+  std::cout << "row" << std::endl;  // R009 expected on this line (9)
+}
+
+void QualifiedOnlyFires() {
+  std::cerr << 42 << std::endl;  // R009 expected on this line (13)
+}
+
+void SuppressedIsSilent() {
+  // maroon-lint: allow(R009)
+  std::cout << "quiet" << std::endl;
+}
+
+void NewlineIsClean() {
+  std::cout << "row\n";
+  std::cout.flush();
+}
+
+void UnqualifiedEndlIsClean() {
+  // A member or local named endl is not the std manipulator.
+  struct Logger {
+    int endl = 0;
+  } logger;
+  logger.endl = 1;
+}
+
+}  // namespace maroon

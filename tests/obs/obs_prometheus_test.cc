@@ -1,0 +1,127 @@
+#include "obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace maroon {
+namespace obs {
+namespace {
+
+class PrometheusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::SetEnabled(true);
+    MetricsRegistry::Global().ResetAll();
+  }
+  void TearDown() override {
+    MetricsRegistry::Global().ResetAll();
+    MetricsRegistry::SetEnabled(true);
+  }
+};
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST_F(PrometheusTest, NameSanitizesToPrometheusCharset) {
+  EXPECT_EQ(PrometheusName("maroon.phase1.clusters_formed"),
+            "maroon_phase1_clusters_formed");
+  EXPECT_EQ(PrometheusName("maroon.link.entity_seconds"),
+            "maroon_link_entity_seconds");
+  EXPECT_EQ(PrometheusName("weird-name:ok/2"), "weird_name:ok_2");
+  // Leading digit is not a valid first character.
+  EXPECT_EQ(PrometheusName("9lives"), "_lives");
+}
+
+TEST_F(PrometheusTest, CountersAndGaugesRenderOneSampleEach) {
+  MetricsRegistry::Snapshot snapshot;
+  snapshot.counters["maroon.test.rows"] = 42;
+  snapshot.gauges["maroon.test.ratio"] = 0.5;
+  const std::string text = PrometheusText(snapshot);
+  EXPECT_TRUE(Contains(text, "# TYPE maroon_test_rows counter")) << text;
+  EXPECT_TRUE(Contains(text, "# HELP maroon_test_rows ")) << text;
+  EXPECT_TRUE(Contains(text, "maroon_test_rows 42\n")) << text;
+  EXPECT_TRUE(Contains(text, "# TYPE maroon_test_ratio gauge")) << text;
+  EXPECT_TRUE(Contains(text, "maroon_test_ratio 0.5\n")) << text;
+}
+
+TEST_F(PrometheusTest, FixedHistogramRendersCumulativeBuckets) {
+  MetricsRegistry::Snapshot snapshot;
+  HistogramSnapshot h;
+  h.bounds = {1.0, 2.0, 4.0};
+  h.counts = {3, 2, 0, 1};  // last is overflow (> 4.0)
+  h.count = 6;
+  h.sum = 9.5;
+  snapshot.histograms["maroon.test.sizes"] = h;
+  const std::string text = PrometheusText(snapshot);
+  EXPECT_TRUE(Contains(text, "# TYPE maroon_test_sizes histogram")) << text;
+  // Buckets are cumulative, not per-bin.
+  EXPECT_TRUE(Contains(text, "maroon_test_sizes_bucket{le=\"1\"} 3\n"))
+      << text;
+  EXPECT_TRUE(Contains(text, "maroon_test_sizes_bucket{le=\"2\"} 5\n"))
+      << text;
+  EXPECT_TRUE(Contains(text, "maroon_test_sizes_bucket{le=\"4\"} 5\n"))
+      << text;
+  EXPECT_TRUE(Contains(text, "maroon_test_sizes_bucket{le=\"+Inf\"} 6\n"))
+      << text;
+  EXPECT_TRUE(Contains(text, "maroon_test_sizes_sum 9.5\n")) << text;
+  EXPECT_TRUE(Contains(text, "maroon_test_sizes_count 6\n")) << text;
+}
+
+TEST_F(PrometheusTest, LatencyHistogramDownsamplesToScrapeLadder) {
+  LatencyHistogram h;
+  h.Record(0.00005);  // 50us
+  h.Record(0.003);    // 3ms
+  h.Record(0.003);
+  h.Record(2.0);      // 2s
+  MetricsRegistry::Snapshot snapshot;
+  snapshot.latency_histograms["maroon.test.link_seconds"] = h.Snapshot();
+  const std::string text = PrometheusText(snapshot);
+  EXPECT_TRUE(Contains(text, "# TYPE maroon_test_link_seconds histogram"))
+      << text;
+  // The ladder is LatencySecondsBuckets(): 1e-5 * 4^k. Spot-check the
+  // cumulative counts at a few rungs against CountAtOrBelow semantics.
+  EXPECT_TRUE(
+      Contains(text, "maroon_test_link_seconds_bucket{le=\"1e-05\"} 0\n"))
+      << text;
+  EXPECT_TRUE(
+      Contains(text, "maroon_test_link_seconds_bucket{le=\"0.00016\"} 1\n"))
+      << text;
+  EXPECT_TRUE(
+      Contains(text, "maroon_test_link_seconds_bucket{le=\"0.01024\"} 3\n"))
+      << text;
+  EXPECT_TRUE(
+      Contains(text, "maroon_test_link_seconds_bucket{le=\"+Inf\"} 4\n"))
+      << text;
+  EXPECT_TRUE(Contains(text, "maroon_test_link_seconds_count 4\n")) << text;
+  // Every rung of the ladder plus +Inf is present exactly once.
+  size_t rungs = 0;
+  size_t pos = 0;
+  const std::string needle = "maroon_test_link_seconds_bucket{le=";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++rungs;
+    pos += needle.size();
+  }
+  EXPECT_EQ(rungs, LatencySecondsBuckets().size() + 1);
+}
+
+TEST_F(PrometheusTest, GlobalRenderPicksUpRegisteredMetrics) {
+  MAROON_COUNTER("maroon.test.prom_counter")->Add(7);
+  MAROON_LATENCY("maroon.test.prom_seconds")->Record(0.001);
+  const std::string text = PrometheusTextFromGlobal();
+  EXPECT_TRUE(Contains(text, "maroon_test_prom_counter 7\n")) << text;
+  EXPECT_TRUE(Contains(text, "maroon_test_prom_seconds_count 1\n")) << text;
+  EXPECT_TRUE(Contains(text, "maroon_test_prom_seconds_sum 0.001\n")) << text;
+}
+
+TEST_F(PrometheusTest, EmptySnapshotRendersEmptyDocument) {
+  MetricsRegistry::Snapshot snapshot;
+  EXPECT_EQ(PrometheusText(snapshot), "");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace maroon

@@ -41,6 +41,9 @@ RunReportOptions PrepareFixedRunState() {
                                   (std::vector<double>{0.5, 1.0}));
   h->Record(0.25);
   h->Record(0.75);
+  LatencyHistogram* latency = MAROON_LATENCY("maroon.test.link_seconds");
+  latency->Record(0.001);
+  latency->Record(0.002);
   RunReportOptions options;
   options.config = {{"command", "link"}, {"data", "corpus/"}};
   options.include_timestamp = false;
@@ -76,6 +79,12 @@ TEST(RunReportTest, JsonRoundTripsThroughParser) {
       metrics->Find("histograms")->Find("maroon.test.score");
   ASSERT_NE(hist, nullptr);
   EXPECT_DOUBLE_EQ(hist->Find("count")->number_value, 2.0);
+  const JsonValue* latency =
+      metrics->Find("latency_histograms")->Find("maroon.test.link_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_DOUBLE_EQ(latency->Find("count")->number_value, 2.0);
+  EXPECT_DOUBLE_EQ(latency->Find("max")->number_value, 0.002);
+  ASSERT_NE(latency->Find("p999"), nullptr);
   const JsonValue* trace = parsed->Find("trace");
   ASSERT_NE(trace, nullptr);
   EXPECT_FALSE(trace->Find("enabled")->bool_value);
@@ -104,6 +113,11 @@ TEST(RunReportTest, TextRenderingListsNonZeroCountersAndTrace) {
   // Zero-valued counters are elided from the table.
   EXPECT_EQ(text.find("maroon.test.silent"), std::string::npos);
   EXPECT_NE(text.find("maroon.test.score: count=2"), std::string::npos);
+  // Latency histograms render a percentile row in milliseconds.
+  EXPECT_NE(text.find("latency (ms):"), std::string::npos) << text;
+  EXPECT_NE(text.find("maroon.test.link_seconds: count=2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("p999="), std::string::npos) << text;
   EXPECT_NE(text.find("disabled"), std::string::npos);
 }
 

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace maroon {
+namespace {
+
+/// End-to-end tests of the maroon_benchdiff binary: the perf-regression
+/// gate run_bench.sh and CI call between two maroon_bench_runtime_v1
+/// files. Tests run with build/tests as working directory, so the tool
+/// lives at ../tools/maroon_benchdiff.
+class BenchdiffToolTest : public ::testing::Test {
+ protected:
+  static constexpr char kTool[] = "../tools/maroon_benchdiff";
+
+  void SetUp() override {
+    if (!std::filesystem::exists(kTool)) {
+      GTEST_SKIP() << "maroon_benchdiff binary not found at " << kTool;
+    }
+    dir_ = ::testing::TempDir() + "/maroon_benchdiff_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  int Run(const std::string& args, std::string* output = nullptr) {
+    const std::string out_path = dir_ + "/cmd.out";
+    const std::string command =
+        std::string(kTool) + " " + args + " > " + out_path + " 2>&1";
+    const int raw = std::system(command.c_str());
+    if (output != nullptr) {
+      std::ifstream in(out_path);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      *output = ss.str();
+    }
+    // Decode the shell's exit status so tests can assert on 0/1/2.
+    return WEXITSTATUS(raw);
+  }
+
+  std::string WriteDoc(const std::string& name, double total_wall_s) {
+    const std::string path = dir_ + "/" + name;
+    std::ofstream out(path);
+    out << "{\"schema\": \"maroon_bench_runtime_v1\", \"rows\": ["
+        << "{\"bench\": \"fig7_runtime\", \"method\": \"MAROON\", "
+        << "\"threads\": 1, \"total_wall_s\": " << total_wall_s << "}]}";
+    return path;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(BenchdiffToolTest, IdenticalFilesExitZero) {
+  const std::string baseline = WriteDoc("baseline.json", 0.200);
+  const std::string current = WriteDoc("current.json", 0.200);
+  std::string out;
+  EXPECT_EQ(Run("--baseline=" + baseline + " --current=" + current, &out), 0)
+      << out;
+  EXPECT_NE(out.find("benchdiff: OK"), std::string::npos) << out;
+  EXPECT_NE(out.find("total_wall_s"), std::string::npos) << out;
+}
+
+TEST_F(BenchdiffToolTest, RegressionExitsOne) {
+  const std::string baseline = WriteDoc("baseline.json", 0.200);
+  const std::string current = WriteDoc("current.json", 0.300);  // +50%
+  std::string out;
+  EXPECT_EQ(Run("--baseline=" + baseline + " --current=" + current, &out), 1)
+      << out;
+  EXPECT_NE(out.find("REGRESSED"), std::string::npos) << out;
+  EXPECT_NE(out.find("benchdiff: FAIL"), std::string::npos) << out;
+}
+
+TEST_F(BenchdiffToolTest, ThresholdFlagLoosensTheGate) {
+  const std::string baseline = WriteDoc("baseline.json", 0.200);
+  const std::string current = WriteDoc("current.json", 0.300);
+  std::string out;
+  EXPECT_EQ(Run("--baseline=" + baseline + " --current=" + current +
+                    " --threshold-pct=100",
+                &out),
+            0)
+      << out;
+}
+
+TEST_F(BenchdiffToolTest, JsonFlagEmitsMachineReport) {
+  const std::string baseline = WriteDoc("baseline.json", 0.200);
+  const std::string current = WriteDoc("current.json", 0.300);
+  std::string out;
+  EXPECT_EQ(Run("--baseline=" + baseline + " --current=" + current +
+                    " --json",
+                &out),
+            1)
+      << out;
+  EXPECT_NE(out.find("\"maroon_benchdiff_v1\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"regressed\": true"), std::string::npos) << out;
+}
+
+TEST_F(BenchdiffToolTest, MissingFileExitsTwo) {
+  const std::string current = WriteDoc("current.json", 0.200);
+  std::string out;
+  EXPECT_EQ(Run("--baseline=" + dir_ + "/absent.json --current=" + current,
+                &out),
+            2)
+      << out;
+  EXPECT_NE(out.find("error"), std::string::npos) << out;
+}
+
+TEST_F(BenchdiffToolTest, UsageErrorsExitTwo) {
+  std::string out;
+  EXPECT_EQ(Run("", &out), 2);
+  EXPECT_NE(out.find("usage:"), std::string::npos) << out;
+  EXPECT_EQ(Run("--baseline=a.json", &out), 2);
+  EXPECT_EQ(Run("--baseline=a.json --current=b.json --bogus-flag=1", &out),
+            2);
+}
+
+}  // namespace
+}  // namespace maroon

@@ -239,6 +239,58 @@ TEST_F(CliTest, ObservabilityFlagsWriteMetricsTraceAndReport) {
   EXPECT_NE(out.find("maroon.freshness.observations"), std::string::npos);
 }
 
+TEST_F(CliTest, MetricsPromOutWritesExpositionFormat) {
+  std::string out;
+  ASSERT_EQ(Run("generate --dataset=recruitment --out=" + dir_ +
+                    "/data --entities=25 --names=10 --seed=5",
+                &out),
+            0)
+      << out;
+  ASSERT_EQ(Run("link --data=" + dir_ + "/data --entity=entity_0" +
+                    " --metrics-prom-out=" + dir_ + "/metrics.prom",
+                &out),
+            0)
+      << out;
+  const std::string prom = ReadFile(dir_ + "/metrics.prom");
+  EXPECT_NE(prom.find("# TYPE maroon_phase1_clusters_formed counter"),
+            std::string::npos)
+      << prom;
+  // The per-entity latency histogram renders the scrape ladder.
+  EXPECT_NE(prom.find("# TYPE maroon_link_entity_seconds histogram"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("maroon_link_entity_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("maroon_link_entity_seconds_count"), std::string::npos);
+}
+
+TEST_F(CliTest, MetricsJsonlWritesSnapshotSeries) {
+  std::string out;
+  ASSERT_EQ(Run("generate --dataset=recruitment --out=" + dir_ +
+                    "/data --entities=25 --names=10 --seed=5",
+                &out),
+            0)
+      << out;
+  ASSERT_EQ(Run("link --data=" + dir_ + "/data --entity=entity_0" +
+                    " --metrics-jsonl=" + dir_ +
+                    "/metrics.jsonl --metrics-every-s=0.05",
+                &out),
+            0)
+      << out;
+  const std::string jsonl = ReadFile(dir_ + "/metrics.jsonl");
+  // At least the final row (written on Stop) is present and well-formed.
+  EXPECT_NE(jsonl.find("\"maroon_metrics_snapshot_v1\""), std::string::npos)
+      << jsonl;
+  EXPECT_NE(jsonl.find("\"seq\": 0"), std::string::npos) << jsonl;
+  EXPECT_NE(jsonl.find("\"latency_histograms\""), std::string::npos);
+
+  // --metrics-every-s without --metrics-jsonl is a usage error.
+  EXPECT_NE(Run("stats --data=" + dir_ + "/data --metrics-every-s=1", &out),
+            0);
+  EXPECT_NE(out.find("--metrics-jsonl"), std::string::npos) << out;
+}
+
 TEST_F(CliTest, UnknownCommandAndBadFlags) {
   std::string out;
   EXPECT_NE(Run("frobnicate", &out), 0);

@@ -1,0 +1,92 @@
+// maroon_benchdiff — the perf-regression gate over bench baselines.
+//
+// Compares two `maroon_bench_runtime_v1` files (the documents
+// tools/run_bench.sh writes) row by row and metric by metric, prints the
+// per-metric deltas, and exits nonzero when a timing metric regressed past
+// the threshold or coverage shrank. run_bench.sh and the CI bench-smoke job
+// run it to diff a fresh run against the committed BENCH_runtime.json.
+//
+// Usage:
+//   maroon_benchdiff --baseline=FILE --current=FILE
+//                    [--threshold-pct=P] [--min-seconds=S] [--json]
+//
+//   --baseline=FILE      the reference baseline (e.g. BENCH_runtime.json)
+//   --current=FILE       the freshly produced baseline to judge
+//   --threshold-pct=P    allowed growth per timing metric, percent
+//                        (default 25; 100 allows a 2x slowdown)
+//   --min-seconds=S      noise floor: timings where both sides stay under
+//                        S seconds are reported but not gated
+//                        (default 0.005)
+//   --json               machine-readable report (maroon_benchdiff_v1)
+//                        instead of the table
+//
+// Exit codes: 0 no regressions, 1 regressions or coverage/schema errors,
+// 2 usage or IO error.
+
+#include <iostream>
+
+#include "common/flags.h"
+#include "eval/benchdiff.h"
+#include "maroon/version_info.h"
+
+namespace maroon {
+namespace {
+
+int Usage() {
+  std::cerr << "usage: maroon_benchdiff --baseline=FILE --current=FILE\n"
+               "                        [--threshold-pct=P] "
+               "[--min-seconds=S] [--json]\n"
+               "  Diffs two maroon_bench_runtime_v1 baselines and fails on "
+               "timing regressions.\n";
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  const FlagParser flags(argc, argv);
+  if (flags.GetBoolOr("version", false)) {
+    std::cout << "maroon_benchdiff " << MAROON_VERSION << " ("
+              << MAROON_GIT_DESCRIBE << ")\n";
+    return 0;
+  }
+  if (flags.GetBoolOr("help", false)) return Usage();
+  for (const std::string& name : flags.FlagNames()) {
+    if (name != "baseline" && name != "current" && name != "threshold-pct" &&
+        name != "min-seconds" && name != "json" && name != "version" &&
+        name != "help") {
+      std::cerr << "maroon_benchdiff: unknown flag --" << name << "\n";
+      return Usage();
+    }
+  }
+  const std::string baseline = flags.GetStringOr("baseline", "");
+  const std::string current = flags.GetStringOr("current", "");
+  if (baseline.empty() || current.empty() || !flags.positional().empty()) {
+    return Usage();
+  }
+
+  BenchDiffOptions options;
+  options.threshold_pct =
+      flags.GetDoubleOr("threshold-pct", options.threshold_pct);
+  options.min_seconds = flags.GetDoubleOr("min-seconds", options.min_seconds);
+  if (options.threshold_pct < 0.0 || options.min_seconds < 0.0) {
+    std::cerr << "maroon_benchdiff: thresholds must be non-negative\n";
+    return Usage();
+  }
+
+  const Result<BenchDiffReport> report =
+      DiffBenchFiles(baseline, current, options);
+  if (!report.ok()) {
+    std::cerr << "maroon_benchdiff: error: " << report.status() << "\n";
+    return 2;
+  }
+  if (flags.GetBoolOr("json", false)) {
+    std::cout << report->ToJson() << "\n";
+  } else {
+    std::cout << report->ToText();
+  }
+  return report->ok() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace maroon
+
+int main(int argc, char** argv) { return maroon::Main(argc, argv); }

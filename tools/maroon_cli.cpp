@@ -29,6 +29,14 @@
 //
 // Observability (any command):
 //   --metrics-out=FILE  write the metrics registry snapshot as JSON
+//   --metrics-prom-out=FILE
+//                       write the snapshot in Prometheus text exposition
+//                       format (scrape-compatible, format 0.0.4)
+//   --metrics-jsonl=FILE
+//                       append periodic maroon_metrics_snapshot_v1 rows to
+//                       FILE while the command runs (a final row is always
+//                       written on exit)
+//   --metrics-every-s=S period for --metrics-jsonl, seconds (default 10)
 //   --trace-out=FILE    enable span tracing, write Chrome trace_event JSON
 //                       (loadable in chrome://tracing / ui.perfetto.dev)
 //   --run-report[=FILE] print a human-readable run report; with =FILE,
@@ -37,6 +45,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "common/flags.h"
 #include "common/string_util.h"
@@ -53,6 +62,8 @@
 #include "freshness/freshness_model.h"
 #include "maroon/version_info.h"
 #include "obs/metrics.h"
+#include "obs/metrics_snapshotter.h"
+#include "obs/prometheus.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
 #include "transition/transition_io.h"
@@ -96,6 +107,11 @@ int Usage() {
          "\n"
          "  Observability flags (any command):\n"
          "  --metrics-out=FILE   write the metrics snapshot as JSON\n"
+         "  --metrics-prom-out=FILE  write it as Prometheus text format\n"
+         "  --metrics-jsonl=FILE append periodic snapshot rows while "
+         "running\n"
+         "  --metrics-every-s=S  snapshot period for --metrics-jsonl "
+         "(default 10)\n"
          "  --trace-out=FILE     enable tracing, write Chrome trace JSON\n"
          "  --run-report[=FILE]  print a run report (JSON when =FILE)\n";
   return 2;
@@ -425,6 +441,10 @@ int ExportObservability(const FlagParser& flags, const std::string& command,
     write(flags.GetStringOr("metrics-out", ""),
           obs::MetricsRegistry::Global().SnapshotJson() + "\n");
   }
+  if (flags.Has("metrics-prom-out")) {
+    write(flags.GetStringOr("metrics-prom-out", ""),
+          obs::PrometheusTextFromGlobal());
+  }
   if (flags.Has("trace-out")) {
     write(flags.GetStringOr("trace-out", ""),
           obs::Tracer::Global().ToChromeTraceJson() + "\n");
@@ -457,6 +477,24 @@ int Main(int argc, char** argv) {
   if (threads > 0) {
     ThreadPool::SetDefaultThreadCount(static_cast<int>(threads));
   }
+  // Periodic metrics time series: runs for the duration of the command and
+  // always leaves a final row, so even short commands produce one snapshot.
+  std::unique_ptr<obs::MetricsSnapshotWriter> snapshotter;
+  if (flags.Has("metrics-jsonl")) {
+    obs::MetricsSnapshotWriterOptions snapshot_options;
+    snapshot_options.path = flags.GetStringOr("metrics-jsonl", "");
+    snapshot_options.period_s = flags.GetDoubleOr("metrics-every-s", 10.0);
+    if (snapshot_options.path.empty() || snapshot_options.period_s <= 0.0) {
+      std::cerr << "error: --metrics-jsonl needs a path and a positive "
+                   "--metrics-every-s\n";
+      return Usage();
+    }
+    snapshotter =
+        std::make_unique<obs::MetricsSnapshotWriter>(snapshot_options);
+  } else if (flags.Has("metrics-every-s")) {
+    std::cerr << "error: --metrics-every-s requires --metrics-jsonl=FILE\n";
+    return Usage();
+  }
   int code = 0;
   {
     // Top-level span so the exported trace covers the full command wall
@@ -464,6 +502,13 @@ int Main(int argc, char** argv) {
     static const std::string top_name = "cli." + command;
     obs::Span top(top_name.c_str());
     code = Dispatch(flags, command);
+  }
+  if (snapshotter != nullptr) {
+    snapshotter->Stop();
+    if (!snapshotter->status().ok()) {
+      std::cerr << "error: " << snapshotter->status() << "\n";
+      if (code == 0) code = 1;
+    }
   }
   return ExportObservability(flags, command, code);
 }

@@ -1,7 +1,7 @@
 // maroon_lint — the MAROON project-invariant static checker.
 //
 // Tokenizes the C++ sources under src/, tools/, and tests/ (no compiler or
-// LLVM dependency) and enforces the project rules R001-R006 documented in
+// LLVM dependency) and enforces the project rules R001-R009 documented in
 // docs/static_analysis.md and src/lint/rules.h. Zero findings is the merge
 // bar; per-site escapes use `// maroon-lint: allow(<rule>)`.
 //
@@ -31,7 +31,7 @@ int Usage() {
   std::cerr << "usage: maroon_lint [--root=DIR] [--json] [path...]\n"
                "  Lints MAROON C++ sources (default scan: src/ tools/ "
                "tests/ under --root).\n"
-               "  Rules R001-R006; see docs/static_analysis.md.\n";
+               "  Rules R001-R009; see docs/static_analysis.md.\n";
   return 2;
 }
 

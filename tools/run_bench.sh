@@ -9,26 +9,38 @@
 # with MAROON_METRICS=off versus on (tracing stays off in both runs; a
 # warm-up run is discarded first). It then links one entity of a freshly
 # generated clean Recruitment corpus through maroon_cli with
-# --metrics-out/--trace-out to produce sample observability artifacts, and
-# fails if the quarantine or degenerate-score counters are nonzero — clean
-# seed data must link cleanly.
+# --metrics-out/--trace-out/--metrics-prom-out/--metrics-jsonl to produce
+# sample observability artifacts, and fails if the quarantine or
+# degenerate-score counters are nonzero — clean seed data must link cleanly.
+#
+# Every EmitBenchRow JSONL row must carry the per-row
+# "schema": "maroon_bench_runtime_v1" tag, and every awk extraction must
+# come back numeric — a silent format drift fails the run instead of
+# producing a hollow baseline. When OUT_FILE already exists, the previous
+# baseline is saved first and maroon_benchdiff gates the fresh run against
+# it (threshold MAROON_BENCHDIFF_THRESHOLD_PCT, default 100 — i.e. a 2x
+# slowdown fails; timings on shared runners are noisy, so the default is
+# deliberately loose).
 #
 # Usage: tools/run_bench.sh [BUILD_DIR] [OUT_FILE] [ARTIFACTS_DIR]
 #   BUILD_DIR      cmake build tree, default ./build
 #   OUT_FILE       baseline to write, default ./BENCH_runtime.json
-#   ARTIFACTS_DIR  smoke_metrics.json / smoke_trace.json, default ./bench_artifacts
+#   ARTIFACTS_DIR  smoke_metrics.json / smoke_trace.json / smoke_metrics.prom
+#                  / smoke_metrics.jsonl, default ./bench_artifacts
 #
 # BENCH_runtime.json schema ("maroon_bench_runtime_v1"):
 # {
 #   "schema": "maroon_bench_runtime_v1",
 #   "config": {"bench_scale": 1, "seed": 2015, "benchmark_loops": false},
-#   "rows": [
+#   "rows": [   # every row also carries "schema": "maroon_bench_runtime_v1"
 #     {"bench": "fig7_runtime", "corpus": "recruitment"|"dblp",
 #      "method": "MAROON"|"MUTA+AFDS",
 #      "phase1_s": N, "phase2_s": N, "total_s": N, "entities": N},
 #     {"bench": "scaling", "corpus": "recruitment", "method": "MAROON",
 #      "entities": N, "records": N, "threads": N, "train_s": N,
-#      "link_total_s": N, "per_entity_ms": N},
+#      "link_total_s": N, "per_entity_ms": N, "per_entity_p50_ms": N,
+#      "per_entity_p95_ms": N, "per_entity_p99_ms": N,
+#      "per_entity_p999_ms": N},
 #     {"bench": "thread_sweep", "corpus": "dblp", "method": "MAROON",
 #      "threads": 1|2|4|8, "train_wall_s": N, "eval_wall_s": N,
 #      "batch_wall_s": N, "total_wall_s": N, "result_hash": N,
@@ -65,7 +77,8 @@ ARTIFACTS="${3:-bench_artifacts}"
 FIG7="$BUILD_DIR/bench/bench_fig7_runtime"
 SCALING="$BUILD_DIR/bench/bench_scaling"
 CLI="$BUILD_DIR/tools/maroon_cli"
-for binary in "$FIG7" "$SCALING" "$CLI"; do
+BENCHDIFF="$BUILD_DIR/tools/maroon_benchdiff"
+for binary in "$FIG7" "$SCALING" "$CLI" "$BENCHDIFF"; do
   if [ ! -x "$binary" ]; then
     echo "run_bench.sh: missing $binary (build the bench and tools targets first)" >&2
     exit 1
@@ -97,6 +110,35 @@ sum_total_s() {
   ' "$1"
 }
 
+# Fails unless every row in a JSONL file carries the per-row schema tag —
+# the guard against a bench emitting rows an older/newer consumer would
+# silently misread.
+require_schema_rows() {
+  bad="$(grep -cv '"schema": "maroon_bench_runtime_v1"' "$1" || true)"
+  total="$(wc -l < "$1")"
+  if [ "$total" -eq 0 ]; then
+    echo "FAIL: $1 is empty — benches emitted no rows" >&2
+    exit 1
+  fi
+  if [ "$bad" -ne 0 ]; then
+    echo "FAIL: $bad of $total row(s) in $1 lack \"schema\": \"maroon_bench_runtime_v1\":" >&2
+    grep -v '"schema": "maroon_bench_runtime_v1"' "$1" | head -5 >&2
+    exit 1
+  fi
+}
+
+# Fails when an awk extraction came back empty or non-numeric instead of
+# letting a zero flow into the document.
+require_number() {
+  case "$2" in
+    *[0-9]*) ;;
+    *)
+      echo "FAIL: $1 extraction came up empty or non-numeric ('$2')" >&2
+      exit 1
+      ;;
+  esac
+}
+
 # Extracts one counter from a metrics snapshot JSON (0 when absent).
 counter_value() {
   value="$(awk -v name="$2" '
@@ -119,14 +161,18 @@ MAROON_METRICS=off "$FIG7" "$FILTER" > /dev/null
 echo "== bench_fig7_runtime: metrics off =="
 MAROON_METRICS=off MAROON_BENCH_JSON="$WORK/off.jsonl" \
   "$FIG7" "$FILTER" > /dev/null
+require_schema_rows "$WORK/off.jsonl"
 OFF_TOTAL="$(sum_total_s "$WORK/off.jsonl" fig7_runtime)"
+require_number metrics_off_total_s "$OFF_TOTAL"
 
 echo "== bench_fig7_runtime: metrics on =="
 MAROON_BENCH_JSON="$WORK/rows.jsonl" "$FIG7" "$FILTER" > /dev/null
 ON_TOTAL="$(sum_total_s "$WORK/rows.jsonl" fig7_runtime)"
+require_number metrics_on_total_s "$ON_TOTAL"
 
 echo "== bench_scaling =="
 MAROON_BENCH_JSON="$WORK/rows.jsonl" "$SCALING" "$FILTER" > /dev/null
+require_schema_rows "$WORK/rows.jsonl"
 
 OVERHEAD_PCT="$(awk -v off="$OFF_TOTAL" -v on="$ON_TOTAL" 'BEGIN {
   if (off <= 0) { printf "0"; exit }
@@ -169,12 +215,22 @@ SWEEP_8T="$(awk '
     i = index($0, "\"total_wall_s\": ")
     rest = substr($0, i + 16); sub(/[,}].*/, "", rest); print rest + 0
   }' "$WORK/rows.jsonl")"
+require_number thread_sweep_total_wall_s_1t "$SWEEP_1T"
+require_number thread_sweep_total_wall_s_8t "$SWEEP_8T"
 HOST_CORES="$(nproc 2>/dev/null || echo 1)"
 SPEEDUP="$(awk -v one="$SWEEP_1T" -v eight="$SWEEP_8T" 'BEGIN {
   if (eight <= 0) { printf "0"; exit }
   printf "%.2f", one / eight
 }')"
 echo "thread sweep: 1t ${SWEEP_1T}s, 8t ${SWEEP_8T}s, speedup ${SPEEDUP}x (host cores: ${HOST_CORES})"
+
+# Keep the previous baseline (if any) so maroon_benchdiff can gate the
+# fresh run against it after the overwrite below.
+PREVIOUS=""
+if [ -f "$OUT" ]; then
+  PREVIOUS="$WORK/previous_baseline.json"
+  cp "$OUT" "$PREVIOUS"
+fi
 
 {
   printf '{\n'
@@ -192,14 +248,35 @@ echo "thread sweep: 1t ${SWEEP_1T}s, 8t ${SWEEP_8T}s, speedup ${SPEEDUP}x (host 
 } > "$OUT"
 echo "wrote $OUT"
 
+if [ -n "$PREVIOUS" ]; then
+  echo "== maroon_benchdiff: fresh run vs previous baseline =="
+  # set -e makes a regression (exit 1) or IO/schema error (exit 2) fatal.
+  "$BENCHDIFF" --baseline="$PREVIOUS" --current="$OUT" \
+    --threshold-pct="${MAROON_BENCHDIFF_THRESHOLD_PCT:-100}"
+else
+  echo "no previous $OUT; skipping benchdiff gate"
+fi
+
 echo "== observability smoke: clean corpus link =="
 "$CLI" generate --dataset=recruitment --out="$WORK/data" \
   --entities=60 --seed=2015 > /dev/null
 "$CLI" link --data="$WORK/data" --entity=entity_0 \
   --metrics-out="$ARTIFACTS/smoke_metrics.json" \
-  --trace-out="$ARTIFACTS/smoke_trace.json" > /dev/null
+  --trace-out="$ARTIFACTS/smoke_trace.json" \
+  --metrics-prom-out="$ARTIFACTS/smoke_metrics.prom" \
+  --metrics-jsonl="$ARTIFACTS/smoke_metrics.jsonl" \
+  --metrics-every-s=0.5 > /dev/null
 if ! grep -q '"traceEvents"' "$ARTIFACTS/smoke_trace.json"; then
   echo "FAIL: $ARTIFACTS/smoke_trace.json has no traceEvents" >&2
+  exit 1
+fi
+if ! grep -q '# TYPE maroon_link_entity_seconds histogram' \
+    "$ARTIFACTS/smoke_metrics.prom"; then
+  echo "FAIL: $ARTIFACTS/smoke_metrics.prom lacks the per-entity latency histogram" >&2
+  exit 1
+fi
+if ! grep -q '"maroon_metrics_snapshot_v1"' "$ARTIFACTS/smoke_metrics.jsonl"; then
+  echo "FAIL: $ARTIFACTS/smoke_metrics.jsonl has no snapshot rows" >&2
   exit 1
 fi
 
@@ -217,5 +294,5 @@ if [ "$status" -ne 0 ]; then
   exit "$status"
 fi
 
-echo "wrote $ARTIFACTS/smoke_metrics.json and $ARTIFACTS/smoke_trace.json"
+echo "wrote $ARTIFACTS/smoke_metrics.json, smoke_trace.json, smoke_metrics.prom, smoke_metrics.jsonl"
 echo "run_bench.sh: OK"
