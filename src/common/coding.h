@@ -1,0 +1,91 @@
+#ifndef MAROON_COMMON_CODING_H_
+#define MAROON_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace maroon {
+
+/// Little-endian integer coding shared by the WAL frame writer, the
+/// TemporalRecord payload codec, and the snapshot serializer. Fixed-width
+/// little-endian (not varint) keeps torn-tail arithmetic trivial: every
+/// field has a known size, so a reader can always tell "short" from
+/// "corrupt".
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Length-prefixed bytes: u32 size + raw contents.
+inline void PutLengthPrefixed(std::string* out, std::string_view bytes) {
+  PutU32(out, static_cast<uint32_t>(bytes.size()));
+  out->append(bytes);
+}
+
+inline uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+inline uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+/// A bounds-checked cursor over an encoded byte string. Every Read* returns
+/// false instead of reading past the end, and a length prefix is validated
+/// against the remaining bytes *before* any allocation, so a corrupted
+/// length field can never trigger a multi-gigabyte reserve.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = GetU32(data_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    *v = GetU64(data_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadLengthPrefixed(std::string* out) {
+    uint32_t len = 0;
+    if (!ReadU32(&len)) return false;
+    if (remaining() < len) return false;
+    out->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_COMMON_CODING_H_

@@ -1,0 +1,44 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace maroon {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // CRC-32C, reflected
+constexpr uint32_t kMaskDelta = 0xA282EAD8u;
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  crc = ~crc;
+  for (unsigned char c : data) {
+    crc = kTable[(crc ^ c) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32cMask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+uint32_t Crc32cUnmask(uint32_t masked) {
+  const uint32_t rot = masked - kMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace maroon

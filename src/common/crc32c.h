@@ -1,0 +1,28 @@
+#ifndef MAROON_COMMON_CRC32C_H_
+#define MAROON_COMMON_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace maroon {
+
+/// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum used
+/// by the write-ahead log and snapshot formats (the same polynomial RocksDB,
+/// LevelDB, and ext4 use for frame integrity). Software table
+/// implementation; one shared 256-entry table, thread-safe after first use.
+
+/// Extends `crc` with `data`. Start from 0 for a fresh checksum.
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+/// The CRC-32C of `data`.
+inline uint32_t Crc32c(std::string_view data) { return Crc32cExtend(0, data); }
+
+/// Masked CRC, stored on disk instead of the raw value: a CRC of bytes that
+/// themselves contain CRCs is pathologically weak, so the stored form is
+/// rotated and offset (the scheme LevelDB introduced).
+uint32_t Crc32cMask(uint32_t crc);
+uint32_t Crc32cUnmask(uint32_t masked);
+
+}  // namespace maroon
+
+#endif  // MAROON_COMMON_CRC32C_H_

@@ -40,6 +40,10 @@ Status CsvWriter::WriteToFile(const std::string& path) const {
   // only fail (e.g. on a full disk) when pushed to the OS.
   out.flush();
   if (!out) return Status::IOError("write failed: " + path);
+  // close() can still fail (NFS flush-on-close, quota enforcement); the
+  // destructor would swallow that, so close explicitly and check.
+  out.close();
+  if (out.fail()) return Status::IOError("close failed: " + path);
   return Status::OK();
 }
 

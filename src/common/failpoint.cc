@@ -1,0 +1,191 @@
+#include "common/failpoint.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "common/result.h"
+#include "common/string_util.h"
+
+namespace maroon {
+namespace failpoint {
+
+namespace {
+
+struct Spec {
+  Action action = Action::kNone;
+  uint64_t skip = 0;   // hits to pass through before firing
+  uint64_t count = 1;  // times to fire after skip; 0 = unbounded
+  uint64_t hits = 0;   // hits seen so far
+};
+
+struct State {
+  std::mutex mu;
+  std::map<std::string, Spec> specs;
+  std::map<std::string, std::string> registered;
+};
+
+State& GetState() {
+  static State* state = new State();  // leaked: sites fire during shutdown
+  return *state;
+}
+
+/// Any spec armed anywhere? Lets unarmed processes skip the map lock.
+std::atomic<bool> g_armed{false};
+
+Result<Action> ParseAction(std::string_view name) {
+  if (name == "off") return Action::kNone;
+  if (name == "fail") return Action::kFail;
+  if (name == "enospc") return Action::kEnospc;
+  if (name == "short") return Action::kShortWrite;
+  if (name == "torn") return Action::kTornWrite;
+  if (name == "kill") return Action::kKill;
+  return Status::InvalidArgument("unknown failpoint action '" +
+                                 std::string(name) + "'");
+}
+
+Status ParseUint(std::string_view text, uint64_t* out) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty number in failpoint spec");
+  }
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad number '" + std::string(text) +
+                                     "' in failpoint spec");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Result<Spec> ParseSpec(std::string_view text) {
+  Spec spec;
+  std::string_view action = text;
+  const size_t at = text.find('@');
+  if (at != std::string_view::npos) {
+    action = text.substr(0, at);
+    std::string_view trigger = text.substr(at + 1);
+    std::string_view skip = trigger;
+    const size_t colon = trigger.find(':');
+    if (colon != std::string_view::npos) {
+      skip = trigger.substr(0, colon);
+      MAROON_RETURN_IF_ERROR(ParseUint(trigger.substr(colon + 1),
+                                       &spec.count));
+    }
+    MAROON_RETURN_IF_ERROR(ParseUint(skip, &spec.skip));
+  }
+  MAROON_ASSIGN_OR_RETURN(spec.action, ParseAction(action));
+  return spec;
+}
+
+/// Signal-safe stderr write for the death paths (no iostream, no locale).
+void RawStderr(const char* text) {
+  const ssize_t ignored = ::write(2, text, std::strlen(text));
+  (void)ignored;
+}
+
+/// Loads MAROON_FAILPOINTS exactly once per process. Parse errors are fatal
+/// on stderr: a harness that typos a spec must not silently run fault-free.
+void ConfigureFromEnvOnce() {
+  static const bool loaded = [] {
+    const char* env = std::getenv("MAROON_FAILPOINTS");
+    if (env == nullptr || *env == '\0') return true;
+    const Status status = Configure(env);
+    if (!status.ok()) {
+      RawStderr("fatal: bad MAROON_FAILPOINTS: ");
+      RawStderr(status.message().c_str());
+      RawStderr("\n");
+      _exit(kKillExitCode);
+    }
+    return true;
+  }();
+  (void)loaded;
+}
+
+}  // namespace
+
+Action Hit(const char* point) {
+  ConfigureFromEnvOnce();
+  if (!g_armed.load(std::memory_order_acquire)) return Action::kNone;
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.specs.find(point);
+  if (it == state.specs.end()) return Action::kNone;
+  Spec& spec = it->second;
+  const uint64_t hit = spec.hits++;
+  if (hit < spec.skip) return Action::kNone;
+  if (spec.count != 0 && hit >= spec.skip + spec.count) return Action::kNone;
+  return spec.action;
+}
+
+void Die(const char* point) {
+  // A real crash leaves no destructors, no flushes, no atexit. Write a
+  // breadcrumb for humans debugging the harness, then vanish.
+  RawStderr("failpoint kill: ");
+  RawStderr(point);
+  RawStderr("\n");
+  _exit(kKillExitCode);
+}
+
+Status Arm(const std::string& point, const std::string& spec_text) {
+  MAROON_ASSIGN_OR_RETURN(Spec spec, ParseSpec(spec_text));
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (spec.action == Action::kNone) {
+    state.specs.erase(point);
+  } else {
+    state.specs[point] = spec;
+  }
+  g_armed.store(!state.specs.empty(), std::memory_order_release);
+  return Status::OK();
+}
+
+Status Configure(const std::string& spec_list) {
+  for (const std::string& part : Split(spec_list, ',')) {
+    const std::string entry(StripWhitespace(part));
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("failpoint entry '" + entry +
+                                     "' lacks '='");
+    }
+    MAROON_RETURN_IF_ERROR(Arm(entry.substr(0, eq), entry.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+void Clear(const std::string& point) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.specs.erase(point);
+  g_armed.store(!state.specs.empty(), std::memory_order_release);
+}
+
+void ClearAll() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.specs.clear();
+  g_armed.store(false, std::memory_order_release);
+}
+
+Registrar::Registrar(const char* point, const char* description) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.registered[point] = description;
+}
+
+std::vector<std::pair<std::string, std::string>> RegisteredPoints() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return {state.registered.begin(), state.registered.end()};
+}
+
+}  // namespace failpoint
+}  // namespace maroon

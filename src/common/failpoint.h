@@ -1,0 +1,106 @@
+#ifndef MAROON_COMMON_FAILPOINT_H_
+#define MAROON_COMMON_FAILPOINT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace maroon {
+namespace failpoint {
+
+/// Fault injection for process- and IO-level failures (the structural fault
+/// injector in datagen/ covers *input* corruption; this layer covers the
+/// machine the pipeline runs on).
+///
+/// A failpoint is a named site in the durability code — a write, an fsync, a
+/// rename, or a pure crash point between operations. Sites are inert (one
+/// map lookup behind an atomic arm-check) until a spec is attached, either
+/// programmatically (tests) or via the MAROON_FAILPOINTS environment
+/// variable (the kill-and-recover harness drives child processes this way):
+///
+///   MAROON_FAILPOINTS="wal.append.write=short@3,snapshot.rename=kill"
+///
+/// Spec grammar:   <point>=<action>[@<skip>[:<count>]]
+///   action   off | fail | enospc | short | torn | kill
+///   skip     hits to let through before firing (default 0)
+///   count    times to fire once reached (default 1; 0 = every hit after
+///            skip)
+///
+/// Actions:
+///   fail    the operation reports IOError without touching the file
+///   enospc  IOError phrased as disk-full (retry classification treats it
+///           like any transient IO error)
+///   short   a prefix of the data is written, then IOError — models a torn
+///           write the caller *notices* and must roll back
+///   torn    a prefix of the data is written, then the process dies — models
+///           a torn write nobody notices until recovery scans the log
+///   kill    the process dies (_exit) before the operation runs
+///
+/// `short`/`torn` degrade to `fail`/`kill` at sites with no data to cut
+/// (sync, rename, pure crash points).
+
+enum class Action {
+  kNone,   // site not armed this hit
+  kFail,
+  kEnospc,
+  kShortWrite,
+  kTornWrite,
+  kKill,
+};
+
+/// The exit code used by the kill/torn actions (distinct from every normal
+/// CLI exit so harnesses can assert the death was injected).
+inline constexpr int kKillExitCode = 61;
+
+/// Evaluates a site: counts the hit and returns the armed action, if any.
+/// Reads MAROON_FAILPOINTS once (first call process-wide). Sites that never
+/// appear in any spec cost one mutex-free atomic load after that.
+Action Hit(const char* point);
+
+/// Terminates the process immediately (no atexit, no flushing) — the `kill`
+/// action, exposed so IO wrappers can die mid-operation for `torn`.
+[[noreturn]] void Die(const char* point);
+
+/// Attaches a spec ("kill", "short@3", "fail@0:0") to a point. Replaces any
+/// existing spec and resets the hit counter.
+Status Arm(const std::string& point, const std::string& spec);
+
+/// Parses a full MAROON_FAILPOINTS-style list ("a=kill@2,b=fail").
+Status Configure(const std::string& spec_list);
+
+/// Removes one / every spec (hit counters reset). Tests call ClearAll in
+/// teardown; points registered for enumeration stay registered.
+void Clear(const std::string& point);
+void ClearAll();
+
+/// Registers a site for enumeration at static-init time:
+///
+///   namespace { const failpoint::Registrar kPt{"wal.append.write",
+///       "frame write into the live WAL segment"}; }
+///
+/// Registration is what the kill-and-recover harness iterates, so every
+/// crash-relevant site must have a registrar next to its Hit() call.
+class Registrar {
+ public:
+  Registrar(const char* point, const char* description);
+};
+
+/// Every registered (point, description), sorted by point name.
+std::vector<std::pair<std::string, std::string>> RegisteredPoints();
+
+}  // namespace failpoint
+}  // namespace maroon
+
+/// A pure crash point: dies if armed with `kill` (other actions are
+/// meaningless between operations and are ignored).
+#define MAROON_CRASH_POINT(point)                                        \
+  do {                                                                   \
+    if (::maroon::failpoint::Hit(point) ==                               \
+        ::maroon::failpoint::Action::kKill) {                            \
+      ::maroon::failpoint::Die(point);                                   \
+    }                                                                    \
+  } while (false)
+
+#endif  // MAROON_COMMON_FAILPOINT_H_

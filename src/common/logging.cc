@@ -38,8 +38,10 @@ std::string Iso8601Timestamp() {
 void WriteLineToStderr(const std::string& text) {
   static std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);
-  std::fwrite(text.data(), 1, text.size(), stderr);
-  std::fflush(stderr);
+  // Best-effort by design: a log line that cannot reach stderr has nowhere
+  // else to go, and failing the caller over it would invert priorities.
+  (void)std::fwrite(text.data(), 1, text.size(), stderr);
+  (void)std::fflush(stderr);
 }
 
 const char* LevelTag(LogLevel level) {

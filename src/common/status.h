@@ -22,6 +22,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIOError,
+  /// A bounded resource (admission queue, memory budget) is full; the
+  /// operation may succeed after the caller drains or sheds load.
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -71,6 +74,9 @@ class [[nodiscard]] Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,238 @@
+#include "core/profile_snapshot.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/failpoint.h"
+#include "common/wal.h"
+#include "core/entity_profile.h"
+#include "core/temporal_sequence.h"
+#include "core/value.h"
+
+namespace maroon {
+
+namespace {
+
+constexpr char kSnapshotMagic[4] = {'M', 'R', 'S', 'N'};
+constexpr uint32_t kSnapshotVersion = 1;
+constexpr size_t kHeaderSize = 8;  // magic + version
+constexpr size_t kFooterSize = 4;  // masked body crc
+constexpr char kSnapshotPrefix[] = "snapshot-";
+constexpr char kSnapshotSuffix[] = ".mrsn";
+constexpr int kSeqDigits = 20;
+
+const failpoint::Registrar kFpSnapshotWrite{
+    "snapshot.write", "body write into the snapshot temp file"};
+const failpoint::Registrar kFpSnapshotSync{
+    "snapshot.sync", "fsync of the snapshot temp file before publish"};
+const failpoint::Registrar kFpSnapshotRenameBefore{
+    "snapshot.rename.before", "crash window after fsync, before publish"};
+const failpoint::Registrar kFpSnapshotRenameAfter{
+    "snapshot.rename.after", "crash window after the snapshot is published"};
+
+std::string SerializeBody(const ProfileStore& store, uint64_t last_seq) {
+  std::string body;
+  PutU64(&body, last_seq);
+  const std::vector<EntityId> ids = store.Ids();
+  PutU64(&body, ids.size());
+  for (const EntityId& id : ids) {
+    auto profile = store.Get(id);
+    if (!profile.ok()) continue;  // unreachable: id came from Ids()
+    const EntityProfile& p = **profile;
+    PutLengthPrefixed(&body, p.id());
+    PutLengthPrefixed(&body, p.name());
+    PutU32(&body, static_cast<uint32_t>(p.sequences().size()));
+    for (const auto& [attribute, sequence] : p.sequences()) {
+      PutLengthPrefixed(&body, attribute);
+      PutU32(&body, static_cast<uint32_t>(sequence.size()));
+      for (const Triple& triple : sequence.triples()) {
+        PutU32(&body, static_cast<uint32_t>(triple.interval.begin));
+        PutU32(&body, static_cast<uint32_t>(triple.interval.end));
+        PutU32(&body, static_cast<uint32_t>(triple.values.size()));
+        for (const Value& value : triple.values) {
+          PutLengthPrefixed(&body, value);
+        }
+      }
+    }
+  }
+  return body;
+}
+
+Status Corrupt(const std::string& path, const char* what) {
+  return Status::InvalidArgument("snapshot " + path + " corrupt: " + what);
+}
+
+Result<LoadedSnapshot> ParseBody(const std::string& path,
+                                 std::string_view body) {
+  ByteReader reader(body);
+  LoadedSnapshot loaded;
+  uint64_t entity_count = 0;
+  if (!reader.ReadU64(&loaded.last_seq)) return Corrupt(path, "missing seq");
+  if (!reader.ReadU64(&entity_count)) {
+    return Corrupt(path, "missing entity count");
+  }
+  for (uint64_t e = 0; e < entity_count; ++e) {
+    std::string id;
+    std::string name;
+    uint32_t attr_count = 0;
+    if (!reader.ReadLengthPrefixed(&id)) {
+      return Corrupt(path, "missing entity id");
+    }
+    if (!reader.ReadLengthPrefixed(&name)) {
+      return Corrupt(path, "missing entity name");
+    }
+    if (!reader.ReadU32(&attr_count)) {
+      return Corrupt(path, "missing attribute count");
+    }
+    EntityProfile profile(std::move(id), std::move(name));
+    for (uint32_t a = 0; a < attr_count; ++a) {
+      Attribute attribute;
+      uint32_t triple_count = 0;
+      if (!reader.ReadLengthPrefixed(&attribute)) {
+        return Corrupt(path, "missing attribute name");
+      }
+      if (!reader.ReadU32(&triple_count)) {
+        return Corrupt(path, "missing triple count");
+      }
+      std::vector<Triple> triples;
+      triples.reserve(triple_count);
+      for (uint32_t t = 0; t < triple_count; ++t) {
+        uint32_t begin = 0;
+        uint32_t end = 0;
+        uint32_t value_count = 0;
+        if (!reader.ReadU32(&begin) || !reader.ReadU32(&end) ||
+            !reader.ReadU32(&value_count)) {
+          return Corrupt(path, "missing triple");
+        }
+        std::vector<Value> values;
+        values.reserve(value_count);
+        for (uint32_t v = 0; v < value_count; ++v) {
+          Value value;
+          if (!reader.ReadLengthPrefixed(&value)) {
+            return Corrupt(path, "missing triple value");
+          }
+          values.push_back(std::move(value));
+        }
+        triples.emplace_back(static_cast<TimePoint>(begin),
+                             static_cast<TimePoint>(end),
+                             MakeValueSet(std::move(values)));
+      }
+      auto sequence = TemporalSequence::FromTriples(std::move(triples));
+      if (!sequence.ok()) {
+        return Corrupt(path, "non-canonical attribute sequence");
+      }
+      profile.sequence(attribute) = std::move(*sequence);
+    }
+    loaded.store.Put(std::move(profile));
+  }
+  if (!reader.exhausted()) return Corrupt(path, "trailing bytes");
+  return loaded;
+}
+
+/// Parses "snapshot-<digits>.mrsn" into its sequence; false for any other
+/// file name (including .tmp leftovers).
+bool ParseSnapshotFileName(const std::string& name, uint64_t* seq) {
+  const size_t prefix_len = std::strlen(kSnapshotPrefix);
+  const size_t suffix_len = std::strlen(kSnapshotSuffix);
+  if (name.size() != prefix_len + kSeqDigits + suffix_len) return false;
+  if (name.compare(0, prefix_len, kSnapshotPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSnapshotSuffix) !=
+      0) {
+    return false;
+  }
+  const char* first = name.data() + prefix_len;
+  const char* last = first + kSeqDigits;
+  const auto [ptr, ec] = std::from_chars(first, last, *seq);
+  return ec == std::errc() && ptr == last;
+}
+
+}  // namespace
+
+std::string SnapshotFileName(uint64_t last_seq) {
+  std::string digits = std::to_string(last_seq);
+  return kSnapshotPrefix +
+         std::string(kSeqDigits - digits.size(), '0') + digits +
+         kSnapshotSuffix;
+}
+
+Status WriteSnapshot(const ProfileStore& store, uint64_t last_seq,
+                     const std::string& dir) {
+  std::string blob;
+  blob.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  PutU32(&blob, kSnapshotVersion);
+  const std::string body = SerializeBody(store, last_seq);
+  blob += body;
+  PutU32(&blob, Crc32cMask(Crc32c(body)));
+
+  const std::string final_path = dir + "/" + SnapshotFileName(last_seq);
+  const std::string tmp_path = final_path + ".tmp";
+  MAROON_ASSIGN_OR_RETURN(DurableFile file, DurableFile::Create(tmp_path));
+  MAROON_RETURN_IF_ERROR(file.Append(blob, "snapshot.write"));
+  MAROON_RETURN_IF_ERROR(file.Sync("snapshot.sync"));
+  MAROON_RETURN_IF_ERROR(file.Close());
+  return AtomicRename(tmp_path, final_path, "snapshot.rename");
+}
+
+Result<LoadedSnapshot> ReadSnapshot(const std::string& path) {
+  MAROON_ASSIGN_OR_RETURN(const std::string data, ReadFileToString(path));
+  if (data.size() < kHeaderSize + kFooterSize) {
+    return Corrupt(path, "shorter than header + footer");
+  }
+  if (std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Corrupt(path, "wrong magic");
+  }
+  const uint32_t version = GetU32(data.data() + 4);
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument("snapshot " + path +
+                                   " has unsupported version " +
+                                   std::to_string(version));
+  }
+  const std::string_view body(data.data() + kHeaderSize,
+                              data.size() - kHeaderSize - kFooterSize);
+  const uint32_t stored_crc =
+      Crc32cUnmask(GetU32(data.data() + data.size() - kFooterSize));
+  if (Crc32c(body) != stored_crc) return Corrupt(path, "checksum mismatch");
+  return ParseBody(path, body);
+}
+
+Result<std::vector<SnapshotInfo>> ListSnapshots(const std::string& dir) {
+  std::vector<SnapshotInfo> snapshots;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    if (ec == std::errc::no_such_file_or_directory) return snapshots;
+    return Status::IOError("cannot list snapshot directory " + dir + ": " +
+                           ec.message());
+  }
+  for (const auto& entry : it) {
+    uint64_t seq = 0;
+    if (!ParseSnapshotFileName(entry.path().filename().string(), &seq)) {
+      continue;
+    }
+    snapshots.push_back(SnapshotInfo{entry.path().string(), seq});
+  }
+  std::sort(snapshots.begin(), snapshots.end(),
+            [](const SnapshotInfo& a, const SnapshotInfo& b) {
+              return a.last_seq < b.last_seq;
+            });
+  return snapshots;
+}
+
+Result<LoadedSnapshot> LoadNewestValidSnapshot(const std::string& dir) {
+  MAROON_ASSIGN_OR_RETURN(std::vector<SnapshotInfo> snapshots,
+                          ListSnapshots(dir));
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    auto loaded = ReadSnapshot(it->path);
+    if (loaded.ok()) return loaded;
+    // Damaged candidates are expected after a crash; fall back to the next
+    // older snapshot (a longer WAL replay, never corrupt state).
+  }
+  return Status::NotFound("no valid snapshot in " + dir);
+}
+
+}  // namespace maroon

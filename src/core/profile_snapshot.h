@@ -1,0 +1,70 @@
+#ifndef MAROON_CORE_PROFILE_SNAPSHOT_H_
+#define MAROON_CORE_PROFILE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/profile_store.h"
+
+namespace maroon {
+
+/// Versioned binary ProfileStore snapshots with atomic publication.
+///
+/// File layout (all integers little-endian; `lp` = u32 length prefix +
+/// raw bytes):
+///
+///   header  "MRSN" u32 version=1                                (8 bytes)
+///   body    u64 last_seq  u64 entity_count
+///           per entity:    lp id  lp name  u32 attr_count
+///           per attribute: lp name  u32 triple_count
+///           per triple:    u32 begin  u32 end  u32 value_count  lp value*
+///   footer  u32 masked CRC-32C of the body                      (4 bytes)
+///
+/// `last_seq` is the WAL sequence of the last record folded into the
+/// snapshot; recovery replays only frames with seq > last_seq on top.
+///
+/// Atomicity: the snapshot is written to "<name>.tmp", fsynced, and
+/// published with rename(2) (crash points "snapshot.rename.before"/
+/// ".after"). A crash mid-write leaves only a .tmp file that recovery
+/// ignores; a crash between write and rename loses the snapshot but never
+/// corrupts an older one. FindNewestValidSnapshot checksums candidates
+/// newest-first and silently skips damaged files, so recovery degrades to an
+/// older snapshot plus a longer WAL replay — never to corrupt state.
+
+/// "snapshot-<seq, zero-padded to 20 digits>.mrsn"; lexicographic order of
+/// the names equals numeric order of the sequences.
+std::string SnapshotFileName(uint64_t last_seq);
+
+/// Serializes `store` and atomically publishes it under `dir`.
+Status WriteSnapshot(const ProfileStore& store, uint64_t last_seq,
+                     const std::string& dir);
+
+struct LoadedSnapshot {
+  ProfileStore store;
+  uint64_t last_seq = 0;
+};
+
+/// Loads and fully validates one snapshot file. InvalidArgument on any
+/// header, checksum, or structural damage; IOError when unreadable.
+Result<LoadedSnapshot> ReadSnapshot(const std::string& path);
+
+struct SnapshotInfo {
+  std::string path;
+  uint64_t last_seq = 0;
+};
+
+/// Snapshot files in `dir` whose names parse, sorted ascending by sequence.
+/// Contents are not validated. An absent directory is an empty list.
+Result<std::vector<SnapshotInfo>> ListSnapshots(const std::string& dir);
+
+/// The newest snapshot in `dir` that passes full validation (damaged or
+/// torn candidates are skipped). NotFound when no valid snapshot exists —
+/// recovery then starts from an empty store and replays the whole WAL.
+Result<LoadedSnapshot> LoadNewestValidSnapshot(const std::string& dir);
+
+}  // namespace maroon
+
+#endif  // MAROON_CORE_PROFILE_SNAPSHOT_H_

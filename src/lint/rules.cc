@@ -11,7 +11,7 @@ namespace {
 
 /// Rule ids, for validating allow(...) lists.
 const char* const kAllRules[] = {"R001", "R002", "R003", "R004", "R005",
-                                 "R006", "R007", "R008", "R009"};
+                                 "R006", "R007", "R008", "R009", "R010"};
 
 bool IsKnownRule(const std::string& rule) {
   return std::find(std::begin(kAllRules), std::end(kAllRules), rule) !=
@@ -96,6 +96,7 @@ class FileLinter {
     CheckSystemClockNow();          // R007
     CheckRawThread();               // R008
     CheckStdEndl();                 // R009
+    CheckUncheckedIo();             // R010
   }
 
  private:
@@ -584,6 +585,74 @@ class FileLinter {
       Emit("R009", Tok(i - 2),
            "std::endl forces a flush per line; stream \"\\n\" and flush "
            "explicitly (out.flush()) only where durability requires it");
+    }
+  }
+
+  // ---------------------------------------------------------------- R010
+
+  void CheckUncheckedIo() {
+    // fwrite can write short, fflush can fail on a full disk, and rename is
+    // the atomic-publish step of every durable write — a discarded return
+    // turns each into silent data loss. Production code must check them;
+    // tests and tools are exempt (their fixture trees are not, as in R009).
+    const bool exempt = (StartsWith(file_.guard_path, "tests/") ||
+                         StartsWith(file_.guard_path, "tools/")) &&
+                        file_.guard_path.find("testdata") == std::string::npos;
+    if (exempt) return;
+    static const std::set<std::string> kMustCheck = {"fwrite", "fflush",
+                                                     "rename"};
+    bool expect_stmt = true;
+    std::vector<bool> paren_is_control;
+    for (size_t i = 0; i < Size(); ++i) {
+      const Token& t = Tok(i);
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "(") {
+          const bool control =
+              i > 0 && (IsIdent(i - 1, "if") || IsIdent(i - 1, "while") ||
+                        IsIdent(i - 1, "for") || IsIdent(i - 1, "switch"));
+          paren_is_control.push_back(control);
+          expect_stmt = false;
+          continue;
+        }
+        if (t.text == ")") {
+          bool control = false;
+          if (!paren_is_control.empty()) {
+            control = paren_is_control.back();
+            paren_is_control.pop_back();
+          }
+          expect_stmt = control;
+          continue;
+        }
+        if (t.text == ";" || t.text == "{" || t.text == "}" || t.text == ":") {
+          expect_stmt = true;
+          continue;
+        }
+        expect_stmt = false;
+        continue;
+      }
+      if (t.kind == TokenKind::kIdentifier &&
+          (t.text == "else" || t.text == "do")) {
+        expect_stmt = true;
+        continue;
+      }
+      if (expect_stmt && t.kind == TokenKind::kIdentifier) {
+        // Statement starts here: match [std ::] name ( ... ) ; — a captured
+        // or compared return value never begins the statement with the call.
+        size_t j = i;
+        if (IsIdent(j, "std") && IsPunct(j + 1, "::")) j += 2;
+        if (IsIdent(j) && kMustCheck.count(Tok(j).text) > 0 &&
+            IsPunct(j + 1, "(")) {
+          const size_t after = SkipParens(j + 1);
+          if (IsPunct(after, ";")) {
+            Emit("R010", Tok(i),
+                 "return value of '" + Tok(j).text +
+                     "' is discarded; short writes, flush failures, and "
+                     "rename races vanish silently — check it, or cast to "
+                     "(void) with a justification");
+          }
+        }
+      }
+      expect_stmt = false;
     }
   }
 

@@ -16,10 +16,12 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 IncrementalLinker::IncrementalLinker(const Maroon* maroon,
-                                     EntityProfile clean_profile)
+                                     EntityProfile clean_profile,
+                                     IncrementalLinkerOptions options)
     : maroon_(maroon),
       clean_(clean_profile),
-      current_(std::move(clean_profile)) {}
+      current_(std::move(clean_profile)),
+      options_(options) {}
 
 Status IncrementalLinker::Observe(TemporalRecord record) {
   // Ingest latency is worth a histogram sample even though the path is
@@ -32,6 +34,19 @@ Status IncrementalLinker::Observe(TemporalRecord record) {
     ++rejected_;
     return Status::InvalidArgument("record " + std::to_string(record.id()) +
                                    " carries no attribute values");
+  }
+  if (options_.max_pending > 0 && pending_ >= options_.max_pending) {
+    return Status::ResourceExhausted(
+        "admission buffer full (" + std::to_string(pending_) +
+        " pending); Flush() and retry");
+  }
+  if (options_.max_records > 0 && records_.size() >= options_.max_records) {
+    // Graceful degradation: beyond the memory bound the pool stops growing
+    // and overflow records are parked in the quarantine instead of being
+    // dropped on the floor.
+    quarantine_.push_back(std::move(record));
+    MAROON_COUNTER("maroon.stream.shed")->Add();
+    return Status::OK();
   }
   records_.push_back(std::move(record));
   ++pending_;

@@ -9,6 +9,19 @@
 
 namespace maroon {
 
+/// Overload limits for IncrementalLinker. Defaults are unbounded, matching
+/// the historical behaviour.
+struct IncrementalLinkerOptions {
+  /// Backpressure: Observe() returns ResourceExhausted once this many
+  /// records are buffered without a Flush(). 0 = unbounded.
+  size_t max_pending = 0;
+  /// Memory bound on the whole accumulated pool: once reached, further
+  /// records are shed to the quarantine (counted under "maroon.stream.shed")
+  /// instead of growing the pool — linkage quality degrades gracefully,
+  /// memory does not. 0 = unbounded.
+  size_t max_records = 0;
+};
+
 /// Streaming profile maintenance — the paper's motivating usage: "an
 /// increasingly complete and up-to-date entity profile can be derived as
 /// more and more temporal records are aggregated from different sources"
@@ -23,12 +36,18 @@ class IncrementalLinker {
  public:
   /// `maroon` must outlive the linker; `clean_profile` is the entity's
   /// trusted starting history.
-  IncrementalLinker(const Maroon* maroon, EntityProfile clean_profile);
+  IncrementalLinker(const Maroon* maroon, EntityProfile clean_profile,
+                    IncrementalLinkerOptions options = {});
 
   /// Buffers one observed record (copied; records may arrive out of
   /// timestamp order). Degenerate records — no attribute values at all —
   /// are rejected with InvalidArgument and counted instead of buffered, so
   /// a dirty stream degrades the pool instead of corrupting it.
+  ///
+  /// Overload behaviour (see IncrementalLinkerOptions): a full admission
+  /// buffer returns ResourceExhausted (the caller should Flush() and
+  /// retry); a full record pool sheds the record to the quarantine and
+  /// returns OK.
   Status Observe(TemporalRecord record);
 
   /// Number of records observed so far.
@@ -37,6 +56,11 @@ class IncrementalLinker {
   size_t NumPending() const { return pending_; }
   /// Degenerate records rejected by Observe() so far.
   size_t NumRejected() const { return rejected_; }
+  /// Records shed to the quarantine because the pool hit max_records.
+  size_t NumShed() const { return quarantine_.size(); }
+  /// The shed records, in arrival order — kept so operators can inspect or
+  /// re-drive them after the overload clears.
+  const std::vector<TemporalRecord>& quarantine() const { return quarantine_; }
 
   /// Re-links the accumulated pool and updates the current profile.
   /// Returns the linkage result over all records observed so far.
@@ -53,7 +77,9 @@ class IncrementalLinker {
   const Maroon* maroon_;
   EntityProfile clean_;
   EntityProfile current_;
+  IncrementalLinkerOptions options_;
   std::vector<TemporalRecord> records_;
+  std::vector<TemporalRecord> quarantine_;
   std::vector<RecordId> linked_;
   size_t pending_ = 0;
   size_t rejected_ = 0;

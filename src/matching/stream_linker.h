@@ -1,0 +1,134 @@
+#ifndef MAROON_MATCHING_STREAM_LINKER_H_
+#define MAROON_MATCHING_STREAM_LINKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/wal.h"
+#include "core/profile_store.h"
+#include "core/profile_wal.h"
+#include "core/temporal_record.h"
+
+namespace maroon {
+
+/// Configuration for StreamLinker.
+struct StreamLinkerOptions {
+  /// Path of the profile WAL file (required). Opening repairs any torn
+  /// tail and replays the log into the store.
+  std::string wal_path;
+  /// Directory for periodic snapshots; empty disables snapshotting.
+  std::string snapshot_dir;
+  /// Snapshot after every N applied records (0 = only on Close when
+  /// snapshot_dir is set).
+  uint64_t snapshot_every = 0;
+  /// Admission queue bound: Submit() returns ResourceExhausted beyond this
+  /// many queued records (0 = unbounded).
+  size_t max_queue = 1024;
+  /// Memory bound, in store entities. Once the store holds this many
+  /// profiles, records that would *spawn a new entity* are shed to the
+  /// quarantine (counter "maroon.stream.shed"); records that merge into an
+  /// existing profile still apply. 0 = unbounded.
+  size_t max_store_entities = 0;
+  /// Transient-IO retry budget for a single record's WAL append.
+  int max_retries = 5;
+  /// First retry backoff in microseconds; doubles every attempt. 0 disables
+  /// sleeping (useful in tests).
+  int retry_initial_backoff_us = 100;
+  /// fsync cadence forwarded to the WAL writer.
+  WalWriterOptions wal;
+};
+
+/// Counters describing a StreamLinker's lifetime (all monotonic).
+struct StreamLinkerStats {
+  uint64_t submitted = 0;
+  uint64_t applied = 0;
+  /// Applied during recovery (snapshot load + WAL tail replay) in Open.
+  uint64_t recovered = 0;
+  /// Skipped on resume because the WAL already held the record id.
+  uint64_t resumed_skips = 0;
+  /// Degenerate records (no attribute values) refused at Submit.
+  uint64_t rejected = 0;
+  /// Shed to the quarantine by the memory bound.
+  uint64_t shed = 0;
+  /// WAL append retries after transient IO errors.
+  uint64_t retries = 0;
+  uint64_t snapshots_written = 0;
+  uint64_t snapshot_failures = 0;
+};
+
+/// The durable streaming linker: admitted records are WAL-appended *before*
+/// they mutate the ProfileStore, the store is periodically snapshotted, and
+/// every mutation is deterministic — so crash recovery (newest valid
+/// snapshot + WAL tail replay, done in Open) rebuilds bit-for-bit the store
+/// an uninterrupted run would have produced, and resuming the same stream
+/// afterwards converges on the identical final state (verified by
+/// HashProfileStore equality in the crash harness).
+///
+/// Overload behaviour: a bounded admission queue pushes back (Submit returns
+/// ResourceExhausted; callers Drain() and retry), transient IO errors are
+/// retried with exponential backoff, and a memory bound sheds new-entity
+/// records to a quarantine instead of growing the store.
+///
+/// Single-threaded by design: determinism is the recovery contract, so one
+/// caller owns the stream (parallelism belongs in the batch path).
+class StreamLinker {
+ public:
+  /// Opens the WAL (creating it if absent) and recovers: loads the newest
+  /// valid snapshot, replays the WAL tail on top, and records every durable
+  /// record id so a resumed stream skips already-applied records.
+  static Result<StreamLinker> Open(const StreamLinkerOptions& options);
+
+  /// Enqueues one record. ResourceExhausted when the admission queue is
+  /// full — the caller should Drain() and resubmit; InvalidArgument for
+  /// degenerate records (counted, not queued).
+  Status Submit(TemporalRecord record);
+
+  /// Processes the queue: WAL-append (with retry), apply, snapshot at the
+  /// configured cadence. On a non-transient failure the failing record
+  /// stays at the queue front and the error is returned; Drain() may be
+  /// called again once the condition clears.
+  Status Drain();
+
+  /// Drain + force an fsync of the WAL.
+  Status Flush();
+
+  /// Flush, write a final snapshot (when snapshotting is configured and
+  /// anything changed), and close the WAL. The linker is unusable after.
+  Status Close();
+
+  const ProfileStore& store() const { return store_; }
+  const StreamLinkerStats& stats() const { return stats_; }
+  const std::vector<TemporalRecord>& quarantine() const { return quarantine_; }
+  uint64_t last_seq() const { return wal_.last_seq(); }
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  StreamLinker(StreamLinkerOptions options, ProfileWal wal)
+      : options_(std::move(options)), wal_(std::move(wal)) {}
+
+  /// WAL append with exponential backoff on transient (IOError) failures.
+  Status AppendWithRetry(const TemporalRecord& record);
+  /// True when the memory bound forces `record` into the quarantine.
+  bool ShouldShed(const TemporalRecord& record) const;
+  Status MaybeSnapshot(bool force);
+
+  StreamLinkerOptions options_;
+  ProfileWal wal_;
+  ProfileStore store_;
+  std::deque<TemporalRecord> queue_;
+  std::vector<TemporalRecord> quarantine_;
+  /// Record ids already durable in the WAL (applied this run or replayed).
+  std::unordered_set<RecordId> durable_ids_;
+  StreamLinkerStats stats_;
+  uint64_t applied_since_snapshot_ = 0;
+};
+
+}  // namespace maroon
+
+#endif  // MAROON_MATCHING_STREAM_LINKER_H_

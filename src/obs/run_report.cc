@@ -114,6 +114,10 @@ Status WriteTextFile(const std::string& path, const std::string& content) {
   out << content;
   out.flush();
   if (!out) return Status::IOError("failed writing " + path);
+  // Surface close-time failures too (flush-on-close filesystems, quotas);
+  // the implicit destructor close would swallow them.
+  out.close();
+  if (out.fail()) return Status::IOError("failed closing " + path);
   return Status::OK();
 }
 

@@ -1,0 +1,108 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace maroon {
+namespace {
+
+using failpoint::Action;
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::ClearAll(); }
+  void TearDown() override { failpoint::ClearAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedPointReturnsNone) {
+  EXPECT_EQ(failpoint::Hit("no.such.point"), Action::kNone);
+}
+
+TEST_F(FailpointTest, SetArmsAndClearDisarms) {
+  ASSERT_TRUE(failpoint::Arm("t.point", "fail").ok());
+  EXPECT_EQ(failpoint::Hit("t.point"), Action::kFail);
+  failpoint::Clear("t.point");
+  EXPECT_EQ(failpoint::Hit("t.point"), Action::kNone);
+}
+
+TEST_F(FailpointTest, ActionsParse) {
+  ASSERT_TRUE(failpoint::Arm("t.a", "enospc").ok());
+  ASSERT_TRUE(failpoint::Arm("t.b", "short").ok());
+  ASSERT_TRUE(failpoint::Arm("t.c", "torn").ok());
+  ASSERT_TRUE(failpoint::Arm("t.d", "kill").ok());
+  EXPECT_EQ(failpoint::Hit("t.a"), Action::kEnospc);
+  EXPECT_EQ(failpoint::Hit("t.b"), Action::kShortWrite);
+  EXPECT_EQ(failpoint::Hit("t.c"), Action::kTornWrite);
+  EXPECT_EQ(failpoint::Hit("t.d"), Action::kKill);
+}
+
+TEST_F(FailpointTest, OffSpecRemovesThePoint) {
+  ASSERT_TRUE(failpoint::Arm("t.point", "fail").ok());
+  ASSERT_TRUE(failpoint::Arm("t.point", "off").ok());
+  EXPECT_EQ(failpoint::Hit("t.point"), Action::kNone);
+}
+
+TEST_F(FailpointTest, BadSpecsAreRejected) {
+  EXPECT_FALSE(failpoint::Arm("t.point", "explode").ok());
+  EXPECT_FALSE(failpoint::Arm("t.point", "fail@x").ok());
+  EXPECT_FALSE(failpoint::Arm("t.point", "fail@1:y").ok());
+  EXPECT_FALSE(failpoint::Arm("t.point", "fail@").ok());
+  // A rejected spec must not arm the point.
+  EXPECT_EQ(failpoint::Hit("t.point"), Action::kNone);
+}
+
+TEST_F(FailpointTest, SkipAndCountWindowTheFiring) {
+  // Skip 2 hits, fire twice, then stay quiet.
+  ASSERT_TRUE(failpoint::Arm("t.window", "fail@2:2").ok());
+  EXPECT_EQ(failpoint::Hit("t.window"), Action::kNone);
+  EXPECT_EQ(failpoint::Hit("t.window"), Action::kNone);
+  EXPECT_EQ(failpoint::Hit("t.window"), Action::kFail);
+  EXPECT_EQ(failpoint::Hit("t.window"), Action::kFail);
+  EXPECT_EQ(failpoint::Hit("t.window"), Action::kNone);
+  EXPECT_EQ(failpoint::Hit("t.window"), Action::kNone);
+}
+
+TEST_F(FailpointTest, DefaultCountIsOne) {
+  ASSERT_TRUE(failpoint::Arm("t.once", "fail").ok());
+  EXPECT_EQ(failpoint::Hit("t.once"), Action::kFail);
+  EXPECT_EQ(failpoint::Hit("t.once"), Action::kNone);
+}
+
+TEST_F(FailpointTest, CountZeroFiresForever) {
+  ASSERT_TRUE(failpoint::Arm("t.forever", "fail@1:0").ok());
+  EXPECT_EQ(failpoint::Hit("t.forever"), Action::kNone);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(failpoint::Hit("t.forever"), Action::kFail);
+  }
+}
+
+TEST_F(FailpointTest, SettingAgainResetsTheHitCounter) {
+  ASSERT_TRUE(failpoint::Arm("t.reset", "fail@1").ok());
+  EXPECT_EQ(failpoint::Hit("t.reset"), Action::kNone);
+  EXPECT_EQ(failpoint::Hit("t.reset"), Action::kFail);
+  ASSERT_TRUE(failpoint::Arm("t.reset", "fail@1").ok());
+  EXPECT_EQ(failpoint::Hit("t.reset"), Action::kNone);
+  EXPECT_EQ(failpoint::Hit("t.reset"), Action::kFail);
+}
+
+TEST_F(FailpointTest, ConfigureParsesLists) {
+  ASSERT_TRUE(failpoint::Configure("t.one=fail, t.two=enospc@1").ok());
+  EXPECT_EQ(failpoint::Hit("t.one"), Action::kFail);
+  EXPECT_EQ(failpoint::Hit("t.two"), Action::kNone);
+  EXPECT_EQ(failpoint::Hit("t.two"), Action::kEnospc);
+}
+
+TEST_F(FailpointTest, ConfigureRejectsEntriesWithoutEquals) {
+  EXPECT_FALSE(failpoint::Configure("t.one").ok());
+}
+
+TEST_F(FailpointTest, CrashPointMacroIgnoresNonKillActions) {
+  ASSERT_TRUE(failpoint::Arm("t.crash", "fail@0:0").ok());
+  // Must not die and must not early-return anything: just pass through.
+  MAROON_CRASH_POINT("t.crash");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,175 @@
+#include "core/profile_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/failpoint.h"
+#include "core/profile_store.h"
+#include "core/profile_wal.h"
+#include "core/temporal_record.h"
+
+namespace maroon {
+namespace {
+
+class ProfileSnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::ClearAll();
+    dir_ = ::testing::TempDir() + "/maroon_snap_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    failpoint::ClearAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  static ProfileStore MakeStore(int entities) {
+    ProfileStore store;
+    for (int i = 0; i < entities; ++i) {
+      TemporalRecord record(static_cast<RecordId>(i),
+                            "person" + std::to_string(i % 3),
+                            1990 + i, 0);
+      record.SetValue("Org", MakeValueSet({"org" + std::to_string(i)}));
+      auto applied = ApplyRecordToStore(record, &store);
+      EXPECT_TRUE(applied.ok()) << applied.status();
+    }
+    return store;
+  }
+
+  void CorruptOneByte(const std::string& path, std::streamoff offset) {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(offset);
+    const char byte = static_cast<char>(file.get());
+    file.seekp(offset);
+    file.put(static_cast<char>(byte ^ 0x5A));
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ProfileSnapshotTest, FileNamesSortNumerically) {
+  EXPECT_EQ(SnapshotFileName(7), "snapshot-00000000000000000007.mrsn");
+  EXPECT_LT(SnapshotFileName(9), SnapshotFileName(10));
+  EXPECT_LT(SnapshotFileName(99), SnapshotFileName(100));
+}
+
+TEST_F(ProfileSnapshotTest, RoundTripsStoreAndSeq) {
+  const ProfileStore store = MakeStore(10);
+  ASSERT_TRUE(WriteSnapshot(store, 10, dir_).ok());
+
+  auto loaded = ReadSnapshot(dir_ + "/" + SnapshotFileName(10));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->last_seq, 10u);
+  EXPECT_EQ(HashProfileStore(loaded->store), HashProfileStore(store));
+}
+
+TEST_F(ProfileSnapshotTest, RoundTripsEmptyStore) {
+  ASSERT_TRUE(WriteSnapshot(ProfileStore(), 0, dir_).ok());
+  auto loaded = ReadSnapshot(dir_ + "/" + SnapshotFileName(0));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->last_seq, 0u);
+  EXPECT_TRUE(loaded->store.empty());
+}
+
+TEST_F(ProfileSnapshotTest, NewestValidSnapshotWins) {
+  ASSERT_TRUE(WriteSnapshot(MakeStore(2), 2, dir_).ok());
+  ASSERT_TRUE(WriteSnapshot(MakeStore(5), 5, dir_).ok());
+  auto loaded = LoadNewestValidSnapshot(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->last_seq, 5u);
+}
+
+TEST_F(ProfileSnapshotTest, DamagedNewestFallsBackToOlder) {
+  ASSERT_TRUE(WriteSnapshot(MakeStore(2), 2, dir_).ok());
+  ASSERT_TRUE(WriteSnapshot(MakeStore(5), 5, dir_).ok());
+  const std::string newest = dir_ + "/" + SnapshotFileName(5);
+  CorruptOneByte(newest, static_cast<std::streamoff>(
+                             std::filesystem::file_size(newest) / 2));
+
+  auto direct = ReadSnapshot(newest);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_NE(direct.status().message().find("checksum"), std::string::npos);
+
+  auto loaded = LoadNewestValidSnapshot(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->last_seq, 2u);
+  EXPECT_EQ(HashProfileStore(loaded->store), HashProfileStore(MakeStore(2)));
+}
+
+TEST_F(ProfileSnapshotTest, TmpLeftoversAndForeignFilesAreIgnored) {
+  ASSERT_TRUE(WriteSnapshot(MakeStore(3), 3, dir_).ok());
+  {
+    std::ofstream tmp(dir_ + "/" + SnapshotFileName(9) + ".tmp");
+    tmp << "half-written snapshot from a crashed run";
+    std::ofstream foreign(dir_ + "/notes.txt");
+    foreign << "unrelated";
+  }
+  auto snapshots = ListSnapshots(dir_);
+  ASSERT_TRUE(snapshots.ok());
+  ASSERT_EQ(snapshots->size(), 1u);
+  EXPECT_EQ((*snapshots)[0].last_seq, 3u);
+}
+
+TEST_F(ProfileSnapshotTest, MissingDirectoryIsNotFound) {
+  auto snapshots = ListSnapshots(dir_ + "/absent");
+  ASSERT_TRUE(snapshots.ok());
+  EXPECT_TRUE(snapshots->empty());
+  auto loaded = LoadNewestValidSnapshot(dir_ + "/absent");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ProfileSnapshotTest, WrongMagicIsRejected) {
+  const std::string path = dir_ + "/" + SnapshotFileName(1);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTASNAPSHOT----------------";
+  }
+  auto loaded = ReadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(ProfileSnapshotTest, InjectedWriteFailureLeavesNoPublishedFile) {
+  ASSERT_TRUE(failpoint::Arm("snapshot.write", "enospc").ok());
+  const Status failed = WriteSnapshot(MakeStore(2), 2, dir_);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/" + SnapshotFileName(2)));
+
+  // The failure is transient; the retry publishes normally.
+  ASSERT_TRUE(WriteSnapshot(MakeStore(2), 2, dir_).ok());
+  auto loaded = LoadNewestValidSnapshot(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+}
+
+TEST_F(ProfileSnapshotTest, InjectedRenameFailureLeavesOlderSnapshotValid) {
+  ASSERT_TRUE(WriteSnapshot(MakeStore(2), 2, dir_).ok());
+  ASSERT_TRUE(failpoint::Arm("snapshot.rename", "fail").ok());
+  const Status failed = WriteSnapshot(MakeStore(5), 5, dir_);
+  ASSERT_FALSE(failed.ok());
+  auto loaded = LoadNewestValidSnapshot(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->last_seq, 2u);
+}
+
+TEST_F(ProfileSnapshotTest, SnapshotFailpointsAreRegisteredForTheHarness) {
+  const auto points = failpoint::RegisteredPoints();
+  auto has = [&](const std::string& name) {
+    for (const auto& [point, what] : points) {
+      if (point == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("snapshot.write"));
+  EXPECT_TRUE(has("snapshot.sync"));
+  EXPECT_TRUE(has("snapshot.rename.before"));
+  EXPECT_TRUE(has("snapshot.rename.after"));
+}
+
+}  // namespace
+}  // namespace maroon

@@ -1,0 +1,230 @@
+#include "core/profile_wal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/failpoint.h"
+#include "core/entity_profile.h"
+#include "core/profile_store.h"
+#include "core/temporal_record.h"
+
+namespace maroon {
+namespace {
+
+TemporalRecord MakeRecord(RecordId id, const std::string& name, TimePoint t,
+                          SourceId source = 0) {
+  TemporalRecord record(id, name, t, source);
+  record.SetValue("Org", MakeValueSet({"MSR"}));
+  record.SetValue("Title", MakeValueSet({"Researcher", "Lead"}));
+  return record;
+}
+
+TEST(RecordCodecTest, RoundTrips) {
+  const TemporalRecord record = MakeRecord(42, "xin dong", 1995, 3);
+  auto decoded = DecodeTemporalRecord(EncodeTemporalRecord(record));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->id(), 42u);
+  EXPECT_EQ(decoded->name(), "xin dong");
+  EXPECT_EQ(decoded->timestamp(), 1995);
+  EXPECT_EQ(decoded->source(), 3u);
+  EXPECT_EQ(decoded->values(), record.values());
+}
+
+TEST(RecordCodecTest, RoundTripsEmptyAndNegative) {
+  TemporalRecord record(0, "", -5, 0);
+  auto decoded = DecodeTemporalRecord(EncodeTemporalRecord(record));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->name(), "");
+  EXPECT_EQ(decoded->timestamp(), -5);
+  EXPECT_TRUE(decoded->values().empty());
+}
+
+TEST(RecordCodecTest, EveryTruncationIsRejected) {
+  const std::string bytes = EncodeTemporalRecord(MakeRecord(7, "ann", 2001));
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto decoded = DecodeTemporalRecord(bytes.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(RecordCodecTest, TrailingGarbageIsRejected) {
+  const std::string bytes = EncodeTemporalRecord(MakeRecord(7, "ann", 2001));
+  auto decoded = DecodeTemporalRecord(bytes + "x");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(ApplyRecordTest, SpawnsDeterministicEntityForNewName) {
+  ProfileStore store;
+  auto id = ApplyRecordToStore(MakeRecord(42, "xin dong", 1995), &store);
+  ASSERT_TRUE(id.ok()) << id.status();
+  EXPECT_EQ(*id, "w42");
+  auto profile = store.Get("w42");
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ((*profile)->name(), "xin dong");
+  EXPECT_EQ((*profile)->sequence("Org").ValuesAt(1995),
+            MakeValueSet({"MSR"}));
+}
+
+TEST(ApplyRecordTest, SameNameMergesIntoExistingProfile) {
+  ProfileStore store;
+  auto first = ApplyRecordToStore(MakeRecord(1, "xin dong", 1995), &store);
+  ASSERT_TRUE(first.ok());
+  TemporalRecord later(2, "xin dong", 2000, 0);
+  later.SetValue("Org", MakeValueSet({"Google"}));
+  auto second = ApplyRecordToStore(later, &store);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, *first) << "same name must route to the same profile";
+  EXPECT_EQ(store.size(), 1u);
+  auto profile = store.Get(*first);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ((*profile)->sequence("Org").ValuesAt(1995), MakeValueSet({"MSR"}));
+  EXPECT_EQ((*profile)->sequence("Org").ValuesAt(2000),
+            MakeValueSet({"Google"}));
+}
+
+TEST(ApplyRecordTest, TieBreaksToSmallestEntityId) {
+  ProfileStore store;
+  store.Put(EntityProfile("e2", "ann"));
+  store.Put(EntityProfile("e1", "ann"));
+  auto id = ApplyRecordToStore(MakeRecord(9, "ann", 2001), &store);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, "e1");
+}
+
+TEST(HashTest, EqualStoresHashEqually) {
+  ProfileStore a;
+  ProfileStore b;
+  ASSERT_TRUE(ApplyRecordToStore(MakeRecord(1, "ann", 1995), &a).ok());
+  ASSERT_TRUE(ApplyRecordToStore(MakeRecord(1, "ann", 1995), &b).ok());
+  EXPECT_EQ(HashProfileStore(a), HashProfileStore(b));
+}
+
+TEST(HashTest, DetectsValueTimestampAndNameChanges) {
+  ProfileStore base;
+  ASSERT_TRUE(ApplyRecordToStore(MakeRecord(1, "ann", 1995), &base).ok());
+  const uint64_t base_hash = HashProfileStore(base);
+
+  ProfileStore other_time;
+  ASSERT_TRUE(ApplyRecordToStore(MakeRecord(1, "ann", 1996), &other_time).ok());
+  EXPECT_NE(HashProfileStore(other_time), base_hash);
+
+  ProfileStore other_name;
+  ASSERT_TRUE(ApplyRecordToStore(MakeRecord(1, "bob", 1995), &other_name).ok());
+  EXPECT_NE(HashProfileStore(other_name), base_hash);
+
+  ProfileStore other_value;
+  TemporalRecord record(1, "ann", 1995, 0);
+  record.SetValue("Org", MakeValueSet({"UW"}));
+  ASSERT_TRUE(ApplyRecordToStore(record, &other_value).ok());
+  EXPECT_NE(HashProfileStore(other_value), base_hash);
+
+  EXPECT_EQ(HashProfileStore(ProfileStore()), HashProfileStore(ProfileStore()));
+  EXPECT_NE(HashProfileStore(ProfileStore()), base_hash);
+}
+
+class ProfileWalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::ClearAll();
+    dir_ = ::testing::TempDir() + "/maroon_pwal_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ + "/profile.wal";
+  }
+  void TearDown() override {
+    failpoint::ClearAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(ProfileWalTest, AppendAssignsDenseSequencesAndReplays) {
+  auto wal = ProfileWal::Open(path_);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  ASSERT_TRUE(wal->Append(MakeRecord(10, "ann", 1995)).ok());
+  ASSERT_TRUE(wal->Append(MakeRecord(11, "bob", 1996)).ok());
+  ASSERT_TRUE(wal->Append(MakeRecord(12, "ann", 1997)).ok());
+  EXPECT_EQ(wal->last_seq(), 3u);
+  ASSERT_TRUE(wal->Close().ok());
+
+  auto replay = ReplayProfileWal(path_);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  ASSERT_EQ(replay->records.size(), 3u);
+  EXPECT_EQ(replay->records[0].seq, 1u);
+  EXPECT_EQ(replay->records[0].record.id(), 10u);
+  EXPECT_EQ(replay->records[2].record.timestamp(), 1997);
+  EXPECT_EQ(replay->last_seq, 3u);
+  EXPECT_EQ(replay->torn_bytes, 0u);
+}
+
+TEST_F(ProfileWalTest, ReplayAfterSeqSkipsSnapshottedPrefix) {
+  auto wal = ProfileWal::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  for (RecordId id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(wal->Append(MakeRecord(id, "ann", 1990 + id)).ok());
+  }
+  ASSERT_TRUE(wal->Close().ok());
+
+  auto replay = ReplayProfileWal(path_, /*after_seq=*/3);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[0].seq, 4u);
+  EXPECT_EQ(replay->last_seq, 5u);
+}
+
+TEST_F(ProfileWalTest, ReopenResumesSequenceAfterTornTail) {
+  {
+    auto wal = ProfileWal::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(MakeRecord(1, "ann", 1995)).ok());
+    ASSERT_TRUE(wal->Close().ok());
+  }
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out << "torn";
+  }
+  auto wal = ProfileWal::Open(path_);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  EXPECT_EQ(wal->last_seq(), 1u);
+  EXPECT_EQ(wal->repaired_bytes(), 4u);
+  ASSERT_TRUE(wal->Append(MakeRecord(2, "bob", 1996)).ok());
+  ASSERT_TRUE(wal->Close().ok());
+
+  auto replay = ReplayProfileWal(path_);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[1].seq, 2u);
+}
+
+TEST_F(ProfileWalTest, ReplayedRecordsRebuildTheIdenticalStore) {
+  ProfileStore live;
+  {
+    auto wal = ProfileWal::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    for (RecordId id = 1; id <= 20; ++id) {
+      const TemporalRecord record =
+          MakeRecord(id, id % 3 == 0 ? "ann" : "bob", 1990 + (id % 7));
+      ASSERT_TRUE(wal->Append(record).ok());
+      ASSERT_TRUE(ApplyRecordToStore(record, &live).ok());
+    }
+    ASSERT_TRUE(wal->Close().ok());
+  }
+
+  ProfileStore recovered;
+  auto replay = ReplayProfileWal(path_);
+  ASSERT_TRUE(replay.ok());
+  for (const ReplayedRecord& entry : replay->records) {
+    ASSERT_TRUE(ApplyRecordToStore(entry.record, &recovered).ok());
+  }
+  EXPECT_EQ(HashProfileStore(recovered), HashProfileStore(live));
+}
+
+}  // namespace
+}  // namespace maroon

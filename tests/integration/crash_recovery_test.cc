@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace maroon {
+namespace {
+
+/// The kill-and-recover harness: runs `maroon_cli replay` in a child
+/// process with a failpoint armed via MAROON_FAILPOINTS, lets the injected
+/// fault crash (or degrade) it, then recovers and resumes, asserting the
+/// final store hash is bit-for-bit the hash of an uninterrupted run.
+///
+/// Tests run with build/tests as working directory (gtest_discover_tests),
+/// so the tool lives at ../tools/maroon_cli.
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  static constexpr char kCli[] = "../tools/maroon_cli";
+  /// Must match failpoint::kKillExitCode (asserted against the child).
+  static constexpr int kKillExitCode = 61;
+
+  void SetUp() override {
+    if (!std::filesystem::exists(kCli)) {
+      GTEST_SKIP() << "maroon_cli binary not found at " << kCli;
+    }
+    dir_ = ::testing::TempDir() + "/maroon_crash_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Runs the CLI; returns the child's *decoded* exit code so the injected
+  /// kill (exit 61) is distinguishable from shell-level failure (-1).
+  int Run(const std::string& args, std::string* output = nullptr,
+          const std::string& env = "") {
+    const std::string out_path = dir_ + "/cmd.out";
+    const std::string command = (env.empty() ? "" : env + " ") +
+                                std::string(kCli) + " " + args + " > " +
+                                out_path + " 2>&1";
+    const int raw = std::system(command.c_str());
+    if (output != nullptr) {
+      std::ifstream in(out_path);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      *output = ss.str();
+    }
+    return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  }
+
+  void GenerateCorpus() {
+    std::string out;
+    ASSERT_EQ(Run("generate --dataset=recruitment --out=" + dir_ +
+                      "/data --entities=20 --names=8 --seed=13",
+                  &out),
+              0)
+        << out;
+  }
+
+  std::string ReplayArgs(const std::string& wal_subdir,
+                         const std::string& extra = "") {
+    // snapshot-every small enough that every snapshot failpoint fires
+    // several times per run; sync-every=1 exercises the fsync site per
+    // record.
+    return "replay --data=" + dir_ + "/data --wal-dir=" + dir_ + "/" +
+           wal_subdir + " --snapshot-every=7 --sync-every=1 " + extra;
+  }
+
+  static std::string StateLine(const std::string& output,
+                               const std::string& key) {
+    std::istringstream in(output);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind(key + "=", 0) == 0) return line;
+    }
+    return "";
+  }
+
+  /// The reference hash: one uninterrupted replay into its own WAL dir.
+  std::string ReferenceHash() {
+    std::string out;
+    EXPECT_EQ(Run(ReplayArgs("ref"), &out), 0) << out;
+    const std::string hash = StateLine(out, "store_hash");
+    EXPECT_FALSE(hash.empty()) << out;
+    return hash;
+  }
+
+  std::vector<std::string> RegisteredCrashPoints() {
+    std::string out;
+    EXPECT_EQ(Run("--list-crash-points", &out), 0) << out;
+    std::vector<std::string> points;
+    std::istringstream in(out);
+    std::string line;
+    while (std::getline(in, line)) {
+      const size_t tab = line.find('\t');
+      if (tab != std::string::npos) points.push_back(line.substr(0, tab));
+    }
+    return points;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CrashRecoveryTest, KillAtEveryRegisteredCrashPointThenRecover) {
+  GenerateCorpus();
+  const std::string want = ReferenceHash();
+  const std::vector<std::string> points = RegisteredCrashPoints();
+  ASSERT_GE(points.size(), 8u) << "crash-point registry shrank";
+
+  for (size_t i = 0; i < points.size(); ++i) {
+    const std::string& point = points[i];
+    SCOPED_TRACE(point);
+    const std::string wal = "kill_" + std::to_string(i);
+    // Let a few hits pass first so the death lands mid-stream, except at
+    // sites only reached once per run (WAL creation).
+    const std::string skip = point == "wal.open.header" ? "0" : "3";
+    std::string out;
+    const int code = Run(ReplayArgs(wal), &out,
+                         "MAROON_FAILPOINTS=" + point + "=kill@" + skip);
+    ASSERT_EQ(code, kKillExitCode)
+        << point << " never fired (output: " << out << ")";
+    EXPECT_NE(out.find("failpoint kill: " + point), std::string::npos) << out;
+
+    // Recovery alone must succeed and report a consistent store...
+    ASSERT_EQ(Run("recover --wal-dir=" + dir_ + "/" + wal, &out), 0)
+        << point << ": " << out;
+    // ...and resending the whole stream converges on the reference state,
+    // with every already-durable record skipped exactly once.
+    ASSERT_EQ(Run(ReplayArgs(wal), &out), 0) << point << ": " << out;
+    EXPECT_EQ(StateLine(out, "store_hash"), want) << point << ": " << out;
+  }
+}
+
+TEST_F(CrashRecoveryTest, TornTailIsTruncatedAndNeverMisreplayed) {
+  GenerateCorpus();
+  const std::string want = ReferenceHash();
+
+  // `torn` cuts the frame mid-write and kills the process — the classic
+  // torn tail nobody notices until recovery scans the log.
+  std::string out;
+  const int code = Run(ReplayArgs("torn"), &out,
+                       "MAROON_FAILPOINTS=wal.append.write=torn@11");
+  ASSERT_EQ(code, kKillExitCode) << out;
+
+  // Recovery repairs the tail (the torn record was never acknowledged);
+  // resuming the stream reapplies it and converges.
+  ASSERT_EQ(Run("recover --wal-dir=" + dir_ + "/torn", &out), 0) << out;
+  ASSERT_EQ(Run(ReplayArgs("torn"), &out), 0) << out;
+  EXPECT_EQ(StateLine(out, "store_hash"), want) << out;
+}
+
+TEST_F(CrashRecoveryTest, TransientIoFaultsAreAbsorbedByRetry) {
+  GenerateCorpus();
+  const std::string want = ReferenceHash();
+
+  // Each spec injects a *recoverable* fault: the stream must complete in
+  // one run (exit 0) with the reference hash, absorbing the fault through
+  // rollback + retry (writes) or graceful degradation (snapshots).
+  const struct {
+    const char* spec;
+    const char* counter;  // state line expected to be nonzero
+  } kFaults[] = {
+      {"wal.append.write=short@5:2", "retries"},
+      {"wal.append.write=enospc@2:3", "retries"},
+      {"wal.append.write=fail@0:1", "retries"},
+      {"wal.append.sync=fail@4:2", "retries"},
+      {"snapshot.write=fail@0:0", "snapshot_failures"},
+      // The bare point is the *action* site of AtomicRename (.before/.after
+      // are its pure crash windows).
+      {"snapshot.rename=fail@1:0", "snapshot_failures"},
+  };
+  int i = 0;
+  for (const auto& fault : kFaults) {
+    SCOPED_TRACE(fault.spec);
+    const std::string wal = "fault_" + std::to_string(i++);
+    std::string out;
+    ASSERT_EQ(Run(ReplayArgs(wal),
+                  &out, std::string("MAROON_FAILPOINTS=") + fault.spec),
+              0)
+        << out;
+    EXPECT_EQ(StateLine(out, "store_hash"), want) << out;
+    const std::string line = StateLine(out, fault.counter);
+    EXPECT_NE(line, std::string(fault.counter) + "=0") << out;
+  }
+}
+
+TEST_F(CrashRecoveryTest, InjectedCorpusSurvivesCrashAndRecovery) {
+  // The full structural fault matrix (all six corruption classes) layered
+  // under a process kill: stream the damaged corpus leniently, crash
+  // mid-run, recover, resume, and land on the uninterrupted run's hash.
+  GenerateCorpus();
+  std::string out;
+  ASSERT_EQ(Run("inject --data=" + dir_ +
+                    "/data --seed=29 --drop-cell=0.1 --invert-interval=0.1 "
+                    "--duplicate-id=0.05 --unknown-source=0.05 "
+                    "--shuffle-timestamp=0.1 --mangle-separator=0.1",
+                &out),
+            0)
+      << out;
+
+  ASSERT_EQ(Run(ReplayArgs("ref2", "--lenient"), &out), 0) << out;
+  const std::string want = StateLine(out, "store_hash");
+  ASSERT_FALSE(want.empty()) << out;
+  // The structurally damaged rows were quarantined at load — the stream
+  // sees a reduced but well-formed record sequence.
+  EXPECT_NE(out.find("lenient load: quarantined"), std::string::npos) << out;
+
+  const int code =
+      Run(ReplayArgs("crash", "--lenient"), &out,
+          "MAROON_FAILPOINTS=stream.apply.before=kill@25");
+  ASSERT_EQ(code, kKillExitCode) << out;
+  ASSERT_EQ(Run("recover --wal-dir=" + dir_ + "/crash", &out), 0) << out;
+  EXPECT_EQ(StateLine(out, "last_seq"), "last_seq=26") << out;
+  ASSERT_EQ(Run(ReplayArgs("crash", "--lenient"), &out), 0) << out;
+  EXPECT_EQ(StateLine(out, "store_hash"), want) << out;
+  EXPECT_EQ(StateLine(out, "resumed_skips"), "resumed_skips=26") << out;
+}
+
+}  // namespace
+}  // namespace maroon

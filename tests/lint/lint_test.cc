@@ -167,6 +167,24 @@ TEST(LintRuleTest, R009ExemptsTestsAndToolsButNotTestdata) {
   EXPECT_EQ(LintSource("tests/lint/testdata/scratch.cc", content).size(), 1u);
 }
 
+TEST(LintRuleTest, R010CatchesDiscardedIoReturns) {
+  const LintResult result = LintFixture("r010_unchecked_io.cc");
+  EXPECT_EQ(LinesOf(result, "R010"), (std::vector<int>{9, 10, 11, 12}))
+      << Render(result);
+  EXPECT_EQ(result.findings.size(), 4u) << Render(result);
+}
+
+TEST(LintRuleTest, R010ExemptsTestsAndToolsButNotTestdata) {
+  const std::string content =
+      "#include <cstdio>\n"
+      "void F(FILE* f) { fflush(f); }\n";
+  EXPECT_EQ(LintSource("src/common/scratch.cc", content).size(), 1u);
+  EXPECT_EQ(LintSource("src/core/scratch.cc", content).size(), 1u);
+  EXPECT_TRUE(LintSource("tests/core/scratch_test.cc", content).empty());
+  EXPECT_TRUE(LintSource("tools/scratch.cpp", content).empty());
+  EXPECT_EQ(LintSource("tests/lint/testdata/scratch.cc", content).size(), 1u);
+}
+
 TEST(LintLexerTest, LiteralsAndCommentsAreNotCode) {
   // Violation-shaped text inside strings, raw strings, and comments must
   // never fire a rule.

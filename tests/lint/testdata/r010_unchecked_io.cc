@@ -1,0 +1,43 @@
+// Lint fixture (never compiled): R010 — discarded fwrite/fflush/rename
+// return values. Scanned by lint_test; line numbers below are asserted
+// there. Lives under testdata, which the rule deliberately does not exempt.
+#include <cstdio>
+
+namespace maroon {
+
+void DiscardedCallsFire(FILE* f, const char* data) {
+  fwrite(data, 1, 8, f);  // R010 expected on this line (9)
+  fflush(f);              // R010 expected on this line (10)
+  rename("a", "b");       // R010 expected on this line (11)
+  std::rename("a", "b");  // R010 expected on this line (12)
+}
+
+void CheckedCallsAreClean(FILE* f, const char* data) {
+  if (fwrite(data, 1, 8, f) != 8) return;
+  const size_t n = fwrite(data, 1, 8, f);
+  if (n != 8) return;
+  if (fflush(f) != 0) return;
+  while (std::rename("a", "b") != 0) {
+  }
+}
+
+void ExplicitDiscardIsClean(FILE* f) {
+  // Best-effort flush on a diagnostics path; failure changes nothing.
+  (void)fflush(f);
+}
+
+void SuppressedIsSilent(FILE* f) {
+  // maroon-lint: allow(R010)
+  fflush(f);
+}
+
+void MemberAndForeignNamesAreClean() {
+  struct Log {
+    void fflush() {}
+    void rename(const char*, const char*) {}
+  } log;
+  log.fflush();
+  log.rename("a", "b");
+}
+
+}  // namespace maroon

@@ -105,5 +105,38 @@ TEST_F(IncrementalLinkerTest, OutOfOrderArrivalIsHandled) {
             MakeValueSet({"Director"}));
 }
 
+TEST_F(IncrementalLinkerTest, FullAdmissionBufferPushesBack) {
+  IncrementalLinkerOptions options;
+  options.max_pending = 2;
+  IncrementalLinker linker(maroon_.get(), testing::DavidBrownProfile(),
+                           options);
+  ASSERT_TRUE(linker.Observe(dataset_.record(0)).ok());
+  ASSERT_TRUE(linker.Observe(dataset_.record(1)).ok());
+  const Status full = linker.Observe(dataset_.record(2));
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(linker.NumObserved(), 2u);
+  // Flushing clears the buffer; the pushed-back record is accepted now.
+  (void)linker.Flush();
+  EXPECT_TRUE(linker.Observe(dataset_.record(2)).ok());
+}
+
+TEST_F(IncrementalLinkerTest, MemoryBoundShedsToQuarantine) {
+  IncrementalLinkerOptions options;
+  options.max_records = 3;
+  IncrementalLinker linker(maroon_.get(), testing::DavidBrownProfile(),
+                           options);
+  for (RecordId id = 0; id <= 4; ++id) {
+    ASSERT_TRUE(linker.Observe(dataset_.record(id)).ok())
+        << "shedding degrades, it does not error";
+  }
+  EXPECT_EQ(linker.NumObserved(), 3u);
+  EXPECT_EQ(linker.NumShed(), 2u);
+  ASSERT_EQ(linker.quarantine().size(), 2u);
+  EXPECT_EQ(linker.quarantine()[0].id(), dataset_.record(3).id());
+  // The pool still links, just with less evidence.
+  const LinkResult result = linker.Flush();
+  EXPECT_FALSE(result.match.matched_records.empty());
+}
+
 }  // namespace
 }  // namespace maroon

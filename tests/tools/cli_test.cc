@@ -28,10 +28,14 @@ class CliTest : public ::testing::Test {
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
-  int Run(const std::string& args, std::string* output = nullptr) {
+  int Run(const std::string& args, std::string* output = nullptr,
+          const std::string& env = "") {
     const std::string out_path = dir_ + "/cmd.out";
-    const std::string command =
-        std::string(kCli) + " " + args + " > " + out_path + " 2>&1";
+    // `env` is a "VAR=value" prefix (sh applies it to the command only) —
+    // the crash tests arm failpoints in the child via MAROON_FAILPOINTS.
+    const std::string command = (env.empty() ? "" : env + " ") +
+                                std::string(kCli) + " " + args + " > " +
+                                out_path + " 2>&1";
     const int code = std::system(command.c_str());
     if (output != nullptr) {
       std::ifstream in(out_path);
@@ -289,6 +293,125 @@ TEST_F(CliTest, MetricsJsonlWritesSnapshotSeries) {
   EXPECT_NE(Run("stats --data=" + dir_ + "/data --metrics-every-s=1", &out),
             0);
   EXPECT_NE(out.find("--metrics-jsonl"), std::string::npos) << out;
+}
+
+/// The "key=value" line for `key` in the replay/recover state block.
+std::string StateLine(const std::string& output, const std::string& key) {
+  std::istringstream in(output);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(key + "=", 0) == 0) return line;
+  }
+  return "";
+}
+
+TEST_F(CliTest, ReplayRecoverRoundTrip) {
+  std::string out;
+  ASSERT_EQ(Run("generate --dataset=recruitment --out=" + dir_ +
+                    "/data --entities=20 --names=8 --seed=9",
+                &out),
+            0)
+      << out;
+  ASSERT_EQ(Run("replay --data=" + dir_ + "/data --wal-dir=" + dir_ +
+                    "/wal --snapshot-every=50",
+                &out),
+            0)
+      << out;
+  const std::string hash = StateLine(out, "store_hash");
+  ASSERT_FALSE(hash.empty()) << out;
+  EXPECT_EQ(StateLine(out, "rejected"), "rejected=0") << out;
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/wal/profile.wal"));
+  EXPECT_FALSE(std::filesystem::is_empty(dir_ + "/wal/snapshots"));
+
+  // Recovery (snapshot + WAL tail) rebuilds the identical store.
+  ASSERT_EQ(Run("recover --wal-dir=" + dir_ + "/wal", &out), 0) << out;
+  EXPECT_EQ(StateLine(out, "store_hash"), hash) << out;
+
+  // --state-out writes the same parseable block to a file.
+  ASSERT_EQ(Run("recover --wal-dir=" + dir_ + "/wal --state-out=" + dir_ +
+                    "/state.txt",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(ReadFile(dir_ + "/state.txt").find(hash), std::string::npos);
+}
+
+TEST_F(CliTest, ReplayKilledMidStreamRecoversAndResumes) {
+  std::string out;
+  ASSERT_EQ(Run("generate --dataset=recruitment --out=" + dir_ +
+                    "/data --entities=20 --names=8 --seed=9",
+                &out),
+            0)
+      << out;
+  // Reference: the uninterrupted run's final hash.
+  ASSERT_EQ(Run("replay --data=" + dir_ + "/data --wal-dir=" + dir_ +
+                    "/ref --snapshot-every=25",
+                &out),
+            0)
+      << out;
+  const std::string want = StateLine(out, "store_hash");
+  ASSERT_FALSE(want.empty()) << out;
+
+  // Kill the process at the crash window between WAL append and store
+  // apply; the injected death uses the reserved failpoint exit code.
+  const int code = Run(
+      "replay --data=" + dir_ + "/data --wal-dir=" + dir_ +
+          "/crash --snapshot-every=25",
+      &out, "MAROON_FAILPOINTS=stream.apply.before=kill@40");
+  ASSERT_NE(code, 0);
+  EXPECT_NE(out.find("failpoint kill"), std::string::npos) << out;
+
+  // Recovery replays the WAL tail; resending the whole stream then skips
+  // every already-durable record and converges on the reference hash.
+  ASSERT_EQ(Run("recover --wal-dir=" + dir_ + "/crash", &out), 0) << out;
+  EXPECT_EQ(StateLine(out, "last_seq"), "last_seq=41") << out;
+  ASSERT_EQ(Run("replay --data=" + dir_ + "/data --wal-dir=" + dir_ +
+                    "/crash --snapshot-every=25",
+                &out),
+            0)
+      << out;
+  EXPECT_EQ(StateLine(out, "store_hash"), want) << out;
+  EXPECT_EQ(StateLine(out, "resumed_skips"), "resumed_skips=41") << out;
+}
+
+TEST_F(CliTest, ListCrashPointsEnumeratesDurabilitySites) {
+  std::string out;
+  ASSERT_EQ(Run("--list-crash-points", &out), 0) << out;
+  EXPECT_NE(out.find("wal.append.write"), std::string::npos) << out;
+  EXPECT_NE(out.find("snapshot.rename.before"), std::string::npos);
+  EXPECT_NE(out.find("stream.apply.before"), std::string::npos);
+}
+
+TEST_F(CliTest, UnwritableSinksExitNonzero) {
+  std::string out;
+  ASSERT_EQ(Run("generate --dataset=recruitment --out=" + dir_ +
+                    "/data --entities=20 --names=8 --seed=9",
+                &out),
+            0)
+      << out;
+  const std::string bad = dir_ + "/no/such/dir/out.txt";
+
+  // Every file sink must fail loudly: the report writer...
+  EXPECT_NE(Run("evaluate --data=" + dir_ + "/data --eval-entities=2 "
+                    "--report=" + bad,
+                &out),
+            0);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+  // ...the stream state sink...
+  EXPECT_NE(Run("replay --data=" + dir_ + "/data --wal-dir=" + dir_ +
+                    "/wal --state-out=" + bad,
+                &out),
+            0);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+  // ...and the observability sinks, even when the command itself succeeded.
+  EXPECT_NE(Run("stats --data=" + dir_ + "/data --metrics-out=" + bad, &out),
+            0);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+  EXPECT_NE(Run("stats --data=" + dir_ + "/data --metrics-prom-out=" + bad,
+                &out),
+            0);
+  EXPECT_NE(Run("stats --data=" + dir_ + "/data --run-report=" + bad, &out),
+            0);
 }
 
 TEST_F(CliTest, UnknownCommandAndBadFlags) {

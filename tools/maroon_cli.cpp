@@ -18,6 +18,11 @@
 //   maroon_cli inject --data=DIR [--seed=S] [--drop-cell=R]
 //              [--invert-interval=R] [--duplicate-id=R] [--unknown-source=R]
 //              [--shuffle-timestamp=R] [--mangle-separator=R]
+//   maroon_cli replay --data=DIR --wal-dir=DIR [--snapshot-every=N]
+//              [--max-queue=N] [--max-entities=N] [--sync-every=N]
+//              [--state-out=FILE] [--lenient]
+//   maroon_cli recover --wal-dir=DIR [--state-out=FILE]
+//   maroon_cli --list-crash-points
 //
 // Data-loading commands accept --lenient: malformed rows and semantically
 // invalid records are quarantined (with counters printed) instead of
@@ -42,16 +47,19 @@
 //   --run-report[=FILE] print a human-readable run report; with =FILE,
 //                       write the maroon_run_report_v1 JSON instead
 
+#include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
+#include "common/failpoint.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/dataset_io.h"
 #include "core/profile_algebra.h"
+#include "core/profile_wal.h"
 #include "core/validation.h"
 #include "datagen/dblp_generator.h"
 #include "datagen/fault_injector.h"
@@ -61,6 +69,7 @@
 #include "eval/sweep.h"
 #include "freshness/freshness_model.h"
 #include "maroon/version_info.h"
+#include "matching/stream_linker.h"
 #include "obs/metrics.h"
 #include "obs/metrics_snapshotter.h"
 #include "obs/prometheus.h"
@@ -79,8 +88,8 @@ int Fail(const Status& status) {
 int Usage() {
   std::cerr
       << "usage: maroon_cli "
-         "<generate|stats|transitions|link|evaluate|sweep|validate|inject> "
-         "[--flags]\n"
+         "<generate|stats|transitions|link|evaluate|sweep|validate|inject|"
+         "replay|recover> [--flags]\n"
          "  generate    --dataset=recruitment|dblp --out=DIR [--entities=N]\n"
          "              [--names=N] [--seed=S] [--error-rate=E]\n"
          "  stats       --data=DIR [--lenient]\n"
@@ -96,6 +105,17 @@ int Usage() {
          "              [--invert-interval=R] [--duplicate-id=R]\n"
          "              [--unknown-source=R] [--shuffle-timestamp=R]\n"
          "              [--mangle-separator=R]   (corrupts DIR in place)\n"
+         "  replay      --data=DIR --wal-dir=DIR [--snapshot-every=N]\n"
+         "              [--max-queue=N] [--max-entities=N] [--sync-every=N]\n"
+         "              [--state-out=FILE] [--lenient]\n"
+         "              stream the corpus through the durable linker: every\n"
+         "              record is WAL-appended before it mutates the store,\n"
+         "              snapshots land in WAL-DIR/snapshots\n"
+         "  recover     --wal-dir=DIR [--state-out=FILE]\n"
+         "              rebuild the store from the newest valid snapshot\n"
+         "              plus the WAL tail and print its state hash\n"
+         "\n"
+         "  --list-crash-points  print every registered failpoint and exit\n"
          "\n"
          "  --lenient quarantines malformed rows/records instead of failing\n"
          "  the load, printing quarantine counters.\n"
@@ -359,9 +379,8 @@ int RunEvaluate(const FlagParser& flags) {
     report_options.theta_sweep = {0.01, 0.05, 0.1, 0.2};
     const std::string report =
         GenerateComparisonReport(*dataset, options, report_options);
-    std::ofstream out(*path, std::ios::binary | std::ios::trunc);
-    if (!out) return Fail(Status::IOError("cannot write " + *path));
-    out << report;
+    const Status written = obs::WriteTextFile(*path, report);
+    if (!written.ok()) return Fail(written);
     std::cout << "wrote evaluation report to " << *path << "\n";
     return 0;
   }
@@ -412,6 +431,126 @@ int RunSweep(const FlagParser& flags) {
   return 0;
 }
 
+std::string HashHex(uint64_t hash) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+/// Builds StreamLinkerOptions from --wal-dir and friends; the WAL file and
+/// snapshot directory both live under the one directory so `recover` can
+/// find everything from the same flag.
+Result<StreamLinkerOptions> StreamOptionsFromFlags(const FlagParser& flags) {
+  MAROON_ASSIGN_OR_RETURN(std::string wal_dir, flags.GetString("wal-dir"));
+  std::error_code ec;
+  std::filesystem::create_directories(wal_dir + "/snapshots", ec);
+  if (ec) {
+    return Status::IOError("cannot create directory " + wal_dir +
+                           "/snapshots: " + ec.message());
+  }
+  StreamLinkerOptions options;
+  options.wal_path = wal_dir + "/profile.wal";
+  options.snapshot_dir = wal_dir + "/snapshots";
+  options.snapshot_every =
+      static_cast<uint64_t>(flags.GetIntOr("snapshot-every", 0));
+  options.max_queue = static_cast<size_t>(flags.GetIntOr("max-queue", 1024));
+  options.max_store_entities =
+      static_cast<size_t>(flags.GetIntOr("max-entities", 0));
+  options.wal.sync_every = static_cast<int>(flags.GetIntOr("sync-every", 1));
+  return options;
+}
+
+/// One parseable line per fact so the crash harness (and shell tests) can
+/// grep e.g. `store_hash=` instead of scraping prose.
+std::string DescribeStreamState(const StreamLinker& linker) {
+  const StreamLinkerStats& stats = linker.stats();
+  std::ostringstream os;
+  os << "last_seq=" << linker.last_seq() << "\n"
+     << "entities=" << linker.store().size() << "\n"
+     << "store_hash=" << HashHex(HashProfileStore(linker.store())) << "\n"
+     << "applied=" << stats.applied << "\n"
+     << "recovered=" << stats.recovered << "\n"
+     << "resumed_skips=" << stats.resumed_skips << "\n"
+     << "rejected=" << stats.rejected << "\n"
+     << "shed=" << stats.shed << "\n"
+     << "retries=" << stats.retries << "\n"
+     << "snapshots_written=" << stats.snapshots_written << "\n"
+     << "snapshot_failures=" << stats.snapshot_failures << "\n";
+  return os.str();
+}
+
+/// Prints the state and, with --state-out, also writes it to a file. Sink
+/// failure is a command failure (exit nonzero), matching every other sink.
+int EmitStreamState(const FlagParser& flags, const std::string& state) {
+  std::cout << state;
+  if (flags.Has("state-out")) {
+    auto path = flags.GetString("state-out");
+    if (!path.ok()) return Fail(path.status());
+    const Status written = obs::WriteTextFile(*path, state);
+    if (!written.ok()) return Fail(written);
+  }
+  return 0;
+}
+
+int RunReplay(const FlagParser& flags) {
+  auto dataset = LoadData(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto options = StreamOptionsFromFlags(flags);
+  if (!options.ok()) return Fail(options.status());
+
+  auto linker = StreamLinker::Open(*options);
+  if (!linker.ok()) return Fail(linker.status());
+
+  for (const TemporalRecord& record : dataset->records()) {
+    Status submitted = linker->Submit(record);
+    if (submitted.code() == StatusCode::kResourceExhausted) {
+      // Backpressure: the admission queue is full. Drain it, then the same
+      // record must fit.
+      const Status drained = linker->Drain();
+      if (!drained.ok()) return Fail(drained);
+      submitted = linker->Submit(record);
+    }
+    if (submitted.code() == StatusCode::kInvalidArgument) {
+      continue;  // degenerate record — counted under stats().rejected
+    }
+    if (!submitted.ok()) return Fail(submitted);
+  }
+  const Status closed = linker->Close();
+  if (!closed.ok()) return Fail(closed);
+
+  std::ostringstream summary;
+  summary << "replay: streamed " << dataset->NumRecords()
+          << " record(s) through " << options->wal_path << "\n"
+          << DescribeStreamState(*linker);
+  if (obs::MetricsRegistry::Enabled()) {
+    const auto latency =
+        MAROON_LATENCY("maroon.stream.record_seconds")->Snapshot();
+    if (latency.count > 0) {
+      summary << "record_latency_ms: p50="
+              << FormatDouble(latency.P50() * 1e3, 3)
+              << " p99=" << FormatDouble(latency.P99() * 1e3, 3)
+              << " p999=" << FormatDouble(latency.P999() * 1e3, 3) << "\n";
+    }
+  }
+  return EmitStreamState(flags, summary.str());
+}
+
+int RunRecover(const FlagParser& flags) {
+  auto options = StreamOptionsFromFlags(flags);
+  if (!options.ok()) return Fail(options.status());
+
+  // Open *is* recovery: newest valid snapshot + WAL tail replay. Close
+  // writes no snapshot here because recovery applies nothing new.
+  auto linker = StreamLinker::Open(*options);
+  if (!linker.ok()) return Fail(linker.status());
+  const std::string state =
+      "recover: " + options->wal_path + "\n" + DescribeStreamState(*linker);
+  const Status closed = linker->Close();
+  if (!closed.ok()) return Fail(closed);
+  return EmitStreamState(flags, state);
+}
+
 int Dispatch(const FlagParser& flags, const std::string& command) {
   if (command == "generate") return RunGenerate(flags);
   if (command == "stats") return RunStats(flags);
@@ -421,6 +560,8 @@ int Dispatch(const FlagParser& flags, const std::string& command) {
   if (command == "sweep") return RunSweep(flags);
   if (command == "validate") return RunValidate(flags);
   if (command == "inject") return RunInject(flags);
+  if (command == "replay") return RunReplay(flags);
+  if (command == "recover") return RunRecover(flags);
   return Usage();
 }
 
@@ -468,6 +609,14 @@ int Main(int argc, char** argv) {
   if (flags.GetBoolOr("version", false)) {
     std::cout << "maroon_cli " << MAROON_VERSION << " (" << MAROON_GIT_DESCRIBE
               << ")\n";
+    return 0;
+  }
+  if (flags.GetBoolOr("list-crash-points", false)) {
+    // The kill-and-recover harness iterates this list; keep the format one
+    // "<point>\t<description>" per line.
+    for (const auto& [point, description] : failpoint::RegisteredPoints()) {
+      std::cout << point << "\t" << description << "\n";
+    }
     return 0;
   }
   if (flags.positional().empty()) return Usage();

@@ -45,6 +45,12 @@
 #      "threads": 1|2|4|8, "train_wall_s": N, "eval_wall_s": N,
 #      "batch_wall_s": N, "total_wall_s": N, "result_hash": N,
 #      "entities": N},
+#     {"bench": "replay_durability", "corpus": "recruitment",
+#      "mode": "no_wal"|"wal_buffered"|"wal_synced",
+#      "records": N, "wall_s": N, "records_per_s": N},
+#     {"bench": "replay_durability", "corpus": "recruitment",
+#      "mode": "snapshot", "entities": N, "snapshot_write_s": N,
+#      "snapshot_bytes": N},
 #     ...
 #   ],
 #   "overhead": {
@@ -76,9 +82,10 @@ ARTIFACTS="${3:-bench_artifacts}"
 
 FIG7="$BUILD_DIR/bench/bench_fig7_runtime"
 SCALING="$BUILD_DIR/bench/bench_scaling"
+DURABILITY="$BUILD_DIR/bench/bench_replay_durability"
 CLI="$BUILD_DIR/tools/maroon_cli"
 BENCHDIFF="$BUILD_DIR/tools/maroon_benchdiff"
-for binary in "$FIG7" "$SCALING" "$CLI" "$BENCHDIFF"; do
+for binary in "$FIG7" "$SCALING" "$DURABILITY" "$CLI" "$BENCHDIFF"; do
   if [ ! -x "$binary" ]; then
     echo "run_bench.sh: missing $binary (build the bench and tools targets first)" >&2
     exit 1
@@ -173,6 +180,20 @@ require_number metrics_on_total_s "$ON_TOTAL"
 echo "== bench_scaling =="
 MAROON_BENCH_JSON="$WORK/rows.jsonl" "$SCALING" "$FILTER" > /dev/null
 require_schema_rows "$WORK/rows.jsonl"
+
+echo "== bench_replay_durability =="
+MAROON_BENCH_JSON="$WORK/rows.jsonl" "$DURABILITY" "$FILTER" > /dev/null
+require_schema_rows "$WORK/rows.jsonl"
+# The durable default must actually have streamed: a zero throughput row
+# means the WAL path silently did no work.
+WAL_RPS="$(awk '
+  index($0, "\"bench\": \"replay_durability\"") == 0 { next }
+  index($0, "\"mode\": \"wal_synced\"") == 0 { next }
+  {
+    i = index($0, "\"records_per_s\": ")
+    rest = substr($0, i + 17); sub(/[,}].*/, "", rest); print rest + 0
+  }' "$WORK/rows.jsonl")"
+require_number replay_durability_records_per_s "$WAL_RPS"
 
 OVERHEAD_PCT="$(awk -v off="$OFF_TOTAL" -v on="$ON_TOTAL" 'BEGIN {
   if (off <= 0) { printf "0"; exit }
