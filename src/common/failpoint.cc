@@ -7,10 +7,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/string_util.h"
+#include "common/thread_annotations.h"
 
 namespace maroon {
 namespace failpoint {
@@ -25,9 +26,9 @@ struct Spec {
 };
 
 struct State {
-  std::mutex mu;
-  std::map<std::string, Spec> specs;
-  std::map<std::string, std::string> registered;
+  Mutex mu;
+  std::map<std::string, Spec> specs MAROON_GUARDED_BY(mu);
+  std::map<std::string, std::string> registered MAROON_GUARDED_BY(mu);
 };
 
 State& GetState() {
@@ -115,7 +116,7 @@ Action Hit(const char* point) {
   ConfigureFromEnvOnce();
   if (!g_armed.load(std::memory_order_acquire)) return Action::kNone;
   State& state = GetState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   auto it = state.specs.find(point);
   if (it == state.specs.end()) return Action::kNone;
   Spec& spec = it->second;
@@ -137,7 +138,7 @@ void Die(const char* point) {
 Status Arm(const std::string& point, const std::string& spec_text) {
   MAROON_ASSIGN_OR_RETURN(Spec spec, ParseSpec(spec_text));
   State& state = GetState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   if (spec.action == Action::kNone) {
     state.specs.erase(point);
   } else {
@@ -163,27 +164,27 @@ Status Configure(const std::string& spec_list) {
 
 void Clear(const std::string& point) {
   State& state = GetState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   state.specs.erase(point);
   g_armed.store(!state.specs.empty(), std::memory_order_release);
 }
 
 void ClearAll() {
   State& state = GetState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   state.specs.clear();
   g_armed.store(false, std::memory_order_release);
 }
 
 Registrar::Registrar(const char* point, const char* description) {
   State& state = GetState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   state.registered[point] = description;
 }
 
 std::vector<std::pair<std::string, std::string>> RegisteredPoints() {
   State& state = GetState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   return {state.registered.begin(), state.registered.end()};
 }
 

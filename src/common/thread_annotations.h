@@ -1,0 +1,87 @@
+#ifndef MAROON_COMMON_THREAD_ANNOTATIONS_H_
+#define MAROON_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Thread-safety annotation macros for the MAROON concurrent tree.
+///
+/// Each macro expands to the corresponding Clang thread-safety attribute
+/// under Clang and to nothing elsewhere, so one set of annotations feeds two
+/// independent checkers:
+///
+///   - `maroon_lint` rules R011-R014 (src/lint/concurrency.*) parse the
+///     macros straight out of the source text — no compiler needed — and
+///     enforce them on every file in every build.
+///   - Clang's `-Wthread-safety` analysis double-checks the same contracts
+///     with full type information (the `thread-safety` CI job builds the
+///     tree with `-Wthread-safety -Werror`).
+///
+/// Annotate with the *project* macros, never the raw attributes; see
+/// docs/threading-model.md for the conventions and docs/static_analysis.md
+/// for the worked MetricsRegistry example.
+///
+///   class MAROON_CAPABILITY("mutex") Mutex;        // a lockable type
+///   Mutex mu_;
+///   int hits_ MAROON_GUARDED_BY(mu_) = 0;          // data behind mu_
+///   void Rotate() MAROON_REQUIRES(mu_);            // caller must hold mu_
+///   void Stop() MAROON_EXCLUDES(mu_);              // caller must NOT hold
+///
+/// The analysis has deliberate escape hatches — MAROON_NO_THREAD_SAFETY_
+/// ANALYSIS for functions whose safety argument is external to locks (e.g.
+/// quiescence-protected accessors) — and every use of one needs a comment
+/// saying what the real protection is.
+
+#if defined(__clang__)
+#define MAROON_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define MAROON_THREAD_ANNOTATION_ATTRIBUTE(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define MAROON_CAPABILITY(x) \
+  MAROON_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define MAROON_SCOPED_CAPABILITY \
+  MAROON_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Field annotation: reads and writes require holding `x`.
+#define MAROON_GUARDED_BY(x) \
+  MAROON_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer-field annotation: the pointed-to data requires holding `x`
+/// (the pointer itself is unguarded).
+#define MAROON_PT_GUARDED_BY(x) \
+  MAROON_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function annotation: the caller must hold the named mutex(es) on entry
+/// and still holds them on exit.
+#define MAROON_REQUIRES(...) \
+  MAROON_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the named mutex(es); held on return.
+#define MAROON_ACQUIRE(...) \
+  MAROON_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: releases the named mutex(es); the caller held them
+/// on entry.
+#define MAROON_RELEASE(...) \
+  MAROON_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function annotation: acquires on the `bool`-valued success result.
+#define MAROON_TRY_ACQUIRE(...) \
+  MAROON_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must NOT hold the named mutex(es) —
+/// the function (or something it calls) acquires them itself.
+#define MAROON_EXCLUDES(...) \
+  MAROON_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Function annotation: returns a reference to the named capability.
+#define MAROON_RETURN_CAPABILITY(x) \
+  MAROON_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: skip analysis for this function. Every use needs a comment
+/// naming the out-of-band protection (quiescence, single ownership, ...).
+#define MAROON_NO_THREAD_SAFETY_ANALYSIS \
+  MAROON_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // MAROON_COMMON_THREAD_ANNOTATIONS_H_

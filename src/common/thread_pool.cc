@@ -50,10 +50,10 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -81,18 +81,24 @@ void ThreadPool::ParallelFor(size_t count, int width,
     return;
   }
 
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  MutexLock run_lock(&run_mu_);
   Batch batch;
   batch.count = count;
   batch.fn = &fn;
   const int helpers = width - 1;
-  batch.active_helpers = helpers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Uncontended (the batch is not yet published), but the write must be
+    // under batch.mu: active_helpers is guarded and workers read it the
+    // moment they wake.
+    MutexLock init_lock(&batch.mu);
+    batch.active_helpers = helpers;
+  }
+  {
+    MutexLock lock(&mu_);
     batch_ = &batch;
     strands_to_claim_ = helpers;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   // The caller is strand 0. It counts as a pool worker while running tasks
   // so that nested ParallelFor calls from its tasks run inline instead of
@@ -103,10 +109,10 @@ void ThreadPool::ParallelFor(size_t count, int width,
   InPoolWorkerFlag() = false;
 
   {
-    std::unique_lock<std::mutex> lock(batch.mu);
-    batch.done_cv.wait(lock, [&batch] { return batch.active_helpers == 0; });
+    MutexLock lock(&batch.mu);
+    while (batch.active_helpers != 0) batch.done_cv.Wait(lock);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   batch_ = nullptr;
 }
 
@@ -116,10 +122,10 @@ void ThreadPool::WorkerLoop() {
     Batch* batch = nullptr;
     int strand = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] {
-        return shutdown_ || (batch_ != nullptr && strands_to_claim_ > 0);
-      });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && (batch_ == nullptr || strands_to_claim_ <= 0)) {
+        work_cv_.Wait(lock);
+      }
       if (shutdown_) return;
       batch = batch_;
       strand = strands_to_claim_--;
@@ -127,8 +133,8 @@ void ThreadPool::WorkerLoop() {
     RunStrand(batch, strand);
     // Notify while holding the batch mutex: once active_helpers reaches 0
     // the caller may destroy the batch, so no touch-after-notify is allowed.
-    std::lock_guard<std::mutex> lock(batch->mu);
-    if (--batch->active_helpers == 0) batch->done_cv.notify_all();
+    MutexLock lock(&batch->mu);
+    if (--batch->active_helpers == 0) batch->done_cv.NotifyAll();
   }
 }
 
@@ -161,18 +167,21 @@ PeriodicTimer::~PeriodicTimer() { Stop(); }
 
 void PeriodicTimer::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stop_) return;
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (worker_.joinable()) worker_.join();
 }
 
 void PeriodicTimer::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (;;) {
-    if (cv_.wait_for(lock, period_, [this] { return stop_; })) return;
+    const auto deadline = std::chrono::steady_clock::now() + period_;
+    bool timed_out = false;
+    while (!stop_ && !timed_out) timed_out = cv_.WaitUntil(lock, deadline);
+    if (stop_) return;
     // Run the callback unlocked so it can take its own locks (the metrics
     // registry's, a file sink's) without ordering against ours.
     lock.unlock();
@@ -187,9 +196,9 @@ ThreadPool* ThreadPool::Shared(int num_threads) {
   const int width = ResolveThreadCount(num_threads);
   // Leaked like the obs singletons: helper threads live for the process, so
   // shared pools are never destroyed (no shutdown races at exit).
-  static std::mutex* registry_mu = new std::mutex;
+  static Mutex* registry_mu = new Mutex;
   static std::map<int, ThreadPool*>* registry = new std::map<int, ThreadPool*>;
-  std::lock_guard<std::mutex> lock(*registry_mu);
+  MutexLock lock(registry_mu);
   ThreadPool*& pool = (*registry)[width];
   if (pool == nullptr) pool = new ThreadPool(width);
   return pool;

@@ -3,13 +3,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace maroon {
 
@@ -101,9 +102,9 @@ class ThreadPool {
     size_t count = 0;
     const std::function<void(int, size_t)>* fn = nullptr;
     std::atomic<size_t> next{0};
-    std::mutex mu;
-    std::condition_variable done_cv;
-    int active_helpers = 0;  // guarded by mu
+    Mutex mu;
+    CondVar done_cv;
+    int active_helpers MAROON_GUARDED_BY(mu) = 0;
   };
 
   void WorkerLoop();
@@ -111,14 +112,20 @@ class ThreadPool {
 
   const int num_threads_;
 
-  /// Serializes external ParallelFor callers; one batch runs at a time.
-  std::mutex run_mu_;
+  // Lock order (authoritative graph: docs/threading-model.md):
+  //   run_mu_ -> mu_         (ParallelFor publishes the batch)
+  //   run_mu_ -> Batch::mu   (ParallelFor seeds/awaits active_helpers)
+  // mu_ and Batch::mu are never held together: WorkerLoop releases mu_
+  // before touching the batch, so the graph stays a tree.
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  Batch* batch_ = nullptr;   // guarded by mu_ (null = idle)
-  int strands_to_claim_ = 0; // guarded by mu_
-  bool shutdown_ = false;    // guarded by mu_
+  /// Serializes external ParallelFor callers; one batch runs at a time.
+  Mutex run_mu_;
+
+  Mutex mu_;
+  CondVar work_cv_;
+  Batch* batch_ MAROON_GUARDED_BY(mu_) = nullptr;  // null = idle
+  int strands_to_claim_ MAROON_GUARDED_BY(mu_) = 0;
+  bool shutdown_ MAROON_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 
@@ -152,9 +159,9 @@ class PeriodicTimer {
   const std::chrono::milliseconds period_;
   const std::function<void()> fn_;
   std::atomic<int64_t> ticks_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;  // guarded by mu_
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_ MAROON_GUARDED_BY(mu_) = false;
   std::thread worker_;
 };
 

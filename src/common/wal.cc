@@ -329,6 +329,7 @@ Result<WalWriter> WalWriter::Open(const std::string& path,
 }
 
 Status WalWriter::Append(uint64_t seq, std::string_view payload) {
+  thread_checker_.Check();
   if (seq <= last_seq_) {
     return Status::InvalidArgument(
         "WAL sequence must ascend: got " + std::to_string(seq) +
@@ -370,6 +371,7 @@ Status WalWriter::Append(uint64_t seq, std::string_view payload) {
 }
 
 Status WalWriter::Sync() {
+  thread_checker_.Check();
   MAROON_RETURN_IF_ERROR(file_.Sync("wal.append.sync"));
   frames_since_sync_ = 0;
   ++syncs_;
@@ -377,6 +379,7 @@ Status WalWriter::Sync() {
 }
 
 Status WalWriter::Close() {
+  thread_checker_.Check();
   if (!file_.is_open()) return Status::OK();
   MAROON_RETURN_IF_ERROR(Sync());
   return file_.Close();

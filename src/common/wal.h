@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -115,6 +116,11 @@ struct WalWriterOptions {
 /// Appends checksummed frames to a WAL file. Opening an existing file scans
 /// it first and truncates any torn tail, so appends always start at a valid
 /// frame boundary; `last_seq()` resumes from the highest replayed sequence.
+///
+/// Single-owner contract: a WalWriter is confined to one thread after Open
+/// (sequence numbers and the sync cadence are stateful and unsynchronized).
+/// The mutating calls check this with a ThreadChecker, so a second thread
+/// sneaking in trips a DCHECK in debug builds instead of corrupting the log.
 class WalWriter {
  public:
   static Result<WalWriter> Open(const std::string& path,
@@ -150,6 +156,8 @@ class WalWriter {
   uint64_t syncs_ = 0;
   uint64_t repaired_bytes_ = 0;
   int frames_since_sync_ = 0;
+  /// Enforces the single-owner contract on Append/Sync/Close.
+  ThreadChecker thread_checker_;
 };
 
 }  // namespace maroon

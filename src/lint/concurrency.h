@@ -1,0 +1,90 @@
+#ifndef MAROON_LINT_CONCURRENCY_H_
+#define MAROON_LINT_CONCURRENCY_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/rules.h"
+#include "lint/symbols.h"
+
+namespace maroon {
+namespace lint {
+
+/// The lock-discipline rule family, running on the scope model from
+/// symbols.h. All four rules share the same honesty contract as R001-R010:
+/// suppress with `// maroon-lint: allow(R01x)` at the site.
+///
+///   R011  Access to a MAROON_GUARDED_BY field in a method of its class
+///         where the named mutex is not provably held. Held means: a live
+///         MutexLock/lock_guard/unique_lock/scoped_lock over it, a manual
+///         .lock() without intervening .unlock(), a MAROON_REQUIRES/
+///         MAROON_ACQUIRE/MAROON_RELEASE annotation on the method, or a
+///         call to an annotated MAROON_ACQUIRE helper. Constructors and
+///         destructors are exempt (exclusive access, same as Clang).
+///         Checked for unqualified and this-> accesses; obj->field goes
+///         through Clang's -Wthread-safety, which has the type info.
+///   R012  Inconsistent lock acquisition order: every "acquire B while
+///         holding A" site adds an A->B edge to one global lock-order
+///         graph; any cycle is flagged at each participating edge. Also
+///         flags calling a MAROON_EXCLUDES(m) function while holding m
+///         (guaranteed self-deadlock with non-recursive mutexes).
+///   R013  Blocking I/O while any mutex is held: fsync/fdatasync/fwrite/
+///         fread/fflush/fopen/fclose/rename free calls, and .Append()/
+///         .Sync()/.flush() member calls (the WAL and snapshot writers).
+///         A lock held across a disk write stalls every reader of that
+///         lock for the device latency — the tail the obs/ histograms
+///         exist to expose.
+///   R014  Explicit memory_order_relaxed outside the allowlisted counter
+///         sites (see kRelaxedAllowlist in concurrency.cc). Relaxed
+///         ordering is correct only with a written no-synchronization
+///         argument; everywhere else it is a latent reordering bug.
+
+/// Cross-file inputs for the checker: the merged class registry built by
+/// BuildFileSymbols + MergeClassModels over every scanned file.
+struct ConcurrencyContext {
+  const std::map<std::string, ClassModel>* classes = nullptr;
+};
+
+/// The global lock-order graph (R012). Edges accumulate across every file
+/// in the scan; CheckCycles runs once at the end.
+class LockOrderGraph {
+ public:
+  /// Records "acquired `to` while holding `from`" at the given site.
+  /// `suppressed` marks sites under an allow(R012) comment: the edge still
+  /// exists for ordering documentation, but never produces a finding and
+  /// never participates in cycle detection.
+  void AddEdge(const std::string& from, const std::string& to,
+               const std::string& file, int line, int col,
+               const std::string& function, bool suppressed);
+
+  /// One finding per distinct non-suppressed edge that lies on a cycle,
+  /// reported at the edge's first witness site.
+  std::vector<Finding> CheckCycles() const;
+
+  /// All non-suppressed edges, sorted — the authoritative acquisition order
+  /// (documented in docs/threading-model.md).
+  std::vector<std::pair<std::string, std::string>> Edges() const;
+
+ private:
+  struct Edge {
+    std::string file;
+    std::string function;
+    int line = 0;
+    int col = 0;
+    bool suppressed = false;
+  };
+  std::map<std::pair<std::string, std::string>, Edge> edges_;
+};
+
+/// Runs R011/R013/R014 over one file, appends findings, and feeds R012
+/// edges into `graph`. `symbols` must be the model of `file`.
+void CheckConcurrency(const SourceFile& file, const FileSymbols& symbols,
+                      const ConcurrencyContext& context,
+                      std::vector<Finding>* findings, LockOrderGraph* graph);
+
+}  // namespace lint
+}  // namespace maroon
+
+#endif  // MAROON_LINT_CONCURRENCY_H_

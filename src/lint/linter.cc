@@ -1,11 +1,16 @@
 #include "lint/linter.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <tuple>
+
+#include "lint/concurrency.h"
+#include "lint/symbols.h"
 
 namespace maroon {
 namespace lint {
@@ -106,25 +111,47 @@ Result<LintResult> RunLint(const LintOptions& options) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  // Pass 1: tokenize everything and build the shared R002 registry.
+  // Pass 1: tokenize everything, build the shared function registry, the
+  // per-file scope models, and the merged cross-file class registry (a
+  // header's MAROON_GUARDED_BY annotations must be visible when the .cc
+  // defining the methods is checked).
   std::vector<SourceFile> sources;
+  std::vector<FileSymbols> symbols;
   sources.reserve(files.size());
-  std::set<std::string> registry;
+  symbols.reserve(files.size());
+  FunctionRegistry registry;
+  std::map<std::string, ClassModel> classes;
   for (const fs::path& path : files) {
     MAROON_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
     sources.push_back(
         MakeSourceFile(RelativeDisplayPath(path, root), content));
-    const std::set<std::string> names =
-        CollectStatusFunctions(sources.back().tokens);
-    registry.insert(names.begin(), names.end());
+    const FunctionRegistry names =
+        CollectFunctionRegistry(sources.back().tokens);
+    registry.status_or_result.insert(names.status_or_result.begin(),
+                                     names.status_or_result.end());
+    registry.result_only.insert(names.result_only.begin(),
+                                names.result_only.end());
+    symbols.push_back(BuildFileSymbols(sources.back()));
+    MergeClassModels(symbols.back().classes, &classes);
   }
 
-  // Pass 2: run the rules.
+  // Pass 2: run the token rules and the scope-aware concurrency rules;
+  // R012 edges accumulate into one tree-wide graph.
   LintResult result;
   result.files_scanned = sources.size();
-  for (const SourceFile& source : sources) {
-    LintFile(source, registry, &result.findings);
+  ConcurrencyContext context;
+  context.classes = &classes;
+  LockOrderGraph graph;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    LintFile(sources[i], registry, &result.findings);
+    CheckConcurrency(sources[i], symbols[i], context, &result.findings,
+                     &graph);
   }
+
+  // Pass 3: cycles in the global lock-order graph.
+  const std::vector<Finding> cycles = graph.CheckCycles();
+  result.findings.insert(result.findings.end(), cycles.begin(), cycles.end());
+
   std::sort(result.findings.begin(), result.findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.col, a.rule) <
@@ -166,6 +193,105 @@ std::string RenderJson(const LintResult& result) {
   }
   out += "]}\n";
   return out;
+}
+
+Result<Baseline> LoadBaseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open baseline " + path);
+  Baseline baseline;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+
+    // RULE FILE:LINE [message...]
+    const size_t rule_end = line.find(' ', first);
+    if (rule_end == std::string::npos) {
+      return Status::InvalidArgument("malformed baseline line " +
+                                     std::to_string(line_no) + ": " + line);
+    }
+    BaselineEntry entry;
+    entry.rule = line.substr(first, rule_end - first);
+    const size_t loc_start = line.find_first_not_of(" \t", rule_end);
+    if (loc_start == std::string::npos) {
+      return Status::InvalidArgument("malformed baseline line " +
+                                     std::to_string(line_no) + ": " + line);
+    }
+    size_t loc_end = line.find(' ', loc_start);
+    if (loc_end == std::string::npos) loc_end = line.size();
+    const std::string loc = line.substr(loc_start, loc_end - loc_start);
+    const size_t colon = loc.rfind(':');
+    if (entry.rule.size() < 2 || entry.rule[0] != 'R' ||
+        colon == std::string::npos || colon + 1 >= loc.size()) {
+      return Status::InvalidArgument("malformed baseline line " +
+                                     std::to_string(line_no) + ": " + line);
+    }
+    entry.file = loc.substr(0, colon);
+    const char* num_begin = loc.data() + colon + 1;
+    const char* num_end = loc.data() + loc.size();
+    const auto parsed = std::from_chars(num_begin, num_end, entry.line);
+    if (parsed.ec != std::errc() || parsed.ptr != num_end) {
+      return Status::InvalidArgument("malformed baseline line " +
+                                     std::to_string(line_no) + ": " + line);
+    }
+    baseline.entries.push_back(std::move(entry));
+  }
+  return baseline;
+}
+
+std::string SerializeBaseline(const LintResult& result) {
+  std::string out =
+      "# maroon_lint baseline v1\n"
+      "# Accepted pre-existing findings, one per line: RULE FILE:LINE "
+      "MESSAGE.\n"
+      "# Matching ignores the message. Regenerate with --update-baseline;\n"
+      "# shrink it whenever a finding is actually fixed.\n";
+  for (const Finding& f : result.findings) {
+    out += f.rule + " " + f.file + ":" + std::to_string(f.line) + " " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+std::vector<BaselineEntry> ApplyBaseline(const Baseline& baseline,
+                                         LintResult* result) {
+  using Key = std::tuple<std::string, std::string, int>;
+  std::map<Key, int> available;
+  for (const Finding& f : result->findings) {
+    ++available[Key{f.rule, f.file, f.line}];
+  }
+
+  // Each entry consumes at most one matching finding; entries with nothing
+  // left to consume are stale.
+  std::map<Key, int> consumed;
+  std::vector<BaselineEntry> stale;
+  for (const BaselineEntry& entry : baseline.entries) {
+    const Key key{entry.rule, entry.file, entry.line};
+    auto it = available.find(key);
+    if (it != available.end() && it->second > 0) {
+      --it->second;
+      ++consumed[key];
+    } else {
+      stale.push_back(entry);
+    }
+  }
+
+  std::vector<Finding> kept;
+  kept.reserve(result->findings.size());
+  for (Finding& f : result->findings) {
+    const Key key{f.rule, f.file, f.line};
+    auto it = consumed.find(key);
+    if (it != consumed.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    kept.push_back(std::move(f));
+  }
+  result->findings = std::move(kept);
+  return stale;
 }
 
 }  // namespace lint

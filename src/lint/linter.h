@@ -11,9 +11,11 @@
 namespace maroon {
 namespace lint {
 
-/// Orchestration for maroon_lint: file discovery, the two-pass scan (collect
-/// the Status/Result function registry, then lint every file), and output
-/// rendering.
+/// Orchestration for maroon_lint: file discovery, the multi-pass scan
+/// (pass 1 collects the Status/Result function registry and the per-class
+/// concurrency models; pass 2 runs the token rules R001-R010 and the
+/// scope-aware rules R011-R014 per file; pass 3 checks the global
+/// lock-order graph), output rendering, and baseline management.
 
 struct LintOptions {
   /// Repository root. Display paths, the R005 guard convention, and the
@@ -43,6 +45,37 @@ std::string RenderText(const LintResult& result);
 /// Machine-readable form:
 /// {"files_scanned": N, "findings": [{"rule": ..., "file": ..., ...}]}.
 std::string RenderJson(const LintResult& result);
+
+/// One accepted pre-existing finding in a baseline file. Matching is by
+/// (rule, file, line): the message is recorded for humans but ignored when
+/// matching, so message rewording does not invalidate a baseline.
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  int line = 0;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+/// Parses a baseline file: `# comment` and blank lines plus entry lines of
+/// the form `R011 src/foo.cc:42 original message`. Malformed lines are
+/// errors — a corrupt baseline silently accepting everything is worse than
+/// a failing lint run.
+Result<Baseline> LoadBaseline(const std::string& path);
+
+/// Renders the findings of `result` in baseline format (header comment
+/// included), for --update-baseline.
+std::string SerializeBaseline(const LintResult& result);
+
+/// Removes findings matched by the baseline from `result` (each entry
+/// consumes at most one finding) and returns the stale entries — baselined
+/// findings that no longer occur. Stale entries are an error at the CLI:
+/// the fix should shrink the baseline so it cannot mask a regression at the
+/// same site later.
+std::vector<BaselineEntry> ApplyBaseline(const Baseline& baseline,
+                                         LintResult* result);
 
 }  // namespace lint
 }  // namespace maroon

@@ -11,71 +11,44 @@ namespace {
 
 /// Rule ids, for validating allow(...) lists.
 const char* const kAllRules[] = {"R001", "R002", "R003", "R004", "R005",
-                                 "R006", "R007", "R008", "R009", "R010"};
+                                 "R006", "R007", "R008", "R009", "R010",
+                                 "R011", "R012", "R013", "R014"};
 
 bool IsKnownRule(const std::string& rule) {
   return std::find(std::begin(kAllRules), std::end(kAllRules), rule) !=
          std::end(kAllRules);
 }
 
-/// Per-line suppression sets parsed from `// maroon-lint: allow(R003)`
-/// comments. A comment alone on its line also covers the next line.
-class Suppressions {
- public:
-  Suppressions(const std::vector<Token>& tokens) {
-    std::set<int> code_lines;
-    for (const Token& t : tokens) {
-      if (t.kind != TokenKind::kComment) code_lines.insert(t.line);
-    }
-    for (const Token& t : tokens) {
-      if (t.kind != TokenKind::kComment) continue;
-      for (const std::string& rule : ParseAllowList(t.text)) {
-        by_line_[t.line].insert(rule);
-        if (code_lines.count(t.line) == 0) by_line_[t.line + 1].insert(rule);
-      }
+std::vector<std::string> ParseAllowList(const std::string& comment) {
+  std::vector<std::string> rules;
+  const size_t marker = comment.find("maroon-lint:");
+  if (marker == std::string::npos) return rules;
+  const size_t open = comment.find("allow(", marker);
+  if (open == std::string::npos) return rules;
+  const size_t close = comment.find(')', open);
+  if (close == std::string::npos) return rules;
+  std::string item;
+  for (size_t i = open + 6; i <= close; ++i) {
+    const char c = comment[i];
+    if (c == ',' || c == ')') {
+      if (item == "all" || IsKnownRule(item)) rules.push_back(item);
+      item.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      item += c;
     }
   }
-
-  bool Allows(int line, const std::string& rule) const {
-    auto it = by_line_.find(line);
-    if (it == by_line_.end()) return false;
-    return it->second.count("all") > 0 || it->second.count(rule) > 0;
-  }
-
- private:
-  static std::vector<std::string> ParseAllowList(const std::string& comment) {
-    std::vector<std::string> rules;
-    const size_t marker = comment.find("maroon-lint:");
-    if (marker == std::string::npos) return rules;
-    const size_t open = comment.find("allow(", marker);
-    if (open == std::string::npos) return rules;
-    const size_t close = comment.find(')', open);
-    if (close == std::string::npos) return rules;
-    std::string item;
-    for (size_t i = open + 6; i <= close; ++i) {
-      const char c = comment[i];
-      if (c == ',' || c == ')') {
-        if (item == "all" || IsKnownRule(item)) rules.push_back(item);
-        item.clear();
-      } else if (!std::isspace(static_cast<unsigned char>(c))) {
-        item += c;
-      }
-    }
-    return rules;
-  }
-
-  std::map<int, std::set<std::string>> by_line_;
-};
+  return rules;
+}
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.compare(0, prefix.size(), prefix) == 0;
 }
 
 /// The rule runner: significant (non-comment) tokens of one file plus the
-/// shared R002 registry and the suppression table.
+/// shared function registry and the suppression table.
 class FileLinter {
  public:
-  FileLinter(const SourceFile& file, const std::set<std::string>& registry,
+  FileLinter(const SourceFile& file, const FunctionRegistry& registry,
              std::vector<Finding>* findings)
       : file_(file),
         registry_(registry),
@@ -202,6 +175,38 @@ class FileLinter {
           }
           vars.erase(std::remove_if(vars.begin(), vars.end(), dead),
                      vars.end());
+        }
+      }
+
+      // Declaration: auto name = F(...); where F is a known Result-returning
+      // function — the binding is a Result even though the type is spelled
+      // `auto`. Only direct single-call initializers match: a trailing
+      // member call (`F(...).value()`) is an access, not a binding.
+      if (paren_depth == 0 && IsIdent(i, "auto") && IsIdent(i + 1) &&
+          IsPunct(i + 2, "=")) {
+        std::string callee;
+        size_t j = i + 3;
+        while (IsIdent(j)) {
+          callee = Tok(j).text;
+          ++j;
+          if (IsPunct(j, "::") || IsPunct(j, ".") || IsPunct(j, "->")) {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        if (!callee.empty() && IsPunct(j, "(") &&
+            registry_.result_only.count(callee) > 0) {
+          const size_t after = SkipParens(j);
+          if (IsPunct(after, ";")) {
+            ResultVar v;
+            v.name = Tok(i + 1).text;
+            v.min_depth = brace_depth;
+            v.armed = true;
+            vars.push_back(std::move(v));
+            i = after;
+            continue;
+          }
         }
       }
 
@@ -351,7 +356,7 @@ class FileLinter {
       after = SkipParens(after);
     }
     if (!IsPunct(after, ";")) return 0;
-    if (registry_.count(callee) > 0 &&
+    if (registry_.status_or_result.count(callee) > 0 &&
         DefaultRegistryBlocklist().count(callee) == 0) {
       Emit("R002", start,
            "return value of '" + callee +
@@ -558,6 +563,9 @@ class FileLinter {
     for (size_t i = 0; i < Size(); ++i) {
       if (!IsIdent(i, "thread") && !IsIdent(i, "jthread")) continue;
       if (i < 2 || !IsPunct(i - 1, "::") || !IsIdent(i - 2, "std")) continue;
+      // std::thread::id / std::thread::hardware_concurrency are member
+      // accesses on the type, not thread construction.
+      if (IsPunct(i + 1, "::")) continue;
       Emit("R008", Tok(i - 2),
            "raw std::" + Tok(i).text +
                " outside src/common/thread_pool.*; run parallel work "
@@ -657,13 +665,33 @@ class FileLinter {
   }
 
   const SourceFile& file_;
-  const std::set<std::string>& registry_;
+  const FunctionRegistry& registry_;
   Suppressions suppressions_;
   std::vector<Finding>* findings_;
   std::vector<const Token*> sig_;
 };
 
 }  // namespace
+
+Suppressions::Suppressions(const std::vector<Token>& tokens) {
+  std::set<int> code_lines;
+  for (const Token& t : tokens) {
+    if (t.kind != TokenKind::kComment) code_lines.insert(t.line);
+  }
+  for (const Token& t : tokens) {
+    if (t.kind != TokenKind::kComment) continue;
+    for (const std::string& rule : ParseAllowList(t.text)) {
+      by_line_[t.line].insert(rule);
+      if (code_lines.count(t.line) == 0) by_line_[t.line + 1].insert(rule);
+    }
+  }
+}
+
+bool Suppressions::Allows(int line, const std::string& rule) const {
+  auto it = by_line_.find(line);
+  if (it == by_line_.end()) return false;
+  return it->second.count("all") > 0 || it->second.count(rule) > 0;
+}
 
 SourceFile MakeSourceFile(const std::string& rel_path,
                           std::string_view content) {
@@ -674,10 +702,37 @@ SourceFile MakeSourceFile(const std::string& rel_path,
   const std::string ext = dot == std::string::npos ? "" : rel_path.substr(dot);
   file.is_header = ext == ".h" || ext == ".hpp";
   file.tokens = Tokenize(content);
+
+  // Preprocessor lines: a line whose first non-blank character is '#', plus
+  // every continuation line a trailing backslash pulls in.
+  int line_no = 1;
+  bool continuation = false;
+  size_t pos = 0;
+  while (pos <= content.size()) {
+    const size_t eol = content.find('\n', pos);
+    const std::string_view line =
+        content.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                          : eol - pos);
+    const size_t first = line.find_first_not_of(" \t\r");
+    const bool directive =
+        continuation || (first != std::string_view::npos && line[first] == '#');
+    if (directive) file.preprocessor_lines.insert(line_no);
+    // A trailing backslash (ignoring the \r of CRLF) continues the directive.
+    std::string_view trimmed = line;
+    while (!trimmed.empty() &&
+           (trimmed.back() == '\r' || trimmed.back() == ' ' ||
+            trimmed.back() == '\t')) {
+      trimmed.remove_suffix(1);
+    }
+    continuation = directive && !trimmed.empty() && trimmed.back() == '\\';
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+    ++line_no;
+  }
   return file;
 }
 
-std::set<std::string> CollectStatusFunctions(const std::vector<Token>& tokens) {
+FunctionRegistry CollectFunctionRegistry(const std::vector<Token>& tokens) {
   std::vector<const Token*> sig;
   for (const Token& t : tokens) {
     if (t.kind != TokenKind::kComment) sig.push_back(&t);
@@ -690,11 +745,11 @@ std::set<std::string> CollectStatusFunctions(const std::vector<Token>& tokens) {
            sig[i]->text == text;
   };
 
-  std::set<std::string> names;
+  FunctionRegistry registry;
   for (size_t i = 0; i < sig.size(); ++i) {
     if (sig[i]->kind != TokenKind::kIdentifier) continue;
     if (sig[i]->text == "Status" && ident_at(i + 1) && punct_at(i + 2, "(")) {
-      names.insert(sig[i + 1]->text);
+      registry.status_or_result.insert(sig[i + 1]->text);
     }
     if (sig[i]->text == "Result" && punct_at(i + 1, "<")) {
       int depth = 0;
@@ -713,11 +768,12 @@ std::set<std::string> CollectStatusFunctions(const std::vector<Token>& tokens) {
         }
       }
       if (j < sig.size() && ident_at(j + 1) && punct_at(j + 2, "(")) {
-        names.insert(sig[j + 1]->text);
+        registry.status_or_result.insert(sig[j + 1]->text);
+        registry.result_only.insert(sig[j + 1]->text);
       }
     }
   }
-  return names;
+  return registry;
 }
 
 const std::set<std::string>& DefaultRegistryBlocklist() {
@@ -729,7 +785,7 @@ const std::set<std::string>& DefaultRegistryBlocklist() {
   return kBlocklist;
 }
 
-void LintFile(const SourceFile& file, const std::set<std::string>& registry,
+void LintFile(const SourceFile& file, const FunctionRegistry& registry,
               std::vector<Finding>* findings) {
   FileLinter(file, registry, findings).Run();
 }

@@ -24,7 +24,9 @@ namespace lint {
 /// every rule for that line.
 ///
 ///   R001  Result<T>::value()/operator*/operator-> on a Result variable
-///         never guarded by ok() in the enclosing scope.
+///         never guarded by ok() in the enclosing scope. Covers explicit
+///         `Result<T> r = ...` declarations and `auto r = F(...)` bindings
+///         whose callee is a known Result-returning function.
 ///   R002  Call to a function returning Status/Result whose return value is
 ///         discarded at statement level.
 ///   R003  Floating-point ==/!= comparison (a float literal on either side);
@@ -43,9 +45,16 @@ namespace lint {
 ///   R009  std::endl outside tests/ and tools/ (flushes per line; stream
 ///         "\n" and flush explicitly where durability matters). Fixture
 ///         trees (paths containing "testdata") are not exempt.
+///   R010  fwrite/fflush/rename with the return value discarded outside
+///         tests/ and tools/ (short writes and flush failures are silent
+///         data loss; check, or cast to (void) with a justification).
+///
+/// The lock-discipline family R011-R014 lives in concurrency.h: it runs on
+/// the scope model from symbols.h rather than on raw token streams, but
+/// emits through the same Finding/suppression machinery.
 
 struct Finding {
-  std::string rule;     // "R001".."R009"
+  std::string rule;     // "R001".."R014"
   std::string file;     // path as reported (repo-relative when possible)
   int line = 0;
   int col = 0;
@@ -58,6 +67,10 @@ struct SourceFile {
   std::string guard_path;    // rel path used to derive the include guard
   bool is_header = false;
   std::vector<Token> tokens;
+  /// Lines that belong to preprocessor directives, backslash continuations
+  /// included. The scope parser (symbols.h) skips these: a multi-line macro
+  /// definition is not code in the surrounding scope.
+  std::set<int> preprocessor_lines;
 };
 
 /// Builds a SourceFile from raw text. `rel_path` is the path relative to the
@@ -65,18 +78,40 @@ struct SourceFile {
 SourceFile MakeSourceFile(const std::string& rel_path,
                           std::string_view content);
 
+/// Per-line suppression sets parsed from `// maroon-lint: allow(R003)`
+/// comments. A comment alone on its line also covers the next line. Shared
+/// by the token rules (rules.cc) and the concurrency rules (concurrency.cc).
+class Suppressions {
+ public:
+  explicit Suppressions(const std::vector<Token>& tokens);
+  bool Allows(int line, const std::string& rule) const;
+
+ private:
+  std::map<int, std::set<std::string>> by_line_;
+};
+
+/// Function names collected in pass 1, shared by every pass-2 rule that
+/// needs to recognize a callee. `status_or_result` feeds R002 (either return
+/// type makes a discarded call suspect); `result_only` feeds the R001 `auto`
+/// binding heuristic (only a Result binding has .value()/operator* to
+/// misuse).
+struct FunctionRegistry {
+  std::set<std::string> status_or_result;
+  std::set<std::string> result_only;
+};
+
 /// Scans declarations `Status f(...)` / `Result<T> f(...)` and returns the
-/// function names, feeding the R002 registry. Runs over every scanned file
-/// so call sites in one file see declarations from another.
-std::set<std::string> CollectStatusFunctions(const std::vector<Token>& tokens);
+/// function names. Runs over every scanned file so call sites in one file
+/// see declarations from another.
+FunctionRegistry CollectFunctionRegistry(const std::vector<Token>& tokens);
 
 /// Names R002 must never flag even if a declaration matches the registry
 /// pattern (e.g. Status factory methods used as expressions).
 const std::set<std::string>& DefaultRegistryBlocklist();
 
-/// Runs rules R001-R009 over one file and appends findings. `registry` is
-/// the union of CollectStatusFunctions over the whole scan.
-void LintFile(const SourceFile& file, const std::set<std::string>& registry,
+/// Runs rules R001-R010 over one file and appends findings. `registry` is
+/// the union of CollectFunctionRegistry over the whole scan.
+void LintFile(const SourceFile& file, const FunctionRegistry& registry,
               std::vector<Finding>* findings);
 
 /// Returns the expected include guard for a repo-relative header path:

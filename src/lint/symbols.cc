@@ -1,0 +1,500 @@
+#include "lint/symbols.h"
+
+#include <algorithm>
+
+namespace maroon {
+namespace lint {
+
+void FunctionAnnotations::MergeFrom(const FunctionAnnotations& other) {
+  auto merge = [](const std::vector<std::string>& from,
+                  std::vector<std::string>* into) {
+    for (const std::string& item : from) {
+      if (std::find(into->begin(), into->end(), item) == into->end()) {
+        into->push_back(item);
+      }
+    }
+  };
+  merge(other.requires_held, &requires_held);
+  merge(other.acquires, &acquires);
+  merge(other.releases, &releases);
+  merge(other.excludes, &excludes);
+  no_analysis = no_analysis || other.no_analysis;
+}
+
+namespace {
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+bool IsFieldMacro(const std::string& name) {
+  return name == "MAROON_GUARDED_BY" || name == "MAROON_PT_GUARDED_BY";
+}
+
+/// Recursive-descent pass over the significant tokens. Every Parse*/Skip*
+/// helper returns the index to resume at; kNpos-returning matchers signal
+/// "shape not recognized", and the caller degrades to skipping without
+/// recording (see the contract in symbols.h).
+class SymbolsBuilder {
+ public:
+  SymbolsBuilder(const SourceFile& file, FileSymbols* out) : out_(out) {
+    for (const Token& t : file.tokens) {
+      if (t.kind == TokenKind::kComment) continue;
+      if (file.preprocessor_lines.count(t.line) > 0) continue;
+      out_->sig.push_back(&t);
+    }
+  }
+
+  void Build() { ParseScope(0, Size(), ""); }
+
+ private:
+  // ----------------------------------------------------------- primitives
+
+  size_t Size() const { return out_->sig.size(); }
+  const Token& Tok(size_t i) const { return *out_->sig[i]; }
+
+  bool IsIdent(size_t i) const {
+    return i < Size() && Tok(i).kind == TokenKind::kIdentifier;
+  }
+  bool IsIdent(size_t i, const char* text) const {
+    return IsIdent(i) && Tok(i).text == text;
+  }
+  bool IsPunct(size_t i, const char* text) const {
+    return i < Size() && Tok(i).kind == TokenKind::kPunct &&
+           Tok(i).text == text;
+  }
+
+  /// Index of the `)` matching the `(` at `open`, or kNpos.
+  size_t MatchParen(size_t open) const {
+    int depth = 0;
+    for (size_t i = open; i < Size(); ++i) {
+      if (IsPunct(i, "(")) ++depth;
+      if (IsPunct(i, ")") && --depth == 0) return i;
+    }
+    return kNpos;
+  }
+
+  /// Index of the `}` matching the `{` at `open`, or kNpos.
+  size_t MatchBrace(size_t open) const {
+    int depth = 0;
+    for (size_t i = open; i < Size(); ++i) {
+      if (IsPunct(i, "{")) ++depth;
+      if (IsPunct(i, "}") && --depth == 0) return i;
+    }
+    return kNpos;
+  }
+
+  /// Index past the `>` closing the `<` at `open`, or kNpos when the `<`
+  /// turns out to be a comparison (statement punctuation before balance).
+  size_t TrySkipAngles(size_t open) const {
+    int depth = 0;
+    for (size_t i = open; i < Size(); ++i) {
+      if (Tok(i).kind != TokenKind::kPunct) continue;
+      const std::string& t = Tok(i).text;
+      if (t == "<") ++depth;
+      if (t == "<<") depth += 2;
+      if (t == ">") --depth;
+      if (t == ">>") depth -= 2;
+      if (depth <= 0 && (t == ">" || t == ">>")) return i + 1;
+      if (t == ";" || t == "{" || t == "}") return kNpos;
+    }
+    return kNpos;
+  }
+
+  /// Index past the first `;` at zero (){}[]-depth, or `end`.
+  size_t SkipToSemi(size_t from, size_t end) const {
+    int paren = 0, brace = 0, bracket = 0;
+    for (size_t i = from; i < end; ++i) {
+      if (Tok(i).kind != TokenKind::kPunct) continue;
+      const std::string& t = Tok(i).text;
+      if (t == "(") ++paren;
+      if (t == ")") --paren;
+      if (t == "{") ++brace;
+      if (t == "}") --brace;
+      if (t == "[") ++bracket;
+      if (t == "]") --bracket;
+      if (t == ";" && paren <= 0 && brace <= 0 && bracket <= 0) return i + 1;
+    }
+    return end;
+  }
+
+  std::string JoinTokens(size_t from, size_t to) const {
+    std::string out;
+    for (size_t i = from; i < to && i < Size(); ++i) out += Tok(i).text;
+    return out;
+  }
+
+  ClassModel& Model(const std::string& cls) {
+    ClassModel& model = out_->classes[cls];
+    model.name = cls;
+    return model;
+  }
+
+  // ----------------------------------------------------------- scope walk
+
+  void ParseScope(size_t begin, size_t end, const std::string& cls) {
+    size_t i = begin;
+    while (i < end) {
+      if (IsPunct(i, ";") || IsPunct(i, "}")) {
+        ++i;
+      } else if (IsPunct(i, "{")) {
+        const size_t close = MatchBrace(i);
+        if (close == kNpos) return;
+        i = close + 1;
+      } else if (IsIdent(i, "inline") && IsIdent(i + 1, "namespace")) {
+        ++i;
+      } else if (IsIdent(i, "namespace")) {
+        i = ParseNamespace(i, end);
+      } else if (IsIdent(i, "class") || IsIdent(i, "struct") ||
+                 IsIdent(i, "union")) {
+        i = ParseClass(i, end);
+      } else if (IsIdent(i, "enum")) {
+        i = SkipEnum(i, end);
+      } else if (IsIdent(i, "template")) {
+        if (IsPunct(i + 1, "<")) {
+          const size_t past = TrySkipAngles(i + 1);
+          i = past == kNpos ? i + 1 : past;
+        } else {
+          ++i;
+        }
+      } else if (IsIdent(i, "using") || IsIdent(i, "typedef") ||
+                 IsIdent(i, "friend") || IsIdent(i, "static_assert")) {
+        i = SkipToSemi(i, end);
+      } else if (IsIdent(i, "extern") && i + 2 < end &&
+                 Tok(i + 1).kind == TokenKind::kString && IsPunct(i + 2, "{")) {
+        const size_t close = MatchBrace(i + 2);
+        if (close == kNpos) return;
+        ParseScope(i + 3, close, cls);
+        i = close + 1;
+      } else if ((IsIdent(i, "public") || IsIdent(i, "private") ||
+                  IsIdent(i, "protected")) &&
+                 IsPunct(i + 1, ":")) {
+        i += 2;
+      } else {
+        i = ParseDeclaration(i, end, cls);
+      }
+    }
+  }
+
+  size_t ParseNamespace(size_t i, size_t end) {
+    size_t j = i + 1;
+    while (IsIdent(j) || IsPunct(j, "::")) ++j;
+    if (IsPunct(j, "=")) return SkipToSemi(j, end);  // namespace alias
+    if (!IsPunct(j, "{")) return j + 1;
+    const size_t close = MatchBrace(j);
+    if (close == kNpos) return end;
+    ParseScope(j + 1, close, "");
+    return close + 1;
+  }
+
+  size_t ParseClass(size_t i, size_t end) {
+    const bool is_union = IsIdent(i, "union");
+    size_t j = i + 1;
+    std::string name;
+    while (j < end) {
+      if (IsIdent(j)) {
+        if (IsPunct(j + 1, "(")) {  // attribute macro: MAROON_CAPABILITY(...)
+          const size_t close = MatchParen(j + 1);
+          if (close == kNpos) return end;
+          j = close + 1;
+        } else {
+          if (Tok(j).text != "final") name = Tok(j).text;
+          ++j;
+        }
+      } else if (IsPunct(j, "::")) {
+        ++j;
+      } else if (IsPunct(j, "<")) {  // explicit specialization
+        const size_t past = TrySkipAngles(j);
+        if (past == kNpos) return j + 1;
+        j = past;
+      } else {
+        break;
+      }
+    }
+    if (IsPunct(j, ";")) return j + 1;  // forward declaration
+    if (IsPunct(j, ":")) {              // base-clause: scan to the body
+      ++j;
+      while (j < end && !IsPunct(j, "{") && !IsPunct(j, ";")) {
+        if (IsPunct(j, "(")) {
+          const size_t close = MatchParen(j);
+          if (close == kNpos) return end;
+          j = close + 1;
+        } else if (IsPunct(j, "<")) {
+          const size_t past = TrySkipAngles(j);
+          j = past == kNpos ? j + 1 : past;
+        } else {
+          ++j;
+        }
+      }
+    }
+    if (!IsPunct(j, "{")) return j + 1;  // elaborated type (`struct Foo x;`)
+    const size_t close = MatchBrace(j);
+    if (close == kNpos) return end;
+    // Members of unions and anonymous classes are not modeled.
+    if (!is_union && !name.empty()) ParseScope(j + 1, close, name);
+    return IsPunct(close + 1, ";") ? close + 2 : close + 1;
+  }
+
+  size_t SkipEnum(size_t i, size_t end) {
+    size_t j = i + 1;
+    while (j < end && !IsPunct(j, "{") && !IsPunct(j, ";")) ++j;
+    if (j >= end) return end;
+    if (IsPunct(j, ";")) return j + 1;
+    const size_t close = MatchBrace(j);
+    if (close == kNpos) return end;
+    return IsPunct(close + 1, ";") ? close + 2 : close + 1;
+  }
+
+  // --------------------------------------------------------- declarations
+
+  /// Parses one member/namespace-scope declaration starting at `begin` and
+  /// returns the resume index. Handles fields (with annotation macros),
+  /// method prototypes (with trailing lock annotations), and function
+  /// definitions (body recorded), including ctors with initializer lists.
+  size_t ParseDeclaration(size_t begin, size_t end, const std::string& cls) {
+    size_t first_open = kNpos;   // first top-level '(' — a param list or a
+    size_t first_close = kNpos;  // field-annotation macro's argument list
+    size_t j = begin;
+    while (j < end) {
+      if (Tok(j).kind != TokenKind::kPunct) {
+        ++j;
+        continue;
+      }
+      const std::string& t = Tok(j).text;
+      if (t == "(") {
+        const size_t close = MatchParen(j);
+        if (close == kNpos) return end;
+        if (first_open == kNpos) {
+          first_open = j;
+          first_close = close;
+        }
+        j = close + 1;
+      } else if (t == "<") {
+        const size_t past = TrySkipAngles(j);
+        j = past == kNpos ? j + 1 : past;
+      } else if (t == "=") {
+        if (j > begin && IsIdent(j - 1, "operator")) {
+          ++j;
+          continue;
+        }
+        const size_t past = SkipToSemi(j, end);
+        FinishSimpleDecl(begin, past, first_open, first_close, cls);
+        return past;
+      } else if (t == ";") {
+        FinishSimpleDecl(begin, j + 1, first_open, first_close, cls);
+        return j + 1;
+      } else if (t == "{") {
+        if (first_open == kNpos) {
+          // Brace-initialized field: `int x{0};`.
+          const size_t close = MatchBrace(j);
+          if (close == kNpos) return end;
+          size_t after = close + 1;
+          if (IsPunct(after, ";")) ++after;
+          FinishSimpleDecl(begin, after, kNpos, kNpos, cls);
+          return after;
+        }
+        return FinishFunctionDef(begin, j, first_open, first_close, cls, end);
+      } else if (t == ":" && first_close != kNpos && j > first_close &&
+                 !IsPunct(j + 1, ":")) {
+        const size_t body = ParseCtorInitList(j, end);
+        if (body != kNpos) {
+          return FinishFunctionDef(begin, body, first_open, first_close, cls,
+                                   end);
+        }
+        return SkipToSemi(j, end);  // unrecognized: record nothing
+      } else {
+        ++j;
+      }
+    }
+    return end;
+  }
+
+  /// From the `:` opening a ctor-initializer list, returns the index of the
+  /// body `{`, or kNpos when the shape does not match
+  /// `: member(args) , base<T>{args} , ... {`.
+  size_t ParseCtorInitList(size_t colon, size_t end) const {
+    size_t j = colon + 1;
+    while (j < end) {
+      if (!IsIdent(j)) return kNpos;
+      ++j;
+      while (IsPunct(j, "::") && IsIdent(j + 1)) j += 2;
+      if (IsPunct(j, "<")) {
+        const size_t past = TrySkipAngles(j);
+        if (past == kNpos) return kNpos;
+        j = past;
+      }
+      if (IsPunct(j, "(")) {
+        const size_t close = MatchParen(j);
+        if (close == kNpos) return kNpos;
+        j = close + 1;
+      } else if (IsPunct(j, "{")) {
+        const size_t close = MatchBrace(j);
+        if (close == kNpos) return kNpos;
+        j = close + 1;
+      } else {
+        return kNpos;
+      }
+      if (IsPunct(j, ",")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    return IsPunct(j, "{") ? j : kNpos;
+  }
+
+  /// A declaration that ended without a function body: guarded fields,
+  /// mutex members, and annotated method prototypes.
+  void FinishSimpleDecl(size_t begin, size_t past, size_t first_open,
+                        size_t first_close, const std::string& cls) {
+    if (cls.empty()) return;  // only class members are modeled
+
+    bool is_field = false;
+    for (size_t j = begin + 1; j + 1 < past; ++j) {
+      if (!IsIdent(j) || !IsFieldMacro(Tok(j).text)) continue;
+      if (!IsPunct(j + 1, "(")) continue;
+      const size_t close = MatchParen(j + 1);
+      if (close == kNpos || !IsIdent(j - 1)) continue;
+      GuardedField field;
+      field.name = Tok(j - 1).text;
+      field.guard = JoinTokens(j + 2, close);
+      field.pointer_guard = Tok(j).text == "MAROON_PT_GUARDED_BY";
+      field.line = Tok(j - 1).line;
+      field.col = Tok(j - 1).col;
+      if (!field.guard.empty()) {
+        Model(cls).guarded_fields[field.name] = field;
+        is_field = true;
+      }
+    }
+    if (is_field) return;
+
+    // Mutex member: `[mutable] [std::] Mutex|mutex name ;|=|{`.
+    for (size_t j = begin; j + 2 < past; ++j) {
+      if (!IsIdent(j)) continue;
+      const std::string& type = Tok(j).text;
+      if (type != "Mutex" && type != "mutex") continue;
+      if (!IsIdent(j + 1)) continue;
+      if (IsPunct(j + 2, ";") || IsPunct(j + 2, "=") || IsPunct(j + 2, "{")) {
+        Model(cls).mutex_members.insert(Tok(j + 1).text);
+      }
+    }
+
+    // Method prototype with trailing annotations.
+    if (first_open == kNpos || first_open == begin) return;
+    if (!IsIdent(first_open - 1)) return;
+    const std::string name = Tok(first_open - 1).text;
+    if (name == "operator" || IsFieldMacro(name)) return;
+    const FunctionAnnotations ann = ParseAnnotations(first_close + 1, past);
+    if (ann.Any()) Model(cls).methods[name].MergeFrom(ann);
+  }
+
+  /// A declaration that ended at a function body `{` at `body_open`:
+  /// records the FunctionBody and registers annotations on the class.
+  size_t FinishFunctionDef(size_t begin, size_t body_open, size_t first_open,
+                           size_t first_close, const std::string& cls,
+                           size_t end) {
+    const size_t body_close = MatchBrace(body_open);
+    if (body_close == kNpos) return end;
+
+    FunctionBody fn;
+    fn.class_name = cls;
+    fn.body_begin = body_open;
+    fn.body_end = body_close + 1;
+    fn.line = Tok(body_open).line;
+
+    if (first_open > begin && IsIdent(first_open - 1) &&
+        Tok(first_open - 1).text != "operator") {
+      const size_t name_idx = first_open - 1;
+      fn.name = Tok(name_idx).text;
+      fn.line = Tok(name_idx).line;
+      if (name_idx >= 1 && IsPunct(name_idx - 1, "~")) {
+        fn.is_dtor = true;
+        // Out-of-line dtor: `Class :: ~ Class`.
+        if (name_idx >= 3 && IsPunct(name_idx - 2, "::") &&
+            IsIdent(name_idx - 3)) {
+          fn.class_name = Tok(name_idx - 3).text;
+        }
+      } else if (name_idx >= 2 && IsPunct(name_idx - 1, "::") &&
+                 IsIdent(name_idx - 2)) {
+        // Out-of-line method: `Class :: Name`.
+        fn.class_name = Tok(name_idx - 2).text;
+      }
+      if (!fn.is_dtor && !fn.class_name.empty() &&
+          fn.name == fn.class_name) {
+        fn.is_ctor = true;
+      }
+    }
+
+    fn.annotations = ParseAnnotations(first_close + 1, body_open);
+    if (!fn.class_name.empty() && !fn.name.empty() && fn.annotations.Any()) {
+      Model(fn.class_name).methods[fn.name].MergeFrom(fn.annotations);
+    }
+    out_->functions.push_back(std::move(fn));
+    return body_close + 1;
+  }
+
+  /// Collects MAROON_REQUIRES/ACQUIRE/RELEASE/EXCLUDES argument lists (and
+  /// the no-analysis escape hatch) from a token range after a param list.
+  FunctionAnnotations ParseAnnotations(size_t from, size_t to) const {
+    FunctionAnnotations ann;
+    for (size_t j = from; j < to; ++j) {
+      if (!IsIdent(j)) continue;
+      const std::string& text = Tok(j).text;
+      if (text == "MAROON_NO_THREAD_SAFETY_ANALYSIS") {
+        ann.no_analysis = true;
+        continue;
+      }
+      std::vector<std::string>* dest = nullptr;
+      if (text == "MAROON_REQUIRES") dest = &ann.requires_held;
+      if (text == "MAROON_ACQUIRE") dest = &ann.acquires;
+      if (text == "MAROON_RELEASE") dest = &ann.releases;
+      if (text == "MAROON_EXCLUDES") dest = &ann.excludes;
+      if (dest == nullptr || !IsPunct(j + 1, "(")) continue;
+      const size_t close = MatchParen(j + 1);
+      if (close == kNpos) continue;
+      int depth = 0;
+      size_t arg_start = j + 2;
+      for (size_t k = j + 2; k <= close; ++k) {
+        if (IsPunct(k, "(")) ++depth;
+        if (IsPunct(k, ")") && depth > 0) {
+          --depth;
+          continue;
+        }
+        if (k == close || (depth == 0 && IsPunct(k, ","))) {
+          const std::string arg = JoinTokens(arg_start, k);
+          if (!arg.empty()) dest->push_back(arg);
+          arg_start = k + 1;
+        }
+      }
+      j = close;
+    }
+    return ann;
+  }
+
+  FileSymbols* out_;
+};
+
+}  // namespace
+
+FileSymbols BuildFileSymbols(const SourceFile& file) {
+  FileSymbols symbols;
+  SymbolsBuilder(file, &symbols).Build();
+  return symbols;
+}
+
+void MergeClassModels(const std::map<std::string, ClassModel>& from,
+                      std::map<std::string, ClassModel>* into) {
+  for (const auto& [name, model] : from) {
+    ClassModel& target = (*into)[name];
+    target.name = name;
+    for (const auto& [field_name, field] : model.guarded_fields) {
+      target.guarded_fields.emplace(field_name, field);
+    }
+    target.mutex_members.insert(model.mutex_members.begin(),
+                                model.mutex_members.end());
+    for (const auto& [method_name, ann] : model.methods) {
+      target.methods[method_name].MergeFrom(ann);
+    }
+  }
+}
+
+}  // namespace lint
+}  // namespace maroon

@@ -1,0 +1,106 @@
+#ifndef MAROON_LINT_SYMBOLS_H_
+#define MAROON_LINT_SYMBOLS_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace maroon {
+namespace lint {
+
+/// A lightweight declaration model built on top of the lexer — the layer
+/// that turns maroon_lint from a per-line token heuristic into a scope-aware
+/// checker. It is still not a compiler front end: there is no overload
+/// resolution and no type inference. It recovers exactly the structure the
+/// concurrency rules (R011-R013, see concurrency.h) need:
+///
+///   - namespaces, classes/structs, and enum/union blocks (to scope names),
+///   - fields annotated MAROON_GUARDED_BY / MAROON_PT_GUARDED_BY,
+///   - mutex-typed members (maroon::Mutex, std::mutex),
+///   - method declarations carrying MAROON_REQUIRES / MAROON_ACQUIRE /
+///     MAROON_RELEASE / MAROON_EXCLUDES / MAROON_NO_THREAD_SAFETY_ANALYSIS,
+///   - function definitions with their body token ranges, including
+///     out-of-line `Class::Method` definitions and constructors with
+///     member-initializer lists.
+///
+/// Class models are merged across files (headers declare, .cc files define),
+/// mirroring how the R002 registry is built: pass 1 collects, pass 2 checks.
+
+/// One field protected by a mutex, from a MAROON_GUARDED_BY annotation.
+struct GuardedField {
+  std::string name;
+  std::string guard;  // the annotation argument, e.g. "mu_"
+  bool pointer_guard = false;  // MAROON_PT_GUARDED_BY (pointee, not pointer)
+  int line = 0;
+  int col = 0;
+};
+
+/// Lock-contract annotations attached to one function or method.
+struct FunctionAnnotations {
+  std::vector<std::string> requires_held;  // MAROON_REQUIRES(...)
+  std::vector<std::string> acquires;       // MAROON_ACQUIRE(...)
+  std::vector<std::string> releases;       // MAROON_RELEASE(...)
+  std::vector<std::string> excludes;       // MAROON_EXCLUDES(...)
+  bool no_analysis = false;  // MAROON_NO_THREAD_SAFETY_ANALYSIS
+
+  bool Any() const {
+    return no_analysis || !requires_held.empty() || !acquires.empty() ||
+           !releases.empty() || !excludes.empty();
+  }
+  /// Union with another declaration site of the same function.
+  void MergeFrom(const FunctionAnnotations& other);
+};
+
+/// Everything the checker knows about one class or struct.
+struct ClassModel {
+  std::string name;
+  std::map<std::string, GuardedField> guarded_fields;  // by field name
+  std::set<std::string> mutex_members;                 // Mutex/std::mutex
+  std::map<std::string, FunctionAnnotations> methods;  // annotated methods
+
+  bool HasConcurrencyModel() const {
+    return !guarded_fields.empty() || !mutex_members.empty() ||
+           !methods.empty();
+  }
+};
+
+/// One function definition with a body to analyze.
+struct FunctionBody {
+  std::string class_name;  // empty for free functions
+  std::string name;
+  bool is_ctor = false;
+  bool is_dtor = false;
+  FunctionAnnotations annotations;  // from this definition site
+  /// Significant-token indexes into FileSymbols::sig: body spans
+  /// [body_begin, body_end), body_begin at the '{', body_end past the '}'.
+  size_t body_begin = 0;
+  size_t body_end = 0;
+  int line = 0;  // of the function name
+};
+
+/// The symbol model of one file.
+struct FileSymbols {
+  /// Significant tokens: comments and preprocessor lines filtered out. All
+  /// indexes below point into this vector.
+  std::vector<const Token*> sig;
+  std::map<std::string, ClassModel> classes;
+  std::vector<FunctionBody> functions;
+};
+
+/// Builds the model. Never fails: unparsable constructs degrade to "no
+/// symbol recorded", never to a wrong record, so the concurrency rules err
+/// toward silence (the project's false-positive policy).
+FileSymbols BuildFileSymbols(const SourceFile& file);
+
+/// Merges `from`'s class facts into `into` — the cross-file registry step.
+void MergeClassModels(const std::map<std::string, ClassModel>& from,
+                      std::map<std::string, ClassModel>* into);
+
+}  // namespace lint
+}  // namespace maroon
+
+#endif  // MAROON_LINT_SYMBOLS_H_

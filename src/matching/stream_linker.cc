@@ -62,6 +62,7 @@ Result<StreamLinker> StreamLinker::Open(const StreamLinkerOptions& options) {
 }
 
 Status StreamLinker::Submit(TemporalRecord record) {
+  thread_checker_.Check();
   if (record.values().empty()) {
     ++stats_.rejected;
     MAROON_COUNTER("maroon.stream.rejected")->Add();
@@ -135,6 +136,7 @@ Status StreamLinker::MaybeSnapshot(bool force) {
 }
 
 Status StreamLinker::Drain() {
+  thread_checker_.Check();
   const bool timed = obs::MetricsRegistry::Enabled();
   while (!queue_.empty()) {
     const auto start = timed ? std::chrono::steady_clock::now()
@@ -176,11 +178,13 @@ Status StreamLinker::Drain() {
 }
 
 Status StreamLinker::Flush() {
+  thread_checker_.Check();
   MAROON_RETURN_IF_ERROR(Drain());
   return wal_.Sync();
 }
 
 Status StreamLinker::Close() {
+  thread_checker_.Check();
   MAROON_RETURN_IF_ERROR(Flush());
   MAROON_RETURN_IF_ERROR(MaybeSnapshot(/*force=*/true));
   return wal_.Close();

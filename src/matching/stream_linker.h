@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/wal.h"
@@ -76,7 +77,10 @@ struct StreamLinkerStats {
 /// records to a quarantine instead of growing the store.
 ///
 /// Single-threaded by design: determinism is the recovery contract, so one
-/// caller owns the stream (parallelism belongs in the batch path).
+/// caller owns the stream (parallelism belongs in the batch path). The
+/// mutating entry points enforce this with a ThreadChecker: a second thread
+/// calling in trips a DCHECK in debug builds rather than silently racing
+/// the queue and the WAL.
 class StreamLinker {
  public:
   /// Opens the WAL (creating it if absent) and recovers: loads the newest
@@ -127,6 +131,8 @@ class StreamLinker {
   std::unordered_set<RecordId> durable_ids_;
   StreamLinkerStats stats_;
   uint64_t applied_since_snapshot_ = 0;
+  /// Enforces the single-owner contract on Submit/Drain/Flush/Close.
+  ThreadChecker thread_checker_;
 };
 
 }  // namespace maroon

@@ -64,7 +64,9 @@ struct LatencyHistogramSnapshot {
 /// The record path is lock-free: one relaxed fetch_add on the bucket
 /// counter plus CAS loops for sum/min/max — safe to call from every pool
 /// worker at per-record granularity, unlike the mutexed fixed-bucket
-/// Histogram. Snapshot() is not atomic with respect to concurrent
+/// Histogram. Relaxed ordering is sound because each counter is an
+/// independent statistic (this file is on lint rule R014's relaxed-atomics
+/// allowlist; see docs/threading-model.md). Snapshot() is not atomic with respect to concurrent
 /// Record() calls; a snapshot taken mid-record can be ahead or behind by
 /// the in-flight samples, which is fine for monitoring output.
 class LatencyHistogram {

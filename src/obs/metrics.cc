@@ -49,7 +49,7 @@ void Histogram::Record(double value) {
       static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
                                            value) -
                           bounds_.begin());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++counts_[bucket];
   sum_ += value;
   if (count_ == 0 || value < min_) min_ = value;
@@ -60,7 +60,7 @@ void Histogram::Record(double value) {
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snapshot;
   snapshot.bounds = bounds_;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   snapshot.counts = counts_;
   snapshot.count = count_;
   snapshot.sum = sum_;
@@ -70,7 +70,7 @@ HistogramSnapshot Histogram::Snapshot() const {
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
   sum_ = 0.0;
@@ -117,7 +117,7 @@ bool MetricsRegistry::Enabled() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MAROON_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0 &&
                latency_histograms_.count(name) == 0)
       << "metric '" << name << "' already registered with another kind";
@@ -127,7 +127,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MAROON_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0 &&
                latency_histograms_.count(name) == 0)
       << "metric '" << name << "' already registered with another kind";
@@ -138,7 +138,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MAROON_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0 &&
                latency_histograms_.count(name) == 0)
       << "metric '" << name << "' already registered with another kind";
@@ -149,7 +149,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 LatencyHistogram* MetricsRegistry::GetLatencyHistogram(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MAROON_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0 &&
                histograms_.count(name) == 0)
       << "metric '" << name << "' already registered with another kind";
@@ -160,7 +160,7 @@ LatencyHistogram* MetricsRegistry::GetLatencyHistogram(
 
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   Snapshot snapshot;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->value();
   }
@@ -228,7 +228,7 @@ std::string MetricsRegistry::SnapshotJson() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

@@ -5,10 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/latency_histogram.h"
 
 namespace maroon {
@@ -83,12 +84,13 @@ class Histogram {
 
  private:
   const std::vector<double> bounds_;
-  mutable std::mutex mu_;
-  std::vector<int64_t> counts_;  // bounds_.size() + 1: last is overflow
-  int64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  mutable Mutex mu_;
+  /// bounds_.size() + 1 slots: the last is the overflow bucket.
+  std::vector<int64_t> counts_ MAROON_GUARDED_BY(mu_);
+  int64_t count_ MAROON_GUARDED_BY(mu_) = 0;
+  double sum_ MAROON_GUARDED_BY(mu_) = 0.0;
+  double min_ MAROON_GUARDED_BY(mu_) = 0.0;
+  double max_ MAROON_GUARDED_BY(mu_) = 0.0;
 };
 
 /// Canonical bucket sets. Scores and confidences from Eq. 11/15 live in
@@ -112,13 +114,15 @@ class MetricsRegistry {
   /// the registry's lifetime. Registering an existing name with a different
   /// metric kind trips MAROON_CHECK; GetHistogram ignores `bounds` when the
   /// name already exists.
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+  Counter* GetCounter(const std::string& name) MAROON_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) MAROON_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds)
+      MAROON_EXCLUDES(mu_);
   /// Log-bucketed latency histogram with a lock-free record path — the
   /// right kind for per-record / per-entity latencies (the mutexed
   /// fixed-bucket Histogram stays for coarse-grained scores and sizes).
-  LatencyHistogram* GetLatencyHistogram(const std::string& name);
+  LatencyHistogram* GetLatencyHistogram(const std::string& name)
+      MAROON_EXCLUDES(mu_);
 
   struct Snapshot {
     std::map<std::string, int64_t> counters;
@@ -126,7 +130,7 @@ class MetricsRegistry {
     std::map<std::string, HistogramSnapshot> histograms;
     std::map<std::string, LatencyHistogramSnapshot> latency_histograms;
   };
-  Snapshot TakeSnapshot() const;
+  Snapshot TakeSnapshot() const MAROON_EXCLUDES(mu_);
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {"count": ...,
   ///  "sum": ..., "min": ..., "max": ..., "mean": ..., "bounds": [...],
@@ -140,16 +144,23 @@ class MetricsRegistry {
 
   /// Zeroes every registered metric (names stay registered). Tests and the
   /// CLI use this to scope metrics to one run.
-  void ResetAll();
+  void ResetAll() MAROON_EXCLUDES(mu_);
 
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;  // guards the maps, not the metric values
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> latency_histograms_;
+  /// Guards the maps, not the metric values: the pointed-to metrics have
+  /// their own synchronization (atomics or a per-histogram mutex), so
+  /// readers holding a cached Counter*/Gauge* never touch mu_.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      MAROON_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      MAROON_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      MAROON_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> latency_histograms_
+      MAROON_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -1,6 +1,7 @@
 #include "obs/metrics_snapshotter.h"
 
 #include <algorithm>
+#include <mutex>  // std::call_once
 #include <utility>
 
 #include "obs/json.h"
@@ -25,44 +26,52 @@ MetricsSnapshotWriter::MetricsSnapshotWriter(
 MetricsSnapshotWriter::~MetricsSnapshotWriter() { Stop(); }
 
 void MetricsSnapshotWriter::Stop() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopped_) return;
-  }
-  timer_->Stop();  // joins; no WriteRow is in flight afterwards
-  WriteRow();      // closing state, so short runs still get one row
-  std::lock_guard<std::mutex> lock(mu_);
-  stopped_ = true;
-  out_.flush();
-  if (!out_ && status_.ok()) {
-    status_ = Status::IOError("failed writing metrics snapshot file");
-  }
+  // call_once, not a guarded bool: with the old check-then-act flag, a
+  // destructor racing an explicit Stop() from another thread could both
+  // pass the "already stopped?" test and write the final row twice.
+  std::call_once(stop_once_, [this] {
+    timer_->Stop();  // joins; no WriteRow is in flight afterwards
+    WriteRow();      // closing state, so short runs still get one row
+    out_.flush();
+    if (!out_) {
+      MutexLock lock(&mu_);
+      if (status_.ok()) {
+        status_ = Status::IOError("failed writing metrics snapshot file");
+      }
+    }
+  });
 }
 
 int64_t MetricsSnapshotWriter::rows_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return rows_written_;
 }
 
 Status MetricsSnapshotWriter::status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return status_;
 }
 
 void MetricsSnapshotWriter::WriteRow() {
-  // Snapshot outside mu_: the registry serializes itself and can be slow;
-  // only the file append needs our lock.
+  int64_t seq = 0;
+  {
+    MutexLock lock(&mu_);
+    if (!status_.ok()) return;
+    seq = rows_written_;
+  }
+  // Snapshot, serialize, and append all outside mu_: the registry can be
+  // slow and the stream append blocks, and WriteRow invocations never
+  // overlap (see the header's out_ contract) — only the status/row-count
+  // bookkeeping needs the lock.
   const double t_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
   const std::string metrics = MetricsRegistry::Global().SnapshotJson();
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (stopped_ || !status_.ok()) return;
   JsonWriter head;
   head.BeginObject();
   head.Key("schema").String("maroon_metrics_snapshot_v1");
-  head.Key("seq").Int(rows_written_);
+  head.Key("seq").Int(seq);
   head.Key("t_s").Number(t_s);
   // Splice the registry's own JSON in verbatim rather than re-serializing,
   // matching BuildRunReportJson.
@@ -72,8 +81,12 @@ void MetricsSnapshotWriter::WriteRow() {
   row += "}\n";
   out_ << row;
   out_.flush();
+
+  MutexLock lock(&mu_);
   if (!out_) {
-    status_ = Status::IOError("failed writing metrics snapshot row");
+    if (status_.ok()) {
+      status_ = Status::IOError("failed writing metrics snapshot row");
+    }
     return;
   }
   ++rows_written_;

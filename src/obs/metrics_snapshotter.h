@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 
 namespace maroon {
@@ -60,11 +62,19 @@ class MetricsSnapshotWriter {
   void WriteRow();
 
   const std::chrono::steady_clock::time_point start_;
-  mutable std::mutex mu_;
-  std::ofstream out_;        // guarded by mu_
-  Status status_;            // guarded by mu_
-  int64_t rows_written_ = 0; // guarded by mu_
-  bool stopped_ = false;     // guarded by mu_
+  mutable Mutex mu_;
+  Status status_ MAROON_GUARDED_BY(mu_);
+  int64_t rows_written_ MAROON_GUARDED_BY(mu_) = 0;
+  /// Deliberately NOT guarded by mu_: the stream is written only from the
+  /// constructor (before the timer exists) and from WriteRow, whose
+  /// invocations never overlap — the timer serializes its own ticks, and
+  /// Stop() writes the final row only after joining the timer thread.
+  /// Keeping the stream outside mu_ keeps blocking I/O out of every
+  /// critical section (lint rule R013).
+  std::ofstream out_;
+  /// Stop() runs exactly once even when the destructor races an explicit
+  /// Stop() call from another thread.
+  std::once_flag stop_once_;
   // Last member: the timer thread may call WriteRow immediately.
   std::unique_ptr<PeriodicTimer> timer_;
 };

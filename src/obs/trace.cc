@@ -28,11 +28,18 @@ bool& PoolWorkerFlag() {
   return pool_worker;
 }
 
+/// Steady-clock now as integer nanoseconds (the epoch_ns_ unit).
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 std::atomic<bool> Tracer::enabled_{false};
 
-Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+Tracer::Tracer() : epoch_ns_(SteadyNowNanos()) {}
 
 Tracer& Tracer::Global() {
   static Tracer* tracer = new Tracer();
@@ -44,24 +51,28 @@ void Tracer::SetEnabled(bool enabled) {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  spans_.clear();
-  epoch_ = std::chrono::steady_clock::now();
+  {
+    MutexLock lock(&mu_);
+    spans_.clear();
+  }
+  // Published outside mu_: the epoch is not guarded (see the header), and
+  // spans in flight across a Clear() are dropped-or-skewed either way.
+  epoch_ns_.store(SteadyNowNanos(), std::memory_order_relaxed);
 }
 
 double Tracer::NowMicros() const {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - epoch_)
-      .count();
+  const int64_t now_ns = SteadyNowNanos();
+  const int64_t epoch_ns = epoch_ns_.load(std::memory_order_relaxed);
+  return static_cast<double>(now_ns - epoch_ns) / 1e3;
 }
 
 void Tracer::Record(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   spans_.push_back(std::move(record));
 }
 
 std::vector<SpanRecord> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<SpanRecord> spans = spans_;
   std::sort(spans.begin(), spans.end(),
             [](const SpanRecord& a, const SpanRecord& b) {
@@ -74,7 +85,7 @@ std::vector<SpanRecord> Tracer::Snapshot() const {
 }
 
 size_t Tracer::span_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return spans_.size();
 }
 
@@ -107,7 +118,7 @@ std::string Tracer::ToChromeTraceJson() const {
 
 double Tracer::RootSpanSeconds() const {
   double total_us = 0.0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const SpanRecord& span : spans_) {
     if (span.depth == 0 && !span.pool_worker) total_us += span.duration_us;
   }

@@ -4,9 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace maroon {
 namespace obs {
@@ -73,9 +75,12 @@ class Tracer {
 
   static std::atomic<bool> enabled_;
 
-  std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> spans_;
+  /// Epoch as steady-clock nanoseconds. Atomic rather than guarded by mu_:
+  /// NowMicros() runs on every span open/close and must not serialize
+  /// against Record(); Clear() simply publishes a new epoch.
+  std::atomic<int64_t> epoch_ns_;
+  mutable Mutex mu_;
+  std::vector<SpanRecord> spans_ MAROON_GUARDED_BY(mu_);
 };
 
 /// RAII span: records [construction, destruction) on the global tracer when

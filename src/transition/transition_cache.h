@@ -50,7 +50,9 @@ class SetFingerprintBuilder {
 /// Concurrency: slots hold two atomic key words and an atomic value word.
 /// Writers claim a slot by CAS on the first key word, then publish the
 /// second key and the value with release stores; readers probe with acquire
-/// loads and treat half-written slots as misses. Duplicate inserts of the
+/// loads and treat half-written slots as misses (acquire/release ordering is
+/// load-bearing here — see docs/threading-model.md for the inventory of
+/// lock-free structures and their ordering contracts). Duplicate inserts of the
 /// same key are benign — the computed value is deterministic. Entries that
 /// do not find a free slot within the probe window are silently dropped
 /// (the cache is an accelerator, never a source of truth).

@@ -133,6 +133,7 @@ TEST(ModelPersistenceTest, RestoredModelsDriveIdenticalLinkage) {
 
   const EntityId& entity = ids.front();
   const auto target = dataset.target(entity);
+  ASSERT_TRUE(target.ok()) << target.status();
   std::vector<const TemporalRecord*> candidates;
   for (RecordId rid : dataset.CandidatesFor(entity)) {
     candidates.push_back(&dataset.record(rid));

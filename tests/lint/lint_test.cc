@@ -1,13 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
+#include "lint/concurrency.h"
 #include "lint/linter.h"
 #include "lint/rules.h"
+#include "lint/symbols.h"
 
 namespace maroon {
 namespace lint {
@@ -30,9 +34,26 @@ LintResult LintFixture(const std::string& name) {
 std::vector<Finding> LintSource(const std::string& rel_path,
                                 const std::string& content) {
   const SourceFile file = MakeSourceFile(rel_path, content);
-  const std::set<std::string> registry = CollectStatusFunctions(file.tokens);
+  const FunctionRegistry registry = CollectFunctionRegistry(file.tokens);
   std::vector<Finding> findings;
   LintFile(file, registry, &findings);
+  return findings;
+}
+
+/// Runs only the scope-aware concurrency rules (R011-R014) on in-memory
+/// content, including any lock-order cycles within the file itself.
+std::vector<Finding> LintConcurrency(const std::string& rel_path,
+                                     const std::string& content) {
+  const SourceFile file = MakeSourceFile(rel_path, content);
+  const FileSymbols symbols = BuildFileSymbols(file);
+  std::map<std::string, ClassModel> classes;
+  MergeClassModels(symbols.classes, &classes);
+  ConcurrencyContext context;
+  context.classes = &classes;
+  std::vector<Finding> findings;
+  LockOrderGraph graph;
+  CheckConcurrency(file, symbols, context, &findings, &graph);
+  for (const Finding& f : graph.CheckCycles()) findings.push_back(f);
   return findings;
 }
 
@@ -183,6 +204,148 @@ TEST(LintRuleTest, R010ExemptsTestsAndToolsButNotTestdata) {
   EXPECT_TRUE(LintSource("tests/core/scratch_test.cc", content).empty());
   EXPECT_TRUE(LintSource("tools/scratch.cpp", content).empty());
   EXPECT_EQ(LintSource("tests/lint/testdata/scratch.cc", content).size(), 1u);
+}
+
+TEST(LintRuleTest, R011CatchesUnguardedFieldAccessAndRequiresViolations) {
+  const LintResult result = LintFixture("r011_guarded_by.cc");
+  EXPECT_EQ(LinesOf(result, "R011"), (std::vector<int>{11, 15}))
+      << Render(result);
+  // Locked, MAROON_REQUIRES-annotated, and suppressed accesses stay silent.
+  EXPECT_EQ(result.findings.size(), 2u) << Render(result);
+}
+
+TEST(LintRuleTest, R012CatchesLockOrderCycles) {
+  const LintResult result = LintFixture("r012_lock_order.cc");
+  EXPECT_EQ(LinesOf(result, "R012"), (std::vector<int>{13, 18}))
+      << Render(result);
+  // scoped_lock arguments create no inter-argument edges; the suppressed
+  // reverse edge is excluded from cycle detection.
+  EXPECT_EQ(result.findings.size(), 2u) << Render(result);
+}
+
+TEST(LintRuleTest, R013CatchesBlockingIoUnderLock) {
+  const LintResult result = LintFixture("r013_blocking_io.cc");
+  EXPECT_EQ(LinesOf(result, "R013"), (std::vector<int>{15, 20}))
+      << Render(result);
+  EXPECT_EQ(result.findings.size(), 2u) << Render(result);
+}
+
+TEST(LintRuleTest, R014CatchesRelaxedAtomicsOutsideAllowlist) {
+  const LintResult result = LintFixture("r014_relaxed_atomic.cc");
+  EXPECT_EQ(LinesOf(result, "R014"), (std::vector<int>{10}))
+      << Render(result);
+  EXPECT_EQ(result.findings.size(), 1u) << Render(result);
+}
+
+TEST(LintRuleTest, R014AllowlistCoversCounterFiles) {
+  const std::string content =
+      "#include <atomic>\n"
+      "std::atomic<int> c{0};\n"
+      "void F() { c.fetch_add(1, std::memory_order_relaxed); }\n";
+  EXPECT_TRUE(LintConcurrency("src/obs/metrics.cc", content).empty());
+  EXPECT_TRUE(LintConcurrency("tests/obs/scratch_test.cc", content).empty());
+  EXPECT_EQ(LintConcurrency("src/core/scratch.cc", content).size(), 1u);
+  EXPECT_EQ(
+      LintConcurrency("tests/lint/testdata/scratch.cc", content).size(), 1u);
+}
+
+TEST(LintRuleTest, R001CatchesAutoBindingFromResultCall) {
+  const std::string content =
+      "#include \"common/result.h\"\n"
+      "Result<int> MakeValue();\n"
+      "int F() {\n"
+      "  auto r = MakeValue();\n"
+      "  return *r;\n"
+      "}\n";
+  const std::vector<Finding> findings =
+      LintSource("src/core/scratch.cc", content);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R001");
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(LintRuleTest, R001AutoBindingGuardedIsClean) {
+  const std::string content =
+      "#include \"common/result.h\"\n"
+      "Result<int> MakeValue();\n"
+      "int F() {\n"
+      "  const auto r = MakeValue();\n"
+      "  if (!r.ok()) return -1;\n"
+      "  return *r;\n"
+      "}\n";
+  EXPECT_TRUE(LintSource("src/core/scratch.cc", content).empty());
+}
+
+TEST(LintRuleTest, R001AutoBindingFromStatusFunctionIsNotArmed) {
+  // Status (no payload) has no unguarded-access hazard; only Result<T>
+  // producers arm the auto-binding check.
+  const std::string content =
+      "#include \"common/status.h\"\n"
+      "Status DoThing();\n"
+      "bool F() {\n"
+      "  auto s = DoThing();\n"
+      "  return s.ok();\n"
+      "}\n";
+  EXPECT_TRUE(LintSource("src/core/scratch.cc", content).empty());
+}
+
+TEST(LintBaselineTest, RoundTripMatchesAndRemovesEverything) {
+  LintResult result;
+  result.findings.push_back({"R011", "src/a.cc", 10, 3, "msg one"});
+  result.findings.push_back({"R013", "src/b.cc", 20, 5, "msg two"});
+  const std::string path = ::testing::TempDir() + "/maroon_baseline.txt";
+  {
+    std::ofstream out(path);
+    out << SerializeBaseline(result);
+  }
+  auto baseline = LoadBaseline(path);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  const std::vector<BaselineEntry> stale = ApplyBaseline(*baseline, &result);
+  EXPECT_TRUE(stale.empty());
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(LintBaselineTest, StaleEntriesAreReturned) {
+  Baseline baseline;
+  baseline.entries.push_back({"R011", "src/a.cc", 10});
+  LintResult result;  // the baselined finding no longer occurs
+  const std::vector<BaselineEntry> stale = ApplyBaseline(baseline, &result);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].rule, "R011");
+  EXPECT_EQ(stale[0].file, "src/a.cc");
+  EXPECT_EQ(stale[0].line, 10);
+}
+
+TEST(LintBaselineTest, UnmatchedFindingsSurvive) {
+  Baseline baseline;
+  baseline.entries.push_back({"R011", "src/a.cc", 10});
+  LintResult result;
+  result.findings.push_back({"R011", "src/a.cc", 10, 1, "matched"});
+  result.findings.push_back({"R012", "src/c.cc", 7, 1, "not baselined"});
+  const std::vector<BaselineEntry> stale = ApplyBaseline(baseline, &result);
+  EXPECT_TRUE(stale.empty());
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "R012");
+}
+
+TEST(LintBaselineTest, EachEntryConsumesOneFinding) {
+  Baseline baseline;
+  baseline.entries.push_back({"R011", "src/a.cc", 10});
+  LintResult result;
+  result.findings.push_back({"R011", "src/a.cc", 10, 1, "first"});
+  result.findings.push_back({"R011", "src/a.cc", 10, 9, "second, same line"});
+  const std::vector<BaselineEntry> stale = ApplyBaseline(baseline, &result);
+  EXPECT_TRUE(stale.empty());
+  EXPECT_EQ(result.findings.size(), 1u);
+}
+
+TEST(LintBaselineTest, MalformedLinesAreErrors) {
+  const std::string path = ::testing::TempDir() + "/maroon_bad_baseline.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment is fine\n\nR011 src/a.cc:notanumber message\n";
+  }
+  EXPECT_FALSE(LoadBaseline(path).ok());
 }
 
 TEST(LintLexerTest, LiteralsAndCommentsAreNotCode) {

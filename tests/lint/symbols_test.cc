@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "lint/concurrency.h"
+#include "lint/rules.h"
+#include "lint/symbols.h"
+
+namespace maroon {
+namespace lint {
+namespace {
+
+constexpr char kRoot[] = MAROON_SOURCE_DIR;
+
+FileSymbols Build(const std::string& rel_path, const std::string& content) {
+  return BuildFileSymbols(MakeSourceFile(rel_path, content));
+}
+
+/// Runs the concurrency checker (R011-R014 plus this file's own lock-order
+/// cycles) on in-memory content.
+std::vector<Finding> Check(const std::string& rel_path,
+                           const std::string& content) {
+  const SourceFile file = MakeSourceFile(rel_path, content);
+  const FileSymbols symbols = BuildFileSymbols(file);
+  std::map<std::string, ClassModel> classes;
+  MergeClassModels(symbols.classes, &classes);
+  ConcurrencyContext context;
+  context.classes = &classes;
+  std::vector<Finding> findings;
+  LockOrderGraph graph;
+  CheckConcurrency(file, symbols, context, &findings, &graph);
+  for (const Finding& f : graph.CheckCycles()) findings.push_back(f);
+  return findings;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MAROON_CHECK(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(SymbolsTest, RecordsGuardedFieldsMutexMembersAndMethods) {
+  const FileSymbols symbols = Build("src/core/scratch.h",
+                                    R"(#ifndef X
+#define X
+namespace maroon {
+class Widget {
+ public:
+  void Poke() MAROON_REQUIRES(mu_);
+  void Wake() MAROON_EXCLUDES(mu_);
+ private:
+  Mutex mu_;
+  int jobs_ MAROON_GUARDED_BY(mu_) = 0;
+  char* buf_ MAROON_PT_GUARDED_BY(mu_) = nullptr;
+};
+}  // namespace maroon
+#endif
+)");
+  ASSERT_EQ(symbols.classes.count("Widget"), 1u);
+  const ClassModel& widget = symbols.classes.at("Widget");
+  EXPECT_TRUE(widget.HasConcurrencyModel());
+  EXPECT_EQ(widget.mutex_members.count("mu_"), 1u);
+  ASSERT_EQ(widget.guarded_fields.count("jobs_"), 1u);
+  EXPECT_EQ(widget.guarded_fields.at("jobs_").guard, "mu_");
+  EXPECT_FALSE(widget.guarded_fields.at("jobs_").pointer_guard);
+  ASSERT_EQ(widget.guarded_fields.count("buf_"), 1u);
+  EXPECT_TRUE(widget.guarded_fields.at("buf_").pointer_guard);
+  ASSERT_EQ(widget.methods.count("Poke"), 1u);
+  EXPECT_EQ(widget.methods.at("Poke").requires_held,
+            (std::vector<std::string>{"mu_"}));
+  ASSERT_EQ(widget.methods.count("Wake"), 1u);
+  EXPECT_EQ(widget.methods.at("Wake").excludes,
+            (std::vector<std::string>{"mu_"}));
+}
+
+TEST(SymbolsTest, RecordsOutOfLineDefinitionsAndCtors) {
+  const FileSymbols symbols = Build("src/core/scratch.cc",
+                                    R"(namespace maroon {
+class Widget {
+ public:
+  Widget();
+  ~Widget();
+  void Poke();
+};
+Widget::Widget() : x_(1) { x_ = 2; }
+Widget::~Widget() { x_ = 0; }
+void Widget::Poke() { x_ = 3; }
+int Free() { return 1; }
+}  // namespace maroon
+)");
+  ASSERT_EQ(symbols.functions.size(), 4u);
+  EXPECT_EQ(symbols.functions[0].class_name, "Widget");
+  EXPECT_TRUE(symbols.functions[0].is_ctor);
+  EXPECT_TRUE(symbols.functions[1].is_dtor);
+  EXPECT_EQ(symbols.functions[2].name, "Poke");
+  EXPECT_EQ(symbols.functions[2].class_name, "Widget");
+  EXPECT_EQ(symbols.functions[3].name, "Free");
+  EXPECT_TRUE(symbols.functions[3].class_name.empty());
+}
+
+TEST(SymbolsTest, NestedNamespacesAndStructsScopeNames) {
+  const FileSymbols symbols = Build("src/core/scratch.cc",
+                                    R"(namespace maroon {
+namespace detail {
+struct Inner {
+  Mutex mu;
+  int n MAROON_GUARDED_BY(mu) = 0;
+};
+}  // namespace detail
+}  // namespace maroon
+)");
+  ASSERT_EQ(symbols.classes.count("Inner"), 1u);
+  EXPECT_EQ(symbols.classes.at("Inner").guarded_fields.count("n"), 1u);
+}
+
+TEST(SymbolsTest, MergeUnionsClassFactsAcrossFiles) {
+  const FileSymbols header = Build("src/core/scratch.h",
+                                   R"(#ifndef X
+#define X
+class Widget {
+  void Poke() MAROON_REQUIRES(mu_);
+  Mutex mu_;
+};
+#endif
+)");
+  const FileSymbols impl = Build("src/core/scratch.cc",
+                                 R"(class Widget {
+  int extra_ MAROON_GUARDED_BY(mu_) = 0;
+};
+)");
+  std::map<std::string, ClassModel> merged;
+  MergeClassModels(header.classes, &merged);
+  MergeClassModels(impl.classes, &merged);
+  const ClassModel& widget = merged.at("Widget");
+  EXPECT_EQ(widget.methods.count("Poke"), 1u);
+  EXPECT_EQ(widget.guarded_fields.count("extra_"), 1u);
+  EXPECT_EQ(widget.mutex_members.count("mu_"), 1u);
+}
+
+TEST(LockModelTest, NestedLambdaInheritsHeldLocks) {
+  // The walker treats a lambda body as a nested scope of the enclosing
+  // function, so a lock held outside remains held inside — no false R011.
+  const std::vector<Finding> findings = Check("src/core/scratch.cc",
+                                              R"(namespace maroon {
+class Runner {
+ public:
+  void Run() {
+    MutexLock lock(&mu_);
+    auto task = [this] {
+      ++jobs_;
+      auto inner = [this] { ++jobs_; };
+      inner();
+    };
+    task();
+  }
+ private:
+  Mutex mu_;
+  int jobs_ MAROON_GUARDED_BY(mu_) = 0;
+};
+}  // namespace maroon
+)");
+  EXPECT_TRUE(findings.empty()) << findings.size();
+}
+
+TEST(LockModelTest, EarlyReturnWhileHoldingScopedLockIsClean) {
+  const std::vector<Finding> findings = Check("src/core/scratch.cc",
+                                              R"(namespace maroon {
+class Runner {
+ public:
+  void Run() {
+    MutexLock lock(&mu_);
+    if (jobs_ > 0) return;
+    ++jobs_;
+  }
+ private:
+  Mutex mu_;
+  int jobs_ MAROON_GUARDED_BY(mu_) = 0;
+};
+}  // namespace maroon
+)");
+  EXPECT_TRUE(findings.empty()) << findings.size();
+}
+
+TEST(LockModelTest, ScopedLockCoversBothMutexes) {
+  const std::vector<Finding> findings = Check("src/core/scratch.cc",
+                                              R"(namespace maroon {
+class Runner {
+ public:
+  void Run() {
+    std::scoped_lock lock(a_, b_);
+    ++x_;
+    ++y_;
+  }
+ private:
+  Mutex a_;
+  Mutex b_;
+  int x_ MAROON_GUARDED_BY(a_) = 0;
+  int y_ MAROON_GUARDED_BY(b_) = 0;
+};
+}  // namespace maroon
+)");
+  EXPECT_TRUE(findings.empty()) << findings.size();
+}
+
+TEST(LockModelTest, ManualLockUnlockTracksHeldState) {
+  const std::vector<Finding> findings = Check("src/core/scratch.cc",
+                                              R"(namespace maroon {
+class Runner {
+ public:
+  void Run() {
+    MutexLock lock(&mu_);
+    ++jobs_;
+    lock.unlock();
+    ++jobs_;
+    lock.lock();
+    ++jobs_;
+  }
+ private:
+  Mutex mu_;
+  int jobs_ MAROON_GUARDED_BY(mu_) = 0;
+};
+}  // namespace maroon
+)");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R011");
+  EXPECT_EQ(findings[0].line, 8);
+}
+
+TEST(LockModelTest, BlockScopeReleasesItsLock) {
+  const std::vector<Finding> findings = Check("src/core/scratch.cc",
+                                              R"(namespace maroon {
+class Runner {
+ public:
+  void Run() {
+    {
+      MutexLock lock(&mu_);
+      ++jobs_;
+    }
+    ++jobs_;
+  }
+ private:
+  Mutex mu_;
+  int jobs_ MAROON_GUARDED_BY(mu_) = 0;
+};
+}  // namespace maroon
+)");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R011");
+  EXPECT_EQ(findings[0].line, 9);
+}
+
+TEST(LockModelTest, HeaderAnnotationAppliesToOutOfLineBody) {
+  // The MAROON_REQUIRES lives only on the in-class declaration; the
+  // out-of-line definition inherits it through the merged class registry.
+  const std::vector<Finding> findings = Check("src/core/scratch.cc",
+                                              R"(namespace maroon {
+class Runner {
+ public:
+  void Poke() MAROON_REQUIRES(mu_);
+ private:
+  Mutex mu_;
+  int jobs_ MAROON_GUARDED_BY(mu_) = 0;
+};
+void Runner::Poke() { ++jobs_; }
+}  // namespace maroon
+)");
+  EXPECT_TRUE(findings.empty()) << findings.size();
+}
+
+TEST(LockModelTest, CtorAndDtorAreExemptFromGuards) {
+  const std::vector<Finding> findings = Check("src/core/scratch.cc",
+                                              R"(namespace maroon {
+class Runner {
+ public:
+  Runner() { jobs_ = 1; }
+  ~Runner() { jobs_ = 0; }
+ private:
+  Mutex mu_;
+  int jobs_ MAROON_GUARDED_BY(mu_) = 0;
+};
+}  // namespace maroon
+)");
+  EXPECT_TRUE(findings.empty()) << findings.size();
+}
+
+TEST(LockModelTest, NoAnalysisSkipsTheFunction) {
+  const std::vector<Finding> findings = Check("src/core/scratch.cc",
+                                              R"(namespace maroon {
+class Runner {
+ public:
+  void Racy() MAROON_NO_THREAD_SAFETY_ANALYSIS { ++jobs_; }
+ private:
+  Mutex mu_;
+  int jobs_ MAROON_GUARDED_BY(mu_) = 0;
+};
+}  // namespace maroon
+)");
+  EXPECT_TRUE(findings.empty()) << findings.size();
+}
+
+TEST(SymbolsIntegrationTest, ParsesRealThreadPoolHeader) {
+  const std::string path =
+      std::string(kRoot) + "/src/common/thread_pool.h";
+  const FileSymbols symbols = Build("src/common/thread_pool.h",
+                                    ReadFile(path));
+  ASSERT_EQ(symbols.classes.count("ThreadPool"), 1u);
+  const ClassModel& pool = symbols.classes.at("ThreadPool");
+  EXPECT_EQ(pool.mutex_members.count("mu_"), 1u);
+  EXPECT_EQ(pool.mutex_members.count("run_mu_"), 1u);
+  ASSERT_EQ(pool.guarded_fields.count("shutdown_"), 1u);
+  EXPECT_EQ(pool.guarded_fields.at("shutdown_").guard, "mu_");
+  ASSERT_EQ(pool.guarded_fields.count("batch_"), 1u);
+  EXPECT_EQ(pool.guarded_fields.at("batch_").guard, "mu_");
+  ASSERT_EQ(symbols.classes.count("Batch"), 1u);
+  EXPECT_EQ(symbols.classes.at("Batch").guarded_fields.count(
+                "active_helpers"),
+            1u);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace maroon

@@ -1,0 +1,39 @@
+// Lint fixture (never compiled): R011 — guarded-field access without the
+// guarding mutex held. Scanned by lint_test; line numbers are asserted there.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace maroon {
+
+class GuardedCounter {
+ public:
+  void BadIncrement() {
+    ++count_;  // R011 expected on this line (11)
+  }
+
+  void BadCall() {
+    RequiresIncrement();  // R011 expected on this line (15)
+  }
+
+  void GoodIncrement() {
+    MutexLock lock(&mu_);
+    ++count_;
+  }
+
+  void RequiresIncrement() MAROON_REQUIRES(mu_) { ++count_; }
+
+  void GoodCall() {
+    MutexLock lock(&mu_);
+    RequiresIncrement();
+  }
+
+  void SuppressedIncrement() {
+    ++count_;  // maroon-lint: allow(R011)
+  }
+
+ private:
+  Mutex mu_;
+  int count_ MAROON_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace maroon

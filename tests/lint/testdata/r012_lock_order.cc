@@ -1,0 +1,50 @@
+// Lint fixture (never compiled): R012 — lock-order cycles in the global
+// acquisition graph. Scanned by lint_test; line numbers are asserted there.
+#include <mutex>
+
+#include "common/mutex.h"
+
+namespace maroon {
+
+class Orderer {
+ public:
+  void AthenB() {
+    MutexLock a(&a_);
+    MutexLock b(&b_);  // R012 expected here (13): a_ -> b_ half of the cycle
+  }
+
+  void BthenA() {
+    MutexLock b(&b_);
+    MutexLock a(&a_);  // R012 expected here (18): b_ -> a_ half of the cycle
+  }
+
+  void ScopedBothIsClean() {
+    std::scoped_lock both(c_, d_);  // no inter-argument edges
+  }
+
+  void DthenCIsClean() {
+    MutexLock d(&d_);
+    MutexLock c(&c_);  // no reverse order anywhere: no cycle
+  }
+
+  void EthenF() {
+    MutexLock e(&e_);
+    MutexLock f(&f_);
+  }
+
+  void FthenESuppressed() {
+    MutexLock f(&f_);
+    // maroon-lint: allow(R012)
+    MutexLock e(&e_);  // suppressed edge: excluded from cycle detection
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+  Mutex c_;
+  Mutex d_;
+  Mutex e_;
+  Mutex f_;
+};
+
+}  // namespace maroon

@@ -1,0 +1,43 @@
+// Lint fixture (never compiled): R013 — blocking I/O inside a critical
+// section. Scanned by lint_test; line numbers are asserted there.
+#include <cstdio>
+#include <fstream>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace maroon {
+
+class Sink {
+ public:
+  void BadFreeFlush() {
+    MutexLock lock(&mu_);
+    (void)std::fflush(file_);  // R013 expected on this line (15)
+  }
+
+  void BadMemberFlush() {
+    MutexLock lock(&mu_);
+    out_.flush();  // R013 expected on this line (20)
+  }
+
+  void GoodFlushOutsideLock() {
+    {
+      MutexLock lock(&mu_);
+      dirty_ = false;
+    }
+    (void)std::fflush(file_);  // lock released: clean
+  }
+
+  void SuppressedFlush() {
+    MutexLock lock(&mu_);
+    (void)std::fflush(file_);  // maroon-lint: allow(R013)
+  }
+
+ private:
+  Mutex mu_;
+  bool dirty_ MAROON_GUARDED_BY(mu_) = false;
+  FILE* file_ = nullptr;
+  std::ofstream out_;
+};
+
+}  // namespace maroon

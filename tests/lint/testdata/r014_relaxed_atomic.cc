@@ -1,0 +1,21 @@
+// Lint fixture (never compiled): R014 — memory_order_relaxed outside the
+// allowlisted counter files. Scanned by lint_test; lines are asserted there.
+#include <atomic>
+
+namespace maroon {
+
+inline std::atomic<int> g_hits{0};
+
+inline void BadRelaxed() {
+  g_hits.fetch_add(1, std::memory_order_relaxed);  // R014 expected here (10)
+}
+
+inline void SuppressedRelaxed() {
+  g_hits.fetch_add(1, std::memory_order_relaxed);  // maroon-lint: allow(R014)
+}
+
+inline void GoodAcquireRelease() {
+  g_hits.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace maroon

@@ -46,6 +46,7 @@ TEST_P(MatcherInvariantProperty, LinkInvariantsHold) {
     if (checked >= 5) break;
     ++checked;
     const auto target = dataset.target(id);
+    ASSERT_TRUE(target.ok()) << target.status();
     std::vector<const TemporalRecord*> candidates;
     std::set<RecordId> candidate_ids;
     for (RecordId rid : dataset.CandidatesFor(id)) {
@@ -118,6 +119,7 @@ TEST_P(ThetaMonotonicityProperty, HigherThetaLinksSubset) {
 
   const EntityId& id = ids.front();
   const auto target = dataset.target(id);
+  ASSERT_TRUE(target.ok()) << target.status();
   std::vector<const TemporalRecord*> candidates;
   for (RecordId rid : dataset.CandidatesFor(id)) {
     candidates.push_back(&dataset.record(rid));

@@ -1,23 +1,33 @@
 // maroon_lint — the MAROON project-invariant static checker.
 //
 // Tokenizes the C++ sources under src/, tools/, and tests/ (no compiler or
-// LLVM dependency) and enforces the project rules R001-R009 documented in
-// docs/static_analysis.md and src/lint/rules.h. Zero findings is the merge
-// bar; per-site escapes use `// maroon-lint: allow(<rule>)`.
+// LLVM dependency) and enforces the project rules R001-R014 documented in
+// docs/static_analysis.md, src/lint/rules.h, and src/lint/concurrency.h.
+// Zero findings is the merge bar; per-site escapes use
+// `// maroon-lint: allow(<rule>)`, and whole pre-existing findings can be
+// accepted temporarily through a baseline file.
 //
 // Usage:
-//   maroon_lint [--root=DIR] [--json] [path...]
+//   maroon_lint [--root=DIR] [--json] [--baseline=FILE]
+//               [--update-baseline] [path...]
 //
-//   --root=DIR   repository root (default "."); guards and display paths
-//                are derived relative to it
-//   --json       machine-readable output (for CI and editors)
-//   --version    print version and exit
-//   path...      files or directories to scan instead of the default
-//                {src, tools, tests}; explicit files bypass the testdata
-//                exclusion, which is how the fixture tests run
+//   --root=DIR          repository root (default "."); guards and display
+//                       paths are derived relative to it
+//   --json              machine-readable output (for CI and editors)
+//   --baseline=FILE     suppress exactly the findings recorded in FILE; a
+//                       recorded finding that no longer occurs is an error
+//                       (stale baseline — shrink the file)
+//   --update-baseline   with --baseline: rewrite FILE from the current
+//                       findings and exit 0
+//   --version           print version and exit
+//   path...             files or directories to scan instead of the default
+//                       {src, tools, tests}; explicit files bypass the
+//                       testdata exclusion, which is how the fixture tests
+//                       run
 //
-// Exit codes: 0 clean, 1 findings, 2 usage or IO error.
+// Exit codes: 0 clean, 1 findings (or stale baseline), 2 usage or IO error.
 
+#include <fstream>
 #include <iostream>
 
 #include "common/flags.h"
@@ -28,10 +38,11 @@ namespace maroon {
 namespace {
 
 int Usage() {
-  std::cerr << "usage: maroon_lint [--root=DIR] [--json] [path...]\n"
+  std::cerr << "usage: maroon_lint [--root=DIR] [--json] [--baseline=FILE] "
+               "[--update-baseline] [path...]\n"
                "  Lints MAROON C++ sources (default scan: src/ tools/ "
                "tests/ under --root).\n"
-               "  Rules R001-R009; see docs/static_analysis.md.\n";
+               "  Rules R001-R014; see docs/static_analysis.md.\n";
   return 2;
 }
 
@@ -45,7 +56,7 @@ int Main(int argc, char** argv) {
   if (flags.GetBoolOr("help", false)) return Usage();
   for (const std::string& name : flags.FlagNames()) {
     if (name != "root" && name != "json" && name != "version" &&
-        name != "help") {
+        name != "help" && name != "baseline" && name != "update-baseline") {
       std::cerr << "maroon_lint: unknown flag --" << name << "\n";
       return Usage();
     }
@@ -54,15 +65,52 @@ int Main(int argc, char** argv) {
   lint::LintOptions options;
   options.root = flags.GetStringOr("root", ".");
   options.paths = flags.positional();
+  const std::string baseline_path = flags.GetStringOr("baseline", "");
+  const bool update_baseline = flags.GetBoolOr("update-baseline", false);
+  if (update_baseline && baseline_path.empty()) {
+    std::cerr << "maroon_lint: --update-baseline requires --baseline=FILE\n";
+    return Usage();
+  }
 
-  const Result<lint::LintResult> result = lint::RunLint(options);
+  Result<lint::LintResult> result = lint::RunLint(options);
   if (!result.ok()) {
     std::cerr << "maroon_lint: error: " << result.status() << "\n";
     return 2;
   }
+
+  if (update_baseline) {
+    std::ofstream out(baseline_path, std::ios::trunc);
+    out << lint::SerializeBaseline(*result);
+    out.flush();
+    if (!out) {
+      std::cerr << "maroon_lint: error: cannot write baseline "
+                << baseline_path << "\n";
+      return 2;
+    }
+    std::cout << "maroon_lint: recorded " << result->findings.size()
+              << " finding(s) in " << baseline_path << "\n";
+    return 0;
+  }
+
+  std::vector<lint::BaselineEntry> stale;
+  if (!baseline_path.empty()) {
+    const Result<lint::Baseline> baseline = lint::LoadBaseline(baseline_path);
+    if (!baseline.ok()) {
+      std::cerr << "maroon_lint: error: " << baseline.status() << "\n";
+      return 2;
+    }
+    stale = lint::ApplyBaseline(*baseline, &*result);
+  }
+
   std::cout << (flags.GetBoolOr("json", false) ? lint::RenderJson(*result)
                                                : lint::RenderText(*result));
-  return result->findings.empty() ? 0 : 1;
+  for (const lint::BaselineEntry& entry : stale) {
+    std::cerr << "maroon_lint: stale baseline entry: " << entry.rule << " "
+              << entry.file << ":" << entry.line
+              << " no longer occurs; remove it from " << baseline_path
+              << " (or regenerate with --update-baseline)\n";
+  }
+  return result->findings.empty() && stale.empty() ? 0 : 1;
 }
 
 }  // namespace
