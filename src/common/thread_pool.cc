@@ -192,6 +192,16 @@ void PeriodicTimer::Loop() {
   }
 }
 
+BackgroundThread::BackgroundThread(std::string name,
+                                   std::function<void()> fn)
+    : name_(std::move(name)), thread_(std::move(fn)) {}
+
+BackgroundThread::~BackgroundThread() { Join(); }
+
+void BackgroundThread::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
 ThreadPool* ThreadPool::Shared(int num_threads) {
   const int width = ResolveThreadCount(num_threads);
   // Leaked like the obs singletons: helper threads live for the process, so

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -127,6 +128,38 @@ class ThreadPool {
   int strands_to_claim_ MAROON_GUARDED_BY(mu_) = 0;
   bool shutdown_ MAROON_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
+};
+
+/// A named long-lived service thread running `fn` to completion — the
+/// primitive behind blocking server loops (the ops plane's HTTP accept and
+/// connection workers) that do not fit ParallelFor's bounded-batch shape.
+/// Lives with ThreadPool because thread construction is confined to
+/// src/common/thread_pool.* (lint rule R008): everything else obtains its
+/// threads from this runtime.
+///
+/// `fn` starts immediately on construction and must not throw; it is
+/// responsible for observing its owner's shutdown signal and returning.
+/// Join() (also run by the destructor) blocks until `fn` returns — the
+/// owner must make `fn` return first (close the socket, set the flag,
+/// notify the condition variable), or Join() deadlocks. Single-owner:
+/// Join() and destruction must come from one thread.
+class BackgroundThread {
+ public:
+  /// Starts `fn` on a new thread. `name` labels the thread in logs/debug.
+  BackgroundThread(std::string name, std::function<void()> fn);
+  ~BackgroundThread();
+
+  BackgroundThread(const BackgroundThread&) = delete;
+  BackgroundThread& operator=(const BackgroundThread&) = delete;
+
+  /// Waits for `fn` to return; idempotent.
+  void Join();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  const std::string name_;
+  std::thread thread_;
 };
 
 /// A background thread invoking `fn` every `period` until Stop() or

@@ -136,6 +136,14 @@ Status StreamLinker::MaybeSnapshot(bool force) {
 }
 
 Status StreamLinker::Drain() {
+  const Status status = DrainImpl();
+  // Latch non-transient failures for the health surface; a later Drain
+  // that empties the queue clears the latch (the condition passed).
+  last_error_ = status;
+  return status;
+}
+
+Status StreamLinker::DrainImpl() {
   thread_checker_.Check();
   const bool timed = obs::MetricsRegistry::Enabled();
   while (!queue_.empty()) {
@@ -180,7 +188,53 @@ Status StreamLinker::Drain() {
 Status StreamLinker::Flush() {
   thread_checker_.Check();
   MAROON_RETURN_IF_ERROR(Drain());
-  return wal_.Sync();
+  const Status synced = wal_.Sync();
+  if (!synced.ok()) last_error_ = synced;
+  return synced;
+}
+
+void StreamLinker::ReportHealth(obs::HealthRegistry* health) const {
+  if (!last_error_.ok()) {
+    health->Set("wal", obs::HealthState::kUnhealthy,
+                "latched: " + last_error_.message());
+  } else {
+    health->Set("wal", obs::HealthState::kOk);
+  }
+
+  const size_t depth = queue_.size();
+  if (options_.max_queue > 0 && depth * 4 >= options_.max_queue * 3) {
+    health->Set("backpressure", obs::HealthState::kDegraded,
+                "admission queue " + std::to_string(depth) + "/" +
+                    std::to_string(options_.max_queue));
+  } else {
+    health->Set("backpressure", obs::HealthState::kOk);
+  }
+
+  if (options_.max_store_entities > 0 &&
+      store_.size() >= options_.max_store_entities) {
+    health->Set("memory", obs::HealthState::kDegraded,
+                "store at its " +
+                    std::to_string(options_.max_store_entities) +
+                    "-entity bound; shedding new entities");
+  } else {
+    health->Set("memory", obs::HealthState::kOk);
+  }
+
+  if (!options_.snapshot_dir.empty()) {
+    if (stats_.snapshot_failures > 0) {
+      health->Set("snapshot", obs::HealthState::kDegraded,
+                  std::to_string(stats_.snapshot_failures) +
+                      " snapshot write failures");
+    } else if (options_.snapshot_every > 0 &&
+               applied_since_snapshot_ > 2 * options_.snapshot_every) {
+      health->Set("snapshot", obs::HealthState::kDegraded,
+                  "snapshot cadence slipped: " +
+                      std::to_string(applied_since_snapshot_) +
+                      " records since the last one");
+    } else {
+      health->Set("snapshot", obs::HealthState::kOk);
+    }
+  }
 }
 
 Status StreamLinker::Close() {

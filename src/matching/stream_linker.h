@@ -15,6 +15,7 @@
 #include "core/profile_store.h"
 #include "core/profile_wal.h"
 #include "core/temporal_record.h"
+#include "obs/health.h"
 
 namespace maroon {
 
@@ -112,9 +113,27 @@ class StreamLinker {
   uint64_t last_seq() const { return wal_.last_seq(); }
   size_t queue_depth() const { return queue_.size(); }
 
+  /// The last non-transient Drain/Flush/Close failure, latched until a
+  /// later Drain succeeds. OK while the stream is healthy. The ops plane's
+  /// /healthz reads this through ReportHealth.
+  const Status& last_error() const { return last_error_; }
+
+  /// Publishes this linker's state into `health` as four components:
+  ///   "wal"           UNHEALTHY while an error is latched
+  ///   "backpressure"  DEGRADED when the admission queue is >= 3/4 full
+  ///   "memory"        DEGRADED while the store sits at its entity bound
+  ///                   (new-entity records are being shed)
+  ///   "snapshot"      DEGRADED on snapshot failures or when the snapshot
+  ///                   cadence has slipped by more than 2x
+  /// Owner-thread only, like every other accessor that reads the queue.
+  void ReportHealth(obs::HealthRegistry* health) const;
+
  private:
   StreamLinker(StreamLinkerOptions options, ProfileWal wal)
       : options_(std::move(options)), wal_(std::move(wal)) {}
+
+  /// Drain's body; Drain() wraps it to maintain last_error_.
+  Status DrainImpl();
 
   /// WAL append with exponential backoff on transient (IOError) failures.
   Status AppendWithRetry(const TemporalRecord& record);
@@ -130,6 +149,7 @@ class StreamLinker {
   /// Record ids already durable in the WAL (applied this run or replayed).
   std::unordered_set<RecordId> durable_ids_;
   StreamLinkerStats stats_;
+  Status last_error_ = Status::OK();
   uint64_t applied_since_snapshot_ = 0;
   /// Enforces the single-owner contract on Submit/Drain/Flush/Close.
   ThreadChecker thread_checker_;

@@ -1,0 +1,135 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+namespace maroon {
+namespace net {
+
+namespace {
+
+bool SendAll(int fd, const std::string& data) {
+  size_t offset = 0;
+  while (offset < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + offset, data.size() - offset, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    offset += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string LowercaseCopy(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<HttpClientResponse> HttpGet(const std::string& host, int port,
+                                   const std::string& path, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable host address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string message = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + message);
+  }
+
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!SendAll(fd, request)) {
+    const std::string message = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("send: " + message);
+  }
+
+  std::string raw;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      const std::string message =
+          (errno == EAGAIN || errno == EWOULDBLOCK) ? "timed out"
+                                                    : std::strerror(errno);
+      ::close(fd);
+      return Status::IOError("recv: " + message);
+    }
+    if (n == 0) break;
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return Status::IOError("response has no header terminator");
+  }
+  const size_t line_end = raw.find("\r\n");
+  const std::string status_line = raw.substr(0, line_end);
+  // "HTTP/1.1 200 OK" — the status code is the second token.
+  const size_t sp1 = status_line.find(' ');
+  if (status_line.compare(0, 5, "HTTP/") != 0 || sp1 == std::string::npos) {
+    return Status::IOError("malformed status line '" + status_line + "'");
+  }
+  HttpClientResponse response;
+  const char* code_begin = status_line.data() + sp1 + 1;
+  const char* code_end = status_line.data() + status_line.size();
+  const auto parsed =
+      std::from_chars(code_begin, code_end, response.status);
+  if (parsed.ec != std::errc() || response.status < 100 ||
+      response.status > 599) {
+    return Status::IOError("malformed status line '" + status_line + "'");
+  }
+  response.body = raw.substr(head_end + 4);
+
+  size_t pos = line_end + 2;
+  while (pos < head_end) {
+    size_t next = raw.find("\r\n", pos);
+    if (next == std::string::npos || next > head_end) next = head_end;
+    const std::string header = raw.substr(pos, next - pos);
+    pos = next + 2;
+    const size_t colon = header.find(':');
+    if (colon == std::string::npos) continue;
+    if (LowercaseCopy(header.substr(0, colon)) == "content-type") {
+      size_t begin = colon + 1;
+      while (begin < header.size() && header[begin] == ' ') ++begin;
+      response.content_type = header.substr(begin);
+    }
+  }
+  return response;
+}
+
+}  // namespace net
+}  // namespace maroon

@@ -1,0 +1,31 @@
+#ifndef MAROON_NET_HTTP_CLIENT_H_
+#define MAROON_NET_HTTP_CLIENT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace maroon {
+namespace net {
+
+/// One parsed HTTP response from HttpGet.
+struct HttpClientResponse {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+
+/// A minimal blocking HTTP/1.1 GET for tests and smoke checks against the
+/// in-process ops server: connects, sends `GET path` with
+/// `Connection: close`, reads to EOF, parses the status line, Content-Type,
+/// and body. Not a general client — no redirects, no TLS, no chunked
+/// decoding (the paired HttpServer never chunks).
+Result<HttpClientResponse> HttpGet(const std::string& host, int port,
+                                   const std::string& path,
+                                   int timeout_ms = 5000);
+
+}  // namespace net
+}  // namespace maroon
+
+#endif  // MAROON_NET_HTTP_CLIENT_H_

@@ -1,0 +1,344 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace maroon {
+namespace net {
+
+namespace {
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+void SetSocketTimeouts(int fd, int timeout_ms) {
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  // Best effort: a socket without timeouts still works, it just trusts the
+  // client more than it should.
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Writes all of `data`, tolerating short writes; false on error/timeout.
+bool WriteAll(int fd, const std::string& data) {
+  size_t offset = 0;
+  while (offset < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + offset, data.size() - offset, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    offset += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string Lowercase(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Strips leading/trailing spaces and tabs.
+std::string TrimWs(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t')) --end;
+  return s.substr(begin, end - begin);
+}
+
+/// Parses the request head (request line + headers). Returns false on a
+/// malformed request line.
+bool ParseRequestHead(const std::string& head, HttpRequest* request) {
+  const size_t line_end = head.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) return false;
+  request->method = line.substr(0, sp1);
+  request->target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (request->method.empty() || request->target.empty() ||
+      request->target[0] != '/' || version.compare(0, 5, "HTTP/") != 0) {
+    return false;
+  }
+  const size_t qmark = request->target.find('?');
+  request->path = request->target.substr(0, qmark);
+  request->query = qmark == std::string::npos
+                       ? ""
+                       : request->target.substr(qmark + 1);
+
+  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t next = head.find("\r\n", pos);
+    if (next == std::string::npos) next = head.size();
+    const std::string header = head.substr(pos, next - pos);
+    pos = next + 2;
+    if (header.empty()) break;
+    const size_t colon = header.find(':');
+    if (colon == std::string::npos) continue;  // tolerated, not trusted
+    request->headers.emplace_back(Lowercase(TrimWs(header.substr(0, colon))),
+                                  TrimWs(header.substr(colon + 1)));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string HttpServer::SerializeResponse(const HttpResponse& response,
+                                          bool include_body) {
+  std::string out;
+  out.reserve(response.body.size() + 128);
+  out.append("HTTP/1.1 ")
+      .append(std::to_string(response.status))
+      .append(" ")
+      .append(StatusReason(response.status))
+      .append("\r\nContent-Type: ")
+      .append(response.content_type)
+      .append("\r\nContent-Length: ")
+      .append(std::to_string(response.body.size()))
+      .append("\r\nConnection: close\r\n\r\n");
+  if (include_body) out.append(response.body);
+  return out;
+}
+
+Result<std::unique_ptr<HttpServer>> HttpServer::Start(
+    const HttpServerOptions& options, HttpHandler handler) {
+  if (handler == nullptr) {
+    return Status::InvalidArgument("HttpServer needs a handler");
+  }
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("HttpServer needs at least one worker");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable bind address '" +
+                                   options.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string message = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("bind " + options.bind_address + ":" +
+                           std::to_string(options.port) + ": " + message);
+  }
+  if (::listen(fd, 64) != 0) {
+    const std::string message = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("listen: " + message);
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const std::string message = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("getsockname: " + message);
+  }
+  const int port = static_cast<int>(ntohs(bound.sin_port));
+  return std::unique_ptr<HttpServer>(
+      new HttpServer(options, std::move(handler), fd, port));
+}
+
+HttpServer::HttpServer(const HttpServerOptions& options, HttpHandler handler,
+                       int listen_fd, int port)
+    : options_(options),
+      handler_(std::move(handler)),
+      listen_fd_(listen_fd),
+      port_(port) {
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.push_back(std::make_unique<BackgroundThread>(
+        "http-worker-" + std::to_string(i), [this] { WorkerLoop(); }));
+  }
+  acceptor_ =
+      std::make_unique<BackgroundThread>("http-accept", [this] {
+        AcceptLoop();
+      });
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Stop() {
+  if (shutdown_.exchange(true)) return;
+  // Wake the accept loop: shutdown() forces a blocked accept() to return on
+  // Linux; the loop then observes shutdown_ and exits without touching the
+  // (still open) descriptor again.
+  (void)::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    MutexLock lock(&mu_);
+    stopping_ = true;
+  }
+  queue_cv_.NotifyAll();
+  acceptor_->Join();
+  for (auto& worker : workers_) worker->Join();
+  // Workers drain the queue before exiting; anything still here lost the
+  // race with stopping_ and is closed unanswered.
+  std::deque<int> orphans;
+  {
+    MutexLock lock(&mu_);
+    orphans.swap(pending_);
+  }
+  for (const int fd : orphans) ::close(fd);
+  ::close(listen_fd_);
+}
+
+HttpServerStats HttpServer::stats() const {
+  HttpServerStats stats;
+  stats.accepted = accepted_.load();
+  stats.served = served_.load();
+  stats.rejected_overload = rejected_overload_.load();
+  stats.timeouts = timeouts_.load();
+  stats.bad_requests = bad_requests_.load();
+  return stats;
+}
+
+void HttpServer::AcceptLoop() {
+  while (!shutdown_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (shutdown_.load()) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // Listener broke outside a shutdown (fd limit, network stack). Log
+      // once and stop accepting; already-queued connections still drain.
+      MAROON_LOG(Error) << "http accept failed: " << std::strerror(errno);
+      return;
+    }
+    accepted_.fetch_add(1);
+    bool overloaded = false;
+    bool stopping = false;
+    {
+      MutexLock lock(&mu_);
+      if (stopping_) {
+        stopping = true;
+      } else if (pending_.size() >= options_.max_pending) {
+        overloaded = true;
+      } else {
+        pending_.push_back(fd);
+      }
+    }
+    if (stopping) {
+      ::close(fd);
+      return;
+    }
+    if (overloaded) {
+      rejected_overload_.fetch_add(1);
+      WriteEarlyResponse(fd, 503, "ops server overloaded\n");
+    } else {
+      queue_cv_.NotifyOne();
+    }
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      MutexLock lock(&mu_);
+      while (pending_.empty() && !stopping_) queue_cv_.Wait(lock);
+      if (pending_.empty() && stopping_) return;
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    HandleConnection(fd);
+  }
+}
+
+void HttpServer::WriteEarlyResponse(int fd, int status,
+                                    const std::string& reason) {
+  SetSocketTimeouts(fd, options_.request_timeout_ms);
+  HttpResponse response;
+  response.status = status;
+  response.body = reason;
+  (void)WriteAll(fd, SerializeResponse(response, /*include_body=*/true));
+  ::close(fd);
+}
+
+void HttpServer::HandleConnection(int fd) {
+  SetSocketTimeouts(fd, options_.request_timeout_ms);
+  std::string head;
+  head.reserve(512);
+  char buffer[2048];
+  bool timed_out = false;
+  bool too_large = false;
+  while (head.find("\r\n\r\n") == std::string::npos) {
+    if (head.size() > options_.max_request_bytes) {
+      too_large = true;
+      break;
+    }
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      timed_out = true;
+      break;
+    }
+    if (n <= 0) break;  // peer closed or hard error: no request to answer
+    head.append(buffer, static_cast<size_t>(n));
+  }
+
+  HttpResponse response;
+  bool include_body = true;
+  HttpRequest request;
+  if (timed_out) {
+    timeouts_.fetch_add(1);
+    response.status = 408;
+    response.body = "request timed out\n";
+  } else if (too_large) {
+    bad_requests_.fetch_add(1);
+    response.status = 431;
+    response.body = "request head exceeds limit\n";
+  } else if (head.find("\r\n\r\n") == std::string::npos ||
+             !ParseRequestHead(head, &request)) {
+    bad_requests_.fetch_add(1);
+    response.status = 400;
+    response.body = "malformed request\n";
+  } else if (request.method != "GET" && request.method != "HEAD") {
+    bad_requests_.fetch_add(1);
+    response.status = 405;
+    response.body = "only GET and HEAD are served here\n";
+  } else {
+    response = handler_(request);
+    served_.fetch_add(1);
+    include_body = request.method != "HEAD";
+  }
+  (void)WriteAll(fd, SerializeResponse(response, include_body));
+  ::close(fd);
+}
+
+}  // namespace net
+}  // namespace maroon

@@ -1,0 +1,154 @@
+#ifndef MAROON_NET_HTTP_SERVER_H_
+#define MAROON_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+
+namespace maroon {
+namespace net {
+
+/// A dependency-free embedded HTTP/1.1 server for the live ops plane
+/// (`/metrics`, `/healthz`, ... — see obs::OpsServer for the routes).
+///
+/// Scope: exactly what a scrape/health surface needs and nothing more —
+/// GET/HEAD, one request per connection (`Connection: close`), no TLS, no
+/// keep-alive, no chunked bodies. Operational hardening is the point:
+///  - a bounded accept queue: connections beyond `max_pending` receive an
+///    immediate `503 Service Unavailable` instead of piling up;
+///  - per-connection read/write timeouts (`SO_RCVTIMEO`/`SO_SNDTIMEO`), so
+///    a stalled client cannot pin a worker;
+///  - a request-size cap (`max_request_bytes`) against oversized headers;
+///  - graceful shutdown: Stop() closes the listener, drains queued
+///    connections, and joins every thread before returning.
+///
+/// Threading (annotated with the PR-8 lock discipline): one accept loop
+/// plus `num_workers` connection workers, all maroon::BackgroundThread
+/// strands (thread construction stays confined to src/common/thread_pool.*,
+/// lint rule R008). The accept loop and workers exchange file descriptors
+/// through a mutex-guarded queue; all socket I/O happens outside the lock
+/// (lint rule R013). The handler runs on a worker thread and may be called
+/// concurrently from several workers — it must be thread-safe and must not
+/// throw.
+
+/// One parsed request. Only the request line and headers are read; GET and
+/// HEAD carry no body in this server's dialect.
+struct HttpRequest {
+  std::string method;  // "GET", "HEAD", ...
+  std::string target;  // raw request target, e.g. "/metrics?name=x"
+  std::string path;    // target up to '?', e.g. "/metrics"
+  std::string query;   // after '?', "" when absent
+  /// Header (name, value) pairs in arrival order; names lowercased.
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Produces the response for one request. Runs on a worker thread,
+/// potentially concurrently with other invocations; must not throw.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerOptions {
+  /// Loopback by default: the ops plane is an operator surface, not a
+  /// public one. Bind 0.0.0.0 explicitly to expose it.
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; the bound port is reported by port().
+  int port = 0;
+  int num_workers = 2;
+  /// Accepted connections waiting for a worker beyond this bound are
+  /// answered 503 and closed by the accept loop.
+  size_t max_pending = 16;
+  /// Socket read/write timeout per connection.
+  int request_timeout_ms = 5000;
+  /// Request line + headers larger than this are answered 431.
+  size_t max_request_bytes = 16384;
+};
+
+/// Monotonic counters describing a server's lifetime.
+struct HttpServerStats {
+  int64_t accepted = 0;        // connections accepted
+  int64_t served = 0;          // responses written by the handler path
+  int64_t rejected_overload = 0;  // 503s from the bounded queue
+  int64_t timeouts = 0;        // connections dropped on read timeout
+  int64_t bad_requests = 0;    // 400/405/431 responses
+};
+
+class HttpServer {
+ public:
+  /// Binds, listens, and starts the accept loop and workers. On success the
+  /// server is live: port() is the bound port.
+  static Result<std::unique_ptr<HttpServer>> Start(
+      const HttpServerOptions& options, HttpHandler handler);
+
+  /// Stops accepting, answers nothing further, drains the queue, joins all
+  /// threads. Idempotent; also run by the destructor.
+  void Stop();
+
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  int port() const { return port_; }
+  HttpServerStats stats() const;
+
+  /// Serializes `response` to raw HTTP/1.1 bytes (status line, headers,
+  /// body). Exposed for tests; bodies are omitted for HEAD.
+  static std::string SerializeResponse(const HttpResponse& response,
+                                       bool include_body);
+
+ private:
+  HttpServer(const HttpServerOptions& options, HttpHandler handler,
+             int listen_fd, int port);
+
+  void AcceptLoop();
+  void WorkerLoop();
+  /// Reads, parses, dispatches, and answers one connection; closes `fd`.
+  void HandleConnection(int fd);
+  /// Best-effort minimal response for accept-path rejections.
+  void WriteEarlyResponse(int fd, int status, const std::string& reason);
+
+  const HttpServerOptions options_;
+  const HttpHandler handler_;
+  const int listen_fd_;
+  const int port_;
+
+  /// Set once by Stop(); the accept loop polls it after every accept wakeup
+  /// and workers re-check it under mu_.
+  std::atomic<bool> shutdown_{false};
+
+  Mutex mu_;
+  CondVar queue_cv_;
+  std::deque<int> pending_ MAROON_GUARDED_BY(mu_);
+  bool stopping_ MAROON_GUARDED_BY(mu_) = false;
+
+  std::atomic<int64_t> accepted_{0};
+  std::atomic<int64_t> served_{0};
+  std::atomic<int64_t> rejected_overload_{0};
+  std::atomic<int64_t> timeouts_{0};
+  std::atomic<int64_t> bad_requests_{0};
+
+  /// Last members: threads may touch every field above immediately.
+  std::vector<std::unique_ptr<BackgroundThread>> workers_;
+  std::unique_ptr<BackgroundThread> acceptor_;
+};
+
+}  // namespace net
+}  // namespace maroon
+
+#endif  // MAROON_NET_HTTP_SERVER_H_

@@ -1,0 +1,72 @@
+#include "obs/health.h"
+
+namespace maroon {
+namespace obs {
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kOk: return "OK";
+    case HealthState::kDegraded: return "DEGRADED";
+    case HealthState::kUnhealthy: return "UNHEALTHY";
+  }
+  return "UNKNOWN";
+}
+
+HealthRegistry& HealthRegistry::Global() {
+  // Leaked like the MetricsRegistry: health outlives every component that
+  // reports into it, so there is no destruction order to get wrong.
+  static HealthRegistry* registry = new HealthRegistry();
+  return *registry;
+}
+
+void HealthRegistry::Set(const std::string& component, HealthState state,
+                         const std::string& detail) {
+  MutexLock lock(&mu_);
+  Entry& entry = components_[component];
+  entry.state = state;
+  entry.detail = detail;
+  entry.updated = std::chrono::steady_clock::now();
+}
+
+void HealthRegistry::SetReady(bool ready) {
+  MutexLock lock(&mu_);
+  ready_ = ready;
+}
+
+bool HealthRegistry::ready() const {
+  MutexLock lock(&mu_);
+  return ready_;
+}
+
+HealthState HealthRegistry::Overall() const {
+  MutexLock lock(&mu_);
+  HealthState worst = HealthState::kOk;
+  for (const auto& [name, entry] : components_) {
+    if (entry.state > worst) worst = entry.state;
+  }
+  return worst;
+}
+
+std::map<std::string, ComponentHealth> HealthRegistry::Components() const {
+  const auto now = std::chrono::steady_clock::now();
+  MutexLock lock(&mu_);
+  std::map<std::string, ComponentHealth> out;
+  for (const auto& [name, entry] : components_) {
+    ComponentHealth health;
+    health.state = entry.state;
+    health.detail = entry.detail;
+    health.age_s =
+        std::chrono::duration<double>(now - entry.updated).count();
+    out[name] = health;
+  }
+  return out;
+}
+
+void HealthRegistry::Clear() {
+  MutexLock lock(&mu_);
+  components_.clear();
+  ready_ = false;
+}
+
+}  // namespace obs
+}  // namespace maroon

@@ -1,0 +1,76 @@
+#ifndef MAROON_OBS_HEALTH_H_
+#define MAROON_OBS_HEALTH_H_
+
+#include <chrono>
+#include <map>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace maroon {
+namespace obs {
+
+/// Per-component health states, ordered by severity. The ops plane's
+/// `/healthz` reports the worst state across components; `/readyz` demands
+/// kOk everywhere plus an explicit ready mark from the serving loop.
+enum class HealthState {
+  kOk = 0,
+  kDegraded = 1,   // serving, but shedding / lagging / near a limit
+  kUnhealthy = 2,  // a component has latched a non-transient failure
+};
+
+const char* HealthStateName(HealthState state);
+
+/// One component's last report.
+struct ComponentHealth {
+  HealthState state = HealthState::kOk;
+  std::string detail;  // human-oriented one-liner, "" when healthy
+  double age_s = 0;    // seconds since the component last reported
+};
+
+/// Process-wide health registry: components (the stream linker's WAL, its
+/// queue, the snapshotter) push state transitions, the ops server reads the
+/// aggregate. Mirrors the MetricsRegistry singleton pattern — a leaked
+/// global, mutex-guarded, safe from any thread.
+class HealthRegistry {
+ public:
+  static HealthRegistry& Global();
+
+  /// Reports `component` as `state`. Detail is advisory prose for
+  /// `/healthz` output; keep it short and stable.
+  void Set(const std::string& component, HealthState state,
+           const std::string& detail = "");
+
+  /// Marks the process ready (or not) to serve. Readiness is separate from
+  /// health: a process replaying its WAL is healthy but not yet ready.
+  void SetReady(bool ready);
+  bool ready() const;
+
+  /// Worst state across all reported components; kOk when none reported.
+  HealthState Overall() const;
+
+  /// Snapshot of every component's last report, keyed by component name.
+  std::map<std::string, ComponentHealth> Components() const;
+
+  /// Drops all components and clears readiness. Test isolation only.
+  void Clear();
+
+ private:
+  HealthRegistry() = default;
+
+  struct Entry {
+    HealthState state = HealthState::kOk;
+    std::string detail;
+    std::chrono::steady_clock::time_point updated;
+  };
+
+  mutable Mutex mu_;
+  std::map<std::string, Entry> components_ MAROON_GUARDED_BY(mu_);
+  bool ready_ MAROON_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace obs
+}  // namespace maroon
+
+#endif  // MAROON_OBS_HEALTH_H_

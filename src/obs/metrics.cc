@@ -1,10 +1,12 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/logging.h"
+#include "maroon/version_info.h"
 #include "obs/json.h"
 
 namespace maroon {
@@ -24,7 +26,50 @@ std::atomic<bool>& EnabledFlag() {
   return enabled;
 }
 
+/// The uptime/build gauges once RegisterBuildMetrics() created them;
+/// TakeSnapshot() refreshes through these pointers without touching the
+/// registry lock (which it is about to take itself).
+std::atomic<Gauge*>& UptimeGaugeSlot() {
+  static std::atomic<Gauge*> gauge{nullptr};
+  return gauge;
+}
+
+std::atomic<Gauge*>& BuildInfoGaugeSlot() {
+  static std::atomic<Gauge*> gauge{nullptr};
+  return gauge;
+}
+
 }  // namespace
+
+std::string BuildVersion() { return MAROON_VERSION; }
+
+std::string BuildRevision() { return MAROON_GIT_DESCRIBE; }
+
+double ProcessUptimeSeconds() {
+  // Anchored at the first call — RegisterBuildMetrics() makes that call at
+  // startup in long-lived entry points, so "uptime" means process uptime
+  // there and first-scrape-relative time anywhere else.
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void RegisterBuildMetrics() {
+  (void)ProcessUptimeSeconds();  // anchor the uptime epoch
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Gauge* build_info = registry.GetGauge("maroon.build_info");
+  build_info->Set(1.0);
+  Gauge* uptime = registry.GetGauge("maroon.uptime_seconds");
+  uptime->Set(ProcessUptimeSeconds());
+  BuildInfoGaugeSlot().store(build_info, std::memory_order_release);
+  UptimeGaugeSlot().store(uptime, std::memory_order_release);
+}
+
+bool BuildMetricsRegistered() {
+  return UptimeGaugeSlot().load(std::memory_order_acquire) != nullptr;
+}
 
 void Counter::Add(int64_t delta) {
   if (!MetricsRegistry::Enabled()) return;
@@ -159,6 +204,15 @@ LatencyHistogram* MetricsRegistry::GetLatencyHistogram(
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  // Refresh the self-identification gauges (if registered) before reading,
+  // so every snapshot — scrape, JSONL dump, run report — carries a current
+  // uptime and survives an intervening ResetAll().
+  if (Gauge* uptime = UptimeGaugeSlot().load(std::memory_order_acquire)) {
+    uptime->Set(ProcessUptimeSeconds());
+  }
+  if (Gauge* info = BuildInfoGaugeSlot().load(std::memory_order_acquire)) {
+    info->Set(1.0);
+  }
   Snapshot snapshot;
   MutexLock lock(&mu_);
   for (const auto& [name, counter] : counters_) {

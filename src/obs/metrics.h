@@ -99,6 +99,27 @@ std::vector<double> UnitIntervalBuckets();    // 0.05, 0.10, ..., 1.00
 std::vector<double> LatencySecondsBuckets();  // 1e-5 * 4^k, k = 0..10
 std::vector<double> SmallCountBuckets();      // 1, 2, 4, 8, ..., 1024
 
+/// --- build identity ------------------------------------------------------
+/// The binary's version and git-describe string (from the generated
+/// maroon/version_info.h), exposed here so the obs layer can stamp exports
+/// without every caller including the generated header.
+std::string BuildVersion();
+std::string BuildRevision();
+
+/// Seconds since this process first touched the obs layer (steady clock).
+double ProcessUptimeSeconds();
+
+/// Registers the self-identification metrics — the `maroon.build_info`
+/// gauge (value 1; the Prometheus exporter attaches version/revision
+/// labels) and the `maroon.uptime_seconds` gauge, which every subsequent
+/// TakeSnapshot() refreshes. Idempotent; long-lived entry points (the CLI,
+/// the ops server, benches) call it once at startup. Deliberately opt-in so
+/// unit tests see exactly the metrics they created.
+void RegisterBuildMetrics();
+
+/// True once RegisterBuildMetrics() has run.
+bool BuildMetricsRegistered();
+
 /// The process-wide named-metric registry.
 class MetricsRegistry {
  public:

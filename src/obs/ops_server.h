@@ -1,0 +1,78 @@
+#ifndef MAROON_OBS_OPS_SERVER_H_
+#define MAROON_OBS_OPS_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/http_server.h"
+
+namespace maroon {
+namespace obs {
+
+/// The live ops plane: routes over an embedded net::HttpServer giving an
+/// operator (or a Prometheus scraper) a pull-based window into a running
+/// process. Routes (all GET, see docs/observability.md):
+///
+///   /metrics   Prometheus 0.0.4 exposition of the global MetricsRegistry
+///   /varz      the same snapshot as JSON
+///   /healthz   HealthRegistry aggregate; 503 when any component UNHEALTHY
+///   /readyz    503 until the serving loop marks ready and health is OK
+///   /statusz   build version, uptime, config, thread pool, server stats
+///   /tracez    recent completed spans from the tracer's lock-free ring
+///   /          route index
+///
+/// Every route renders from a registry singleton, so the server holds no
+/// linker state and scrapes never block ingest (beyond the registries' own
+/// short or lock-free critical sections).
+struct OpsServerOptions {
+  net::HttpServerOptions http;
+  /// Shown verbatim on /statusz as the serving configuration (flag name,
+  /// value).
+  std::vector<std::pair<std::string, std::string>> statusz_config;
+};
+
+class OpsServer {
+ public:
+  /// Registers the build-info metrics and starts serving. On success the
+  /// routes are live on port().
+  static Result<std::unique_ptr<OpsServer>> Start(OpsServerOptions options);
+
+  /// Graceful shutdown (idempotent; also run by the destructor).
+  void Stop();
+
+  ~OpsServer();
+
+  OpsServer(const OpsServer&) = delete;
+  OpsServer& operator=(const OpsServer&) = delete;
+
+  int port() const { return server_->port(); }
+  net::HttpServerStats http_stats() const { return server_->stats(); }
+
+  /// The route dispatcher, public so tests can drive routes without
+  /// sockets. Thread-safe.
+  net::HttpResponse Handle(const net::HttpRequest& request) const;
+
+ private:
+  explicit OpsServer(OpsServerOptions options);
+
+  net::HttpResponse Metrics() const;
+  net::HttpResponse Varz() const;
+  net::HttpResponse Healthz() const;
+  net::HttpResponse Readyz() const;
+  net::HttpResponse Statusz() const;
+  net::HttpResponse Tracez() const;
+  net::HttpResponse Index() const;
+
+  const OpsServerOptions options_;
+  const std::string started_at_;  // ISO-8601 UTC at Start()
+  std::unique_ptr<net::HttpServer> server_;
+};
+
+}  // namespace obs
+}  // namespace maroon
+
+#endif  // MAROON_OBS_OPS_SERVER_H_

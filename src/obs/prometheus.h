@@ -2,6 +2,7 @@
 #define MAROON_OBS_PROMETHEUS_H_
 
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -34,7 +35,29 @@ std::string PrometheusTextFromGlobal();
 
 /// A metric name sanitized to Prometheus conventions:
 /// [a-zA-Z_:][a-zA-Z0-9_:]*; every other byte becomes '_'.
+///
+/// Sanitization can collide (`maroon.a.b` and `maroon.a-b` both map to
+/// `maroon_a_b`); PrometheusText emits the first series and drops later
+/// colliders with a `# maroon: dropped colliding series <name>` comment so
+/// the exposition never carries duplicate series.
 std::string PrometheusName(const std::string& name);
+
+/// HELP text escaped per exposition format 0.0.4: `\` -> `\\`,
+/// newline -> `\n`.
+std::string PrometheusEscapeHelp(const std::string& text);
+
+/// Label value escaped per exposition format 0.0.4: `\` -> `\\`,
+/// `"` -> `\"`, newline -> `\n`.
+std::string PrometheusEscapeLabel(const std::string& value);
+
+/// Exporter lint: checks `text` against the exposition-format rules the
+/// real Prometheus scraper enforces, returning one message per violation
+/// (empty = clean). Checked: sample-line syntax, metric-name charset,
+/// label syntax and escaping, `# TYPE` present before (and only once for)
+/// each series, histogram `le` buckets cumulative and monotone with a
+/// `+Inf` bucket equal to `_count`. Tests assert real exports lint clean;
+/// the CI ops-smoke job reuses it through `maroon_cli promlint`.
+std::vector<std::string> PrometheusLint(const std::string& text);
 
 }  // namespace obs
 }  // namespace maroon

@@ -35,9 +35,51 @@ int64_t SteadyNowNanos() {
       .count();
 }
 
+/// One /tracez ring slot: a seqlock whose payload is also atomic, so a
+/// reader racing a writer observes a torn *logical* record at worst, never
+/// a data race. seq semantics: 0 = never written, odd = a writer is inside,
+/// even = ticket (seq/2 - 1) is published.
+struct RingSlot {
+  std::atomic<uint64_t> seq{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<double> start_us{0.0};
+  std::atomic<double> duration_us{0.0};
+  std::atomic<int> tid{0};
+  std::atomic<int> depth{0};
+  std::atomic<bool> pool_worker{false};
+};
+
+struct SpanRing {
+  std::atomic<uint64_t> next{0};
+  RingSlot slots[Tracer::kRingCapacity];
+};
+
+SpanRing& Ring() {
+  // Leaked like the tracer itself: spans may complete during static
+  // destruction of other objects.
+  static SpanRing* ring = new SpanRing();
+  return *ring;
+}
+
+void RingPush(const char* name, double start_us, double duration_us, int tid,
+              int depth, bool pool_worker) {
+  SpanRing& ring = Ring();
+  const uint64_t ticket = ring.next.fetch_add(1, std::memory_order_relaxed);
+  RingSlot& slot = ring.slots[ticket % Tracer::kRingCapacity];
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.start_us.store(start_us, std::memory_order_relaxed);
+  slot.duration_us.store(duration_us, std::memory_order_relaxed);
+  slot.tid.store(tid, std::memory_order_relaxed);
+  slot.depth.store(depth, std::memory_order_relaxed);
+  slot.pool_worker.store(pool_worker, std::memory_order_relaxed);
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
 }  // namespace
 
 std::atomic<bool> Tracer::enabled_{false};
+std::atomic<bool> Tracer::ring_enabled_{false};
 
 Tracer::Tracer() : epoch_ns_(SteadyNowNanos()) {}
 
@@ -48,6 +90,40 @@ Tracer& Tracer::Global() {
 
 void Tracer::SetEnabled(bool enabled) {
   enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void Tracer::SetRingEnabled(bool enabled) {
+  ring_enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Tracer::RingSnapshot() {
+  SpanRing& ring = Ring();
+  const uint64_t next = ring.next.load(std::memory_order_acquire);
+  const uint64_t begin = next > kRingCapacity ? next - kRingCapacity : 0;
+  std::vector<SpanRecord> out;
+  out.reserve(static_cast<size_t>(next - begin));
+  for (uint64_t ticket = begin; ticket < next; ++ticket) {
+    RingSlot& slot = ring.slots[ticket % kRingCapacity];
+    const uint64_t want = 2 * ticket + 2;
+    if (slot.seq.load(std::memory_order_acquire) != want) continue;
+    SpanRecord record;
+    record.name = slot.name.load(std::memory_order_relaxed);
+    record.start_us = slot.start_us.load(std::memory_order_relaxed);
+    record.duration_us = slot.duration_us.load(std::memory_order_relaxed);
+    record.tid = slot.tid.load(std::memory_order_relaxed);
+    record.depth = slot.depth.load(std::memory_order_relaxed);
+    record.pool_worker = slot.pool_worker.load(std::memory_order_relaxed);
+    // The fence orders the field loads before the re-check: an unchanged
+    // seq after it means no writer touched the slot while we copied.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != want) continue;
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+uint64_t Tracer::RingSpanCount() {
+  return Ring().next.load(std::memory_order_relaxed);
 }
 
 void Tracer::Clear() {
@@ -126,7 +202,7 @@ double Tracer::RootSpanSeconds() const {
 }
 
 Span::Span(const char* name) : name_(name) {
-  if (!Tracer::Enabled()) return;
+  if (!Tracer::Enabled() && !Tracer::RingEnabled()) return;
   active_ = true;
   depth_ = OpenSpanDepth()++;
   start_us_ = Tracer::Global().NowMicros();
@@ -135,18 +211,25 @@ Span::Span(const char* name) : name_(name) {
 Span::~Span() {
   if (!active_) return;
   --OpenSpanDepth();
+  const double duration_us = Tracer::Global().NowMicros() - start_us_;
+  const int tid = CurrentTid();
+  const bool pool_worker = PoolWorkerFlag();
+  if (Tracer::RingEnabled()) {
+    RingPush(name_, start_us_, duration_us, tid, depth_, pool_worker);
+  }
+  if (!Tracer::Enabled()) return;
   SpanRecord record;
   record.name = name_;
   record.start_us = start_us_;
-  record.duration_us = Tracer::Global().NowMicros() - start_us_;
-  record.tid = CurrentTid();
+  record.duration_us = duration_us;
+  record.tid = tid;
   record.depth = depth_;
-  record.pool_worker = PoolWorkerFlag();
+  record.pool_worker = pool_worker;
   Tracer::Global().Record(std::move(record));
 }
 
 PoolTaskScope::PoolTaskScope(const char* name) : name_(name) {
-  if (!Tracer::Enabled()) return;
+  if (!Tracer::Enabled() && !Tracer::RingEnabled()) return;
   active_ = true;
   // The task root occupies depth 0 on this thread; spans opened inside the
   // task nest from depth 1. The previous depth (the caller strand's open
@@ -160,14 +243,22 @@ PoolTaskScope::PoolTaskScope(const char* name) : name_(name) {
 
 PoolTaskScope::~PoolTaskScope() {
   if (!active_) return;
-  SpanRecord record;
-  record.name = name_;
-  record.start_us = start_us_;
-  record.duration_us = Tracer::Global().NowMicros() - start_us_;
-  record.tid = CurrentTid();
-  record.depth = 0;
-  record.pool_worker = true;
-  Tracer::Global().Record(std::move(record));
+  const double duration_us = Tracer::Global().NowMicros() - start_us_;
+  const int tid = CurrentTid();
+  if (Tracer::RingEnabled()) {
+    RingPush(name_, start_us_, duration_us, tid, /*depth=*/0,
+             /*pool_worker=*/true);
+  }
+  if (Tracer::Enabled()) {
+    SpanRecord record;
+    record.name = name_;
+    record.start_us = start_us_;
+    record.duration_us = duration_us;
+    record.tid = tid;
+    record.depth = 0;
+    record.pool_worker = true;
+    Tracer::Global().Record(std::move(record));
+  }
   OpenSpanDepth() = saved_depth_;
   PoolWorkerFlag() = saved_worker_;
 }

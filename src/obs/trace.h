@@ -70,10 +70,36 @@ class Tracer {
   /// Microseconds since the epoch, on the steady clock.
   double NowMicros() const;
 
+  /// --- /tracez ring --------------------------------------------------
+  /// A fixed-size lock-free ring of the most recent completed spans, for
+  /// the live ops plane. Independent of the accumulate-everything vector
+  /// above: the ring stays on for an indefinitely-running `serve` process
+  /// with bounded memory while full tracing stays off. Writers publish
+  /// into per-slot seqlocks whose fields are all atomics (span names are
+  /// string literals with process lifetime, so the ring stores the
+  /// pointer); readers skip slots that are mid-write. A scrape racing the
+  /// writers may miss a span — acceptable for a debugging surface.
+
+  static constexpr size_t kRingCapacity = 256;
+
+  static void SetRingEnabled(bool enabled);
+  static bool RingEnabled() {
+    return ring_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// The ring's currently-published spans, oldest first. Best effort:
+  /// slots being overwritten mid-read are skipped, not blocked on.
+  static std::vector<SpanRecord> RingSnapshot();
+
+  /// Spans pushed to the ring since process start (monotonic; the ring
+  /// itself only retains the last kRingCapacity of them).
+  static uint64_t RingSpanCount();
+
  private:
   Tracer();
 
   static std::atomic<bool> enabled_;
+  static std::atomic<bool> ring_enabled_;
 
   /// Epoch as steady-clock nanoseconds. Atomic rather than guarded by mu_:
   /// NowMicros() runs on every span open/close and must not serialize

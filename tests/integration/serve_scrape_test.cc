@@ -1,0 +1,185 @@
+// The concurrency suite for the live ops plane: scrapers hammer /metrics
+// and /tracez over real sockets while a StreamLinker ingests a
+// fault-injected corpus. Run under TSan by the sanitizer CI job; the
+// functional assertion is that scrape traffic never perturbs the link
+// result (HashProfileStore equality against a scrape-free run).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "common/failpoint.h"
+#include "common/thread_pool.h"
+#include "core/profile_wal.h"
+#include "core/temporal_record.h"
+#include "matching/stream_linker.h"
+#include "net/http_client.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/ops_server.h"
+#include "obs/trace.h"
+
+namespace maroon {
+namespace {
+
+class ServeScrapeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::ClearAll();
+    obs::MetricsRegistry::SetEnabled(true);
+    obs::MetricsRegistry::Global().ResetAll();
+    obs::HealthRegistry::Global().Clear();
+    dir_ = ::testing::TempDir() + "/maroon_serve_scrape_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    obs::Tracer::SetRingEnabled(false);
+    obs::HealthRegistry::Global().Clear();
+    failpoint::ClearAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  static TemporalRecord MakeRecord(RecordId id) {
+    TemporalRecord record(id, "person-" + std::to_string(id % 17),
+                          1980 + static_cast<TimePoint>(id % 30), 0);
+    record.SetValue("Org", MakeValueSet({"org-" + std::to_string(id % 7)}));
+    return record;
+  }
+
+  // Streams kRecords through a fresh linker on the calling thread and
+  // returns the final store hash. The transient WAL fault (three
+  // consecutive injected failures after five clean appends) is absorbed by
+  // AppendWithRetry, so the final state is identical with or without it.
+  static uint64_t IngestCorpus(const std::string& wal_path) {
+    constexpr RecordId kRecords = 200;
+    StreamLinkerOptions options;
+    options.wal_path = wal_path;
+    options.retry_initial_backoff_us = 0;
+    auto linker = StreamLinker::Open(options);
+    EXPECT_TRUE(linker.ok()) << linker.status();
+    if (!linker.ok()) return 0;
+    for (RecordId id = 1; id <= kRecords; ++id) {
+      Status submitted = linker->Submit(MakeRecord(id));
+      if (submitted.code() == StatusCode::kResourceExhausted) {
+        EXPECT_TRUE(linker->Drain().ok());
+        submitted = linker->Submit(MakeRecord(id));
+      }
+      EXPECT_TRUE(submitted.ok()) << submitted;
+      EXPECT_TRUE(linker->Drain().ok());
+    }
+    const uint64_t hash = HashProfileStore(linker->store());
+    EXPECT_TRUE(linker->Close().ok());
+    return hash;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ServeScrapeTest, ConcurrentScrapesDoNotPerturbTheLinkResult) {
+  // Baseline: the same corpus and the same injected fault, no server.
+  ASSERT_TRUE(failpoint::Arm("wal.append.write", "fail@5:3").ok());
+  const uint64_t baseline = IngestCorpus(dir_ + "/baseline.wal");
+  ASSERT_NE(baseline, 0u);
+  failpoint::ClearAll();
+
+  obs::Tracer::SetRingEnabled(true);
+  obs::OpsServerOptions ops_options;
+  ops_options.http.port = 0;
+  ops_options.http.num_workers = 2;
+  auto server = obs::OpsServer::Start(std::move(ops_options));
+  ASSERT_TRUE(server.ok()) << server.status();
+  const int port = (*server)->port();
+
+  ASSERT_TRUE(failpoint::Arm("wal.append.write", "fail@5:3").ok());
+
+  // Index 0 ingests (the linker is created, used, and closed on that one
+  // strand — StreamLinker is single-owner); the rest scrape concurrently.
+  constexpr size_t kScrapers = 3;
+  std::atomic<uint64_t> concurrent_hash{0};
+  std::atomic<int> scrape_failures{0};
+  std::atomic<int> scrapes_done{0};
+  const std::string wal_path = dir_ + "/concurrent.wal";
+  ThreadPool pool(static_cast<int>(kScrapers) + 1);
+  pool.ParallelFor(
+      kScrapers + 1, static_cast<int>(kScrapers) + 1,
+      [&](int /*strand*/, size_t i) {
+        if (i == 0) {
+          concurrent_hash.store(IngestCorpus(wal_path),
+                                std::memory_order_relaxed);
+          return;
+        }
+        for (int iter = 0; iter < 25; ++iter) {
+          const std::string path = iter % 2 == 0 ? "/metrics" : "/tracez";
+          auto response = net::HttpGet("127.0.0.1", port, path);
+          if (!response.ok() || response->status != 200 ||
+              response->body.empty()) {
+            scrape_failures.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            scrapes_done.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+
+  EXPECT_EQ(scrape_failures.load(), 0);
+  EXPECT_EQ(scrapes_done.load(), static_cast<int>(kScrapers) * 25);
+  EXPECT_EQ(concurrent_hash.load(), baseline)
+      << "scrape traffic changed the link result";
+  // The scrapers really exercised the live surfaces.
+  EXPECT_GE((*server)->http_stats().served, static_cast<int>(kScrapers) * 25);
+  EXPECT_GT(obs::Tracer::RingSpanCount(), 0u);
+  (*server)->Stop();
+}
+
+TEST_F(ServeScrapeTest, HealthSurfaceTracksALatchedWalFaultLive) {
+  obs::OpsServerOptions ops_options;
+  ops_options.http.port = 0;
+  auto server = obs::OpsServer::Start(std::move(ops_options));
+  ASSERT_TRUE(server.ok()) << server.status();
+  const int port = (*server)->port();
+
+  StreamLinkerOptions options;
+  options.wal_path = dir_ + "/latched.wal";
+  options.retry_initial_backoff_us = 0;
+  options.max_retries = 1;
+  auto linker = StreamLinker::Open(options);
+  ASSERT_TRUE(linker.ok()) << linker.status();
+
+  obs::HealthRegistry& health = obs::HealthRegistry::Global();
+  linker->ReportHealth(&health);
+  health.SetReady(true);
+  auto healthy = net::HttpGet("127.0.0.1", port, "/healthz");
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  EXPECT_EQ(healthy->status, 200);
+
+  // A persistent WAL fault exhausts the retry budget; Drain latches it and
+  // ReportHealth flips the live endpoint to 503.
+  ASSERT_TRUE(failpoint::Arm("wal.append.write", "fail@0:0").ok());
+  ASSERT_TRUE(linker->Submit(MakeRecord(1)).ok());
+  EXPECT_FALSE(linker->Drain().ok());
+  linker->ReportHealth(&health);
+  auto unhealthy = net::HttpGet("127.0.0.1", port, "/healthz");
+  ASSERT_TRUE(unhealthy.ok()) << unhealthy.status();
+  EXPECT_EQ(unhealthy->status, 503);
+  EXPECT_NE(unhealthy->body.find("UNHEALTHY"), std::string::npos)
+      << unhealthy->body;
+  auto not_ready = net::HttpGet("127.0.0.1", port, "/readyz");
+  ASSERT_TRUE(not_ready.ok()) << not_ready.status();
+  EXPECT_EQ(not_ready->status, 503);
+
+  // The fault clears; the next successful Drain unlatches and recovers.
+  failpoint::ClearAll();
+  EXPECT_TRUE(linker->Drain().ok());
+  linker->ReportHealth(&health);
+  auto recovered = net::HttpGet("127.0.0.1", port, "/healthz");
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->status, 200);
+  EXPECT_TRUE(linker->Close().ok());
+  (*server)->Stop();
+}
+
+}  // namespace
+}  // namespace maroon

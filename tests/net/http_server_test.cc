@@ -1,0 +1,182 @@
+#include "net/http_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "net/http_client.h"
+
+namespace maroon {
+namespace net {
+namespace {
+
+HttpHandler EchoHandler() {
+  return [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = request.method + " " + request.path + " q=" +
+                    request.query + "\n";
+    return response;
+  };
+}
+
+TEST(HttpServerTest, ServesASimpleGet) {
+  HttpServerOptions options;  // port 0: ephemeral
+  auto server = HttpServer::Start(options, EchoHandler());
+  ASSERT_TRUE(server.ok()) << server.status();
+  EXPECT_GT((*server)->port(), 0);
+
+  auto response = HttpGet("127.0.0.1", (*server)->port(), "/hello?x=1");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "GET /hello q=x=1\n");
+  EXPECT_EQ(response->content_type, "text/plain; charset=utf-8");
+
+  (*server)->Stop();
+  const HttpServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.accepted, 1);
+  EXPECT_EQ(stats.served, 1);
+}
+
+TEST(HttpServerTest, HandlerStatusAndContentTypePassThrough) {
+  HttpServerOptions options;
+  auto server = HttpServer::Start(options, [](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 418;
+    response.content_type = "application/json; charset=utf-8";
+    response.body = "{}";
+    return response;
+  });
+  ASSERT_TRUE(server.ok()) << server.status();
+  auto response = HttpGet("127.0.0.1", (*server)->port(), "/");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 418);
+  EXPECT_EQ(response->content_type, "application/json; charset=utf-8");
+  EXPECT_EQ(response->body, "{}");
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndDestructorIsSafe) {
+  HttpServerOptions options;
+  auto server = HttpServer::Start(options, EchoHandler());
+  ASSERT_TRUE(server.ok()) << server.status();
+  (*server)->Stop();
+  (*server)->Stop();  // second call is a no-op
+  server->reset();    // destructor after explicit Stop
+}
+
+TEST(HttpServerTest, RejectsNonGetMethodsWith405) {
+  HttpServerOptions options;
+  auto server = HttpServer::Start(options, EchoHandler());
+  ASSERT_TRUE(server.ok()) << server.status();
+  // The test client only speaks GET, so assert through the serializer and
+  // the stats counter via a raw handler probe instead: issue a GET to keep
+  // the connection machinery covered, then check SerializeResponse shapes.
+  auto ok = HttpGet("127.0.0.1", (*server)->port(), "/x");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  HttpResponse response;
+  response.status = 405;
+  response.body = "method not allowed\n";
+  const std::string wire =
+      HttpServer::SerializeResponse(response, /*include_body=*/true);
+  EXPECT_NE(wire.find("HTTP/1.1 405 Method Not Allowed"), std::string::npos)
+      << wire;
+  EXPECT_NE(wire.find("Connection: close"), std::string::npos) << wire;
+  EXPECT_NE(wire.find("Content-Length: 19"), std::string::npos) << wire;
+}
+
+TEST(HttpServerTest, SerializeOmitsBodyForHead) {
+  HttpResponse response;
+  response.body = "payload";
+  const std::string head =
+      HttpServer::SerializeResponse(response, /*include_body=*/false);
+  EXPECT_EQ(head.find("payload"), std::string::npos) << head;
+  // Content-Length still reflects the body a GET would have returned.
+  EXPECT_NE(head.find("Content-Length: 7"), std::string::npos) << head;
+}
+
+TEST(HttpServerTest, StartFailsWithoutAHandler) {
+  HttpServerOptions options;
+  auto server = HttpServer::Start(options, nullptr);
+  EXPECT_FALSE(server.ok());
+}
+
+TEST(HttpServerTest, StartFailsOnABadBindAddress) {
+  HttpServerOptions options;
+  options.bind_address = "not-an-address";
+  auto server = HttpServer::Start(options, EchoHandler());
+  EXPECT_FALSE(server.ok());
+}
+
+TEST(HttpServerTest, StartFailsOnAnOccupiedPort) {
+  HttpServerOptions options;
+  auto first = HttpServer::Start(options, EchoHandler());
+  ASSERT_TRUE(first.ok()) << first.status();
+  options.port = (*first)->port();
+  auto second = HttpServer::Start(options, EchoHandler());
+  EXPECT_FALSE(second.ok());
+}
+
+TEST(HttpServerTest, ServesManySequentialRequests) {
+  HttpServerOptions options;
+  auto server = HttpServer::Start(options, EchoHandler());
+  ASSERT_TRUE(server.ok()) << server.status();
+  for (int i = 0; i < 20; ++i) {
+    auto response = HttpGet("127.0.0.1", (*server)->port(),
+                            "/seq/" + std::to_string(i));
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->status, 200);
+  }
+  (*server)->Stop();
+  EXPECT_EQ((*server)->stats().served, 20);
+}
+
+TEST(HttpServerTest, ServesConcurrentClients) {
+  HttpServerOptions options;
+  options.num_workers = 2;
+  std::atomic<int> handled{0};
+  auto server =
+      HttpServer::Start(options, [&handled](const HttpRequest& request) {
+        handled.fetch_add(1, std::memory_order_relaxed);
+        HttpResponse response;
+        response.body = request.path;
+        return response;
+      });
+  ASSERT_TRUE(server.ok()) << server.status();
+  const int port = (*server)->port();
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 8;
+  std::atomic<int> failures{0};
+  ThreadPool pool(kClients);
+  pool.ParallelFor(
+      kClients * kRequestsPerClient, kClients,
+      [port, &failures](int /*strand*/, size_t i) {
+        auto response =
+            HttpGet("127.0.0.1", port, "/c/" + std::to_string(i));
+        if (!response.ok() || response->status != 200 ||
+            response->body != "/c/" + std::to_string(i)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(handled.load(), kClients * kRequestsPerClient);
+  (*server)->Stop();
+  EXPECT_EQ((*server)->stats().served, kClients * kRequestsPerClient);
+}
+
+TEST(HttpServerTest, ClientRejectsUnreachablePort) {
+  // Find a port with nothing behind it by binding and immediately stopping.
+  HttpServerOptions options;
+  auto server = HttpServer::Start(options, EchoHandler());
+  ASSERT_TRUE(server.ok()) << server.status();
+  const int port = (*server)->port();
+  (*server)->Stop();
+  server->reset();
+  auto response = HttpGet("127.0.0.1", port, "/", /*timeout_ms=*/500);
+  EXPECT_FALSE(response.ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace maroon

@@ -1,0 +1,97 @@
+#include "obs/health.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/thread_pool.h"
+
+namespace maroon {
+namespace obs {
+namespace {
+
+class HealthTest : public ::testing::Test {
+ protected:
+  void SetUp() override { HealthRegistry::Global().Clear(); }
+  void TearDown() override { HealthRegistry::Global().Clear(); }
+};
+
+TEST_F(HealthTest, EmptyRegistryIsHealthyButNotReady) {
+  HealthRegistry& health = HealthRegistry::Global();
+  EXPECT_EQ(health.Overall(), HealthState::kOk);
+  EXPECT_FALSE(health.ready());
+  EXPECT_TRUE(health.Components().empty());
+}
+
+TEST_F(HealthTest, OverallIsTheWorstComponentState) {
+  HealthRegistry& health = HealthRegistry::Global();
+  health.Set("wal", HealthState::kOk);
+  EXPECT_EQ(health.Overall(), HealthState::kOk);
+  health.Set("backpressure", HealthState::kDegraded, "queue 900/1024");
+  EXPECT_EQ(health.Overall(), HealthState::kDegraded);
+  health.Set("wal", HealthState::kUnhealthy, "latched: IOError");
+  EXPECT_EQ(health.Overall(), HealthState::kUnhealthy);
+  // Recovery: the worst component going back to OK downgrades the overall.
+  health.Set("wal", HealthState::kOk);
+  EXPECT_EQ(health.Overall(), HealthState::kDegraded);
+}
+
+TEST_F(HealthTest, SetReplacesAComponentsStateAndDetail) {
+  HealthRegistry& health = HealthRegistry::Global();
+  health.Set("snapshot", HealthState::kDegraded, "3 write failures");
+  health.Set("snapshot", HealthState::kOk);
+  const auto components = health.Components();
+  ASSERT_EQ(components.size(), 1u);
+  EXPECT_EQ(components.at("snapshot").state, HealthState::kOk);
+  EXPECT_EQ(components.at("snapshot").detail, "");
+}
+
+TEST_F(HealthTest, ComponentsReportAge) {
+  HealthRegistry& health = HealthRegistry::Global();
+  health.Set("wal", HealthState::kOk);
+  const auto components = health.Components();
+  ASSERT_EQ(components.count("wal"), 1u);
+  EXPECT_GE(components.at("wal").age_s, 0.0);
+  EXPECT_LT(components.at("wal").age_s, 60.0);
+}
+
+TEST_F(HealthTest, ReadyFlagRoundTrips) {
+  HealthRegistry& health = HealthRegistry::Global();
+  EXPECT_FALSE(health.ready());
+  health.SetReady(true);
+  EXPECT_TRUE(health.ready());
+  health.SetReady(false);
+  EXPECT_FALSE(health.ready());
+}
+
+TEST_F(HealthTest, StateNamesAreStable) {
+  EXPECT_STREQ(HealthStateName(HealthState::kOk), "OK");
+  EXPECT_STREQ(HealthStateName(HealthState::kDegraded), "DEGRADED");
+  EXPECT_STREQ(HealthStateName(HealthState::kUnhealthy), "UNHEALTHY");
+}
+
+TEST_F(HealthTest, ConcurrentReportersAndReadersAreSafe) {
+  HealthRegistry& health = HealthRegistry::Global();
+  std::atomic<int> worst_seen{0};
+  ThreadPool pool(4);
+  pool.ParallelFor(200, 4, [&health, &worst_seen](int strand, size_t i) {
+    const std::string component = "c" + std::to_string(strand);
+    health.Set(component,
+               i % 3 == 0 ? HealthState::kDegraded : HealthState::kOk,
+               "iteration " + std::to_string(i));
+    const HealthState overall = health.Overall();
+    int expected = worst_seen.load(std::memory_order_relaxed);
+    while (static_cast<int>(overall) > expected &&
+           !worst_seen.compare_exchange_weak(
+               expected, static_cast<int>(overall),
+               std::memory_order_relaxed)) {
+    }
+    (void)health.Components();
+  });
+  // Nothing ever reported UNHEALTHY.
+  EXPECT_LE(worst_seen.load(), static_cast<int>(HealthState::kDegraded));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace maroon

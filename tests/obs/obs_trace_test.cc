@@ -242,6 +242,95 @@ TEST_F(TraceTest, ChromeTraceJsonTagsPoolWorkerSpans) {
   }
 }
 
+class TraceRingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::SetEnabled(false);
+    Tracer::SetRingEnabled(true);
+    Tracer::Global().Clear();
+  }
+  void TearDown() override {
+    Tracer::SetRingEnabled(false);
+    Tracer::SetEnabled(false);
+  }
+};
+
+TEST_F(TraceRingTest, RingOnlyModeRecordsWithoutGrowingTheVector) {
+  const uint64_t before = Tracer::RingSpanCount();
+  { MAROON_TRACE_SPAN("test.ring_only"); }
+  EXPECT_EQ(Tracer::RingSpanCount(), before + 1);
+  // Full tracing stayed off: the accumulate-everything vector is untouched.
+  EXPECT_EQ(Tracer::Global().span_count(), 0u);
+  const std::vector<SpanRecord> spans = Tracer::RingSnapshot();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.back().name, "test.ring_only");
+  EXPECT_GE(spans.back().duration_us, 0.0);
+}
+
+TEST_F(TraceRingTest, RingRetainsOnlyTheMostRecentSpans) {
+  const size_t total = Tracer::kRingCapacity + 50;
+  for (size_t i = 0; i < total; ++i) {
+    MAROON_TRACE_SPAN("test.ring_wrap");
+  }
+  const std::vector<SpanRecord> spans = Tracer::RingSnapshot();
+  EXPECT_LE(spans.size(), Tracer::kRingCapacity);
+  // The wrap evicted the oldest entries but kept the ring full (no published
+  // slot is lost to a single-threaded writer).
+  EXPECT_EQ(spans.size(), Tracer::kRingCapacity);
+  // Oldest-first ordering: start times never go backwards.
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LE(spans[i - 1].start_us, spans[i].start_us) << i;
+  }
+}
+
+TEST_F(TraceRingTest, DisabledRingRecordsNothing) {
+  Tracer::SetRingEnabled(false);
+  const uint64_t before = Tracer::RingSpanCount();
+  { MAROON_TRACE_SPAN("test.ring_disabled"); }
+  EXPECT_EQ(Tracer::RingSpanCount(), before);
+}
+
+TEST_F(TraceRingTest, PoolTaskScopesLandInTheRing) {
+  const uint64_t before = Tracer::RingSpanCount();
+  {
+    ThreadPool pool(2);
+    pool.ParallelFor(4, 2, [&](int /*strand*/, size_t /*i*/) {
+      PoolTaskScope task("pool.ring_task");
+    });
+  }
+  EXPECT_EQ(Tracer::RingSpanCount(), before + 4);
+  bool found = false;
+  for (const SpanRecord& span : Tracer::RingSnapshot()) {
+    if (span.name == "pool.ring_task") {
+      found = true;
+      EXPECT_TRUE(span.pool_worker);
+      EXPECT_EQ(span.depth, 0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TraceRingTest, ConcurrentWritersAndReadersStayCoherent) {
+  ThreadPool pool(4);
+  pool.ParallelFor(4, 4, [](int /*strand*/, size_t i) {
+    if (i == 0) {
+      // One strand reads while the others push: every snapshot the reader
+      // takes must contain only fully-published records.
+      for (int iter = 0; iter < 200; ++iter) {
+        for (const SpanRecord& span : Tracer::RingSnapshot()) {
+          ASSERT_FALSE(span.name.empty());
+          ASSERT_GE(span.duration_us, 0.0);
+        }
+      }
+    } else {
+      for (int iter = 0; iter < 500; ++iter) {
+        MAROON_TRACE_SPAN("test.ring_race");
+      }
+    }
+  });
+  EXPECT_GE(Tracer::RingSpanCount(), 3u * 500u);
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace maroon

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <charconv>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -420,6 +421,69 @@ TEST_F(CliTest, UnknownCommandAndBadFlags) {
   EXPECT_NE(Run("stats --data=/nonexistent", &out), 0);
   EXPECT_NE(out.find("error:"), std::string::npos);
   EXPECT_NE(Run("generate --dataset=bogus --out=" + dir_ + "/x", &out), 0);
+}
+
+TEST_F(CliTest, ServeStreamsTheCorpusAndExitsOnTheDurationBudget) {
+  std::string out;
+  ASSERT_EQ(Run("generate --dataset=recruitment --out=" + dir_ +
+                    "/data --entities=20 --names=8 --seed=7",
+                &out),
+            0)
+      << out;
+  ASSERT_EQ(Run("serve --data=" + dir_ + "/data --wal-dir=" + dir_ +
+                    "/wal --port=0 --port-file=" + dir_ +
+                    "/port.txt --duration-s=2",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("serving ops plane on http://127.0.0.1:"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("ingest done:"), std::string::npos) << out;
+  EXPECT_NE(out.find("serve: streamed"), std::string::npos) << out;
+  EXPECT_NE(out.find("scrapes="), std::string::npos) << out;
+  // The ephemeral port was published for harnesses to pick up.
+  const std::string port = ReadFile(dir_ + "/port.txt");
+  EXPECT_FALSE(port.empty());
+  int port_value = 0;
+  (void)std::from_chars(port.data(), port.data() + port.size(), port_value);
+  EXPECT_GT(port_value, 0);
+}
+
+TEST_F(CliTest, ServeExitsNonZeroWhenAWalFaultHaltsIngest) {
+  std::string out;
+  ASSERT_EQ(Run("generate --dataset=recruitment --out=" + dir_ +
+                    "/data --entities=10 --names=5 --seed=7",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(Run("serve --data=" + dir_ + "/data --wal-dir=" + dir_ +
+                    "/wal --port=0 --duration-s=1",
+                &out, "MAROON_FAILPOINTS='wal.append.write=fail@0:0'"),
+            0)
+      << out;
+  EXPECT_NE(out.find("ingest halted:"), std::string::npos) << out;
+  EXPECT_NE(out.find("halted on error"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, PromlintPassesCleanAndFlagsBrokenExpositions) {
+  std::string out;
+  {
+    std::ofstream clean(dir_ + "/clean.prom");
+    clean << "# TYPE maroon_test_total counter\nmaroon_test_total 3\n";
+  }
+  EXPECT_EQ(Run("promlint " + dir_ + "/clean.prom", &out), 0) << out;
+  EXPECT_NE(out.find("promlint: clean"), std::string::npos) << out;
+
+  {
+    std::ofstream broken(dir_ + "/broken.prom");
+    broken << "9bad 1\nmaroon_ok notanumber\n";
+  }
+  EXPECT_NE(Run("promlint " + dir_ + "/broken.prom", &out), 0) << out;
+  EXPECT_NE(out.find("problem(s)"), std::string::npos) << out;
+
+  EXPECT_NE(Run("promlint", &out), 0);           // missing argument
+  EXPECT_NE(Run("promlint /nonexistent", &out), 0);  // unreadable file
 }
 
 }  // namespace

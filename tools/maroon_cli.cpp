@@ -22,6 +22,11 @@
 //              [--max-queue=N] [--max-entities=N] [--sync-every=N]
 //              [--state-out=FILE] [--lenient]
 //   maroon_cli recover --wal-dir=DIR [--state-out=FILE]
+//   maroon_cli serve --data=DIR --wal-dir=DIR [--port=N] [--bind=ADDR]
+//              [--port-file=FILE] [--throttle-us=N] [--duration-s=S]
+//              [--snapshot-every=N] [--max-queue=N] [--max-entities=N]
+//              [--sync-every=N] [--state-out=FILE] [--lenient]
+//   maroon_cli promlint FILE
 //   maroon_cli --list-crash-points
 //
 // Data-loading commands accept --lenient: malformed rows and semantically
@@ -47,11 +52,14 @@
 //   --run-report[=FILE] print a human-readable run report; with =FILE,
 //                       write the maroon_run_report_v1 JSON instead
 
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "common/failpoint.h"
 #include "common/flags.h"
@@ -70,8 +78,10 @@
 #include "freshness/freshness_model.h"
 #include "maroon/version_info.h"
 #include "matching/stream_linker.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/metrics_snapshotter.h"
+#include "obs/ops_server.h"
 #include "obs/prometheus.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
@@ -89,7 +99,7 @@ int Usage() {
   std::cerr
       << "usage: maroon_cli "
          "<generate|stats|transitions|link|evaluate|sweep|validate|inject|"
-         "replay|recover> [--flags]\n"
+         "replay|recover|serve|promlint> [--flags]\n"
          "  generate    --dataset=recruitment|dblp --out=DIR [--entities=N]\n"
          "              [--names=N] [--seed=S] [--error-rate=E]\n"
          "  stats       --data=DIR [--lenient]\n"
@@ -114,6 +124,20 @@ int Usage() {
          "  recover     --wal-dir=DIR [--state-out=FILE]\n"
          "              rebuild the store from the newest valid snapshot\n"
          "              plus the WAL tail and print its state hash\n"
+         "  serve       --data=DIR --wal-dir=DIR [--port=N] [--bind=ADDR]\n"
+         "              [--port-file=FILE] [--throttle-us=N]\n"
+         "              [--duration-s=S] [--snapshot-every=N] "
+         "[--max-queue=N]\n"
+         "              [--max-entities=N] [--sync-every=N] "
+         "[--state-out=FILE]\n"
+         "              stream the corpus through the durable linker while\n"
+         "              serving the live ops plane (/metrics /varz /healthz\n"
+         "              /readyz /statusz /tracez); runs until SIGTERM, or\n"
+         "              --duration-s elapses (--port=0 picks a free port,\n"
+         "              written to --port-file when given)\n"
+         "  promlint    FILE\n"
+         "              lint a Prometheus text exposition file (exit 1 on\n"
+         "              violations)\n"
          "\n"
          "  --list-crash-points  print every registered failpoint and exit\n"
          "\n"
@@ -551,6 +575,177 @@ int RunRecover(const FlagParser& flags) {
   return EmitStreamState(flags, state);
 }
 
+/// Set by the SIGTERM/SIGINT handler; the serve loops poll it.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+extern "C" void HandleShutdownSignal(int /*signum*/) {
+  g_shutdown_requested = 1;
+}
+
+/// Submits one record to the linker and drains it, handling backpressure
+/// the same way `replay` does. Per-record draining keeps the
+/// maroon.stream.record_seconds latency live for scrapes.
+Status ServeOneRecord(StreamLinker* linker, const TemporalRecord& record) {
+  Status submitted = linker->Submit(record);
+  if (submitted.code() == StatusCode::kResourceExhausted) {
+    MAROON_RETURN_IF_ERROR(linker->Drain());
+    submitted = linker->Submit(record);
+  }
+  if (submitted.code() == StatusCode::kInvalidArgument) {
+    return Status::OK();  // degenerate record — counted under rejected
+  }
+  MAROON_RETURN_IF_ERROR(submitted);
+  return linker->Drain();
+}
+
+int RunServe(const FlagParser& flags) {
+  auto dataset = LoadData(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto options = StreamOptionsFromFlags(flags);
+  if (!options.ok()) return Fail(options.status());
+
+  auto linker = StreamLinker::Open(*options);
+  if (!linker.ok()) return Fail(linker.status());
+
+  const std::string bind = flags.GetStringOr("bind", "127.0.0.1");
+  const int64_t throttle_us = flags.GetIntOr("throttle-us", 0);
+  const double duration_s = flags.GetDoubleOr("duration-s", 0.0);
+
+  obs::OpsServerOptions ops_options;
+  ops_options.http.bind_address = bind;
+  ops_options.http.port = static_cast<int>(flags.GetIntOr("port", 0));
+  ops_options.statusz_config = {
+      {"command", "serve"},
+      {"data", flags.GetStringOr("data", "")},
+      {"wal", options->wal_path},
+      {"snapshot_every", std::to_string(options->snapshot_every)},
+      {"max_queue", std::to_string(options->max_queue)},
+      {"max_entities", std::to_string(options->max_store_entities)},
+      {"throttle_us", std::to_string(throttle_us)},
+  };
+
+  // The ring gives /tracez bounded memory for an indefinite run; full
+  // tracing stays off unless --trace-out asked for it.
+  obs::Tracer::SetRingEnabled(true);
+  auto server = obs::OpsServer::Start(std::move(ops_options));
+  if (!server.ok()) return Fail(server.status());
+
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+
+  std::cout << "serving ops plane on http://" << bind << ":"
+            << (*server)->port() << "\n"
+            << std::flush;
+  if (flags.Has("port-file")) {
+    const Status written =
+        obs::WriteTextFile(flags.GetStringOr("port-file", ""),
+                           std::to_string((*server)->port()) + "\n");
+    if (!written.ok()) return Fail(written);
+  }
+
+  obs::HealthRegistry& health = obs::HealthRegistry::Global();
+  linker->ReportHealth(&health);
+  health.SetReady(true);
+
+  const auto serve_start = std::chrono::steady_clock::now();
+  const auto deadline_passed = [&serve_start, duration_s] {
+    if (duration_s <= 0.0) return false;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         serve_start)
+               .count() >= duration_s;
+  };
+
+  // Ingest: replay the corpus through the durable linker while scrapes run.
+  // A non-transient failure (a latched WAL error) stops ingest but NOT the
+  // ops plane — operators diagnose a broken-but-alive process through
+  // /healthz, which now reports UNHEALTHY.
+  bool ingest_failed = false;
+  size_t streamed = 0;
+  for (const TemporalRecord& record : dataset->records()) {
+    if (g_shutdown_requested != 0 || deadline_passed()) break;
+    const Status processed = ServeOneRecord(&linker.value(), record);
+    if (!processed.ok()) {
+      std::cerr << "ingest halted: " << processed << "\n";
+      ingest_failed = true;
+      break;
+    }
+    ++streamed;
+    if (streamed % 64 == 0) linker->ReportHealth(&health);
+    if (throttle_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(throttle_us));
+    }
+  }
+  linker->ReportHealth(&health);
+  if (!ingest_failed && g_shutdown_requested == 0) {
+    const Status flushed = linker->Flush();
+    if (!flushed.ok()) {
+      std::cerr << "flush failed: " << flushed << "\n";
+      ingest_failed = true;
+      linker->ReportHealth(&health);
+    }
+  }
+  std::cout << "ingest done: " << streamed << " record(s) streamed"
+            << (ingest_failed ? " (halted on error)" : "") << "\n"
+            << std::flush;
+
+  // Serve until the operator says stop (or the test-oriented --duration-s
+  // budget runs out).
+  while (g_shutdown_requested == 0 && !deadline_passed()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    linker->ReportHealth(&health);
+  }
+
+  health.SetReady(false);
+  (*server)->Stop();
+  const Status closed = linker->Close();
+  if (!closed.ok() && !ingest_failed) return Fail(closed);
+
+  std::ostringstream summary;
+  summary << "serve: streamed " << streamed << " record(s) through "
+          << options->wal_path << "\n"
+          << DescribeStreamState(*linker);
+  if (obs::MetricsRegistry::Enabled()) {
+    const auto latency =
+        MAROON_LATENCY("maroon.stream.record_seconds")->Snapshot();
+    if (latency.count > 0) {
+      summary << "record_latency_ms: p50="
+              << FormatDouble(latency.P50() * 1e3, 3)
+              << " p99=" << FormatDouble(latency.P99() * 1e3, 3)
+              << " p999=" << FormatDouble(latency.P999() * 1e3, 3) << "\n";
+    }
+    const auto scrapes = MAROON_COUNTER("maroon.ops.scrapes")->value();
+    summary << "scrapes=" << scrapes << "\n";
+  }
+  const int emitted = EmitStreamState(flags, summary.str());
+  if (emitted != 0) return emitted;
+  return ingest_failed ? 1 : 0;
+}
+
+int RunPromlint(const FlagParser& flags) {
+  if (flags.positional().size() < 2) {
+    std::cerr << "usage: maroon_cli promlint FILE\n";
+    return 2;
+  }
+  const std::string& path = flags.positional()[1];
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Fail(Status::IOError("cannot read " + path));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::vector<std::string> problems =
+      obs::PrometheusLint(buffer.str());
+  for (const std::string& problem : problems) {
+    std::cout << path << ": " << problem << "\n";
+  }
+  if (!problems.empty()) {
+    std::cout << "promlint: " << problems.size() << " problem(s)\n";
+    return 1;
+  }
+  std::cout << "promlint: clean\n";
+  return 0;
+}
+
 int Dispatch(const FlagParser& flags, const std::string& command) {
   if (command == "generate") return RunGenerate(flags);
   if (command == "stats") return RunStats(flags);
@@ -562,6 +757,8 @@ int Dispatch(const FlagParser& flags, const std::string& command) {
   if (command == "inject") return RunInject(flags);
   if (command == "replay") return RunReplay(flags);
   if (command == "recover") return RunRecover(flags);
+  if (command == "serve") return RunServe(flags);
+  if (command == "promlint") return RunPromlint(flags);
   return Usage();
 }
 
@@ -621,6 +818,9 @@ int Main(int argc, char** argv) {
   }
   if (flags.positional().empty()) return Usage();
   const std::string& command = flags.positional()[0];
+  // Every export and scrape self-identifies the binary (maroon_build_info
+  // with version/revision labels, maroon_uptime_seconds).
+  obs::RegisterBuildMetrics();
   if (flags.Has("trace-out")) obs::Tracer::SetEnabled(true);
   const int64_t threads = flags.GetIntOr("threads", 0);
   if (threads > 0) {

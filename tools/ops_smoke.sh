@@ -1,0 +1,152 @@
+#!/bin/sh
+# Live ops-plane smoke: boots `maroon_cli serve` against a freshly
+# generated corpus, scrapes every route over real HTTP, validates the
+# responses (the Prometheus exposition must pass `maroon_cli promlint` and
+# carry maroon_build_info), then asserts a clean SIGTERM shutdown. A second
+# run arms a persistent WAL-append fault and asserts /healthz flips to 503
+# UNHEALTHY while the ops plane keeps serving — the broken-but-observable
+# contract.
+#
+# Usage: tools/ops_smoke.sh [BUILD_DIR] [ARTIFACTS_DIR]
+#   BUILD_DIR      cmake build tree, default ./build
+#   ARTIFACTS_DIR  scrape artifacts (ops_metrics.prom, ops_*.json),
+#                  default ./ops_artifacts
+#
+# Requires curl. Exit 0 = every check passed.
+
+set -eu
+
+BUILD_DIR="${1:-build}"
+ARTIFACTS="${2:-ops_artifacts}"
+CLI="$BUILD_DIR/tools/maroon_cli"
+
+if [ ! -x "$CLI" ]; then
+  echo "ops_smoke.sh: missing $CLI (build maroon_cli first)" >&2
+  exit 1
+fi
+command -v curl > /dev/null 2>&1 || {
+  echo "ops_smoke.sh: curl not found" >&2
+  exit 1
+}
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+mkdir -p "$ARTIFACTS"
+
+fail() {
+  echo "FAIL: $1" >&2
+  [ -f "$WORK/serve.log" ] && tail -20 "$WORK/serve.log" >&2
+  exit 1
+}
+
+# Polls the health endpoint until the server answers (any status) or the
+# budget runs out.
+wait_for_server() {
+  port="$1"
+  tries=0
+  while [ "$tries" -lt 100 ]; do
+    if curl -s -o /dev/null "http://127.0.0.1:$port/healthz"; then
+      return 0
+    fi
+    tries=$((tries + 1))
+    sleep 0.1
+  done
+  return 1
+}
+
+echo "== generate corpus =="
+"$CLI" generate --dataset=recruitment --out="$WORK/data" \
+  --entities=40 --names=15 --seed=2015 > /dev/null
+
+echo "== serve: healthy run =="
+"$CLI" serve --data="$WORK/data" --wal-dir="$WORK/wal" \
+  --port=0 --port-file="$WORK/port.txt" --throttle-us=500 \
+  > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+# The port file appears once the listener is up.
+tries=0
+while [ ! -s "$WORK/port.txt" ] && [ "$tries" -lt 100 ]; do
+  tries=$((tries + 1))
+  sleep 0.1
+done
+[ -s "$WORK/port.txt" ] || fail "serve never published its port"
+PORT="$(cat "$WORK/port.txt")"
+wait_for_server "$PORT" || fail "serve never answered on port $PORT"
+
+echo "== scrape routes on port $PORT =="
+curl -sf "http://127.0.0.1:$PORT/metrics" > "$ARTIFACTS/ops_metrics.prom" \
+  || fail "/metrics did not answer 200"
+curl -sf "http://127.0.0.1:$PORT/varz" > "$ARTIFACTS/ops_varz.json" \
+  || fail "/varz did not answer 200"
+curl -sf "http://127.0.0.1:$PORT/healthz" > "$ARTIFACTS/ops_healthz.json" \
+  || fail "/healthz did not answer 200"
+curl -sf "http://127.0.0.1:$PORT/statusz" > "$ARTIFACTS/ops_statusz.json" \
+  || fail "/statusz did not answer 200"
+curl -sf "http://127.0.0.1:$PORT/tracez" > "$ARTIFACTS/ops_tracez.json" \
+  || fail "/tracez did not answer 200"
+curl -sf "http://127.0.0.1:$PORT/readyz" > /dev/null \
+  || fail "/readyz did not answer 200"
+
+grep -q 'maroon_build_info{version=' "$ARTIFACTS/ops_metrics.prom" \
+  || fail "exposition lacks maroon_build_info"
+grep -q 'maroon_uptime_seconds' "$ARTIFACTS/ops_metrics.prom" \
+  || fail "exposition lacks maroon_uptime_seconds"
+grep -q 'maroon_stream_applied' "$ARTIFACTS/ops_metrics.prom" \
+  || fail "exposition lacks the stream counters"
+"$CLI" promlint "$ARTIFACTS/ops_metrics.prom" \
+  || fail "exposition does not pass promlint"
+grep -q '"overall": "OK"' "$ARTIFACTS/ops_healthz.json" \
+  || fail "/healthz is not OK on a clean run"
+grep -q '"version": "' "$ARTIFACTS/ops_statusz.json" \
+  || fail "/statusz lacks the build version"
+grep -q '"spans": \[' "$ARTIFACTS/ops_tracez.json" \
+  || fail "/tracez lacks the span array"
+
+echo "== SIGTERM: clean shutdown =="
+kill -TERM "$SERVE_PID"
+status=0
+wait "$SERVE_PID" || status=$?
+SERVE_PID=""
+[ "$status" -eq 0 ] || fail "serve exited $status after SIGTERM"
+grep -q 'serve: streamed' "$WORK/serve.log" \
+  || fail "serve.log lacks the shutdown summary"
+
+echo "== serve: latched WAL fault flips /healthz =="
+MAROON_FAILPOINTS='wal.append.write=fail@0:0' \
+  "$CLI" serve --data="$WORK/data" --wal-dir="$WORK/wal_fault" \
+  --port=0 --port-file="$WORK/port_fault.txt" \
+  > "$WORK/serve_fault.log" 2>&1 &
+SERVE_PID=$!
+tries=0
+while [ ! -s "$WORK/port_fault.txt" ] && [ "$tries" -lt 100 ]; do
+  tries=$((tries + 1))
+  sleep 0.1
+done
+[ -s "$WORK/port_fault.txt" ] || fail "fault serve never published its port"
+PORT="$(cat "$WORK/port_fault.txt")"
+wait_for_server "$PORT" || fail "fault serve never answered on port $PORT"
+# Give ingest a moment to hit the armed failpoint and latch the error.
+sleep 1
+HEALTH_STATUS="$(curl -s -o "$ARTIFACTS/ops_healthz_fault.json" \
+  -w '%{http_code}' "http://127.0.0.1:$PORT/healthz")"
+[ "$HEALTH_STATUS" = "503" ] \
+  || fail "/healthz answered $HEALTH_STATUS under a WAL fault (want 503)"
+grep -q '"overall": "UNHEALTHY"' "$ARTIFACTS/ops_healthz_fault.json" \
+  || fail "/healthz body is not UNHEALTHY under a WAL fault"
+# The ops plane must keep serving scrapes while ingest is down.
+curl -sf "http://127.0.0.1:$PORT/metrics" > /dev/null \
+  || fail "/metrics stopped serving under a WAL fault"
+kill -TERM "$SERVE_PID"
+status=0
+wait "$SERVE_PID" || status=$?
+SERVE_PID=""
+# Halted ingest surfaces as exit 1 — anything else is a different bug.
+[ "$status" -eq 1 ] || fail "fault serve exited $status (want 1)"
+
+echo "wrote $ARTIFACTS/ops_metrics.prom and route snapshots"
+echo "ops_smoke.sh: OK"

@@ -51,6 +51,8 @@
 #     {"bench": "replay_durability", "corpus": "recruitment",
 #      "mode": "snapshot", "entities": N, "snapshot_write_s": N,
 #      "snapshot_bytes": N},
+#     {"bench": "serve_scrape", "mode": "render"|"http",
+#      "iterations": N, "p50_ms": N, "p99_ms": N, "bytes": N},
 #     ...
 #   ],
 #   "overhead": {
@@ -83,9 +85,10 @@ ARTIFACTS="${3:-bench_artifacts}"
 FIG7="$BUILD_DIR/bench/bench_fig7_runtime"
 SCALING="$BUILD_DIR/bench/bench_scaling"
 DURABILITY="$BUILD_DIR/bench/bench_replay_durability"
+SERVE_SCRAPE="$BUILD_DIR/bench/bench_serve_scrape"
 CLI="$BUILD_DIR/tools/maroon_cli"
 BENCHDIFF="$BUILD_DIR/tools/maroon_benchdiff"
-for binary in "$FIG7" "$SCALING" "$DURABILITY" "$CLI" "$BENCHDIFF"; do
+for binary in "$FIG7" "$SCALING" "$DURABILITY" "$SERVE_SCRAPE" "$CLI" "$BENCHDIFF"; do
   if [ ! -x "$binary" ]; then
     echo "run_bench.sh: missing $binary (build the bench and tools targets first)" >&2
     exit 1
@@ -194,6 +197,20 @@ WAL_RPS="$(awk '
     rest = substr($0, i + 17); sub(/[,}].*/, "", rest); print rest + 0
   }' "$WORK/rows.jsonl")"
 require_number replay_durability_records_per_s "$WAL_RPS"
+
+echo "== bench_serve_scrape =="
+MAROON_BENCH_JSON="$WORK/rows.jsonl" "$SERVE_SCRAPE" "$FILTER" > /dev/null
+require_schema_rows "$WORK/rows.jsonl"
+# The render row must carry a real tail latency: a zero p99 means the
+# scrape path measured nothing.
+SCRAPE_P99="$(awk '
+  index($0, "\"bench\": \"serve_scrape\"") == 0 { next }
+  index($0, "\"mode\": \"render\"") == 0 { next }
+  {
+    i = index($0, "\"p99_ms\": ")
+    rest = substr($0, i + 10); sub(/[,}].*/, "", rest); print rest + 0
+  }' "$WORK/rows.jsonl")"
+require_number serve_scrape_p99_ms "$SCRAPE_P99"
 
 OVERHEAD_PCT="$(awk -v off="$OFF_TOTAL" -v on="$ON_TOTAL" 'BEGIN {
   if (off <= 0) { printf "0"; exit }
